@@ -1,0 +1,179 @@
+package cgp
+
+import (
+	"fmt"
+
+	"cgp/internal/workload"
+)
+
+// The ablation studies extend the paper's evaluation along the design
+// axes §3 fixes by fiat: CGHC associativity and entry width, the
+// no-priority L2 FIFO, prefetching into L1I vs L2, and the §6
+// all-software CGP variant.
+
+// CGHCWaysAblation compares the paper's direct-mapped CGHC against
+// 2-way and 4-way variants. The small 1KB single-level CGHC is used
+// because that is where tag conflicts actually occur (the preferred
+// 2K+32K configuration has so few conflicts that associativity is
+// irrelevant — itself a finding that supports the paper's
+// direct-mapped choice, §3.2).
+func (r *Runner) CGHCWaysAblation() (*Figure, error) {
+	fig := &Figure{ID: "abl-ways", Title: "CGHC associativity ablation (CGP_4, 1K single-level)", Baseline: "CGHC-1K"}
+	for _, w := range r.DBWorkloads() {
+		var base int64
+		for i, ways := range []int{1, 2, 4} {
+			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
+				CGHC: CGHCConfig{L1Bytes: 1024, Ways: ways}}
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			fig.Rows = append(fig.Rows, Row{
+				Workload: w.Name, Config: cfg.CGHC.String(),
+				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
+				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// CGHCSlotsAblation varies the callee slots per CGHC entry (the paper
+// picks 8 from the ATOM fanout measurement).
+func (r *Runner) CGHCSlotsAblation() (*Figure, error) {
+	fig := &Figure{ID: "abl-slots", Title: "CGHC entry-width ablation (CGP_4, 2K+32K)", Baseline: "CGHC-2K+32K-slots2"}
+	for _, w := range r.DBWorkloads() {
+		var base int64
+		for i, slots := range []int{2, 4, 8} {
+			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
+				CGHC: CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024, Slots: slots}}
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			fig.Rows = append(fig.Rows, Row{
+				Workload: w.Name, Config: cfg.CGHC.String(),
+				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
+				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// FIFOPolicyAblation tests the §3.3 simplifications: giving demand
+// misses priority over prefetches, and staging prefetches in L2 instead
+// of filling L1I directly.
+func (r *Runner) FIFOPolicyAblation() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, DemandPriority: true},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, PrefetchIntoL2Only: true},
+	}
+	return r.runGrid("abl-policy", "L2 interface policy ablation (§3.3 choices)",
+		r.DBWorkloads(), configs)
+}
+
+// SoftwareCGPAblation compares hardware CGP against the §6 software
+// variant (static profile-derived tables, no CGHC) and NL.
+func (r *Runner) SoftwareCGPAblation() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefSoftwareCGP, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+	}
+	return r.runGrid("abl-swcgp", "Software CGP (§6 variant) vs hardware CGP",
+		r.DBWorkloads(), configs)
+}
+
+// ExtensionFigures runs every ablation study.
+func (r *Runner) ExtensionFigures() ([]*Figure, error) {
+	type gen struct {
+		name string
+		fn   func() (*Figure, error)
+	}
+	gens := []gen{
+		{"abl-ways", r.CGHCWaysAblation},
+		{"abl-slots", r.CGHCSlotsAblation},
+		{"abl-policy", r.FIFOPolicyAblation},
+		{"abl-swcgp", r.SoftwareCGPAblation},
+		{"abl-degree", r.DegreeSweep},
+		{"abl-quantum", r.QuantumSweep},
+	}
+	out := make([]*Figure, 0, len(gens))
+	for _, g := range gens {
+		fig, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("cgp: %s: %w", g.name, err)
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// DegreeSweep extends Figures 4/6 along the N axis: the paper evaluates
+// CGP_2 and CGP_4; this sweeps N in {1, 2, 4, 8} to expose the
+// timeliness-vs-pollution trade-off.
+func (r *Runner) DegreeSweep() (*Figure, error) {
+	fig := &Figure{ID: "abl-degree", Title: "CGP_N degree sweep (OM binary)", Baseline: "O5+OM+CGP_1"}
+	for _, w := range r.DBWorkloads() {
+		var base int64
+		for i, n := range []int{1, 2, 4, 8} {
+			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: n}
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			tp := res.CPU.TotalPrefetch()
+			fig.Rows = append(fig.Rows, Row{
+				Workload: w.Name, Config: cfg.Label(),
+				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
+				PrefHits: tp.PrefHits, DelayedHits: tp.DelayedHits, Useless: tp.Useless,
+				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// QuantumSweep varies the scheduler's context-switch quantum on
+// wisc-large-2 (OM binary, no prefetching). The paper's premise (§2,
+// citing Franklin et al.) is that frequent context switches inflate
+// database I-cache miss rates; the sweep makes that mechanism visible:
+// smaller quanta mean more switches and more misses per instruction.
+func (r *Runner) QuantumSweep() (*Figure, error) {
+	fig := &Figure{ID: "abl-quantum", Title: "Context-switch quantum sensitivity (wisc-large-2, OM)", Baseline: "quantum-2"}
+	var base int64
+	for i, q := range []int{2, 7, 28, 112} {
+		opts := r.opts.DB
+		opts.Quantum = q
+		// Each quantum is a distinct workload configuration; fresh
+		// sub-runners keep the result cache honest while sharing this
+		// runner's scale.
+		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log})
+		sub.dbProfiles = r.dbProfiles // reuse the feedback profile
+		res, err := sub.Run(workload.WiscLarge2(opts), Config{Layout: LayoutOM})
+		if err != nil {
+			return nil, err
+		}
+		r.dbProfiles = sub.dbProfiles
+		if i == 0 {
+			base = res.CPU.Cycles
+		}
+		fig.Rows = append(fig.Rows, Row{
+			Workload: "wisc-large-2", Config: fmt.Sprintf("quantum-%d", q),
+			Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
+			Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
+		})
+	}
+	return fig, nil
+}

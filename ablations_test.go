@@ -1,0 +1,162 @@
+package cgp
+
+import "testing"
+
+func TestSoftwareCGPAblation(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.SoftwareCGPAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both CGP variants must beat NL (the baseline), and the software
+	// variant — an unbounded static table with no CGHC conflicts and no
+	// modelled instruction overhead — must be at least in hardware
+	// CGP's neighbourhood.
+	hw := fig.GeoSpeedup("O5+OM+CGP_4")
+	sw := fig.GeoSpeedup("O5+OM+SWCGP_4")
+	if hw <= 1.0 {
+		t.Errorf("hardware CGP did not beat NL: %.3f", hw)
+	}
+	if sw <= 1.0 {
+		t.Errorf("software CGP did not beat NL: %.3f", sw)
+	}
+	if sw < hw*0.95 {
+		t.Errorf("software CGP (%.3f) far below hardware CGP (%.3f)", sw, hw)
+	}
+}
+
+func TestFIFOPolicyAblation(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.FIFOPolicyAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio := fig.GeoSpeedup("O5+OM+CGP_4+prio")
+	l2only := fig.GeoSpeedup("O5+OM+CGP_4+l2only")
+	// §3.3's argument: demand priority would buy little. Allow up to a
+	// few percent either way.
+	if prio < 0.97 || prio > 1.06 {
+		t.Errorf("demand priority changed performance by too much: %.3f", prio)
+	}
+	// Prefetching into L2 only must clearly lose: the demand fetch
+	// still pays the L2 hit.
+	if l2only > 0.9 {
+		t.Errorf("L2-only prefetching not clearly worse: %.3f", l2only)
+	}
+}
+
+func TestCGHCWaysAblation(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.CGHCWaysAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Associativity on the small CGHC helps at most marginally — the
+	// finding that justifies the paper's direct-mapped choice.
+	for _, ways := range []string{"CGHC-1K-2way", "CGHC-1K-4way"} {
+		s := fig.GeoSpeedup(ways)
+		if s < 0.97 || s > 1.08 {
+			t.Errorf("%s speedup %.3f outside the marginal band", ways, s)
+		}
+	}
+}
+
+func TestCGHCSlotsAblation(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.CGHCSlotsAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More slots must never hurt meaningfully, and 8 slots (the paper's
+	// choice) should be at least as good as 2.
+	s8 := fig.GeoSpeedup("CGHC-2K+32K")
+	if s8 < 0.99 {
+		t.Errorf("8-slot CGHC slower than 2-slot: %.3f", s8)
+	}
+}
+
+func TestExtensionFiguresRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := smallRunner()
+	figs, err := r.ExtensionFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("got %d extension figures", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Rows) == 0 {
+			t.Errorf("%s has no rows", f.ID)
+		}
+		if f.Markdown() == "" {
+			t.Errorf("%s renders empty", f.ID)
+		}
+	}
+}
+
+func TestSWCGPLabel(t *testing.T) {
+	cfg := Config{Layout: LayoutOM, Prefetcher: PrefSoftwareCGP, Degree: 4}
+	if got := cfg.Label(); got != "O5+OM+SWCGP_4" {
+		t.Errorf("label = %q", got)
+	}
+	cfg = Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, DemandPriority: true}
+	if got := cfg.Label(); got != "O5+OM+CGP_4+prio" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestDegreeSweep(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.DegreeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4*4 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	// Higher degrees must issue more useless prefetches (pollution), and
+	// CGP_4 must beat CGP_1 (timeliness).
+	var useless [4]int64
+	for _, row := range fig.Rows {
+		for i, cfg := range []string{"O5+OM+CGP_1", "O5+OM+CGP_2", "O5+OM+CGP_4", "O5+OM+CGP_8"} {
+			if row.Config == cfg {
+				useless[i] += row.Useless
+			}
+		}
+	}
+	if useless[3] <= useless[0] {
+		t.Errorf("CGP_8 useless (%d) not above CGP_1 (%d)", useless[3], useless[0])
+	}
+	if s := fig.GeoSpeedup("O5+OM+CGP_4"); s <= 1.0 {
+		t.Errorf("CGP_4 (%.3f) not faster than CGP_1", s)
+	}
+}
+
+func TestQuantumSweep(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.QuantumSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	// More frequent context switches (smaller quantum) must cost more
+	// I-cache misses per instruction: the paper's premise.
+	missRate := func(i int) float64 {
+		res := fig.Rows[i].Result
+		return float64(res.CPU.ICacheMisses) / float64(res.CPU.Instructions)
+	}
+	if missRate(0) <= missRate(3) {
+		t.Errorf("quantum-2 miss rate %.5f not above quantum-112's %.5f",
+			missRate(0), missRate(3))
+	}
+	// And the largest quantum must be fastest.
+	last := fig.Rows[3]
+	if last.Speedup < 1.0 {
+		t.Errorf("quantum-112 slower than quantum-2: %.3f", last.Speedup)
+	}
+}

@@ -1,0 +1,242 @@
+package cgp
+
+import (
+	"testing"
+
+	"cgp/internal/cache"
+	"cgp/internal/core"
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+	"cgp/internal/workload"
+)
+
+// benchRunner runs the figures at a reduced (but non-trivial) scale so
+// the full suite completes in minutes. Paper-scale numbers come from
+// cmd/experiments.
+func benchRunner() *Runner {
+	return NewRunner(RunnerOptions{
+		DB: DBOptions{
+			WiscN: 1500, Quantum: 7, Seed: 42, BufferFrames: 8192,
+			TPCH: workload.TPCHScale{Suppliers: 16, Customers: 80, Parts: 120, Orders: 320, MaxLines: 5},
+		},
+		Seed: 42,
+	})
+}
+
+// reportFigure surfaces the figure's headline ratios as benchmark
+// metrics.
+func reportFigure(b *testing.B, fig *Figure, metrics map[string]func(*Figure) float64) {
+	b.Helper()
+	for name, fn := range metrics {
+		b.ReportMetric(fn(fig), name)
+	}
+}
+
+// BenchmarkFigure4 regenerates the O5 / OM / CGP cycle comparison.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"speedup/OM":      func(f *Figure) float64 { return f.GeoSpeedup("O5+OM") },
+			"speedup/CGP4":    func(f *Figure) float64 { return f.GeoSpeedup("O5+CGP_4") },
+			"speedup/OM+CGP4": func(f *Figure) float64 { return f.GeoSpeedup("O5+OM+CGP_4") },
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates the CGHC size sweep.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"speedup/CGHC-2K+32K": func(f *Figure) float64 { return f.GeoSpeedup("CGHC-2K+32K") },
+			"speedup/CGHC-Inf":    func(f *Figure) float64 { return f.GeoSpeedup("CGHC-Inf") },
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates the NL vs CGP comparison.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"speedup/OM+NL4":  func(f *Figure) float64 { return f.GeoSpeedup("O5+OM+NL_4") },
+			"speedup/OM+CGP4": func(f *Figure) float64 { return f.GeoSpeedup("O5+OM+CGP_4") },
+			"speedup/perfect": func(f *Figure) float64 { return f.GeoSpeedup("perf-Icache") },
+		})
+	}
+}
+
+// BenchmarkFigure7 regenerates the I-cache miss comparison.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"missfrac/OM":      func(f *Figure) float64 { return f.MeanMissFraction("O5+OM") },
+			"missfrac/OM+NL4":  func(f *Figure) float64 { return f.MeanMissFraction("O5+OM+NL_4") },
+			"missfrac/OM+CGP4": func(f *Figure) float64 { return f.MeanMissFraction("O5+OM+CGP_4") },
+		})
+	}
+}
+
+// BenchmarkFigure8 regenerates the prefetch effectiveness breakdown.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"useful/NL4":  func(f *Figure) float64 { return f.MeanUsefulFraction("O5+OM+NL_4") },
+			"useful/CGP4": func(f *Figure) float64 { return f.MeanUsefulFraction("O5+OM+CGP_4") },
+		})
+	}
+}
+
+// BenchmarkFigure9 regenerates the CGP portion split.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"useful/NL-portion":   func(f *Figure) float64 { return f.MeanUsefulFraction("CGP_4/NL-portion") },
+			"useful/CGHC-portion": func(f *Figure) float64 { return f.MeanUsefulFraction("CGP_4/CGHC-portion") },
+		})
+	}
+}
+
+// BenchmarkFigure10 regenerates the CPU2000 study.
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"speedup/gcc+CGP4": func(f *Figure) float64 {
+				for _, row := range f.RowsFor("gcc") {
+					if row.Config == "O5+OM+CGP_4" {
+						return row.Speedup
+					}
+				}
+				return 0
+			},
+			"speedup/gzip+CGP4": func(f *Figure) float64 {
+				for _, row := range f.RowsFor("gzip") {
+					if row.Config == "O5+OM+CGP_4" {
+						return row.Speedup
+					}
+				}
+				return 0
+			},
+		})
+	}
+}
+
+// BenchmarkRunAheadNL regenerates the §5.6 ablation.
+func BenchmarkRunAheadNL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		fig, err := r.RunAheadAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportFigure(b, fig, map[string]func(*Figure) float64{
+			"speedup/RANL4-vs-NL4": func(f *Figure) float64 { return f.GeoSpeedup("O5+OM+RANL_4") },
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// instructions per wall-second for the full DB pipeline under CGP.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	opts := benchRunner().opts
+	w := workload.WiscLarge2(opts.DB)
+	reg := w.NewRegistry()
+	img := program.LayoutO5(reg)
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		pf, _ := (Config{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4}).buildPrefetcher()
+		c := cpu.New(cpu.DefaultConfig(), pf)
+		if err := w.Run(img, c); err != nil {
+			b.Fatal(err)
+		}
+		instrs = c.Finish().Instructions
+	}
+	b.ReportMetric(float64(instrs*int64(b.N))/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// ---- microbenchmarks of the hot structures ----
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := cache.New[struct{}](cache.Config{Name: "b", SizeBytes: 32 * 1024, Assoc: 2, LineBytes: 32})
+	for i := 0; i < 2048; i++ {
+		c.Insert(cache.Line(i), struct{}{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(cache.Line(i & 4095))
+	}
+}
+
+func BenchmarkCGHCAccess(b *testing.B) {
+	p := core.New(core.Config{Lines: 4, L1Bytes: 2048, L2Bytes: 32 * 1024})
+	sink := func(prefetch.Request) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		caller := isa.Addr(0x400000 + (i&127)*0x200)
+		callee := isa.Addr(0x500000 + (i&63)*0x200)
+		p.OnCall(callee, caller, sink)
+		p.OnReturn(caller, callee, sink)
+	}
+}
+
+func BenchmarkTracerSynthesis(b *testing.B) {
+	reg := program.NewRegistry()
+	main := reg.Register("main", 2000)
+	leaf := reg.Register("leaf", 400)
+	img := program.LayoutO5(reg)
+	tr := trace.NewTracer(img, trace.Discard, 1)
+	tr.Enter(main)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Enter(leaf)
+		tr.Work(40)
+		tr.Exit()
+	}
+}
+
+func BenchmarkCPUConsume(b *testing.B) {
+	c := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+	ev := trace.Event{Kind: trace.KindRun, Addr: 0x400000, N: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Addr = 0x400000 + isa.Addr((i&1023)*32)
+		c.Event(ev)
+	}
+}

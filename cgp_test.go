@@ -1,0 +1,373 @@
+package cgp
+
+import (
+	"strings"
+	"testing"
+
+	"cgp/internal/workload"
+)
+
+// smallRunner keeps end-to-end tests fast: a few hundred tuples is
+// enough to exercise every code path.
+func smallRunner() *Runner {
+	return NewRunner(RunnerOptions{
+		DB: DBOptions{
+			WiscN: 600, Quantum: 5, Seed: 11, BufferFrames: 4096,
+			TPCH: workload.TPCHScale{Suppliers: 10, Customers: 40, Parts: 60, Orders: 150, MaxLines: 4},
+		},
+		Seed: 11,
+	})
+}
+
+func TestConfigLabels(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{Layout: LayoutO5}, "O5"},
+		{Config{Layout: LayoutOM}, "O5+OM"},
+		{Config{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4}, "O5+CGP_4"},
+		{Config{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2}, "O5+OM+NL_2"},
+		{Config{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4}, "O5+OM+RANL_4"},
+		{Config{Layout: LayoutOM, PerfectICache: true}, "perf-Icache"},
+		{Config{Layout: LayoutOM, Prefetcher: PrefCGP}, "O5+OM+CGP_4"}, // default degree
+	}
+	for _, c := range cases {
+		if got := c.cfg.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.cfg, got, c.want)
+		}
+	}
+}
+
+func TestCGHCConfigString(t *testing.T) {
+	cases := []struct {
+		cfg  CGHCConfig
+		want string
+	}{
+		{CGHCConfig{L1Bytes: 1024}, "CGHC-1K"},
+		{CGHCConfig{L1Bytes: 2048, L2Bytes: 32768}, "CGHC-2K+32K"},
+		{CGHCConfig{Infinite: true}, "CGHC-Inf"},
+	}
+	for _, c := range cases {
+		if got := c.cfg.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// TestPaperOrderings is the headline integration test: on a scaled-down
+// wisc-large-2, the paper's qualitative orderings must hold.
+func TestPaperOrderings(t *testing.T) {
+	r := smallRunner()
+	w := WiscLarge2(r.opts.DB)
+
+	get := func(cfg Config) *Result {
+		t.Helper()
+		res, err := r.Run(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	o5 := get(Config{Layout: LayoutO5})
+	om := get(Config{Layout: LayoutOM})
+	nl4 := get(Config{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4})
+	cgp4 := get(Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4})
+	cgpO5 := get(Config{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4})
+	ranl := get(Config{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4})
+	perfect := get(Config{Layout: LayoutOM, PerfectICache: true})
+
+	// Cycle orderings (Figures 4 and 6).
+	type rel struct {
+		slow, fast *Result
+		what       string
+	}
+	for _, c := range []rel{
+		{o5, om, "OM beats O5"},
+		{om, nl4, "OM+NL beats OM"},
+		{nl4, cgp4, "OM+CGP beats OM+NL"},
+		{cgp4, perfect, "perfect I-cache beats OM+CGP"},
+		{o5, cgpO5, "CGP alone beats O5"},
+		{ranl, nl4, "NL beats run-ahead NL"},
+	} {
+		if c.slow.CPU.Cycles <= c.fast.CPU.Cycles {
+			t.Errorf("%s violated: %d <= %d", c.what, c.slow.CPU.Cycles, c.fast.CPU.Cycles)
+		}
+	}
+
+	// Miss orderings (Figure 7).
+	if !(o5.CPU.ICacheMisses > om.CPU.ICacheMisses &&
+		om.CPU.ICacheMisses > nl4.CPU.ICacheMisses &&
+		nl4.CPU.ICacheMisses > cgp4.CPU.ICacheMisses) {
+		t.Errorf("miss ordering violated: %d / %d / %d / %d",
+			o5.CPU.ICacheMisses, om.CPU.ICacheMisses, nl4.CPU.ICacheMisses, cgp4.CPU.ICacheMisses)
+	}
+	if perfect.CPU.ICacheMisses != 0 {
+		t.Errorf("perfect I-cache missed %d times", perfect.CPU.ICacheMisses)
+	}
+
+	// Work conservation: all configs execute the same workload. O5 and
+	// OM differ by the 12% instruction reduction; within one layout the
+	// instruction count is identical.
+	if om.CPU.Instructions != cgp4.CPU.Instructions || om.CPU.Instructions != perfect.CPU.Instructions {
+		t.Errorf("instruction counts differ within OM layout: %d / %d / %d",
+			om.CPU.Instructions, cgp4.CPU.Instructions, perfect.CPU.Instructions)
+	}
+	ratio := float64(om.CPU.Instructions) / float64(o5.CPU.Instructions)
+	if ratio < 0.82 || ratio > 0.94 {
+		t.Errorf("OM/O5 instruction ratio %.3f, want ~0.88", ratio)
+	}
+
+	// CGP's CGHC portion must be live and more accurate than useless.
+	if cgp4.CPU.CGHC.Issued == 0 {
+		t.Error("CGHC portion issued nothing")
+	}
+	if cgp4.CGPStats == nil || cgp4.CGPStats.History.PrefetchHits == 0 {
+		t.Error("CGHC never hit")
+	}
+}
+
+func TestResultCaching(t *testing.T) {
+	r := smallRunner()
+	w := WiscProf(r.opts.DB)
+	a, err := r.Run(w, Config{Layout: LayoutO5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(w, Config{Layout: LayoutO5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical runs not cached")
+	}
+	// Different CGHC configs share a label prefix but must not collide.
+	c1, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{L1Bytes: 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{Infinite: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Error("distinct CGHC configs collided in the cache")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := smallRunner().Run(WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := smallRunner().Run(WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CPU.Cycles != b.CPU.Cycles || a.CPU.ICacheMisses != b.CPU.ICacheMisses {
+		t.Errorf("fresh runners disagree: %d/%d vs %d/%d",
+			a.CPU.Cycles, a.CPU.ICacheMisses, b.CPU.Cycles, b.CPU.ICacheMisses)
+	}
+}
+
+func TestCallFanoutStats(t *testing.T) {
+	r := smallRunner()
+	fan, err := r.CallFanoutStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fan.CallingFunctions == 0 {
+		t.Fatal("no calling functions in profile")
+	}
+	// §3.2: 80% of functions call fewer than 8 distinct functions.
+	if fan.FractionBelow8 < 0.5 {
+		t.Errorf("fanout fraction below 8 = %.2f", fan.FractionBelow8)
+	}
+	// §5.4: ~43 instructions between calls.
+	if fan.InstrPerCall < 25 || fan.InstrPerCall > 70 {
+		t.Errorf("instructions/call = %.1f", fan.InstrPerCall)
+	}
+}
+
+func TestCPU2000Lookup(t *testing.T) {
+	if _, err := CPU2000("gcc", 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := CPU2000("nope", 1); err == nil {
+		t.Error("unknown benchmark succeeded")
+	}
+}
+
+func TestFigureGeneration(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4*4 {
+		t.Fatalf("fig7 rows = %d, want 16", len(fig.Rows))
+	}
+	if got := fig.SummarizeConfigs(); len(got) != 4 || got[0] != "O5" {
+		t.Errorf("configs = %v", got)
+	}
+	if got := fig.Workloads(); len(got) != 4 || got[0] != "wisc-prof" {
+		t.Errorf("workloads = %v", got)
+	}
+	md := fig.Markdown()
+	if !strings.Contains(md, "wisc-large-2") || !strings.Contains(md, "| O5+OM+CGP_4 |") {
+		t.Errorf("markdown incomplete:\n%s", md)
+	}
+	// Miss fractions must be ordered like the paper's Figure 7.
+	mOM := fig.MeanMissFraction("O5+OM")
+	mNL := fig.MeanMissFraction("O5+OM+NL_4")
+	mCGP := fig.MeanMissFraction("O5+OM+CGP_4")
+	if !(mOM < 1 && mNL < mOM && mCGP < mNL) {
+		t.Errorf("miss fractions not ordered: %.2f %.2f %.2f", mOM, mNL, mCGP)
+	}
+}
+
+func TestFigure9PortionSplit(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 8 { // 4 workloads x 2 portions
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	nl := fig.MeanUsefulFraction("CGP_4/NL-portion")
+	cghc := fig.MeanUsefulFraction("CGP_4/CGHC-portion")
+	if cghc <= nl {
+		t.Errorf("CGHC portion (%.2f) not more accurate than NL portion (%.2f)", cghc, nl)
+	}
+}
+
+func TestGeoSpeedup(t *testing.T) {
+	fig := &Figure{Baseline: "base", Rows: []Row{
+		{Workload: "a", Config: "x", Speedup: 2},
+		{Workload: "b", Config: "x", Speedup: 8},
+	}}
+	if got := fig.GeoSpeedup("x"); got != 4 {
+		t.Errorf("geomean = %f, want 4", got)
+	}
+	if got := fig.GeoSpeedup("missing"); got != 0 {
+		t.Errorf("missing config geomean = %f", got)
+	}
+}
+
+func TestDefaultCPUConfigIsTable1(t *testing.T) {
+	cfg := DefaultCPUConfig()
+	if cfg.FetchWidth != 4 {
+		t.Errorf("fetch width = %d", cfg.FetchWidth)
+	}
+	if cfg.L1I.SizeBytes != 32*1024 || cfg.L1I.Assoc != 2 || cfg.L1I.LineBytes != 32 {
+		t.Errorf("L1I = %+v", cfg.L1I)
+	}
+	if cfg.L1D.SizeBytes != 32*1024 || cfg.L1D.Assoc != 2 {
+		t.Errorf("L1D = %+v", cfg.L1D)
+	}
+	if cfg.L2.SizeBytes != 1024*1024 || cfg.L2.Assoc != 4 {
+		t.Errorf("L2 = %+v", cfg.L2)
+	}
+	if cfg.L1Latency != 1 || cfg.L2Latency != 16 || cfg.MemLatency != 80 {
+		t.Errorf("latencies = %d/%d/%d", cfg.L1Latency, cfg.L2Latency, cfg.MemLatency)
+	}
+	if cfg.BranchEntries != 2048 {
+		t.Errorf("branch entries = %d", cfg.BranchEntries)
+	}
+}
+
+func TestFigure5CGHCOrdering(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 4*5 {
+		t.Fatalf("rows = %d", len(fig.Rows))
+	}
+	// The 1KB CGHC is the weakest finite configuration on average
+	// (Figure 5's finding); the preferred 2K+32K is within a few
+	// percent of infinite.
+	oneK := fig.GeoSpeedup("CGHC-1K") // == 1.0, the baseline
+	twoL := fig.GeoSpeedup("CGHC-2K+32K")
+	inf := fig.GeoSpeedup("CGHC-Inf")
+	if twoL < oneK {
+		t.Errorf("2K+32K (%.3f) slower than 1K (%.3f)", twoL, oneK)
+	}
+	if twoL < inf*0.97 {
+		t.Errorf("2K+32K (%.3f) not within a few %% of infinite (%.3f)", twoL, inf)
+	}
+}
+
+func TestFigure8UsefulFractions(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range fig.SummarizeConfigs() {
+		u := fig.MeanUsefulFraction(cfg)
+		if u <= 0.2 || u >= 0.98 {
+			t.Errorf("%s useful fraction %.2f implausible", cfg, u)
+		}
+	}
+	// Degree 4 issues more useless prefetches than degree 2 (Figure 8).
+	var nl2, nl4 int64
+	for _, row := range fig.Rows {
+		switch row.Config {
+		case "O5+OM+NL_2":
+			nl2 += row.Useless
+		case "O5+OM+NL_4":
+			nl4 += row.Useless
+		}
+	}
+	if nl4 <= nl2 {
+		t.Errorf("NL_4 useless (%d) not above NL_2 (%d)", nl4, nl2)
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fig.Workloads()); got != 7 {
+		t.Fatalf("workloads = %d", got)
+	}
+	speedup := func(w, cfg string) float64 {
+		for _, row := range fig.RowsFor(w) {
+			if row.Config == cfg {
+				return row.Speedup
+			}
+		}
+		return 0
+	}
+	// gzip and bzip2 are insensitive; gcc gains the most.
+	for _, w := range []string{"gzip", "bzip2"} {
+		if s := speedup(w, "O5+OM+CGP_4"); s > 1.05 {
+			t.Errorf("%s moved %.3fx under CGP (should be insensitive)", w, s)
+		}
+	}
+	if s := speedup("gcc", "O5+OM+CGP_4"); s < 1.04 {
+		t.Errorf("gcc speedup %.3f, expected a visible gain", s)
+	}
+	// NL ~ CGP on gcc (§5.7).
+	nl, cgp4 := speedup("gcc", "O5+OM+NL_4"), speedup("gcc", "O5+OM+CGP_4")
+	if cgp4/nl > 1.10 || nl/cgp4 > 1.10 {
+		t.Errorf("gcc: NL %.3f vs CGP %.3f diverge (paper: similar)", nl, cgp4)
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	r := smallRunner()
+	fig, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := fig.Chart()
+	if !strings.Contains(chart, "wisc-large-2") || !strings.Contains(chart, "#") {
+		t.Errorf("chart incomplete:\n%s", chart)
+	}
+}

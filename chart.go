@@ -1,0 +1,48 @@
+package cgp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders the figure as text bars (normalized per workload to its
+// baseline config), the closest plain-text analogue of the paper's bar
+// graphs.
+func (f *Figure) Chart() string {
+	metric := func(r Row) float64 { return float64(r.Cycles) }
+	label := "cycles"
+	if f.ID == "fig7" {
+		metric = func(r Row) float64 { return float64(r.Misses) }
+		label = "I-cache misses"
+	}
+	if f.ID == "fig8" || f.ID == "fig9" {
+		metric = func(r Row) float64 { return float64(r.PrefHits + r.DelayedHits + r.Useless) }
+		label = "prefetches"
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (bars normalized per workload)\n", f.ID, label)
+	const width = 44
+	for _, w := range f.Workloads() {
+		rows := f.RowsFor(w)
+		var max float64
+		for _, r := range rows {
+			if v := metric(r); v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s\n", w)
+		for _, r := range rows {
+			v := metric(r)
+			n := int(v / max * width)
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-22s %-*s %.0f\n", r.Config, width, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+// Command cgpsim runs one workload under one system configuration and
+// prints the measured statistics.
+//
+// Usage:
+//
+//	cgpsim -workload wisc-large-2 -layout om -prefetch cgp -n 4
+//	cgpsim -workload gcc -layout om -prefetch nl -n 4
+//	cgpsim -workload wisc-prof -perfect
+//
+// Workloads: wisc-prof, wisc-large-1, wisc-large-2, wisc+tpch,
+// gzip, gcc, crafty, parser, gap, bzip2, twolf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgp"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "wisc-prof", "workload name")
+		layout       = flag.String("layout", "o5", "binary layout: o5 or om")
+		pref         = flag.String("prefetch", "none", "prefetcher: none, nl, ranl, cgp")
+		degree       = flag.Int("n", 4, "lines prefetched per trigger (NL_n / CGP_n)")
+		runAheadM    = flag.Int("m", 4, "run-ahead distance for ranl")
+		cghc         = flag.String("cghc", "2k+32k", "CGHC size: e.g. 1k, 32k, 1k+16k, 2k+32k, inf")
+		perfect      = flag.Bool("perfect", false, "perfect I-cache")
+		wiscN        = flag.Int("wisc-n", 10000, "Wisconsin big-relation cardinality")
+		seed         = flag.Int64("seed", 42, "workload seed")
+		verbose      = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*layout, *pref, *degree, *runAheadM, *cghc, *perfect)
+	if err != nil {
+		fatal(err)
+	}
+	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed}
+	if *verbose {
+		opts.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	}
+	r := cgp.NewRunner(opts)
+
+	w, err := findWorkload(r, *workloadName, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r.Run(w, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+func buildConfig(layout, pref string, n, m int, cghc string, perfect bool) (cgp.Config, error) {
+	var cfg cgp.Config
+	switch strings.ToLower(layout) {
+	case "o5":
+		cfg.Layout = cgp.LayoutO5
+	case "om", "o5+om":
+		cfg.Layout = cgp.LayoutOM
+	default:
+		return cfg, fmt.Errorf("unknown layout %q", layout)
+	}
+	switch strings.ToLower(pref) {
+	case "none", "":
+		cfg.Prefetcher = cgp.PrefNone
+	case "nl":
+		cfg.Prefetcher = cgp.PrefNL
+	case "ranl":
+		cfg.Prefetcher = cgp.PrefRunAheadNL
+	case "cgp":
+		cfg.Prefetcher = cgp.PrefCGP
+	default:
+		return cfg, fmt.Errorf("unknown prefetcher %q", pref)
+	}
+	cfg.Degree = n
+	cfg.RunAheadM = m
+	cfg.PerfectICache = perfect
+	var err error
+	cfg.CGHC, err = parseCGHC(cghc)
+	return cfg, err
+}
+
+func parseCGHC(s string) (cgp.CGHCConfig, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "inf" || s == "infinite" {
+		return cgp.CGHCConfig{Infinite: true}, nil
+	}
+	parse := func(part string) (int, error) {
+		part = strings.TrimSuffix(part, "k")
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			return 0, fmt.Errorf("bad CGHC size %q", s)
+		}
+		return v * 1024, nil
+	}
+	var cfg cgp.CGHCConfig
+	parts := strings.SplitN(s, "+", 2)
+	var err error
+	if cfg.L1Bytes, err = parse(parts[0]); err != nil {
+		return cfg, err
+	}
+	if len(parts) == 2 {
+		if cfg.L2Bytes, err = parse(parts[1]); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+func findWorkload(r *cgp.Runner, name string, seed int64) (*cgp.Workload, error) {
+	for _, w := range r.DBWorkloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	if w, err := cgp.CPU2000(name, seed); err == nil {
+		return w, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q (try wisc-prof, wisc-large-1, wisc-large-2, wisc+tpch, gzip, gcc, crafty, parser, gap, bzip2, twolf)", name)
+}
+
+func printResult(res *cgp.Result) {
+	s := res.CPU
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("config          %s\n", res.Config)
+	fmt.Printf("cycles          %d\n", s.Cycles)
+	fmt.Printf("instructions    %d\n", s.Instructions)
+	fmt.Printf("IPC             %.3f\n", s.IPC())
+	fmt.Printf("instr/call      %.1f\n", res.Trace.InstructionsPerCall())
+	fmt.Printf("I-line fetches  %d\n", s.ILineAccesses)
+	fmt.Printf("I-cache misses  %d (%.3f%% of line fetches, %.2f/kinst)\n",
+		s.ICacheMisses, 100*s.IMissRate(), s.IMissPerKInstr())
+	fmt.Printf("I-miss stalls   %d cycles\n", s.IMissStallCycles)
+	fmt.Printf("D-cache misses  %d / %d accesses\n", s.DCacheMisses, s.DLineAccesses)
+	fmt.Printf("L2 transfers    %d (misses to memory: %d)\n", s.L2Accesses, s.L2Misses)
+	fmt.Printf("branches        %d (mispredicts %d)\n", s.Branches, s.BranchMispredicts)
+	fmt.Printf("returns         %d (RAS mispredicts %d)\n", s.Returns, s.RASMispredicts)
+	fmt.Printf("ctx switches    %d\n", s.Switches)
+	tp := s.TotalPrefetch()
+	if tp.Issued > 0 {
+		fmt.Printf("prefetches      issued=%d squashed=%d hits=%d delayed=%d useless=%d (useful %.1f%%)\n",
+			tp.Issued, tp.Squashed, tp.PrefHits, tp.DelayedHits, tp.Useless, 100*tp.UsefulFraction())
+		fmt.Printf("  NL portion    issued=%d hits=%d delayed=%d useless=%d\n",
+			s.NL.Issued, s.NL.PrefHits, s.NL.DelayedHits, s.NL.Useless)
+		fmt.Printf("  CGHC portion  issued=%d hits=%d delayed=%d useless=%d\n",
+			s.CGHC.Issued, s.CGHC.PrefHits, s.CGHC.DelayedHits, s.CGHC.Useless)
+	}
+	if res.CGPStats != nil {
+		h := res.CGPStats.History
+		fmt.Printf("CGHC            pf-hit=%d pf-miss=%d upd-hit=%d upd-miss=%d L2hit=%d swaps=%d\n",
+			h.PrefetchHits, h.PrefetchMisses, h.UpdateHits, h.UpdateMisses, h.LevelTwoHits, h.Swaps)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgpsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command cgptrace records, inspects and replays binary trace files —
+// the capture/replay workflow of trace-driven simulation.
+//
+//	cgptrace record -workload wisc-prof -o wisc.cgptrc
+//	cgptrace info wisc.cgptrc
+//	cgptrace dump -n 40 wisc.cgptrc
+//	cgptrace replay -prefetch cgp -n 4 wisc.cgptrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cgp/internal/cpu"
+	"cgp/internal/prefetch"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+	"cgp/internal/workload"
+
+	"cgp/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = record(os.Args[2:])
+	case "info":
+		err = info(os.Args[2:])
+	case "dump":
+		err = dump(os.Args[2:])
+	case "replay":
+		err = replay(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cgptrace {record|info|dump|replay} [flags] [file]")
+	os.Exit(2)
+}
+
+func findWorkload(name string, wiscN int, seed int64) (*workload.Workload, error) {
+	opts := workload.DBOptions{WiscN: wiscN, Seed: seed}
+	for _, w := range workload.DBWorkloads(opts) {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	if spec, err := workload.CPU2000ByName(name); err == nil {
+		return workload.NewCPU2000(spec, seed), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func record(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("workload", "wisc-prof", "workload to record")
+	layout := fs.String("layout", "o5", "binary layout: o5 (om requires a profile run and is produced by the library API)")
+	out := fs.String("o", "trace.cgptrc", "output file")
+	wiscN := fs.Int("wisc-n", 1000, "Wisconsin cardinality")
+	seed := fs.Int64("seed", 42, "seed")
+	fs.Parse(args)
+	if *layout != "o5" {
+		return fmt.Errorf("record supports -layout o5 (use the library for OM traces)")
+	}
+	w, err := findWorkload(*name, *wiscN, *seed)
+	if err != nil {
+		return err
+	}
+	img := program.LayoutO5(w.NewRegistry())
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	var st trace.Stats
+	if err := w.Run(img, trace.Tee(&st, tw)); err != nil {
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s: %d events, %d instructions -> %s\n", w.Name, st.Events, st.Instructions, *out)
+	return nil
+}
+
+func openTrace(path string) (*trace.Reader, *os.File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f, nil
+}
+
+func info(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("info needs a trace file")
+	}
+	r, f, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var st trace.Stats
+	if err := r.Replay(&st); err != nil {
+		return err
+	}
+	fmt.Printf("events          %d\n", st.Events)
+	fmt.Printf("instructions    %d\n", st.Instructions)
+	fmt.Printf("calls/returns   %d / %d\n", st.Calls, st.Returns)
+	fmt.Printf("branches        %d (taken %d)\n", st.Branches, st.TakenBrs)
+	fmt.Printf("loops           %d\n", st.Loops)
+	fmt.Printf("data refs       %d (%d bytes)\n", st.DataRefs, st.DataBytes)
+	fmt.Printf("ctx switches    %d\n", st.Switches)
+	fmt.Printf("instr/call      %.1f\n", st.InstructionsPerCall())
+	return nil
+}
+
+func dump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	n := fs.Int("n", 20, "events to print")
+	skip := fs.Int("skip", 0, "events to skip first")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump needs a trace file")
+	}
+	r, f, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < *skip+*n; i++ {
+		ev, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if i < *skip {
+			continue
+		}
+		switch ev.Kind {
+		case trace.KindRun:
+			fmt.Printf("%-6s %#x +%d\n", ev.Kind, ev.Addr, ev.N)
+		case trace.KindLoop:
+			fmt.Printf("%-6s %#x body=%d iters=%d\n", ev.Kind, ev.Addr, ev.N, ev.Iters)
+		case trace.KindBranch:
+			fmt.Printf("%-6s %#x taken=%v -> %#x\n", ev.Kind, ev.Addr, ev.Taken, ev.Target)
+		case trace.KindCall:
+			fmt.Printf("%-6s %#x -> fn%d@%#x (from fn%d)\n", ev.Kind, ev.Addr, ev.Fn, ev.Target, ev.Caller)
+		case trace.KindReturn:
+			fmt.Printf("%-6s fn%d -> %#x\n", ev.Kind, ev.Fn, ev.Target)
+		case trace.KindData:
+			rw := "r"
+			if ev.Taken {
+				rw = "w"
+			}
+			fmt.Printf("%-6s %#x %dB %s\n", ev.Kind, ev.Addr, ev.N, rw)
+		case trace.KindSwitch:
+			fmt.Printf("%-6s thread %d\n", ev.Kind, ev.N)
+		}
+	}
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	pref := fs.String("prefetch", "none", "none, nl, ranl, cgp")
+	degree := fs.Int("n", 4, "prefetch degree")
+	perfect := fs.Bool("perfect", false, "perfect I-cache")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay needs a trace file")
+	}
+	var pf prefetch.Prefetcher
+	switch *pref {
+	case "none", "":
+		pf = prefetch.None{}
+	case "nl":
+		pf = prefetch.NewNL(*degree)
+	case "ranl":
+		pf = prefetch.NewRunAheadNL(*degree, *degree)
+	case "cgp":
+		pf = core.New(core.Config{Lines: *degree, L1Bytes: 2048, L2Bytes: 32 * 1024})
+	default:
+		return fmt.Errorf("unknown prefetcher %q", *pref)
+	}
+	cfg := cpu.DefaultConfig()
+	cfg.PerfectICache = *perfect
+	c := cpu.New(cfg, pf)
+	r, f, err := openTrace(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Replay(c); err != nil {
+		return err
+	}
+	s := c.Finish()
+	fmt.Printf("prefetcher      %s\n", pf.Name())
+	fmt.Printf("cycles          %d (IPC %.3f)\n", s.Cycles, s.IPC())
+	fmt.Printf("I-cache misses  %d (%.2f/kinst)\n", s.ICacheMisses, s.IMissPerKInstr())
+	tp := s.TotalPrefetch()
+	if tp.Issued > 0 {
+		fmt.Printf("prefetches      issued=%d hits=%d delayed=%d useless=%d\n",
+			tp.Issued, tp.PrefHits, tp.DelayedHits, tp.Useless)
+	}
+	return nil
+}

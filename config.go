@@ -1,0 +1,196 @@
+package cgp
+
+import (
+	"fmt"
+
+	"cgp/internal/core"
+	"cgp/internal/cpu"
+	"cgp/internal/prefetch"
+)
+
+// Layout selects the binary layout (the paper's two baselines).
+type Layout int
+
+const (
+	// LayoutO5 is the compiler-optimized binary in link order.
+	LayoutO5 Layout = iota
+	// LayoutOM applies the OM-style profile-guided code layout.
+	LayoutOM
+)
+
+// String returns "O5" or "O5+OM".
+func (l Layout) String() string {
+	if l == LayoutOM {
+		return "O5+OM"
+	}
+	return "O5"
+}
+
+// PrefetcherKind selects the instruction prefetcher.
+type PrefetcherKind int
+
+const (
+	// PrefNone disables prefetching.
+	PrefNone PrefetcherKind = iota
+	// PrefNL is next-N-line prefetching.
+	PrefNL
+	// PrefRunAheadNL is the §5.6 run-ahead variant.
+	PrefRunAheadNL
+	// PrefCGP is Call Graph Prefetching.
+	PrefCGP
+	// PrefSoftwareCGP is the §6 all-software variant: compiler-inserted
+	// prefetches driven by a static, profile-derived call-graph table.
+	PrefSoftwareCGP
+)
+
+// CGHCConfig sizes the Call Graph History Cache.
+type CGHCConfig struct {
+	// L1Bytes is the first-level size (0 with Infinite).
+	L1Bytes int
+	// L2Bytes adds a second level when nonzero.
+	L2Bytes int
+	// Infinite selects the unbounded CGHC.
+	Infinite bool
+	// Ways selects set-associativity (0/1 = direct-mapped, the paper's
+	// design; >1 is the ablation variant).
+	Ways int
+	// Slots caps recorded callees per entry (0 = 8, the paper's value).
+	Slots int
+}
+
+// DefaultCGHC is the paper's preferred 2KB+32KB two-level CGHC.
+func DefaultCGHC() CGHCConfig { return CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024} }
+
+// String names the configuration as the paper does (CGHC-2K+32K, ...).
+func (c CGHCConfig) String() string {
+	var s string
+	switch {
+	case c.Infinite:
+		s = "CGHC-Inf"
+	case c.L2Bytes > 0:
+		s = fmt.Sprintf("CGHC-%dK+%dK", c.L1Bytes/1024, c.L2Bytes/1024)
+	default:
+		s = fmt.Sprintf("CGHC-%dK", c.L1Bytes/1024)
+	}
+	if c.Ways > 1 {
+		s += fmt.Sprintf("-%dway", c.Ways)
+	}
+	if c.Slots > 0 && c.Slots != 8 {
+		s += fmt.Sprintf("-slots%d", c.Slots)
+	}
+	return s
+}
+
+// Config is one simulated system configuration.
+type Config struct {
+	// Layout is the binary layout.
+	Layout Layout
+	// Prefetcher selects the prefetch engine.
+	Prefetcher PrefetcherKind
+	// Degree is N for NL_N / CGP_N (default 4).
+	Degree int
+	// RunAheadM is M for run-ahead NL (default 4).
+	RunAheadM int
+	// CGHC sizes the history cache for PrefCGP (default 2K+32K).
+	CGHC CGHCConfig
+	// PerfectICache makes every I-access single-cycle.
+	PerfectICache bool
+	// DemandPriority enables the §3.3 ablation: demand misses bypass
+	// queued prefetches.
+	DemandPriority bool
+	// PrefetchIntoL2Only enables the §3.3 ablation: prefetches fill
+	// only L2, not L1I.
+	PrefetchIntoL2Only bool
+	// CPU overrides the Table-1 machine when non-nil.
+	CPU *cpu.Config
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.RunAheadM == 0 {
+		c.RunAheadM = 4
+	}
+	if (c.Prefetcher == PrefCGP || c.Prefetcher == PrefSoftwareCGP) && c.CGHC == (CGHCConfig{}) {
+		c.CGHC = DefaultCGHC()
+	}
+	return c
+}
+
+// Label names the configuration the way the paper's figures do:
+// "O5", "O5+OM", "O5+CGP_4", "O5+OM+NL_2", "perf-Icache", ...
+func (c Config) Label() string {
+	c = c.withDefaults()
+	if c.PerfectICache {
+		return "perf-Icache"
+	}
+	label := c.Layout.String()
+	switch c.Prefetcher {
+	case PrefNL:
+		label += fmt.Sprintf("+NL_%d", c.Degree)
+	case PrefRunAheadNL:
+		label += fmt.Sprintf("+RANL_%d", c.Degree)
+	case PrefCGP:
+		label += fmt.Sprintf("+CGP_%d", c.Degree)
+	case PrefSoftwareCGP:
+		label += fmt.Sprintf("+SWCGP_%d", c.Degree)
+	}
+	if c.DemandPriority {
+		label += "+prio"
+	}
+	if c.PrefetchIntoL2Only {
+		label += "+l2only"
+	}
+	return label
+}
+
+// cpuConfig resolves the machine model.
+func (c Config) cpuConfig() cpu.Config {
+	var cfg cpu.Config
+	if c.CPU != nil {
+		cfg = *c.CPU
+	} else {
+		cfg = cpu.DefaultConfig()
+	}
+	cfg.PerfectICache = c.PerfectICache
+	cfg.DemandPriority = c.DemandPriority
+	cfg.PrefetchIntoL2Only = c.PrefetchIntoL2Only
+	return cfg
+}
+
+// buildPrefetcher instantiates the configured prefetch engine; the
+// second result exposes the CGP core when present (for Figure 9's
+// portion accounting).
+func (c Config) buildPrefetcher() (prefetch.Prefetcher, *core.CGP) {
+	c = c.withDefaults()
+	if c.PerfectICache {
+		return prefetch.None{}, nil
+	}
+	switch c.Prefetcher {
+	case PrefNL:
+		return prefetch.NewNL(c.Degree), nil
+	case PrefRunAheadNL:
+		return prefetch.NewRunAheadNL(c.Degree, c.RunAheadM), nil
+	case PrefCGP:
+		g := core.New(core.Config{
+			Lines:    c.Degree,
+			L1Bytes:  c.CGHC.L1Bytes,
+			L2Bytes:  c.CGHC.L2Bytes,
+			Infinite: c.CGHC.Infinite,
+			Ways:     c.CGHC.Ways,
+			Slots:    c.CGHC.Slots,
+		})
+		return g, g
+	case PrefSoftwareCGP:
+		// Placeholder: Runner.Run rebinds this with the profiled call
+		// sequences for the active image.
+		return prefetch.None{}, nil
+	default:
+		return prefetch.None{}, nil
+	}
+}
+
+// DefaultCPUConfig exposes the Table-1 machine parameters.
+func DefaultCPUConfig() cpu.Config { return cpu.DefaultConfig() }

@@ -1,0 +1,32 @@
+// Package cgp reproduces "Call Graph Prefetching for Database
+// Applications" (Annavaram, Patel, Davidson — HPCA 2001) as a
+// self-contained simulation library.
+//
+// The package wires together three layers:
+//
+//   - A database system built from scratch (internal/db): a SHORE-style
+//     storage manager (buffer pool, slotted pages, B+-trees, locking,
+//     WAL) under a relational operator layer, instrumented so that
+//     executing real queries emits an instruction-fetch trace.
+//   - A trace-driven timing simulator (internal/cpu) with the paper's
+//     Table-1 microarchitecture and its prefetch engines: next-N-line
+//     (NL), run-ahead NL, and Call Graph Prefetching with its Call
+//     Graph History Cache (internal/core).
+//   - Workloads (internal/workload): the Wisconsin benchmark, a scaled
+//     TPC-H, and synthetic SPEC CPU2000 stand-ins.
+//
+// The top-level API runs (workload, system configuration) pairs and
+// regenerates every figure of the paper's evaluation:
+//
+//	r := cgp.NewRunner(cgp.RunnerOptions{})
+//	res, err := r.Run(cgp.WiscLarge2(), cgp.Config{
+//	    Layout:     cgp.LayoutOM,
+//	    Prefetcher: cgp.PrefCGP,
+//	    Degree:     4,
+//	})
+//	fmt.Println(res.Cycles, res.ICacheMisses)
+//
+// See Figure4 through Figure10 and RunAheadAblation for the full
+// experiment harness, and cmd/experiments for the CLI that writes
+// EXPERIMENTS.md.
+package cgp

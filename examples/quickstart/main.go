@@ -1,0 +1,54 @@
+// Quickstart: run one database workload under the paper's baseline and
+// under Call Graph Prefetching, and print what CGP buys.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgp"
+)
+
+func main() {
+	// A runner owns profile collection (for the OM layout) and caches
+	// results. Default options reproduce the paper's scale; we shrink
+	// the database so the quickstart finishes in a second.
+	r := cgp.NewRunner(cgp.RunnerOptions{
+		DB: cgp.DBOptions{WiscN: 2000},
+	})
+	w := cgp.WiscLarge2(cgp.DBOptions{WiscN: 2000})
+
+	baseline, err := r.Run(w, cgp.Config{Layout: cgp.LayoutO5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	withCGP, err := r.Run(w, cgp.Config{
+		Layout:     cgp.LayoutOM,
+		Prefetcher: cgp.PrefCGP,
+		Degree:     4, // CGP_4: prefetch 4 lines per CGHC hit
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s (%d instructions simulated)\n\n",
+		w.Name, baseline.CPU.Instructions)
+	show := func(res *cgp.Result) {
+		s := res.CPU
+		fmt.Printf("%-14s cycles=%-10d IPC=%.2f I-misses=%-7d I-stall=%d\n",
+			res.Config, s.Cycles, s.IPC(), s.ICacheMisses, s.IMissStallCycles)
+	}
+	show(baseline)
+	show(withCGP)
+
+	speedup := float64(baseline.CPU.Cycles) / float64(withCGP.CPU.Cycles)
+	missCut := 1 - float64(withCGP.CPU.ICacheMisses)/float64(baseline.CPU.ICacheMisses)
+	fmt.Printf("\nCGP_4 on the OM binary: %.2fx speedup, %.0f%% fewer I-cache misses\n",
+		speedup, 100*missCut)
+	if g := withCGP.CGPStats; g != nil {
+		fmt.Printf("CGHC: %d call accesses, %d return accesses, %d prefetches issued\n",
+			g.CallAccesses, g.ReturnAccesses, g.CGHCPrefetches)
+	}
+}

@@ -1,0 +1,88 @@
+// sqlshell: an interactive SQL prompt over the engine, preloaded with
+// the Wisconsin and TPC-H tables. One statement per line; Ctrl-D exits.
+//
+//	go run ./examples/sqlshell
+//	sql> SELECT COUNT(*) FROM lineitem
+//	sql> SELECT unique1, unique2 FROM big1 WHERE unique2 BETWEEN 10 AND 20
+//	sql> SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/sql"
+	"cgp/internal/workload"
+)
+
+func main() {
+	e := db.NewEngine(db.Options{BufferFrames: 8192})
+	if err := (workload.WisconsinDB{N: 2000}).Load(e, 42); err != nil {
+		log.Fatal(err)
+	}
+	if err := workload.LoadTPCH(e, workload.DefaultTPCHScale(), 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tables: big1, big2, small (Wisconsin);")
+	fmt.Println("        region, nation, supplier, part, partsupp, customer, orders, lineitem (TPC-H)")
+	fmt.Println("one SELECT per line; Ctrl-D to exit")
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<16), 1<<16)
+	for {
+		fmt.Print("sql> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		src := strings.TrimSpace(in.Text())
+		if src == "" {
+			continue
+		}
+		if strings.EqualFold(src, "exit") || strings.EqualFold(src, "quit") {
+			return
+		}
+		rows, err := sql.Run(e, src)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printRows(rows)
+	}
+}
+
+func printRows(rows []catalog.Tuple) {
+	if len(rows) == 0 {
+		fmt.Println("(0 rows)")
+		return
+	}
+	sch := rows[0].Schema
+	var hdr []string
+	for i := 0; i < sch.NumCols(); i++ {
+		hdr = append(hdr, sch.Col(i).Name)
+	}
+	fmt.Println(strings.Join(hdr, " | "))
+	max := len(rows)
+	if max > 25 {
+		max = 25
+	}
+	for _, r := range rows[:max] {
+		var cells []string
+		for i := 0; i < sch.NumCols(); i++ {
+			if sch.Col(i).Type == catalog.Int {
+				cells = append(cells, fmt.Sprintf("%d", r.Int(i)))
+			} else {
+				cells = append(cells, r.Str(i))
+			}
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(rows) > max {
+		fmt.Printf("... (%d rows total)\n", len(rows))
+	}
+}

@@ -1,0 +1,82 @@
+// TPC-H walkthrough: build the scaled TPC-H database with the engine's
+// public pieces, run the five evaluated queries standalone (printing
+// their results), then simulate the same queries under CGP.
+//
+//	go run ./examples/tpch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cgp"
+	"cgp/internal/db"
+	"cgp/internal/db/exec"
+	"cgp/internal/workload"
+)
+
+func main() {
+	// --- Part 1: the database engine as a database. ---
+	scale := workload.TPCHScale{Suppliers: 20, Customers: 120, Parts: 160, Orders: 480, MaxLines: 5}
+	e := db.NewEngine(db.Options{BufferFrames: 8192})
+	if err := workload.LoadTPCH(e, scale, 42); err != nil {
+		log.Fatal(err)
+	}
+	li := e.MustTable("lineitem")
+	fmt.Printf("loaded TPC-H: %d orders, %d lineitems, %d parts\n\n",
+		e.MustTable("orders").Heap.NumRecords(), li.Heap.NumRecords(),
+		e.MustTable("part").Heap.NumRecords())
+
+	for _, q := range workload.TPCHQueries() {
+		tx := e.Txns.Begin()
+		ctx := e.NewContext(tx)
+		it, _, err := q.Build(e, ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := exec.Collect(it)
+		if err != nil {
+			log.Fatalf("%s: %v", q.Name, err)
+		}
+		fmt.Printf("%-8s -> %d rows", q.Name, len(rows))
+		if len(rows) > 0 {
+			first := rows[0]
+			fmt.Printf("   first: (")
+			for c := 0; c < first.Schema.NumCols() && c < 4; c++ {
+				if c > 0 {
+					fmt.Print(", ")
+				}
+				col := first.Schema.Col(c)
+				fmt.Printf("%s=", col.Name)
+				if col.Type == 0 { // catalog.Int
+					fmt.Printf("%d", first.Int(c))
+				} else {
+					fmt.Printf("%q", first.Str(c))
+				}
+			}
+			fmt.Print(")")
+		}
+		fmt.Println()
+		if err := e.Txns.Commit(tx); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- Part 2: the same queries as a timed workload. ---
+	fmt.Println("\nsimulating wisc+tpch under three configurations:")
+	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: 2000, TPCH: scale}}
+	r := cgp.NewRunner(opts)
+	w := cgp.WiscTPCH(opts.DB)
+	for _, cfg := range []cgp.Config{
+		{Layout: cgp.LayoutO5},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefNL, Degree: 4},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefCGP, Degree: 4},
+	} {
+		res, err := r.Run(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %12d cycles   %6.2f IPC   %7d I-misses\n",
+			res.Config, res.CPU.Cycles, res.CPU.IPC(), res.CPU.ICacheMisses)
+	}
+}

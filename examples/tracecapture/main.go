@@ -1,0 +1,77 @@
+// Trace capture and replay: record a workload's fetch-event stream to a
+// compact binary trace file, then replay it through the simulator —
+// decoupling (expensive) query execution from (cheap) parameter sweeps,
+// the way trace-driven simulators are used in practice.
+//
+//	go run ./examples/tracecapture [-trace /tmp/wisc.cgptrc]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"cgp/internal/cpu"
+	"cgp/internal/prefetch"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+	"cgp/internal/workload"
+)
+
+func main() {
+	path := flag.String("trace", "/tmp/wisc-prof.cgptrc", "trace file path")
+	flag.Parse()
+
+	// Capture: run wisc-prof once on the O5 image, teeing events into a
+	// trace file and a stats counter.
+	w := workload.WiscProf(workload.DBOptions{WiscN: 1000})
+	img := program.LayoutO5(w.NewRegistry())
+
+	f, err := os.Create(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw, err := trace.NewWriter(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st trace.Stats
+	if err := w.Run(img, trace.Tee(&st, tw)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(*path)
+	fmt.Printf("captured %d events (%d instructions) to %s (%d bytes, %.2f bytes/instr)\n",
+		st.Events, st.Instructions, *path, info.Size(),
+		float64(info.Size())/float64(st.Instructions))
+
+	// Replay: sweep prefetchers over the recorded trace without
+	// re-executing a single query.
+	for _, pf := range []prefetch.Prefetcher{
+		prefetch.None{},
+		prefetch.NewNL(4),
+		prefetch.NewRunAheadNL(4, 4),
+	} {
+		rf, err := os.Open(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.NewReader(rf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c := cpu.New(cpu.DefaultConfig(), pf)
+		if err := tr.Replay(c); err != nil {
+			log.Fatal(err)
+		}
+		rf.Close()
+		s := c.Finish()
+		fmt.Printf("replay %-8s cycles=%-9d I-misses=%d\n", pf.Name(), s.Cycles, s.ICacheMisses)
+	}
+}

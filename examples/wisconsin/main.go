@@ -1,0 +1,59 @@
+// Wisconsin sweep: the paper's Figure 6 shape on all four database
+// workloads — O5, OM, next-N-line prefetching, CGP, and a perfect
+// I-cache — at a configurable scale.
+//
+//	go run ./examples/wisconsin [-n 4000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"cgp"
+)
+
+func main() {
+	n := flag.Int("n", 4000, "Wisconsin big-relation cardinality")
+	flag.Parse()
+
+	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: *n}}
+	r := cgp.NewRunner(opts)
+
+	configs := []cgp.Config{
+		{Layout: cgp.LayoutO5},
+		{Layout: cgp.LayoutOM},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefNL, Degree: 2},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefNL, Degree: 4},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefCGP, Degree: 2},
+		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefCGP, Degree: 4},
+		{Layout: cgp.LayoutOM, PerfectICache: true},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\tconfig\tcycles\tspeedup\tI-miss/kinst\tuseful-pf%%\n")
+	for _, w := range r.DBWorkloads() {
+		var base int64
+		for i, cfg := range configs {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			tp := res.CPU.TotalPrefetch()
+			useful := "-"
+			if tp.Issued > 0 {
+				useful = fmt.Sprintf("%.0f", 100*tp.UsefulFraction())
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%.2fx\t%.2f\t%s\n",
+				w.Name, res.Config, res.CPU.Cycles,
+				float64(base)/float64(res.CPU.Cycles),
+				res.CPU.IMissPerKInstr(), useful)
+		}
+	}
+	tw.Flush()
+}

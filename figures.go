@@ -1,0 +1,231 @@
+package cgp
+
+import "fmt"
+
+// Row is one bar of a figure: a workload under a configuration.
+type Row struct {
+	Workload string
+	Config   string
+	// Cycles is total execution time (Figures 4, 5, 6, 10).
+	Cycles int64
+	// Misses is the I-cache demand-miss count (Figure 7).
+	Misses int64
+	// PrefHits/DelayedHits/Useless break down prefetches (Figure 8).
+	PrefHits    int64
+	DelayedHits int64
+	Useless     int64
+	// Portion marks Figure 9 rows ("nl" or "cghc").
+	Portion string
+	// Speedup is relative to the figure's per-workload baseline.
+	Speedup float64
+	// Result links the full measurement.
+	Result *Result `json:"-"`
+}
+
+// Figure is one reproduced experiment.
+type Figure struct {
+	ID    string
+	Title string
+	// Baseline names the config each workload's Speedup is relative to.
+	Baseline string
+	Rows     []Row
+}
+
+// fig4Configs are the six bars of Figure 4 per workload.
+func fig4Configs() []Config {
+	return []Config{
+		{Layout: LayoutO5},
+		{Layout: LayoutOM},
+		{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 2},
+		{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 2},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+	}
+}
+
+// runGrid measures every workload under every config, computing
+// speedups against the first config.
+func (r *Runner) runGrid(id, title string, workloads []*Workload, configs []Config) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, Baseline: configs[0].Label()}
+	for _, w := range workloads {
+		var base int64
+		for i, cfg := range configs {
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			tp := res.CPU.TotalPrefetch()
+			fig.Rows = append(fig.Rows, Row{
+				Workload:    w.Name,
+				Config:      cfg.Label(),
+				Cycles:      res.CPU.Cycles,
+				Misses:      res.CPU.ICacheMisses,
+				PrefHits:    tp.PrefHits,
+				DelayedHits: tp.DelayedHits,
+				Useless:     tp.Useless,
+				Speedup:     float64(base) / float64(res.CPU.Cycles),
+				Result:      res,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Figure4 reproduces the O5 / OM / CGP_2 / CGP_4 cycle comparison on
+// the four database workloads.
+func (r *Runner) Figure4() (*Figure, error) {
+	return r.runGrid("fig4", "Performance comparison of O5, OM and CGP",
+		r.DBWorkloads(), fig4Configs())
+}
+
+// Figure5 reproduces the CGHC design-space sweep: CGP_4 on the OM
+// binary with five CGHC configurations.
+func (r *Runner) Figure5() (*Figure, error) {
+	cghcs := []CGHCConfig{
+		{L1Bytes: 1 * 1024},
+		{L1Bytes: 32 * 1024},
+		{L1Bytes: 1 * 1024, L2Bytes: 16 * 1024},
+		{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024},
+		{Infinite: true},
+	}
+	fig := &Figure{ID: "fig5", Title: "Performance of five CGHC configurations", Baseline: "CGHC-1K"}
+	for _, w := range r.DBWorkloads() {
+		var base int64
+		for i, hc := range cghcs {
+			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: hc}
+			res, err := r.Run(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = res.CPU.Cycles
+			}
+			fig.Rows = append(fig.Rows, Row{
+				Workload: w.Name,
+				Config:   hc.String(),
+				Cycles:   res.CPU.Cycles,
+				Misses:   res.CPU.ICacheMisses,
+				Speedup:  float64(base) / float64(res.CPU.Cycles),
+				Result:   res,
+			})
+		}
+	}
+	return fig, nil
+}
+
+// Figure6 reproduces the NL-vs-CGP comparison: O5, OM, OM+NL_2/4,
+// OM+CGP_2/4 and the perfect I-cache.
+func (r *Runner) Figure6() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutO5},
+		{Layout: LayoutOM},
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2},
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 2},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+		{Layout: LayoutOM, PerfectICache: true},
+	}
+	return r.runGrid("fig6", "Performance comparison of O5, OM, NL and CGP",
+		r.DBWorkloads(), configs)
+}
+
+// Figure7 reproduces the I-cache miss comparison of O5, OM, OM+NL_4 and
+// OM+CGP_4.
+func (r *Runner) Figure7() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutO5},
+		{Layout: LayoutOM},
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+	}
+	return r.runGrid("fig7", "I-cache miss comparison of O5, OM, NL and CGP",
+		r.DBWorkloads(), configs)
+}
+
+// Figure8 reproduces the prefetch-effectiveness breakdown (pref hits /
+// delayed hits / useless) for NL_2, NL_4, CGP_2, CGP_4 on the OM binary.
+func (r *Runner) Figure8() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2},
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 2},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+	}
+	return r.runGrid("fig8", "Prefetch effectiveness of NL and CGP",
+		r.DBWorkloads(), configs)
+}
+
+// Figure9 reproduces the CGP_4 prefetch split: the NL portion vs the
+// CGHC portion, each with useful (hits+delayed) and useless counts.
+func (r *Runner) Figure9() (*Figure, error) {
+	fig := &Figure{ID: "fig9", Title: "CGP_4 prefetches due to NL and CGHC", Baseline: "O5+OM+CGP_4"}
+	for _, w := range r.DBWorkloads() {
+		res, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4})
+		if err != nil {
+			return nil, err
+		}
+		s := res.CPU
+		fig.Rows = append(fig.Rows,
+			Row{
+				Workload: w.Name, Config: "CGP_4/NL-portion", Portion: "nl",
+				PrefHits: s.NL.PrefHits, DelayedHits: s.NL.DelayedHits,
+				Useless: s.NL.Useless, Result: res,
+			},
+			Row{
+				Workload: w.Name, Config: "CGP_4/CGHC-portion", Portion: "cghc",
+				PrefHits: s.CGHC.PrefHits, DelayedHits: s.CGHC.DelayedHits,
+				Useless: s.CGHC.Useless, Result: res,
+			})
+	}
+	return fig, nil
+}
+
+// Figure10 reproduces the CPU2000 study: O5+OM, OM+NL_4, OM+CGP_4 and
+// perfect I-cache on the seven SPEC stand-ins.
+func (r *Runner) Figure10() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutOM},
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+		{Layout: LayoutOM, PerfectICache: true},
+	}
+	return r.runGrid("fig10", "Effectiveness of CGP on CPU2000 applications",
+		r.CPU2000Workloads(), configs)
+}
+
+// RunAheadAblation reproduces the §5.6 experiment whose results the
+// paper describes but does not plot: run-ahead NL is much worse than
+// plain NL on the database workloads.
+func (r *Runner) RunAheadAblation() (*Figure, error) {
+	configs := []Config{
+		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
+		{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4, RunAheadM: 4},
+		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
+	}
+	return r.runGrid("sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), configs)
+}
+
+// AllFigures runs every experiment in paper order.
+func (r *Runner) AllFigures() ([]*Figure, error) {
+	type gen struct {
+		name string
+		fn   func() (*Figure, error)
+	}
+	gens := []gen{
+		{"fig4", r.Figure4}, {"fig5", r.Figure5}, {"fig6", r.Figure6},
+		{"fig7", r.Figure7}, {"fig8", r.Figure8}, {"fig9", r.Figure9},
+		{"fig10", r.Figure10}, {"sec5.6", r.RunAheadAblation},
+	}
+	out := make([]*Figure, 0, len(gens))
+	for _, g := range gens {
+		fig, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("cgp: %s: %w", g.name, err)
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

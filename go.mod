@@ -1,0 +1,3 @@
+module cgp
+
+go 1.22

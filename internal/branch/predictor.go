@@ -1,0 +1,167 @@
+// Package branch models the front-end predictors of the simulated CPU:
+// a two-level adaptive conditional-branch predictor (Table 1: 2-level,
+// 2K entries) and the modified return address stack CGP requires (§3.2),
+// which pushes the caller's starting address alongside the return
+// address so that return instructions can index the CGHC.
+package branch
+
+import "cgp/internal/isa"
+
+// Predictor is a gshare-style two-level predictor: a global history
+// register XORed into the branch PC indexes a table of 2-bit saturating
+// counters.
+type Predictor struct {
+	counters []uint8
+	mask     uint32
+	history  uint32
+
+	lookups     int64
+	mispredicts int64
+}
+
+// NewPredictor builds a predictor with the given number of pattern-table
+// entries (a power of two; Table 1 uses 2K).
+func NewPredictor(entries int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: entries must be a positive power of two")
+	}
+	p := &Predictor{
+		counters: make([]uint8, entries),
+		mask:     uint32(entries - 1),
+	}
+	// Weakly not-taken initial state.
+	for i := range p.counters {
+		p.counters[i] = 1
+	}
+	return p
+}
+
+// historyBits bounds how much global history folds into the index. A
+// short history keeps the pattern table from being diluted across
+// uncorrelated paths while still capturing loop shapes.
+const historyBits = 3
+
+func (p *Predictor) index(pc isa.Addr) uint32 {
+	// History folds into the upper index bits so that neighbouring
+	// branch PCs do not alias each other's history-shifted entries.
+	h := (p.history & (1<<historyBits - 1)) << 7
+	return (uint32(pc>>2) ^ h) & p.mask
+}
+
+// Predict runs one conditional branch through the predictor: it returns
+// whether the prediction matched the actual outcome, then updates the
+// counter and history with the truth.
+func (p *Predictor) Predict(pc isa.Addr, taken bool) bool {
+	p.lookups++
+	i := p.index(pc)
+	pred := p.counters[i] >= 2
+	if taken {
+		if p.counters[i] < 3 {
+			p.counters[i]++
+		}
+	} else {
+		if p.counters[i] > 0 {
+			p.counters[i]--
+		}
+	}
+	p.history = p.history<<1 | uint32(b2u(taken))
+	if pred != taken {
+		p.mispredicts++
+		return false
+	}
+	return true
+}
+
+// Lookups returns the number of predictions made.
+func (p *Predictor) Lookups() int64 { return p.lookups }
+
+// Mispredicts returns the number of wrong predictions.
+func (p *Predictor) Mispredicts() int64 { return p.mispredicts }
+
+// MispredictRate returns mispredicts/lookups.
+func (p *Predictor) MispredictRate() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.lookups)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// RASEntry is one element of the modified return address stack: the
+// conventional return address plus the caller function's starting
+// address (the CGP modification of §3.2).
+type RASEntry struct {
+	ReturnAddr  isa.Addr
+	CallerStart isa.Addr
+}
+
+// RAS is a fixed-depth circular return address stack. Overflow wraps and
+// silently overwrites the oldest entries, as hardware stacks do; an
+// underflowed or clobbered pop simply yields a wrong prediction.
+type RAS struct {
+	entries []RASEntry
+	top     int
+	depth   int
+
+	pops        int64
+	mispredicts int64
+}
+
+// NewRAS builds a stack with n entries.
+func NewRAS(n int) *RAS {
+	if n <= 0 {
+		panic("branch: RAS depth must be positive")
+	}
+	return &RAS{entries: make([]RASEntry, n)}
+}
+
+// Push records a call.
+func (r *RAS) Push(e RASEntry) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = e
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. The second result reports
+// whether the stack had a live entry; an empty stack returns a zero
+// prediction.
+func (r *RAS) Pop() (RASEntry, bool) {
+	r.pops++
+	if r.depth == 0 {
+		return RASEntry{}, false
+	}
+	e := r.entries[r.top]
+	r.top = (r.top - 1 + len(r.entries)) % len(r.entries)
+	r.depth--
+	return e, true
+}
+
+// RecordOutcome compares a popped prediction with the actual return
+// target and counts mispredicts.
+func (r *RAS) RecordOutcome(predicted RASEntry, ok bool, actual isa.Addr) bool {
+	if !ok || predicted.ReturnAddr != actual {
+		r.mispredicts++
+		return false
+	}
+	return true
+}
+
+// Flush empties the stack (on context switch).
+func (r *RAS) Flush() { r.depth = 0 }
+
+// Depth returns the current number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// Pops returns the number of return predictions made.
+func (r *RAS) Pops() int64 { return r.pops }
+
+// Mispredicts returns the number of wrong return predictions.
+func (r *RAS) Mispredicts() int64 { return r.mispredicts }

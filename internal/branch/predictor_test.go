@@ -1,0 +1,132 @@
+package branch
+
+import (
+	"math/rand"
+	"testing"
+
+	"cgp/internal/isa"
+)
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(2048)
+	// A strongly taken branch should be predicted correctly after
+	// warmup.
+	pc := isa.Addr(0x400100)
+	for i := 0; i < 10; i++ {
+		p.Predict(pc, true)
+	}
+	before := p.Mispredicts()
+	for i := 0; i < 100; i++ {
+		p.Predict(pc, true)
+	}
+	if p.Mispredicts() != before {
+		t.Errorf("mispredicted a saturated always-taken branch")
+	}
+}
+
+func TestPredictorBiasedSites(t *testing.T) {
+	p := NewPredictor(2048)
+	rng := rand.New(rand.NewSource(3))
+	// 100 sites, each 90% biased: long-run mispredict rate must be well
+	// below 30%.
+	bias := make([]bool, 100)
+	for i := range bias {
+		bias[i] = rng.Intn(2) == 0
+	}
+	for i := 0; i < 50000; i++ {
+		site := rng.Intn(100)
+		taken := rng.Float64() < 0.9
+		if !bias[site] {
+			taken = !taken
+		}
+		p.Predict(isa.Addr(0x400000+site*4), taken)
+	}
+	if rate := p.MispredictRate(); rate > 0.3 {
+		t.Errorf("mispredict rate %.3f too high for 90%%-biased sites", rate)
+	}
+}
+
+func TestPredictorBadEntriesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two entries")
+		}
+	}()
+	NewPredictor(1000)
+}
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(RASEntry{ReturnAddr: 100, CallerStart: 10})
+	r.Push(RASEntry{ReturnAddr: 200, CallerStart: 20})
+	e, ok := r.Pop()
+	if !ok || e.ReturnAddr != 200 || e.CallerStart != 20 {
+		t.Fatalf("pop = %+v,%v", e, ok)
+	}
+	e, ok = r.Pop()
+	if !ok || e.ReturnAddr != 100 {
+		t.Fatalf("pop = %+v,%v", e, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop from empty RAS reported ok")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS(4)
+	for i := 1; i <= 6; i++ {
+		r.Push(RASEntry{ReturnAddr: isa.Addr(i * 100)})
+	}
+	if r.Depth() != 4 {
+		t.Fatalf("depth = %d, want 4", r.Depth())
+	}
+	// The most recent four survive: 600, 500, 400, 300.
+	want := []isa.Addr{600, 500, 400, 300}
+	for _, w := range want {
+		e, ok := r.Pop()
+		if !ok || e.ReturnAddr != w {
+			t.Fatalf("pop = %+v,%v; want %d", e, ok, w)
+		}
+	}
+}
+
+func TestRASOutcomeCounting(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(RASEntry{ReturnAddr: 104})
+	e, ok := r.Pop()
+	if !r.RecordOutcome(e, ok, 104) {
+		t.Error("correct return counted as mispredict")
+	}
+	r.Push(RASEntry{ReturnAddr: 104})
+	e, ok = r.Pop()
+	if r.RecordOutcome(e, ok, 999) {
+		t.Error("wrong return counted as correct")
+	}
+	if r.Mispredicts() != 1 {
+		t.Errorf("mispredicts = %d, want 1", r.Mispredicts())
+	}
+	if r.Pops() != 2 {
+		t.Errorf("pops = %d, want 2", r.Pops())
+	}
+}
+
+func TestRASFlush(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(RASEntry{ReturnAddr: 100})
+	r.Flush()
+	if r.Depth() != 0 {
+		t.Errorf("depth = %d after flush", r.Depth())
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("pop after flush reported ok")
+	}
+}
+
+func TestRASDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for zero-depth RAS")
+		}
+	}()
+	NewRAS(0)
+}

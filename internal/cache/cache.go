@@ -1,0 +1,204 @@
+// Package cache implements the set-associative cache model used for the
+// L1 instruction cache, L1 data cache and unified L2 of the simulated
+// memory hierarchy (Table 1 of the paper).
+//
+// The cache is generic over a per-line payload so the CPU model can hang
+// prefetch bookkeeping (who prefetched a line, whether it was ever used)
+// off L1I lines without the cache knowing about prefetchers.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Line is a cache-line index (byte address >> line shift).
+type Line uint64
+
+// Stats counts accesses and misses.
+type Stats struct {
+	Accesses  int64
+	Misses    int64
+	Evictions int64
+	Inserts   int64
+}
+
+// MissRate returns Misses/Accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type way[P any] struct {
+	tag     Line
+	valid   bool
+	lastUse uint64
+	payload P
+}
+
+// Cache is a set-associative cache with true-LRU replacement and a
+// per-line payload of type P.
+type Cache[P any] struct {
+	name    string
+	sets    []way[P]
+	assoc   int
+	setMask Line
+	tick    uint64
+	stats   Stats
+}
+
+// Config sizes a cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+// Lines returns the line capacity of the configuration.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+// New builds a cache from cfg. It panics if the geometry is not a power
+// of two or the associativity does not divide the line count, since a
+// mis-sized cache model silently corrupts every downstream experiment.
+func New[P any](cfg Config) *Cache[P] {
+	lines := cfg.Lines()
+	if lines <= 0 || cfg.Assoc <= 0 || lines%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d assoc=%d line=%d",
+			cfg.Name, cfg.SizeBytes, cfg.Assoc, cfg.LineBytes))
+	}
+	sets := lines / cfg.Assoc
+	if bits.OnesCount(uint(sets)) != 1 {
+		panic(fmt.Sprintf("cache %s: sets=%d not a power of two", cfg.Name, sets))
+	}
+	return &Cache[P]{
+		name:    cfg.Name,
+		sets:    make([]way[P], lines),
+		assoc:   cfg.Assoc,
+		setMask: Line(sets - 1),
+	}
+}
+
+// Stats returns a copy of the access counters.
+func (c *Cache[P]) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (c *Cache[P]) ResetStats() { c.stats = Stats{} }
+
+// Sets returns the number of sets.
+func (c *Cache[P]) Sets() int { return len(c.sets) / c.assoc }
+
+// Assoc returns the associativity.
+func (c *Cache[P]) Assoc() int { return c.assoc }
+
+func (c *Cache[P]) setFor(line Line) []way[P] {
+	s := int(line&c.setMask) * c.assoc
+	return c.sets[s : s+c.assoc]
+}
+
+// Access looks line up, updating LRU state and hit/miss counters. On a
+// hit it returns a pointer to the line's payload, which the caller may
+// mutate in place; on a miss it returns nil. Access does not allocate
+// the line — the memory model decides when a fill completes and calls
+// Insert.
+func (c *Cache[P]) Access(line Line) (*P, bool) {
+	c.stats.Accesses++
+	c.tick++
+	set := c.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].lastUse = c.tick
+			return &set[i].payload, true
+		}
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Probe reports whether line is resident without perturbing LRU state or
+// counters (prefetchers probe before issuing).
+func (c *Cache[P]) Probe(line Line) (*P, bool) {
+	set := c.setFor(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			return &set[i].payload, true
+		}
+	}
+	return nil, false
+}
+
+// Evicted describes a line displaced by Insert.
+type Evicted[P any] struct {
+	Line    Line
+	Payload P
+}
+
+// Insert fills line with the given payload, evicting the LRU way if the
+// set is full. It returns the eviction, if any. Inserting a line that is
+// already resident replaces its payload in place (a refill) and evicts
+// nothing.
+func (c *Cache[P]) Insert(line Line, payload P) (Evicted[P], bool) {
+	c.stats.Inserts++
+	c.tick++
+	set := c.setFor(line)
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == line {
+			set[i].payload = payload
+			set[i].lastUse = c.tick
+			return Evicted[P]{}, false
+		}
+		if !set[i].valid {
+			victim = i
+			// Keep scanning: the line might still be resident in a
+			// later way.
+			continue
+		}
+		if set[victim].valid && set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	var ev Evicted[P]
+	had := false
+	if set[victim].valid {
+		ev = Evicted[P]{Line: set[victim].tag, Payload: set[victim].payload}
+		had = true
+		c.stats.Evictions++
+	}
+	set[victim] = way[P]{tag: line, valid: true, lastUse: c.tick, payload: payload}
+	return ev, had
+}
+
+// InvalidateAll clears the cache contents (not the statistics).
+func (c *Cache[P]) InvalidateAll() {
+	for i := range c.sets {
+		c.sets[i] = way[P]{}
+	}
+}
+
+// Resident returns the number of valid lines, for tests and invariant
+// checks.
+func (c *Cache[P]) Resident() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every resident line. Iteration order is by set then
+// way, which is deterministic.
+func (c *Cache[P]) ForEach(fn func(line Line, payload *P)) {
+	for i := range c.sets {
+		if c.sets[i].valid {
+			fn(c.sets[i].tag, &c.sets[i].payload)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cfg(size, assoc int) Config {
+	return Config{Name: "test", SizeBytes: size, Assoc: assoc, LineBytes: 32}
+}
+
+func TestGeometry(t *testing.T) {
+	c := New[struct{}](cfg(1024, 2))
+	if c.Sets() != 16 {
+		t.Errorf("sets = %d, want 16", c.Sets())
+	}
+	if c.Assoc() != 2 {
+		t.Errorf("assoc = %d, want 2", c.Assoc())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{Name: "zero", SizeBytes: 0, Assoc: 1, LineBytes: 32},
+		{Name: "nonpow2", SizeBytes: 96, Assoc: 1, LineBytes: 32}, // 3 sets
+		{Name: "badassoc", SizeBytes: 1024, Assoc: 3, LineBytes: 32},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %v: expected panic", c)
+				}
+			}()
+			New[struct{}](c)
+		}()
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	if _, hit := c.Access(7); hit {
+		t.Fatal("hit in empty cache")
+	}
+	c.Insert(7, 42)
+	p, hit := c.Access(7)
+	if !hit || *p != 42 {
+		t.Fatalf("Access(7) = %v,%v; want 42,true", p, hit)
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 2 accesses / 1 miss", st)
+	}
+}
+
+func TestPayloadMutableInPlace(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	c.Insert(3, 1)
+	p, _ := c.Access(3)
+	*p = 99
+	p2, _ := c.Access(3)
+	if *p2 != 99 {
+		t.Errorf("payload = %d, want 99", *p2)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-on-a-set: 2 ways, lines 0, 16, 32 share set 0 (16
+	// sets).
+	c := New[int](cfg(1024, 2))
+	c.Insert(0, 0)
+	c.Insert(16, 1)
+	c.Access(0) // make line 16 the LRU way
+	ev, had := c.Insert(32, 2)
+	if !had || ev.Line != 16 {
+		t.Fatalf("evicted %v (had=%v), want line 16", ev, had)
+	}
+	if _, hit := c.Probe(0); !hit {
+		t.Error("line 0 should have survived")
+	}
+	if _, hit := c.Probe(32); !hit {
+		t.Error("line 32 should be resident")
+	}
+}
+
+func TestProbeDoesNotPerturb(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	c.Insert(0, 0)
+	c.Insert(16, 1)
+	// Probing 0 must NOT refresh it.
+	c.Probe(0)
+	c.Access(16) // 16 is now MRU regardless
+	ev, had := c.Insert(32, 2)
+	if !had || ev.Line != 0 {
+		t.Fatalf("evicted %v, want line 0 (probe must not refresh LRU)", ev)
+	}
+	st := c.Stats()
+	if st.Accesses != 1 {
+		t.Errorf("probe counted as access: %+v", st)
+	}
+}
+
+func TestInsertExistingReplacesInPlace(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	c.Insert(5, 1)
+	ev, had := c.Insert(5, 2)
+	if had {
+		t.Fatalf("re-insert evicted %v", ev)
+	}
+	p, _ := c.Access(5)
+	if *p != 2 {
+		t.Errorf("payload = %d, want 2", *p)
+	}
+	if c.Resident() != 1 {
+		t.Errorf("resident = %d, want 1", c.Resident())
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	for i := Line(0); i < 10; i++ {
+		c.Insert(i, int(i))
+	}
+	c.InvalidateAll()
+	if c.Resident() != 0 {
+		t.Errorf("resident = %d after invalidate", c.Resident())
+	}
+}
+
+func TestForEachDeterministic(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	for i := Line(0); i < 8; i++ {
+		c.Insert(i, int(i))
+	}
+	var a, b []Line
+	c.ForEach(func(l Line, _ *int) { a = append(a, l) })
+	c.ForEach(func(l Line, _ *int) { b = append(b, l) })
+	if len(a) != 8 {
+		t.Fatalf("visited %d lines, want 8", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ForEach order not deterministic")
+		}
+	}
+}
+
+// Property: after any access/insert sequence, residency never exceeds
+// capacity, and a line reported resident by Probe hits on Access.
+func TestResidencyInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New[struct{}](cfg(512, 2)) // 16 lines
+		for _, op := range ops {
+			line := Line(op % 64)
+			if op&0x8000 != 0 {
+				c.Insert(line, struct{}{})
+			} else {
+				c.Access(line)
+			}
+			if c.Resident() > 16 {
+				return false
+			}
+			if _, ok := c.Probe(line); ok {
+				if _, hit := c.Access(line); !hit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the cache behaves like a per-set LRU reference model.
+func TestLRUModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New[struct{}](cfg(512, 2)) // 8 sets x 2 ways
+	type ref struct{ lines []Line } // MRU at end
+	model := make([]ref, 8)
+	setOf := func(l Line) int { return int(l % 8) }
+	touch := func(l Line) {
+		s := &model[setOf(l)]
+		for i, x := range s.lines {
+			if x == l {
+				s.lines = append(append(s.lines[:i:i], s.lines[i+1:]...), l)
+				return
+			}
+		}
+		s.lines = append(s.lines, l)
+		if len(s.lines) > 2 {
+			s.lines = s.lines[1:]
+		}
+	}
+	resident := func(l Line) bool {
+		for _, x := range model[setOf(l)].lines {
+			if x == l {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 5000; i++ {
+		l := Line(rng.Intn(40))
+		wantHit := resident(l)
+		_, hit := c.Access(l)
+		if hit != wantHit {
+			t.Fatalf("op %d line %d: hit=%v, model says %v", i, l, hit, wantHit)
+		}
+		if !hit {
+			c.Insert(l, struct{}{})
+		}
+		touch(l)
+	}
+}

@@ -1,0 +1,323 @@
+// Package core implements the paper's contribution: Call Graph
+// Prefetching (CGP) and the Call Graph History Cache (CGHC) that backs
+// it (§3).
+//
+// The CGHC is a direct-mapped cache indexed by function starting
+// address (a set-associative variant is provided for the ablation
+// study). Each entry stores an index (1..MaxCallees) and the sequence
+// of functions the tagged function called the last time it executed.
+// Every call and every return makes two CGHC accesses: a prefetch
+// access keyed by the predicted target, and an update access keyed by
+// the currently executing function (§3.2).
+package core
+
+import (
+	"fmt"
+
+	"cgp/internal/isa"
+)
+
+// MaxCallees is the number of callee slots per finite CGHC entry. The
+// paper found 80% of functions call fewer than 8 distinct functions, so
+// each data-array entry stores up to 8 starting addresses (one 32-byte
+// line of 4-byte addresses).
+const MaxCallees = 8
+
+// Entry is one CGHC record: the call sequence observed during the
+// tagged function's most recent (possibly still in-progress) execution.
+type Entry struct {
+	// Fn is the starting address of the function this entry describes
+	// (the tag).
+	Fn isa.Addr
+	// Index is 1-based: it selects the slot the *next* call update will
+	// write, and the slot a return-prefetch access reads. It is reset to
+	// 1 when the function returns. Index 0 marks an empty way.
+	Index int
+	// Callees[i] is the (i+1)'th function called during the most recent
+	// execution. A zero address marks an empty slot.
+	Callees [MaxCallees]isa.Addr
+	// Valid marks the data-array entry as holding real history. A newly
+	// allocated entry has Valid=false until its first call update.
+	Valid bool
+}
+
+// reset prepares an entry for a new tag.
+func (e *Entry) reset(fn isa.Addr) {
+	*e = Entry{Fn: fn, Index: 1}
+}
+
+// live reports whether the way holds a valid tag.
+func (e *Entry) live() bool { return e.Index > 0 }
+
+// HistoryStats counts CGHC traffic.
+type HistoryStats struct {
+	PrefetchHits     int64
+	PrefetchMisses   int64
+	UpdateHits       int64
+	UpdateMisses     int64
+	LevelTwoHits     int64
+	LevelTwoMisses   int64
+	Swaps            int64
+	Allocations      int64
+	PrefetchesIssued int64
+}
+
+// History is the storage abstraction behind CGP: one-level, two-level or
+// infinite CGHC (§5.3). Lookup returns the entry for a function start
+// address, allocating on miss when alloc is true. The returned pointer
+// is mutable in place.
+type History interface {
+	// Lookup finds (or allocates) the entry tagged fn. hit reports
+	// whether the tag was already present at any level.
+	Lookup(fn isa.Addr, alloc bool) (e *Entry, hit bool)
+	// Stats returns traffic counters.
+	Stats() HistoryStats
+	// Describe returns a human-readable configuration string.
+	Describe() string
+}
+
+// level is one CGHC array: sets x ways entries with LRU replacement
+// within a set. ways=1 (the paper's choice) degenerates to a
+// direct-mapped array with no replacement state.
+type level struct {
+	entries []Entry
+	stamps  []uint64
+	ways    int
+	mask    uint64
+	tick    uint64
+}
+
+func newLevel(sizeBytes, ways int) *level {
+	if ways <= 0 {
+		ways = 1
+	}
+	n := sizeBytes / isa.LineBytes
+	if n <= 0 || n%ways != 0 {
+		panic(fmt.Sprintf("core: CGHC size %dB incompatible with %d ways", sizeBytes, ways))
+	}
+	sets := n / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("core: CGHC size %dB yields non-power-of-two set count %d", sizeBytes, sets))
+	}
+	return &level{
+		entries: make([]Entry, n),
+		stamps:  make([]uint64, n),
+		ways:    ways,
+		mask:    uint64(sets - 1),
+	}
+}
+
+func (l *level) setBase(fn isa.Addr) int {
+	// Function starts are line-aligned, so index above the line offset.
+	return int((uint64(fn)>>isa.LineShift)&l.mask) * l.ways
+}
+
+// find returns the live entry tagged fn, refreshing its LRU stamp.
+func (l *level) find(fn isa.Addr) *Entry {
+	base := l.setBase(fn)
+	for w := 0; w < l.ways; w++ {
+		e := &l.entries[base+w]
+		if e.live() && e.Fn == fn {
+			l.tick++
+			l.stamps[base+w] = l.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// victim returns the way fn's set would replace (an empty way, else the
+// LRU way) and refreshes its stamp; the caller overwrites it.
+func (l *level) victim(fn isa.Addr) *Entry {
+	base := l.setBase(fn)
+	vi := base
+	for w := 0; w < l.ways; w++ {
+		i := base + w
+		if !l.entries[i].live() {
+			vi = i
+			break
+		}
+		if l.stamps[i] < l.stamps[vi] {
+			vi = i
+		}
+	}
+	l.tick++
+	l.stamps[vi] = l.tick
+	return &l.entries[vi]
+}
+
+// install writes e into its set (replacing the victim).
+func (l *level) install(e Entry) {
+	*l.victim(e.Fn) = e
+}
+
+// invalidate clears the way holding fn, if any.
+func (l *level) invalidate(fn isa.Addr) {
+	if e := l.find(fn); e != nil {
+		e.Index = 0
+	}
+}
+
+// OneLevel is a single CGHC array (the CGHC-1K and CGHC-32K
+// configurations of Figure 5; direct-mapped unless ways > 1).
+type OneLevel struct {
+	level *level
+	size  int
+	ways  int
+	stats HistoryStats
+}
+
+// NewOneLevel builds a direct-mapped one-level CGHC of the given
+// data-array size.
+func NewOneLevel(sizeBytes int) *OneLevel { return NewOneLevelAssoc(sizeBytes, 1) }
+
+// NewOneLevelAssoc builds a set-associative one-level CGHC (the
+// ablation variant; the paper uses ways=1).
+func NewOneLevelAssoc(sizeBytes, ways int) *OneLevel {
+	return &OneLevel{level: newLevel(sizeBytes, ways), size: sizeBytes, ways: ways}
+}
+
+// Lookup implements History.
+func (h *OneLevel) Lookup(fn isa.Addr, alloc bool) (*Entry, bool) {
+	if e := h.level.find(fn); e != nil {
+		return e, true
+	}
+	if !alloc {
+		return nil, false
+	}
+	h.stats.Allocations++
+	e := h.level.victim(fn)
+	e.reset(fn)
+	return e, false
+}
+
+// Stats implements History.
+func (h *OneLevel) Stats() HistoryStats { return h.stats }
+
+// Describe implements History.
+func (h *OneLevel) Describe() string {
+	if h.ways > 1 {
+		return fmt.Sprintf("CGHC-%dK-%dway", h.size/1024, h.ways)
+	}
+	return fmt.Sprintf("CGHC-%dK", h.size/1024)
+}
+
+// TwoLevel is the two-level CGHC of §5.3: a small first level backed by
+// a larger second level. On an L1 miss that hits in L2 the two entries
+// are exchanged; on a full miss the new entry is allocated in L1 and the
+// displaced L1 entry is written back to L2.
+type TwoLevel struct {
+	l1, l2 *level
+	s1, s2 int
+	ways   int
+	stats  HistoryStats
+}
+
+// NewTwoLevel builds a direct-mapped two-level CGHC (sizes are
+// data-array bytes; the paper's preferred configuration is 2KB+32KB).
+func NewTwoLevel(l1Bytes, l2Bytes int) *TwoLevel { return NewTwoLevelAssoc(l1Bytes, l2Bytes, 1) }
+
+// NewTwoLevelAssoc builds a set-associative two-level CGHC.
+func NewTwoLevelAssoc(l1Bytes, l2Bytes, ways int) *TwoLevel {
+	return &TwoLevel{
+		l1: newLevel(l1Bytes, ways), l2: newLevel(l2Bytes, ways),
+		s1: l1Bytes, s2: l2Bytes, ways: ways,
+	}
+}
+
+// Lookup implements History.
+func (h *TwoLevel) Lookup(fn isa.Addr, alloc bool) (*Entry, bool) {
+	if e := h.l1.find(fn); e != nil {
+		return e, true
+	}
+	if e2 := h.l2.find(fn); e2 != nil {
+		h.stats.LevelTwoHits++
+		h.stats.Swaps++
+		// Exchange: the hit entry moves to L1; the displaced L1 entry
+		// is written back to L2 (into the slot the hit entry vacates
+		// when the sets coincide, else into its own set).
+		hit := *e2
+		e2.Index = 0
+		v := h.l1.victim(fn)
+		displaced := *v
+		*v = hit
+		if displaced.live() {
+			h.l2.install(displaced)
+		}
+		return v, true
+	}
+	if !alloc {
+		return nil, false
+	}
+	h.stats.LevelTwoMisses++
+	h.stats.Allocations++
+	v := h.l1.victim(fn)
+	displaced := *v
+	v.reset(fn)
+	if displaced.live() {
+		h.l2.install(displaced)
+	}
+	return v, false
+}
+
+// Stats implements History.
+func (h *TwoLevel) Stats() HistoryStats { return h.stats }
+
+// Describe implements History.
+func (h *TwoLevel) Describe() string {
+	s := fmt.Sprintf("CGHC-%dK+%dK", h.s1/1024, h.s2/1024)
+	if h.ways > 1 {
+		s += fmt.Sprintf("-%dway", h.ways)
+	}
+	return s
+}
+
+// Infinite is the unbounded CGHC of Figure 5: every function has an
+// entry, and the entry records the entire call sequence of the most
+// recent invocation (not just the first 8 calls).
+type Infinite struct {
+	entries map[isa.Addr]*InfEntry
+	stats   HistoryStats
+}
+
+// InfEntry is the unbounded analogue of Entry.
+type InfEntry struct {
+	Fn      isa.Addr
+	Index   int
+	Callees []isa.Addr
+}
+
+// NewInfinite builds an infinite CGHC.
+func NewInfinite() *Infinite {
+	return &Infinite{entries: make(map[isa.Addr]*InfEntry)}
+}
+
+// LookupInf finds or allocates the unbounded entry for fn.
+func (h *Infinite) LookupInf(fn isa.Addr, alloc bool) (*InfEntry, bool) {
+	if e, ok := h.entries[fn]; ok {
+		return e, true
+	}
+	if !alloc {
+		return nil, false
+	}
+	h.stats.Allocations++
+	e := &InfEntry{Fn: fn, Index: 1}
+	h.entries[fn] = e
+	return e, false
+}
+
+// Lookup implements History; it is unused for Infinite (CGP special-
+// cases the unbounded entry type) but satisfies the interface so the
+// configuration plumbing stays uniform.
+func (h *Infinite) Lookup(fn isa.Addr, alloc bool) (*Entry, bool) {
+	panic("core: Infinite.Lookup: use LookupInf")
+}
+
+// Stats implements History.
+func (h *Infinite) Stats() HistoryStats { return h.stats }
+
+// Describe implements History.
+func (h *Infinite) Describe() string { return "CGHC-Inf" }
+
+// Size returns the number of live entries.
+func (h *Infinite) Size() int { return len(h.entries) }

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+)
+
+// Software is the all-software variant of CGP the paper sketches in §6:
+// instead of a hardware CGHC, a compiler uses call-graph information
+// from profile executions to insert prefetch instructions at call sites
+// and return points. The prediction table is therefore *static* —
+// frozen at "compile time" from the profile — and unbounded (it lives
+// in the binary, not in a hardware cache), but it cannot adapt when the
+// observed call sequence diverges from the profiled one.
+//
+// The issue-slot cost of the inserted prefetch instructions is not
+// modelled (matching how the paper discusses the variant); Stats()
+// exposes the inserted-prefetch count so callers can bound it.
+type Software struct {
+	lines int
+	// seq maps a function's start address to its profiled callee
+	// sequence (start addresses).
+	seq map[isa.Addr][]isa.Addr
+	// idx tracks, per function, the next call position — the state the
+	// inserted code threads through registers in the real scheme.
+	idx map[isa.Addr]int
+
+	nl *prefetch.NL
+
+	inserted int64
+}
+
+var _ prefetch.Prefetcher = (*Software)(nil)
+
+// NewSoftware builds the software prefetcher from a static call-graph
+// table (function start -> profiled callee-start sequence).
+func NewSoftware(lines int, seq map[isa.Addr][]isa.Addr) *Software {
+	if lines <= 0 {
+		panic("core: software CGP lines must be positive")
+	}
+	return &Software{
+		lines: lines,
+		seq:   seq,
+		idx:   make(map[isa.Addr]int),
+		nl:    prefetch.NewNL(lines),
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Software) Name() string { return "swcgp_" + itoa(p.lines) }
+
+// Inserted returns how many call-graph prefetches the "inserted
+// instructions" issued.
+func (p *Software) Inserted() int64 { return p.inserted }
+
+// TableSize returns the number of functions with profiled sequences.
+func (p *Software) TableSize() int { return len(p.seq) }
+
+// OnFetch implements prefetch.Prefetcher (within-function NL, as in
+// hardware CGP).
+func (p *Software) OnFetch(line isa.Addr, issue prefetch.Issue) {
+	p.nl.OnFetch(line, issue)
+}
+
+// OnCall implements prefetch.Prefetcher: the prologue of the callee
+// contains an inserted prefetch for its profiled first callee; the call
+// site in the caller advances the caller's position.
+func (p *Software) OnCall(target, callerStart isa.Addr, issue prefetch.Issue) {
+	if seq := p.seq[target]; len(seq) > 0 {
+		p.issueFunc(seq[0], issue)
+	}
+	if callerStart != 0 {
+		p.idx[callerStart]++
+	}
+}
+
+// OnReturn implements prefetch.Prefetcher: the instruction after each
+// call site prefetches the next profiled callee; the returning
+// function's position resets.
+func (p *Software) OnReturn(predictedCallerStart, returningStart isa.Addr, issue prefetch.Issue) {
+	if predictedCallerStart != 0 {
+		i := p.idx[predictedCallerStart]
+		if seq := p.seq[predictedCallerStart]; i < len(seq) {
+			p.issueFunc(seq[i], issue)
+		}
+	}
+	if returningStart != 0 {
+		p.idx[returningStart] = 0
+	}
+}
+
+func (p *Software) issueFunc(fn isa.Addr, issue prefetch.Issue) {
+	base := isa.LineAddr(fn)
+	for i := 0; i < p.lines; i++ {
+		p.inserted++
+		issue(prefetch.Request{
+			Addr:    base + isa.Addr(i*isa.LineBytes),
+			Portion: prefetch.PortionCGHC,
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,94 @@
+// Package cpu is the trace-driven timing simulator: a 4-wide front end
+// with the Table-1 memory hierarchy (32KB 2-way split L1, 1MB 4-way
+// unified L2, 1/16/80-cycle latencies), a two-level branch predictor,
+// the CGP-modified return address stack, and a prefetch engine whose
+// traffic shares a single FIFO to L2 with demand misses (§3.3).
+//
+// It consumes trace.Event streams and accounts cycles; it stands in for
+// the SimpleScalar simulator of §4.1.
+package cpu
+
+import (
+	"cgp/internal/cache"
+	"cgp/internal/isa"
+)
+
+// Config carries every microarchitectural parameter. DefaultConfig
+// reproduces Table 1.
+type Config struct {
+	// FetchWidth is the number of instructions fetched, decoded and
+	// issued per cycle.
+	FetchWidth int
+
+	L1I cache.Config
+	L1D cache.Config
+	L2  cache.Config
+
+	// L1Latency is the L1 hit latency in cycles.
+	L1Latency int
+	// L2Latency is the L2 hit latency in cycles.
+	L2Latency int
+	// MemLatency is the DRAM access latency in cycles (beyond L2).
+	MemLatency int
+
+	// BranchEntries sizes the two-level predictor's pattern table.
+	BranchEntries int
+	// RASDepth is the return-address-stack depth.
+	RASDepth int
+	// MispredictPenalty is charged per branch or return mispredict.
+	MispredictPenalty int
+	// TakenBranchBubble is the fetch-redirect cost of every taken
+	// control transfer (taken branch, call, return).
+	TakenBranchBubble int
+
+	// BusCyclesPerLine is how long one line transfer occupies the
+	// L1<->L2 interface; demand misses and prefetches queue behind each
+	// other FIFO with no priority (§3.3).
+	BusCyclesPerLine int
+
+	// DataStallFactor is the fraction of a data-miss latency that
+	// actually stalls the core: the out-of-order window hides the rest.
+	DataStallFactor float64
+
+	// SwitchPenalty is charged per context switch between query threads.
+	SwitchPenalty int
+
+	// PerfectICache makes every instruction access complete in one
+	// cycle (the perf-Icache bars of Figures 6 and 10).
+	PerfectICache bool
+
+	// DemandPriority lets demand misses bypass queued prefetches on the
+	// L1<->L2 interface. The paper's design deliberately does NOT do
+	// this (§3.3); the flag exists for the ablation study.
+	DemandPriority bool
+
+	// PrefetchIntoL2Only makes prefetches fill only the L2, not L1I, so
+	// a later demand fetch still pays the L2 hit latency. The paper
+	// prefetches directly into L1I (§3.3); the flag exists for the
+	// ablation study.
+	PrefetchIntoL2Only bool
+
+	// FlushRASOnSwitch empties the RAS at context switches.
+	FlushRASOnSwitch bool
+}
+
+// DefaultConfig returns the Table-1 machine.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		L1I:               cache.Config{Name: "L1I", SizeBytes: 32 * 1024, Assoc: 2, LineBytes: isa.LineBytes},
+		L1D:               cache.Config{Name: "L1D", SizeBytes: 32 * 1024, Assoc: 2, LineBytes: isa.LineBytes},
+		L2:                cache.Config{Name: "L2", SizeBytes: 1024 * 1024, Assoc: 4, LineBytes: isa.LineBytes},
+		L1Latency:         1,
+		L2Latency:         16,
+		MemLatency:        80,
+		BranchEntries:     2048,
+		RASDepth:          32,
+		MispredictPenalty: 7,
+		TakenBranchBubble: 0,
+		BusCyclesPerLine:  2,
+		DataStallFactor:   0.15,
+		SwitchPenalty:     24,
+		FlushRASOnSwitch:  true,
+	}
+}

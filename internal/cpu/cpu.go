@@ -1,0 +1,380 @@
+package cpu
+
+import (
+	"cgp/internal/branch"
+	"cgp/internal/cache"
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+	"cgp/internal/trace"
+)
+
+// lineMeta is the per-L1I-line bookkeeping used for the prefetch
+// effectiveness accounting of Figures 8 and 9.
+type lineMeta struct {
+	prefetched bool
+	used       bool
+	portion    prefetch.Portion
+}
+
+// dataMeta is the per-L1D-line state.
+type dataMeta struct {
+	dirty bool
+}
+
+// inflight tracks a prefetch that has been issued to the L2 FIFO but has
+// not yet filled L1I.
+type inflight struct {
+	line    isa.Addr // line-aligned address
+	readyAt int64
+	portion prefetch.Portion
+	done    bool
+}
+
+// CPU consumes a trace and accounts execution cycles. It implements
+// trace.Consumer.
+type CPU struct {
+	cfg Config
+
+	l1i *cache.Cache[lineMeta]
+	l1d *cache.Cache[dataMeta]
+	l2  *cache.Cache[struct{}]
+
+	bp  *branch.Predictor
+	ras *branch.RAS
+	pf  prefetch.Prefetcher
+
+	cycle      int64
+	instrCarry int64
+	busFreeAt  int64
+
+	// The prefetch FIFO: completion order equals issue order because the
+	// bus is FIFO, so a ring-ish slice plus a map suffices.
+	queue   []*inflight
+	qHead   int
+	pending map[isa.Addr]*inflight
+
+	// Loop events carry their own branch accounting (the predictor is
+	// not consulted per compressed iteration).
+	loopBranches    int64
+	loopMispredicts int64
+
+	stats Stats
+}
+
+var _ trace.Consumer = (*CPU)(nil)
+
+// New builds a CPU with the given prefetcher (nil means no prefetching).
+func New(cfg Config, pf prefetch.Prefetcher) *CPU {
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	return &CPU{
+		cfg:     cfg,
+		l1i:     cache.New[lineMeta](cfg.L1I),
+		l1d:     cache.New[dataMeta](cfg.L1D),
+		l2:      cache.New[struct{}](cfg.L2),
+		bp:      branch.NewPredictor(cfg.BranchEntries),
+		ras:     branch.NewRAS(cfg.RASDepth),
+		pf:      pf,
+		pending: make(map[isa.Addr]*inflight),
+	}
+}
+
+// Prefetcher returns the attached prefetcher.
+func (c *CPU) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// Cycle returns the current cycle count.
+func (c *CPU) Cycle() int64 { return c.cycle }
+
+// Event implements trace.Consumer.
+func (c *CPU) Event(ev trace.Event) {
+	switch ev.Kind {
+	case trace.KindRun:
+		c.run(ev.Addr, int(ev.N))
+	case trace.KindLoop:
+		c.loop(ev.Addr, int(ev.N), int(ev.Iters))
+	case trace.KindBranch:
+		c.branch(ev)
+	case trace.KindCall:
+		c.call(ev)
+	case trace.KindReturn:
+		c.ret(ev)
+	case trace.KindData:
+		c.data(ev)
+	case trace.KindSwitch:
+		c.contextSwitch()
+	}
+}
+
+// Finish flushes residual accounting (the useless-prefetch count of
+// lines still resident or in flight is left uncounted, matching the
+// end-of-run truncation any simulator has) and returns the statistics.
+func (c *CPU) Finish() *Stats {
+	s := c.stats
+	s.Cycles = c.cycle
+	s.L1IStats = c.l1i.Stats()
+	s.L1DStats = c.l1d.Stats()
+	s.L2Stats = c.l2.Stats()
+	s.Branches = c.bp.Lookups() + c.loopBranches
+	s.BranchMispredicts = c.bp.Mispredicts() + c.loopMispredicts
+	s.Returns = c.ras.Pops()
+	s.RASMispredicts = c.ras.Mispredicts()
+	return &s
+}
+
+// ---- instruction side ----
+
+// run fetches n sequential instructions starting at addr.
+func (c *CPU) run(addr isa.Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	c.stats.Instructions += int64(n)
+	c.addThroughput(n)
+	if c.cfg.PerfectICache {
+		return
+	}
+	line := isa.LineAddr(addr)
+	for covered := isa.LinesCovered(addr, isa.InstrRangeBytes(n)); covered > 0; covered-- {
+		c.fetchLine(line)
+		line += isa.LineBytes
+	}
+}
+
+// loop fetches a body of bodyInstr instructions once and accounts for
+// iters executions of it (the lines stay resident across iterations).
+func (c *CPU) loop(addr isa.Addr, bodyInstr, iters int) {
+	if bodyInstr <= 0 || iters <= 0 {
+		return
+	}
+	c.stats.Instructions += int64(bodyInstr) * int64(iters)
+	c.addThroughput(bodyInstr * iters)
+	// One fetch redirect per iteration's back edge; the predictor locks
+	// onto the loop after warmup and mispredicts the exit.
+	c.cycle += int64(iters) * int64(c.cfg.TakenBranchBubble)
+	c.loopBranches += int64(iters)
+	c.loopMispredicts++ // the loop-exit mispredict
+	c.cycle += int64(c.cfg.MispredictPenalty)
+	if c.cfg.PerfectICache {
+		return
+	}
+	line := isa.LineAddr(addr)
+	for covered := isa.LinesCovered(addr, isa.InstrRangeBytes(bodyInstr)); covered > 0; covered-- {
+		c.fetchLine(line)
+		line += isa.LineBytes
+	}
+}
+
+// addThroughput charges fetch/issue bandwidth for n instructions.
+func (c *CPU) addThroughput(n int) {
+	c.instrCarry += int64(n)
+	c.cycle += c.instrCarry / int64(c.cfg.FetchWidth)
+	c.instrCarry %= int64(c.cfg.FetchWidth)
+}
+
+// fetchLine performs one demand instruction fetch of a full line,
+// charging any miss stall, and triggers the prefetcher.
+func (c *CPU) fetchLine(line isa.Addr) {
+	c.stats.ILineAccesses++
+	c.drainCompleted()
+	if meta, hit := c.l1i.Access(cache.Line(isa.Line(line))); hit {
+		if meta.prefetched && !meta.used {
+			meta.used = true
+			c.portionStats(meta.portion).PrefHits++
+		}
+	} else if inf, ok := c.pending[line]; ok {
+		// The line is enroute from L2: a delayed hit (Figure 8).
+		wait := inf.readyAt - c.cycle
+		if wait < 0 {
+			wait = 0
+		}
+		c.cycle += wait
+		c.stats.IMissStallCycles += wait
+		c.portionStats(inf.portion).DelayedHits++
+		inf.done = true
+		delete(c.pending, line)
+		c.insertL1I(line, lineMeta{prefetched: true, used: true, portion: inf.portion})
+	} else {
+		// Full miss: go to L2 through the shared FIFO.
+		c.stats.ICacheMisses++
+		lat := c.l2DemandAccess(line)
+		c.cycle += lat
+		c.stats.IMissStallCycles += lat
+		c.insertL1I(line, lineMeta{})
+	}
+	c.pf.OnFetch(line, c.issue)
+}
+
+// insertL1I fills a line and settles the useless-prefetch accounting for
+// the victim.
+func (c *CPU) insertL1I(line isa.Addr, meta lineMeta) {
+	ev, had := c.l1i.Insert(cache.Line(isa.Line(line)), meta)
+	if had && ev.Payload.prefetched && !ev.Payload.used {
+		c.portionStats(ev.Payload.portion).Useless++
+	}
+}
+
+// issue is the prefetch.Issue sink handed to the prefetcher.
+func (c *CPU) issue(req prefetch.Request) {
+	line := isa.LineAddr(req.Addr)
+	ps := c.portionStats(req.Portion)
+	if _, hit := c.l1i.Probe(cache.Line(isa.Line(line))); hit {
+		ps.Squashed++
+		return
+	}
+	if _, inFlight := c.pending[line]; inFlight {
+		ps.Squashed++
+		return
+	}
+	ps.Issued++
+	if c.cfg.PrefetchIntoL2Only {
+		// The line is staged in L2 only: warm the L2 (paying the memory
+		// trip if absent) but never fill L1I, so the later demand fetch
+		// still costs an L2 hit.
+		c.l2LineAccess(line)
+		return
+	}
+	lat := c.l2LineAccess(line)
+	inf := &inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion}
+	c.pending[line] = inf
+	c.queue = append(c.queue, inf)
+}
+
+// drainCompleted fills L1I with prefetches whose data has arrived.
+func (c *CPU) drainCompleted() {
+	for c.qHead < len(c.queue) {
+		inf := c.queue[c.qHead]
+		if !inf.done && inf.readyAt > c.cycle {
+			break
+		}
+		c.qHead++
+		if inf.done {
+			continue
+		}
+		delete(c.pending, inf.line)
+		c.insertL1I(inf.line, lineMeta{prefetched: true, portion: inf.portion})
+	}
+	if c.qHead > 0 && c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
+	}
+}
+
+// l2DemandAccess is l2LineAccess for demand misses: identical unless
+// the DemandPriority ablation is on, in which case the demand request
+// bypasses queued prefetches (it still occupies the bus afterwards).
+func (c *CPU) l2DemandAccess(line isa.Addr) int64 {
+	if !c.cfg.DemandPriority {
+		return c.l2LineAccess(line)
+	}
+	c.stats.L2Accesses++
+	c.busFreeAt += int64(c.cfg.BusCyclesPerLine)
+	ready := c.cycle + int64(c.cfg.L2Latency)
+	if _, hit := c.l2.Access(cache.Line(isa.Line(line))); !hit {
+		c.stats.L2Misses++
+		ready += int64(c.cfg.MemLatency)
+		c.l2.Insert(cache.Line(isa.Line(line)), struct{}{})
+	}
+	return ready - c.cycle
+}
+
+// l2LineAccess models one line transfer over the shared L1<->L2
+// interface, returning the latency from now until the line arrives.
+// Requests serialize on the bus in FIFO order with no demand priority.
+func (c *CPU) l2LineAccess(line isa.Addr) int64 {
+	start := c.cycle
+	if c.busFreeAt > start {
+		start = c.busFreeAt
+	}
+	c.busFreeAt = start + int64(c.cfg.BusCyclesPerLine)
+	c.stats.L2Accesses++
+	ready := start + int64(c.cfg.L2Latency)
+	if _, hit := c.l2.Access(cache.Line(isa.Line(line))); !hit {
+		c.stats.L2Misses++
+		ready += int64(c.cfg.MemLatency)
+		c.l2.Insert(cache.Line(isa.Line(line)), struct{}{})
+	}
+	return ready - c.cycle
+}
+
+func (c *CPU) portionStats(p prefetch.Portion) *PrefetchStats {
+	if p == prefetch.PortionCGHC {
+		return &c.stats.CGHC
+	}
+	return &c.stats.NL
+}
+
+// ---- control flow ----
+
+func (c *CPU) branch(ev trace.Event) {
+	correct := c.bp.Predict(ev.Addr, ev.Taken)
+	if !correct {
+		c.cycle += int64(c.cfg.MispredictPenalty)
+	}
+	if ev.Taken {
+		c.cycle += int64(c.cfg.TakenBranchBubble)
+	}
+}
+
+func (c *CPU) call(ev trace.Event) {
+	c.stats.Calls++
+	c.ras.Push(branch.RASEntry{
+		ReturnAddr:  ev.Addr + isa.InstrBytes,
+		CallerStart: ev.CallerStart,
+	})
+	c.cycle += int64(c.cfg.TakenBranchBubble)
+	if !c.cfg.PerfectICache {
+		c.pf.OnCall(ev.Target, ev.CallerStart, c.issue)
+	}
+}
+
+func (c *CPU) ret(ev trace.Event) {
+	pred, ok := c.ras.Pop()
+	if !c.ras.RecordOutcome(pred, ok, ev.Target) {
+		c.cycle += int64(c.cfg.MispredictPenalty)
+	}
+	c.cycle += int64(c.cfg.TakenBranchBubble)
+	if !c.cfg.PerfectICache {
+		// CGP sees the *predicted* caller start from the modified RAS:
+		// a wrong RAS entry sends the CGHC lookup to the wrong tag.
+		var predCaller isa.Addr
+		if ok {
+			predCaller = pred.CallerStart
+		}
+		c.pf.OnReturn(predCaller, ev.Addr, c.issue)
+	}
+}
+
+func (c *CPU) contextSwitch() {
+	c.stats.Switches++
+	c.cycle += int64(c.cfg.SwitchPenalty)
+	if c.cfg.FlushRASOnSwitch {
+		c.ras.Flush()
+	}
+}
+
+// ---- data side ----
+
+func (c *CPU) data(ev trace.Event) {
+	line := isa.LineAddr(ev.Addr)
+	for covered := isa.LinesCovered(ev.Addr, int(ev.N)); covered > 0; covered-- {
+		c.stats.DLineAccesses++
+		if meta, hit := c.l1d.Access(cache.Line(isa.Line(line))); hit {
+			if ev.Taken { // write
+				meta.dirty = true
+			}
+		} else {
+			c.stats.DCacheMisses++
+			lat := c.l2DemandAccess(line)
+			stall := int64(float64(lat) * c.cfg.DataStallFactor)
+			c.cycle += stall
+			evicted, had := c.l1d.Insert(cache.Line(isa.Line(line)), dataMeta{dirty: ev.Taken})
+			if had && evicted.Payload.dirty {
+				// Writeback occupies the bus but does not stall the core.
+				c.busFreeAt += int64(c.cfg.BusCyclesPerLine)
+				c.stats.L2Accesses++
+			}
+		}
+		line += isa.LineBytes
+	}
+}

@@ -1,0 +1,119 @@
+package cpu
+
+import "cgp/internal/cache"
+
+// PrefetchStats breaks prefetch traffic down the way Figures 8 and 9 do,
+// per issuing portion (NL vs CGHC).
+type PrefetchStats struct {
+	// Issued counts prefetches that actually went to the L2 FIFO.
+	Issued int64
+	// Squashed counts requests dropped because the line was resident or
+	// already in flight.
+	Squashed int64
+	// PrefHits counts lines whose first demand touch found them fully
+	// resident in L1I.
+	PrefHits int64
+	// DelayedHits counts lines whose first demand touch found them
+	// still enroute from L2/memory.
+	DelayedHits int64
+	// Useless counts prefetched lines evicted without ever being used.
+	Useless int64
+}
+
+// Useful returns PrefHits + DelayedHits.
+func (p PrefetchStats) Useful() int64 { return p.PrefHits + p.DelayedHits }
+
+// UsefulFraction returns Useful / Issued.
+func (p PrefetchStats) UsefulFraction() float64 {
+	if p.Issued == 0 {
+		return 0
+	}
+	return float64(p.Useful()) / float64(p.Issued)
+}
+
+// add accumulates o into p.
+func (p *PrefetchStats) add(o PrefetchStats) {
+	p.Issued += o.Issued
+	p.Squashed += o.Squashed
+	p.PrefHits += o.PrefHits
+	p.DelayedHits += o.DelayedHits
+	p.Useless += o.Useless
+}
+
+// Stats is everything one simulation run measures.
+type Stats struct {
+	// Cycles is total execution time.
+	Cycles int64
+	// Instructions is the dynamic instruction count.
+	Instructions int64
+
+	// ICacheMisses counts demand fetches that had to go to L2 (delayed
+	// hits on in-flight prefetches are counted as DelayedHits instead).
+	ICacheMisses int64
+	// ILineAccesses counts demand line fetches.
+	ILineAccesses int64
+	// DelayedMissCycles is the total stall attributable to I-misses.
+	IMissStallCycles int64
+
+	// DCacheMisses / DLineAccesses mirror the above for data.
+	DCacheMisses  int64
+	DLineAccesses int64
+
+	// L2Accesses counts all line transfers on the L1<->L2 interface
+	// (demand I, demand D, prefetch) — the bus-traffic measure of §5.6.
+	L2Accesses int64
+	// L2Misses counts transfers that also went to memory.
+	L2Misses int64
+
+	// Branches / BranchMispredicts cover conditional branches.
+	Branches          int64
+	BranchMispredicts int64
+	// Returns / RASMispredicts cover return-address prediction.
+	Returns        int64
+	RASMispredicts int64
+	// Calls counts call events.
+	Calls int64
+	// Switches counts context switches.
+	Switches int64
+
+	// NL and CGHC split prefetch traffic by issuing portion; Total is
+	// their sum.
+	NL   PrefetchStats
+	CGHC PrefetchStats
+
+	// L1IStats/L1DStats/L2Stats are the raw cache counters.
+	L1IStats cache.Stats
+	L1DStats cache.Stats
+	L2Stats  cache.Stats
+}
+
+// TotalPrefetch returns the combined prefetch stats.
+func (s *Stats) TotalPrefetch() PrefetchStats {
+	t := s.NL
+	t.add(s.CGHC)
+	return t
+}
+
+// IPC returns instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// IMissRate returns I-cache misses per demand line access.
+func (s *Stats) IMissRate() float64 {
+	if s.ILineAccesses == 0 {
+		return 0
+	}
+	return float64(s.ICacheMisses) / float64(s.ILineAccesses)
+}
+
+// IMissPerKInstr returns I-cache misses per 1000 instructions.
+func (s *Stats) IMissPerKInstr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.ICacheMisses) / float64(s.Instructions)
+}

@@ -1,0 +1,166 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{Name: "id", Type: Int},
+		Column{Name: "name", Type: String, Len: 16},
+		Column{Name: "score", Type: Int},
+	)
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema()
+	if s.Size() != 8+16+8 {
+		t.Errorf("size = %d", s.Size())
+	}
+	if s.Offset(0) != 0 || s.Offset(1) != 8 || s.Offset(2) != 24 {
+		t.Errorf("offsets = %d,%d,%d", s.Offset(0), s.Offset(1), s.Offset(2))
+	}
+	if s.ColIndex("score") != 2 {
+		t.Errorf("ColIndex(score) = %d", s.ColIndex("score"))
+	}
+	if !s.HasCol("name") || s.HasCol("missing") {
+		t.Error("HasCol broken")
+	}
+	if s.ColNames() != "id,name,score" {
+		t.Errorf("names = %q", s.ColNames())
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	s := testSchema()
+	buf := s.Encode([]Value{V(-42), SV("alice"), V(99)})
+	tup := Tuple{Schema: s, Buf: buf}
+	if tup.Int(0) != -42 {
+		t.Errorf("id = %d", tup.Int(0))
+	}
+	if tup.Str(1) != "alice" {
+		t.Errorf("name = %q", tup.Str(1))
+	}
+	if tup.Int(2) != 99 {
+		t.Errorf("score = %d", tup.Int(2))
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	s := testSchema()
+	cases := [][]Value{
+		{V(1)},                   // wrong arity
+		{SV("x"), SV("y"), V(1)}, // string into int
+		{V(1), V(2), V(3)},       // int into string
+	}
+	for i, vals := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			s.Encode(vals)
+		}()
+	}
+}
+
+func TestUnknownColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	testSchema().ColIndex("nope")
+}
+
+func TestProject(t *testing.T) {
+	s := testSchema()
+	p := s.Project("score", "id")
+	if p.NumCols() != 2 || p.Col(0).Name != "score" || p.Col(1).Name != "id" {
+		t.Errorf("projected schema = %s", p.ColNames())
+	}
+	if p.Size() != 16 {
+		t.Errorf("size = %d", p.Size())
+	}
+}
+
+func TestConcatPrefixesDuplicates(t *testing.T) {
+	a := NewSchema(Column{Name: "k", Type: Int}, Column{Name: "v", Type: Int})
+	b := NewSchema(Column{Name: "k", Type: Int}, Column{Name: "w", Type: Int})
+	c := Concat(a, b, "r_")
+	if !c.HasCol("r_k") || !c.HasCol("w") || c.NumCols() != 4 {
+		t.Errorf("concat = %s", c.ColNames())
+	}
+}
+
+func TestTupleCopyIndependent(t *testing.T) {
+	s := testSchema()
+	buf := s.Encode([]Value{V(1), SV("x"), V(2)})
+	orig := Tuple{Schema: s, Buf: buf}
+	cp := orig.Copy()
+	buf[0] = 0xFF
+	if cp.Int(0) == orig.Int(0) {
+		t.Error("copy aliases original buffer")
+	}
+}
+
+func TestCatalogOps(t *testing.T) {
+	c := NewCatalog()
+	c.Add(&Table{Name: "t1", Schema: testSchema()})
+	if _, err := c.Get("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("nope"); err == nil {
+		t.Error("Get of missing table succeeded")
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d", c.Len())
+	}
+	c.Drop("t1")
+	if c.Len() != 0 {
+		t.Error("drop failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate add")
+		}
+	}()
+	c.Add(&Table{Name: "x"})
+	c.Add(&Table{Name: "x"})
+}
+
+// Property: int round-trip through encode/decode for arbitrary values.
+func TestIntRoundTripProperty(t *testing.T) {
+	s := NewSchema(Column{Name: "a", Type: Int}, Column{Name: "b", Type: Int})
+	f := func(a, b int64) bool {
+		tup := Tuple{Schema: s, Buf: s.Encode([]Value{V(a), V(b)})}
+		return tup.Int(0) == a && tup.Int(1) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strings shorter than the column width round-trip exactly.
+func TestStringRoundTripProperty(t *testing.T) {
+	s := NewSchema(Column{Name: "s", Type: String, Len: 32})
+	f := func(raw string) bool {
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		// NUL-padded storage cannot represent trailing NULs or interior
+		// semantics beyond TrimRight; skip strings with NULs.
+		for i := 0; i < len(raw); i++ {
+			if raw[i] == 0 {
+				return true
+			}
+		}
+		tup := Tuple{Schema: s, Buf: s.Encode([]Value{SV(raw)})}
+		return tup.Str(0) == raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

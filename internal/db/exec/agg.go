@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"cgp/internal/db/catalog"
+	"cgp/internal/isa"
+)
+
+// AggOp is an aggregate function.
+type AggOp uint8
+
+// Aggregate operators.
+const (
+	Count AggOp = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL name.
+func (op AggOp) String() string {
+	switch op {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	}
+	return "?"
+}
+
+// Agg is one aggregate column specification.
+type Agg struct {
+	Op  AggOp
+	Col string // ignored for Count
+	As  string
+}
+
+type accum struct {
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	set   bool
+}
+
+func (a *accum) update(v int64) {
+	a.count++
+	a.sum += v
+	if !a.set || v < a.min {
+		a.min = v
+	}
+	if !a.set || v > a.max {
+		a.max = v
+	}
+	a.set = true
+}
+
+func (a *accum) result(op AggOp) int64 {
+	switch op {
+	case Count:
+		return a.count
+	case Sum:
+		return a.sum
+	case Min:
+		return a.min
+	case Max:
+		return a.max
+	case Avg:
+		if a.count == 0 {
+			return 0
+		}
+		return a.sum / a.count
+	}
+	return 0
+}
+
+// HashAggregate groups its input by integer and/or string columns and
+// computes aggregates per group (the paper's hash-based aggregate
+// operator). Output groups are emitted in deterministic (sorted key)
+// order.
+type HashAggregate struct {
+	Ctx      *Context
+	Child    Iterator
+	GroupBy  []string
+	Aggs     []Agg
+	sch      *catalog.Schema
+	groupIdx []int
+
+	groups    map[string][]accum
+	groupRep  map[string]catalog.Tuple
+	keys      []string
+	pos       int
+	buf       []byte
+	tableAddr isa.Addr
+}
+
+// NewHashAggregate builds a grouped aggregation.
+func NewHashAggregate(ctx *Context, child Iterator, groupBy []string, aggs []Agg) *HashAggregate {
+	cols := make([]catalog.Column, 0, len(groupBy)+len(aggs))
+	idxs := make([]int, len(groupBy))
+	for i, g := range groupBy {
+		idxs[i] = child.Schema().ColIndex(g)
+		cols = append(cols, child.Schema().Col(idxs[i]))
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = fmt.Sprintf("%s_%s", a.Op, a.Col)
+		}
+		cols = append(cols, catalog.Column{Name: name, Type: catalog.Int})
+	}
+	return &HashAggregate{
+		Ctx: ctx, Child: child, GroupBy: groupBy, Aggs: aggs,
+		sch: catalog.NewSchema(cols...), groupIdx: idxs,
+	}
+}
+
+// Schema implements Iterator.
+func (h *HashAggregate) Schema() *catalog.Schema { return h.sch }
+
+// Open implements Iterator: consumes the entire input building the
+// group table.
+func (h *HashAggregate) Open() error {
+	h.Ctx.Pr.Enter(h.Ctx.Fns.AggOpen)
+	defer h.Ctx.Pr.Exit()
+	h.Ctx.Pr.Work(36)
+	h.groups = make(map[string][]accum)
+	h.groupRep = make(map[string]catalog.Tuple)
+	h.tableAddr = h.Ctx.Arena.Alloc(64 * 1024)
+	h.buf = make([]byte, h.sch.Size())
+	childSch := h.Child.Schema()
+	aggIdx := make([]int, len(h.Aggs))
+	for i, a := range h.Aggs {
+		if a.Op != Count {
+			aggIdx[i] = childSch.ColIndex(a.Col)
+		}
+	}
+	_, err := Run(h.Child, func(t catalog.Tuple) error {
+		h.Ctx.Pr.Enter(h.Ctx.Fns.AggUpdate)
+		defer h.Ctx.Pr.Exit()
+		h.Ctx.Pr.Work(14 + 6*len(h.Aggs))
+		key := h.groupKey(t)
+		h.Ctx.Pr.Data(h.tableAddr+isa.Addr(strHash(key)%(64*1024-64)), 32, true)
+		accs := h.groups[key]
+		if accs == nil {
+			accs = make([]accum, len(h.Aggs))
+			h.groups[key] = accs
+			h.groupRep[key] = t.Copy()
+			h.keys = append(h.keys, key)
+		}
+		for i, a := range h.Aggs {
+			var v int64 = 1
+			if a.Op != Count {
+				v = t.Int(aggIdx[i])
+			}
+			accs[i].update(v)
+		}
+		// map writes move the slice header; store back
+		h.groups[key] = accs
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sort.Strings(h.keys)
+	h.pos = 0
+	return nil
+}
+
+func (h *HashAggregate) groupKey(t catalog.Tuple) string {
+	h.Ctx.Pr.Enter(h.Ctx.Fns.HashTuple)
+	defer h.Ctx.Pr.Exit()
+	h.Ctx.Pr.Work(8 + 4*len(h.groupIdx))
+	key := make([]byte, 0, 16)
+	for _, gi := range h.groupIdx {
+		c := t.Schema.Col(gi)
+		if c.Type == catalog.Int {
+			v := t.Int(gi)
+			for s := 0; s < 64; s += 8 {
+				key = append(key, byte(v>>s))
+			}
+		} else {
+			key = append(key, t.Str(gi)...)
+			key = append(key, 0)
+		}
+	}
+	return string(key)
+}
+
+func strHash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Next implements Iterator: emits one group per call.
+func (h *HashAggregate) Next() (catalog.Tuple, bool, error) {
+	h.Ctx.Pr.Enter(h.Ctx.Fns.AggNext)
+	defer h.Ctx.Pr.Exit()
+	h.Ctx.Pr.Work(10)
+	if h.pos >= len(h.keys) {
+		return catalog.Tuple{}, false, nil
+	}
+	key := h.keys[h.pos]
+	h.pos++
+	rep := h.groupRep[key]
+	accs := h.groups[key]
+	vals := make([]catalog.Value, 0, h.sch.NumCols())
+	for i, gi := range h.groupIdx {
+		c := h.sch.Col(i)
+		if c.Type == catalog.Int {
+			vals = append(vals, catalog.V(rep.Int(gi)))
+		} else {
+			vals = append(vals, catalog.SV(rep.Str(gi)))
+		}
+	}
+	for i, a := range h.Aggs {
+		vals = append(vals, catalog.V(accs[i].result(a.Op)))
+	}
+	copy(h.buf, h.sch.Encode(vals))
+	return catalog.Tuple{Schema: h.sch, Buf: h.buf}, true, nil
+}
+
+// Close implements Iterator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	h.groupRep = nil
+	h.keys = nil
+	return nil
+}

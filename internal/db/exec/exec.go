@@ -1,0 +1,139 @@
+// Package exec is the relational-operator layer built on top of the
+// storage manager (Figure 1): sequential and indexed scans, selection,
+// projection, nested-loops / index nested-loops / Grace hash joins,
+// hash aggregation, sorting, and materialization into temp files, all as
+// demand-driven iterators. A cooperative scheduler interleaves several
+// query plans to reproduce the paper's concurrent-query workloads.
+package exec
+
+import (
+	"cgp/internal/db/heap"
+	"cgp/internal/db/probe"
+	"cgp/internal/db/txn"
+
+	"cgp/internal/db/catalog"
+	"cgp/internal/program"
+)
+
+// Funcs holds the instrumented-function IDs of the operator layer and
+// the thin query-processing layers above it (parser, optimizer,
+// scheduler — Figure 1).
+type Funcs struct {
+	SeqScanOpen   program.FuncID
+	SeqScanNext   program.FuncID
+	IndexScanOpen program.FuncID
+	IndexScanNext program.FuncID
+	FilterNext    program.FuncID
+	ProjectNext   program.FuncID
+	NLJoinNext    program.FuncID
+	IdxJoinNext   program.FuncID
+	HashPartition program.FuncID
+	HashBuild     program.FuncID
+	HashProbe     program.FuncID
+	AggOpen       program.FuncID
+	AggNext       program.FuncID
+	AggUpdate     program.FuncID
+	SortOpen      program.FuncID
+	SortNext      program.FuncID
+	LimitNext     program.FuncID
+	MatNext       program.FuncID
+	EvalPred      program.FuncID
+	GetField      program.FuncID
+	HashTuple     program.FuncID
+	CmpTuple      program.FuncID
+	QueryParse    program.FuncID
+	QueryOptimize program.FuncID
+	QuerySchedule program.FuncID
+	QueryExecute  program.FuncID
+}
+
+// RegisterFuncs registers the operator-layer functions.
+func RegisterFuncs(reg *program.Registry) Funcs {
+	return Funcs{
+		SeqScanOpen:   reg.Register("Seq_scan_open", 190),
+		SeqScanNext:   reg.Register("Seq_scan_next", 250),
+		IndexScanOpen: reg.Register("Index_scan_open", 220),
+		IndexScanNext: reg.Register("Index_scan_next", 290),
+		FilterNext:    reg.Register("Filter_next", 150),
+		ProjectNext:   reg.Register("Project_next", 130),
+		NLJoinNext:    reg.Register("Nl_join_next", 330),
+		IdxJoinNext:   reg.Register("Idx_join_next", 350),
+		HashPartition: reg.Register("Hash_partition", 310),
+		HashBuild:     reg.Register("Hash_build", 390),
+		HashProbe:     reg.Register("Hash_probe", 370),
+		AggOpen:       reg.Register("Agg_open", 260),
+		AggNext:       reg.Register("Agg_next", 300),
+		AggUpdate:     reg.Register("Agg_update", 210),
+		SortOpen:      reg.Register("Sort_open", 430),
+		SortNext:      reg.Register("Sort_next", 140),
+		LimitNext:     reg.Register("Limit_next", 90),
+		MatNext:       reg.Register("Materialize_next", 270),
+		EvalPred:      reg.Register("Eval_predicate", 140),
+		GetField:      reg.Register("Tuple_get_field", 80),
+		HashTuple:     reg.Register("Tuple_hash", 110),
+		CmpTuple:      reg.Register("Tuple_compare", 115),
+		QueryParse:    reg.Register("Query_parse", 640),
+		QueryOptimize: reg.Register("Query_optimize", 720),
+		QuerySchedule: reg.Register("Query_schedule", 260),
+		QueryExecute:  reg.Register("Query_execute", 380),
+	}
+}
+
+// Context carries everything an operator tree needs at run time.
+type Context struct {
+	Txn   *txn.Txn
+	Pr    *probe.Probe
+	Fns   Funcs
+	Arena *probe.Arena
+	// TempFile creates a scratch heap file (Grace join partitions,
+	// SELECT INTO targets).
+	TempFile func(name string) (*heap.File, error)
+}
+
+// Iterator is the demand-driven operator interface.
+type Iterator interface {
+	Open() error
+	// Next returns the next tuple; ok=false marks exhaustion. Returned
+	// tuples may alias operator state and are valid until the following
+	// Next call.
+	Next() (catalog.Tuple, bool, error)
+	Close() error
+	Schema() *catalog.Schema
+}
+
+// Run drains it, invoking fn per tuple (fn may be nil). It opens and
+// closes the iterator.
+func Run(it Iterator, fn func(catalog.Tuple) error) (int64, error) {
+	if err := it.Open(); err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if fn != nil {
+			if err := fn(t); err != nil {
+				it.Close()
+				return n, err
+			}
+		}
+	}
+	return n, it.Close()
+}
+
+// Collect drains it into memory (tests and small results).
+func Collect(it Iterator) ([]catalog.Tuple, error) {
+	var out []catalog.Tuple
+	_, err := Run(it, func(t catalog.Tuple) error {
+		out = append(out, t.Copy())
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,389 @@
+// Operators are tested through the assembled engine (external test
+// package to avoid the db->exec import cycle).
+package exec_test
+
+import (
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/txn"
+)
+
+type env struct {
+	e   *db.Engine
+	tx  *txn.Txn
+	ctx *exec.Context
+}
+
+// newEnv loads a small two-table database:
+//
+//	nums(k, v, grp): k=0..n-1, v=k*10, grp=k%4
+//	dims(k, label):  k=0..9
+func newEnv(t *testing.T, n int) *env {
+	t.Helper()
+	e := db.NewEngine(db.Options{BufferFrames: 256})
+	tx := e.Txns.Begin()
+
+	nums, err := e.CreateTable("nums", catalog.NewSchema(
+		catalog.Column{Name: "k", Type: catalog.Int},
+		catalog.Column{Name: "v", Type: catalog.Int},
+		catalog.Column{Name: "grp", Type: catalog.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := e.InsertRow(tx, nums, []catalog.Value{
+			catalog.V(int64(i)), catalog.V(int64(i * 10)), catalog.V(int64(i % 4)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CreateIndex(tx, "nums", "k", true); err != nil {
+		t.Fatal(err)
+	}
+
+	dims, err := e.CreateTable("dims", catalog.NewSchema(
+		catalog.Column{Name: "k", Type: catalog.Int},
+		catalog.Column{Name: "label", Type: catalog.String, Len: 8},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := e.InsertRow(tx, dims, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(string(rune('a' + i))),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Txns.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := e.Txns.Begin()
+	return &env{e: e, tx: tx2, ctx: e.NewContext(tx2)}
+}
+
+func (v *env) scanNums() *exec.SeqScan {
+	tbl := v.e.MustTable("nums")
+	return exec.NewSeqScan(v.ctx, tbl.Heap, tbl.Schema)
+}
+
+func (v *env) scanDims() *exec.SeqScan {
+	tbl := v.e.MustTable("dims")
+	return exec.NewSeqScan(v.ctx, tbl.Heap, tbl.Schema)
+}
+
+func TestSeqScanCount(t *testing.T) {
+	v := newEnv(t, 100)
+	n, err := exec.Run(v.scanNums(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("scan returned %d rows", n)
+	}
+}
+
+func TestFilterSelectivity(t *testing.T) {
+	v := newEnv(t, 100)
+	it := exec.NewFilter(v.ctx, v.scanNums(), exec.IntRange{Col: "k", Lo: 10, Hi: 19})
+	rows, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("filter returned %d rows", len(rows))
+	}
+	for _, r := range rows {
+		k := r.Int(0)
+		if k < 10 || k > 19 {
+			t.Errorf("row k=%d escaped filter", k)
+		}
+	}
+}
+
+func TestFilterOperators(t *testing.T) {
+	v := newEnv(t, 20)
+	cases := []struct {
+		pred exec.Pred
+		want int
+	}{
+		{exec.IntCmp{Col: "k", Op: exec.Eq, Val: 5}, 1},
+		{exec.IntCmp{Col: "k", Op: exec.Ne, Val: 5}, 19},
+		{exec.IntCmp{Col: "k", Op: exec.Lt, Val: 5}, 5},
+		{exec.IntCmp{Col: "k", Op: exec.Le, Val: 5}, 6},
+		{exec.IntCmp{Col: "k", Op: exec.Gt, Val: 15}, 4},
+		{exec.IntCmp{Col: "k", Op: exec.Ge, Val: 15}, 5},
+		{exec.And{exec.IntCmp{Col: "k", Op: exec.Ge, Val: 5}, exec.IntCmp{Col: "k", Op: exec.Lt, Val: 8}}, 3},
+		{exec.True{}, 20},
+	}
+	for _, c := range cases {
+		it := exec.NewFilter(v.ctx, v.scanNums(), c.pred)
+		n, err := exec.Run(it, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(n) != c.want {
+			t.Errorf("pred %+v: %d rows, want %d", c.pred, n, c.want)
+		}
+	}
+}
+
+func TestIndexScanMatchesFilter(t *testing.T) {
+	v := newEnv(t, 200)
+	tbl := v.e.MustTable("nums")
+	idx := exec.NewIndexScan(v.ctx, tbl.Indexes["k"], tbl.Heap, tbl.Schema, 50, 69)
+	rows, err := exec.Collect(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("index scan returned %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Int(0) != int64(50+i) {
+			t.Errorf("row %d k=%d (index scans are key-ordered)", i, r.Int(0))
+		}
+		if r.Int(1) != r.Int(0)*10 {
+			t.Errorf("row %d v=%d", i, r.Int(1))
+		}
+	}
+}
+
+func TestFetchSingleTuple(t *testing.T) {
+	v := newEnv(t, 100)
+	tbl := v.e.MustTable("nums")
+	tup, ok, err := exec.Fetch(v.ctx, tbl.Indexes["k"], tbl.Heap, tbl.Schema, 42)
+	if err != nil || !ok {
+		t.Fatalf("fetch: %v %v", ok, err)
+	}
+	if tup.Int(1) != 420 {
+		t.Errorf("v = %d", tup.Int(1))
+	}
+	if _, ok, _ := exec.Fetch(v.ctx, tbl.Indexes["k"], tbl.Heap, tbl.Schema, 9999); ok {
+		t.Error("fetch of absent key succeeded")
+	}
+}
+
+func TestProject(t *testing.T) {
+	v := newEnv(t, 10)
+	it := exec.NewProject(v.ctx, v.scanNums(), "v", "k")
+	rows, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[3].Schema.ColNames() != "v,k" {
+		t.Errorf("schema = %s", rows[3].Schema.ColNames())
+	}
+	if rows[3].Int(0) != 30 || rows[3].Int(1) != 3 {
+		t.Errorf("row 3 = %d,%d", rows[3].Int(0), rows[3].Int(1))
+	}
+}
+
+func TestLimit(t *testing.T) {
+	v := newEnv(t, 100)
+	n, err := exec.Run(exec.NewLimit(v.ctx, v.scanNums(), 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("limit returned %d", n)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	v := newEnv(t, 10)
+	it := exec.NewExtend(v.ctx, v.scanNums(), "double", 5, func(tup catalog.Tuple) int64 {
+		return 2 * tup.Int(1)
+	})
+	rows, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := rows[0].Schema.ColIndex("double")
+	for _, r := range rows {
+		if r.Int(di) != 2*r.Int(1) {
+			t.Errorf("double = %d, v = %d", r.Int(di), r.Int(1))
+		}
+	}
+}
+
+// joins: NL, index-NL and Grace hash must agree.
+func TestJoinsAgree(t *testing.T) {
+	v := newEnv(t, 40)
+	tbl := v.e.MustTable("nums")
+
+	collectKeys := func(it exec.Iterator, leftCol, rightCol string) map[[2]int64]int {
+		t.Helper()
+		rows, err := exec.Collect(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[[2]int64]int{}
+		for _, r := range rows {
+			key := [2]int64{r.Int(r.Schema.ColIndex(leftCol)), r.Int(r.Schema.ColIndex(rightCol))}
+			out[key]++
+		}
+		return out
+	}
+
+	// dims.k = nums.grp: each dim 0..3 matches 10 rows.
+	nl := exec.NewNLJoin(v.ctx, v.scanDims(), v.scanNums(),
+		exec.ColEq{Left: "k", Right: "grp"})
+	nlRows := collectKeys(nl, "k", "r_k")
+
+	grace := exec.NewGraceHashJoin(v.ctx, v.scanDims(), v.scanNums(), "k", "grp", 4)
+	graceRows := collectKeys(grace, "k", "r_k")
+
+	if len(nlRows) != len(graceRows) {
+		t.Fatalf("NL %d pairs, Grace %d pairs", len(nlRows), len(graceRows))
+	}
+	total := 0
+	for k, c := range nlRows {
+		if graceRows[k] != c {
+			t.Fatalf("pair %v: NL %d, Grace %d", k, c, graceRows[k])
+		}
+		total += c
+	}
+	if total != 40 { // every nums row has grp in 0..3 = dims keys
+		t.Errorf("join cardinality %d, want 40", total)
+	}
+
+	// Index NL join on nums.k against dims.k (unique): 10 matches.
+	inl := exec.NewIndexNLJoin(v.ctx, v.scanDims(), "k",
+		tbl.Indexes["k"], tbl.Heap, tbl.Schema)
+	inlRows, err := exec.Collect(inl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inlRows) != 10 {
+		t.Errorf("INLJ returned %d rows, want 10", len(inlRows))
+	}
+	for _, r := range inlRows {
+		if r.Int(r.Schema.ColIndex("k")) != r.Int(r.Schema.ColIndex("r_k")) {
+			t.Error("INLJ joined mismatched keys")
+		}
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	v := newEnv(t, 40)
+	agg := exec.NewHashAggregate(v.ctx, v.scanNums(), []string{"grp"}, []exec.Agg{
+		{Op: exec.Count, As: "n"},
+		{Op: exec.Sum, Col: "v", As: "sum_v"},
+		{Op: exec.Min, Col: "k", As: "min_k"},
+		{Op: exec.Max, Col: "k", As: "max_k"},
+		{Op: exec.Avg, Col: "v", As: "avg_v"},
+	})
+	rows, err := exec.Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for _, r := range rows {
+		g := r.Int(0)
+		// group g: k = g, g+4, ..., g+36 (10 values); v = 10k
+		wantSum := int64(0)
+		for k := g; k < 40; k += 4 {
+			wantSum += k * 10
+		}
+		if r.Int(r.Schema.ColIndex("n")) != 10 {
+			t.Errorf("group %d count = %d", g, r.Int(1))
+		}
+		if got := r.Int(r.Schema.ColIndex("sum_v")); got != wantSum {
+			t.Errorf("group %d sum = %d, want %d", g, got, wantSum)
+		}
+		if got := r.Int(r.Schema.ColIndex("min_k")); got != g {
+			t.Errorf("group %d min = %d", g, got)
+		}
+		if got := r.Int(r.Schema.ColIndex("max_k")); got != g+36 {
+			t.Errorf("group %d max = %d", g, got)
+		}
+		if got := r.Int(r.Schema.ColIndex("avg_v")); got != wantSum/10 {
+			t.Errorf("group %d avg = %d", g, got)
+		}
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	v := newEnv(t, 100)
+	agg := exec.NewHashAggregate(v.ctx, v.scanNums(), nil, []exec.Agg{
+		{Op: exec.Sum, Col: "k", As: "total"},
+	})
+	rows, err := exec.Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Int(0) != 99*100/2 {
+		t.Fatalf("global agg = %+v", rows)
+	}
+}
+
+func TestSortAscendingDescending(t *testing.T) {
+	v := newEnv(t, 50)
+	srt := exec.NewSort(v.ctx, v.scanNums(), exec.SortKey{Col: "grp"}, exec.SortKey{Col: "k", Desc: true})
+	rows, err := exec.Collect(srt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := rows[i-1], rows[i]
+		if a.Int(2) > b.Int(2) {
+			t.Fatalf("grp order broken at %d", i)
+		}
+		if a.Int(2) == b.Int(2) && a.Int(0) < b.Int(0) {
+			t.Fatalf("k desc order broken at %d", i)
+		}
+	}
+}
+
+func TestMaterializeIntoTemp(t *testing.T) {
+	v := newEnv(t, 30)
+	tmp, err := v.e.TempFile("result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := exec.NewFilter(v.ctx, v.scanNums(), exec.IntCmp{Col: "k", Op: exec.Lt, Val: 10})
+	n, err := exec.Materialize(v.ctx, it, tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 || tmp.NumRecords() != 10 {
+		t.Errorf("materialized %d rows, temp has %d", n, tmp.NumRecords())
+	}
+	// The temp file is scannable with the source schema.
+	tblSchema := v.e.MustTable("nums").Schema
+	back := exec.NewSeqScan(v.ctx, tmp, tblSchema)
+	rows, err := exec.Collect(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Errorf("re-scan of temp returned %d rows", len(rows))
+	}
+}
+
+func TestNoPinLeaksAcrossOperators(t *testing.T) {
+	v := newEnv(t, 60)
+	tbl := v.e.MustTable("nums")
+	plans := []exec.Iterator{
+		exec.NewFilter(v.ctx, v.scanNums(), exec.IntRange{Col: "k", Lo: 5, Hi: 25}),
+		exec.NewIndexScan(v.ctx, tbl.Indexes["k"], tbl.Heap, tbl.Schema, 0, 30),
+		exec.NewGraceHashJoin(v.ctx, v.scanDims(), v.scanNums(), "k", "grp", 2),
+		exec.NewHashAggregate(v.ctx, v.scanNums(), []string{"grp"}, []exec.Agg{{Op: exec.Count, As: "n"}}),
+		exec.NewSort(v.ctx, v.scanNums(), exec.SortKey{Col: "v", Desc: true}),
+	}
+	for i, p := range plans {
+		if _, err := exec.Run(p, nil); err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if n := v.e.Pool.PinnedFrames(); n != 0 {
+			t.Fatalf("plan %d leaked %d pins", i, n)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package exec
+
+import "cgp/internal/db/catalog"
+
+// Extend appends one computed integer column to each input tuple (e.g.
+// TPC-H's l_extendedprice*(1-l_discount) revenue expression).
+type Extend struct {
+	Ctx   *Context
+	Child Iterator
+	Name  string
+	Fn    func(catalog.Tuple) int64
+	// WorkCost is the synthetic instruction cost of the expression.
+	WorkCost int
+
+	sch *catalog.Schema
+	buf []byte
+}
+
+// NewExtend builds a computed-column operator.
+func NewExtend(ctx *Context, child Iterator, name string, cost int, fn func(catalog.Tuple) int64) *Extend {
+	cols := make([]catalog.Column, 0, child.Schema().NumCols()+1)
+	for i := 0; i < child.Schema().NumCols(); i++ {
+		cols = append(cols, child.Schema().Col(i))
+	}
+	cols = append(cols, catalog.Column{Name: name, Type: catalog.Int})
+	return &Extend{
+		Ctx: ctx, Child: child, Name: name, Fn: fn, WorkCost: cost,
+		sch: catalog.NewSchema(cols...),
+	}
+}
+
+// Schema implements Iterator.
+func (x *Extend) Schema() *catalog.Schema { return x.sch }
+
+// Open implements Iterator.
+func (x *Extend) Open() error {
+	x.buf = make([]byte, x.sch.Size())
+	return x.Child.Open()
+}
+
+// Next implements Iterator.
+func (x *Extend) Next() (catalog.Tuple, bool, error) {
+	t, ok, err := x.Child.Next()
+	if err != nil || !ok {
+		return catalog.Tuple{}, false, err
+	}
+	x.Ctx.Pr.Enter(x.Ctx.Fns.EvalPred)
+	x.Ctx.Pr.Work(x.WorkCost)
+	v := x.Fn(t)
+	x.Ctx.Pr.Exit()
+	copy(x.buf, t.Buf)
+	for s, i := 0, len(t.Buf); s < 64; s, i = s+8, i+1 {
+		x.buf[i] = byte(uint64(v) >> s)
+	}
+	return catalog.Tuple{Schema: x.sch, Buf: x.buf}, true, nil
+}
+
+// Close implements Iterator.
+func (x *Extend) Close() error { return x.Child.Close() }

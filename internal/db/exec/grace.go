@@ -1,0 +1,211 @@
+package exec
+
+import (
+	"fmt"
+
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/heap"
+	"cgp/internal/isa"
+)
+
+// GraceHashJoin is the Grace hash join of §4.1: both inputs are hashed
+// into partition files (temp heap files written through Create_rec —
+// one of the paper's motivating uses of the storage-manager entry
+// points), then each partition pair is joined with an in-memory hash
+// table built on the left side.
+type GraceHashJoin struct {
+	Ctx        *Context
+	Left       Iterator
+	Right      Iterator
+	LeftCol    string
+	RightCol   string
+	Partitions int
+	prefix     []string
+
+	out      *joinOutput
+	leftIdx  int
+	rightIdx int
+
+	leftParts  []*heap.File
+	rightParts []*heap.File
+
+	// per-partition probe state
+	part      int
+	table     map[int64][]catalog.Tuple
+	tableAddr isa.Addr
+	probe     *SeqScan
+	matches   []catalog.Tuple
+	matchPos  int
+	curRight  catalog.Tuple
+	opened    bool
+}
+
+// NewGraceHashJoin builds a Grace hash join with the given fan-out.
+// The optional prefix renames duplicate right-side columns (default
+// "r_").
+func NewGraceHashJoin(ctx *Context, left, right Iterator, leftCol, rightCol string, partitions int, prefix ...string) *GraceHashJoin {
+	if partitions <= 0 {
+		partitions = 8
+	}
+	return &GraceHashJoin{
+		Ctx: ctx, Left: left, Right: right,
+		LeftCol: leftCol, RightCol: rightCol, Partitions: partitions, prefix: prefix,
+		leftIdx:  left.Schema().ColIndex(leftCol),
+		rightIdx: right.Schema().ColIndex(rightCol),
+	}
+}
+
+// Schema implements Iterator.
+func (j *GraceHashJoin) Schema() *catalog.Schema {
+	if j.out == nil {
+		j.out = newJoinOutput(j.Left.Schema(), j.Right.Schema(), j.prefix)
+	}
+	return j.out.sch
+}
+
+func hashKey(k int64) uint64 {
+	x := uint64(k) * 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	return x
+}
+
+// Open implements Iterator: the partition phase.
+func (j *GraceHashJoin) Open() error {
+	j.Schema()
+	var err error
+	j.leftParts, err = j.partition(j.Left, j.leftIdx, "L")
+	if err != nil {
+		return err
+	}
+	j.rightParts, err = j.partition(j.Right, j.rightIdx, "R")
+	if err != nil {
+		return err
+	}
+	j.part = -1
+	j.opened = true
+	j.table = nil
+	j.matches = nil
+	return nil
+}
+
+// partition hashes every input tuple into one of the temp files.
+func (j *GraceHashJoin) partition(in Iterator, keyIdx int, tag string) ([]*heap.File, error) {
+	j.Ctx.Pr.Enter(j.Ctx.Fns.HashPartition)
+	defer j.Ctx.Pr.Exit()
+	j.Ctx.Pr.Work(40)
+	parts := make([]*heap.File, j.Partitions)
+	for i := range parts {
+		f, err := j.Ctx.TempFile(fmt.Sprintf("grace_%s_%d", tag, i))
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = f
+	}
+	_, err := Run(in, func(t catalog.Tuple) error {
+		j.Ctx.Pr.Enter(j.Ctx.Fns.HashTuple)
+		j.Ctx.Pr.Work(10)
+		h := hashKey(t.Int(keyIdx))
+		j.Ctx.Pr.Exit()
+		p := int(h % uint64(j.Partitions))
+		_, err := parts[p].CreateRec(j.Ctx.Txn, t.Buf)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// nextPartition builds the hash table for the next partition pair.
+func (j *GraceHashJoin) nextPartition() (bool, error) {
+	for {
+		j.part++
+		if j.part >= j.Partitions {
+			return false, nil
+		}
+		j.Ctx.Pr.Enter(j.Ctx.Fns.HashBuild)
+		j.Ctx.Pr.Work(30)
+		j.table = make(map[int64][]catalog.Tuple)
+		j.tableAddr = j.Ctx.Arena.Alloc(64 * 1024)
+		build := NewSeqScan(j.Ctx, j.leftParts[j.part], j.Left.Schema())
+		n, err := Run(build, func(t catalog.Tuple) error {
+			k := t.Int(j.leftIdx)
+			j.table[k] = append(j.table[k], t.Copy())
+			// Hash-bucket insertion touches the table's memory.
+			j.Ctx.Pr.Data(j.tableAddr+isa.Addr(hashKey(k)%(64*1024-64)), 24, true)
+			return nil
+		})
+		j.Ctx.Pr.Exit()
+		if err != nil {
+			return false, err
+		}
+		j.probe = NewSeqScan(j.Ctx, j.rightParts[j.part], j.Right.Schema())
+		if err := j.probe.Open(); err != nil {
+			return false, err
+		}
+		if n == 0 {
+			// Empty build side: skip the partition entirely (after
+			// closing the probe scan).
+			j.probe.Close()
+			j.probe = nil
+			continue
+		}
+		return true, nil
+	}
+}
+
+// Next implements Iterator: the probe phase.
+func (j *GraceHashJoin) Next() (catalog.Tuple, bool, error) {
+	j.Ctx.Pr.Enter(j.Ctx.Fns.HashProbe)
+	defer j.Ctx.Pr.Exit()
+	if !j.opened {
+		return catalog.Tuple{}, false, fmt.Errorf("exec: GraceHashJoin.Next before Open")
+	}
+	for {
+		if j.matchPos < len(j.matches) {
+			m := j.matches[j.matchPos]
+			j.matchPos++
+			return j.out.emit(m, j.curRight), true, nil
+		}
+		if j.probe == nil {
+			ok, err := j.nextPartition()
+			if err != nil {
+				return catalog.Tuple{}, false, err
+			}
+			if !ok {
+				return catalog.Tuple{}, false, nil
+			}
+			continue
+		}
+		t, ok, err := j.probe.Next()
+		if err != nil {
+			return catalog.Tuple{}, false, err
+		}
+		if !ok {
+			j.probe.Close()
+			j.probe = nil
+			continue
+		}
+		j.Ctx.Pr.Enter(j.Ctx.Fns.HashTuple)
+		j.Ctx.Pr.Work(10)
+		k := t.Int(j.rightIdx)
+		j.Ctx.Pr.Exit()
+		j.Ctx.Pr.Data(j.tableAddr+isa.Addr(hashKey(k)%(64*1024-64)), 24, false)
+		if ms := j.table[k]; len(ms) > 0 {
+			j.curRight = t.Copy()
+			j.matches = ms
+			j.matchPos = 0
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *GraceHashJoin) Close() error {
+	if j.probe != nil {
+		j.probe.Close()
+		j.probe = nil
+	}
+	j.table = nil
+	j.matches = nil
+	return nil
+}

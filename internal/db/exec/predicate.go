@@ -1,0 +1,162 @@
+package exec
+
+import "cgp/internal/db/catalog"
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) eval(a, b int64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+// String returns the operator symbol.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is a tuple predicate. Cost is a synthetic instruction count used
+// by the Filter operator to account evaluation work.
+type Pred interface {
+	Eval(t catalog.Tuple) bool
+	Cost() int
+}
+
+// IntCmp compares an integer column against a constant.
+type IntCmp struct {
+	Col string
+	Op  CmpOp
+	Val int64
+}
+
+// Eval implements Pred.
+func (p IntCmp) Eval(t catalog.Tuple) bool {
+	return p.Op.eval(t.Int(t.Schema.ColIndex(p.Col)), p.Val)
+}
+
+// Cost implements Pred.
+func (p IntCmp) Cost() int { return 8 }
+
+// IntRange tests Lo <= col <= Hi.
+type IntRange struct {
+	Col    string
+	Lo, Hi int64
+}
+
+// Eval implements Pred.
+func (p IntRange) Eval(t catalog.Tuple) bool {
+	v := t.Int(t.Schema.ColIndex(p.Col))
+	return v >= p.Lo && v <= p.Hi
+}
+
+// Cost implements Pred.
+func (p IntRange) Cost() int { return 12 }
+
+// StrEq compares a string column against a constant.
+type StrEq struct {
+	Col string
+	Val string
+}
+
+// Eval implements Pred.
+func (p StrEq) Eval(t catalog.Tuple) bool {
+	return t.Str(t.Schema.ColIndex(p.Col)) == p.Val
+}
+
+// Cost implements Pred.
+func (p StrEq) Cost() int { return 20 }
+
+// And is a conjunction.
+type And []Pred
+
+// Eval implements Pred.
+func (p And) Eval(t catalog.Tuple) bool {
+	for _, q := range p {
+		if !q.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost implements Pred.
+func (p And) Cost() int {
+	c := 4
+	for _, q := range p {
+		c += q.Cost()
+	}
+	return c
+}
+
+// ColEq compares two integer columns (join predicates for NL join).
+type ColEq struct {
+	Left, Right string
+}
+
+// Eval implements Pred.
+func (p ColEq) Eval(t catalog.Tuple) bool {
+	return t.Int(t.Schema.ColIndex(p.Left)) == t.Int(t.Schema.ColIndex(p.Right))
+}
+
+// Cost implements Pred.
+func (p ColEq) Cost() int { return 10 }
+
+// ColCmp compares two integer columns with an arbitrary operator.
+type ColCmp struct {
+	Left, Right string
+	Op          CmpOp
+}
+
+// Eval implements Pred.
+func (p ColCmp) Eval(t catalog.Tuple) bool {
+	return p.Op.eval(t.Int(t.Schema.ColIndex(p.Left)), t.Int(t.Schema.ColIndex(p.Right)))
+}
+
+// Cost implements Pred.
+func (p ColCmp) Cost() int { return 10 }
+
+// True matches everything.
+type True struct{}
+
+// Eval implements Pred.
+func (True) Eval(catalog.Tuple) bool { return true }
+
+// Cost implements Pred.
+func (True) Cost() int { return 1 }

@@ -1,0 +1,132 @@
+package exec
+
+import (
+	"sort"
+
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/heap"
+)
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  string
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by the given keys
+// (in-memory; the simulated workloads sort small intermediate results,
+// e.g. TPC-H Q3's ORDER BY).
+type Sort struct {
+	Ctx   *Context
+	Child Iterator
+	Keys  []SortKey
+
+	rows []catalog.Tuple
+	pos  int
+}
+
+// NewSort builds a sort.
+func NewSort(ctx *Context, child Iterator, keys ...SortKey) *Sort {
+	return &Sort{Ctx: ctx, Child: child, Keys: keys}
+}
+
+// Schema implements Iterator.
+func (s *Sort) Schema() *catalog.Schema { return s.Child.Schema() }
+
+// Open implements Iterator: drains the child and sorts.
+func (s *Sort) Open() error {
+	s.Ctx.Pr.Enter(s.Ctx.Fns.SortOpen)
+	defer s.Ctx.Pr.Exit()
+	s.Ctx.Pr.Work(40)
+	rows, err := Collect(s.Child)
+	if err != nil {
+		return err
+	}
+	s.rows = rows
+	sch := s.Child.Schema()
+	idxs := make([]int, len(s.Keys))
+	for i, k := range s.Keys {
+		idxs[i] = sch.ColIndex(k.Col)
+	}
+	bufAddr := s.Ctx.Arena.Alloc(len(rows)*sch.Size() + 1)
+	// Account the comparison work of an n·log n sort as loop work plus
+	// touches of the sort buffer.
+	n := len(rows)
+	if n > 1 {
+		cmps := n * bitsLen(n)
+		s.Ctx.Pr.Enter(s.Ctx.Fns.CmpTuple)
+		s.Ctx.Pr.Work(10 * cmps)
+		s.Ctx.Pr.Data(bufAddr, n*sch.Size(), false)
+		s.Ctx.Pr.Exit()
+	}
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		ta, tb := s.rows[a], s.rows[b]
+		for i, k := range s.Keys {
+			var va, vb int64
+			if sch.Col(idxs[i]).Type == catalog.Int {
+				va, vb = ta.Int(idxs[i]), tb.Int(idxs[i])
+			} else {
+				sa, sb := ta.Str(idxs[i]), tb.Str(idxs[i])
+				switch {
+				case sa < sb:
+					va, vb = 0, 1
+				case sa > sb:
+					va, vb = 1, 0
+				default:
+					continue
+				}
+			}
+			if va == vb {
+				continue
+			}
+			if k.Desc {
+				return va > vb
+			}
+			return va < vb
+		}
+		return false
+	})
+	s.pos = 0
+	return nil
+}
+
+func bitsLen(n int) int {
+	b := 1
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// Next implements Iterator.
+func (s *Sort) Next() (catalog.Tuple, bool, error) {
+	s.Ctx.Pr.Enter(s.Ctx.Fns.SortNext)
+	defer s.Ctx.Pr.Exit()
+	s.Ctx.Pr.Work(6)
+	if s.pos >= len(s.rows) {
+		return catalog.Tuple{}, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Materialize drains an iterator into a heap file through Create_rec
+// (the SELECT ... INTO TMP shape of the Wisconsin queries) and reports
+// the row count.
+func Materialize(ctx *Context, it Iterator, into *heap.File) (int64, error) {
+	ctx.Pr.Enter(ctx.Fns.MatNext)
+	defer ctx.Pr.Exit()
+	ctx.Pr.Work(20)
+	return Run(it, func(t catalog.Tuple) error {
+		_, err := into.CreateRec(ctx.Txn, t.Buf)
+		return err
+	})
+}

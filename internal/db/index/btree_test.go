@@ -1,0 +1,279 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cgp/internal/db/storage"
+)
+
+func newTree(t *testing.T, frames int) *Tree {
+	t.Helper()
+	d := storage.NewDisk()
+	bp := storage.NewBufferPool(d, frames, nil, storage.Funcs{})
+	tr, err := Create("test", bp, nil, Funcs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func rid(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 100), Slot: uint16(i % 100)}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := newTree(t, 64)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(int64(i*2), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		got, err := tr.Search(int64(i * 2))
+		if err != nil {
+			t.Fatalf("search %d: %v", i*2, err)
+		}
+		if got != rid(i) {
+			t.Fatalf("search %d = %v, want %v", i*2, got, rid(i))
+		}
+	}
+	if _, err := tr.Search(1); err == nil {
+		t.Error("search of absent key succeeded")
+	}
+	if tr.Len() != 100 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestSplitsGrowTree(t *testing.T) {
+	tr := newTree(t, 256)
+	n := LeafCapacity*3 + 7
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(int64(i), rid(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height = %d after %d inserts (leaf cap %d)", tr.Height(), n, LeafCapacity)
+	}
+	for _, k := range []int64{0, int64(n / 2), int64(n - 1)} {
+		if _, err := tr.Search(k); err != nil {
+			t.Errorf("key %d lost after splits: %v", k, err)
+		}
+	}
+}
+
+func TestRandomOrderInsert(t *testing.T) {
+	tr := newTree(t, 256)
+	rng := rand.New(rand.NewSource(5))
+	keys := rng.Perm(2000)
+	for i, k := range keys {
+		if err := tr.Insert(int64(k), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		got, err := tr.Search(int64(k))
+		if err != nil || got != rid(i) {
+			t.Fatalf("key %d: %v, %v", k, got, err)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(int64(i), rid(i))
+	}
+	cur, err := tr.OpenScan(100, 199, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var got []int64
+	for {
+		k, r, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if r != rid(int(k)) {
+			t.Fatalf("key %d has rid %v", k, r)
+		}
+		got = append(got, k)
+	}
+	if len(got) != 100 {
+		t.Fatalf("range returned %d keys", len(got))
+	}
+	for i, k := range got {
+		if k != int64(100+i) {
+			t.Fatalf("key %d = %d, want %d (sorted)", i, k, 100+i)
+		}
+	}
+}
+
+func TestScanUnboundedFromMiddle(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := 0; i < 300; i++ {
+		tr.Insert(int64(i*3), rid(i))
+	}
+	cur, err := tr.OpenScan(500, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	count := 0
+	prev := int64(-1)
+	for {
+		k, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if k < 500 || k <= prev {
+			t.Fatalf("out of order or range: %d after %d", k, prev)
+		}
+		prev = k
+		count++
+	}
+	// keys 501..897 divisible by 3: 898/3 - 501/3 = 132
+	if count == 0 {
+		t.Fatal("empty scan")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := 0; i < 5; i++ {
+		tr.Insert(42, rid(i))
+	}
+	tr.Insert(41, rid(100))
+	tr.Insert(43, rid(101))
+	cur, err := tr.OpenScan(42, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		_, _, ok, err := cur.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Errorf("found %d duplicates, want 5", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t, 256)
+	for i := 0; i < 100; i++ {
+		tr.Insert(int64(i), rid(i))
+	}
+	if err := tr.Delete(50); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Search(50); err == nil {
+		t.Error("deleted key found")
+	}
+	if err := tr.Delete(50); err == nil {
+		t.Error("double delete succeeded")
+	}
+	if tr.Len() != 99 {
+		t.Errorf("len = %d", tr.Len())
+	}
+	// Neighbours unaffected.
+	if _, err := tr.Search(49); err != nil {
+		t.Error("neighbour lost")
+	}
+	if _, err := tr.Search(51); err != nil {
+		t.Error("neighbour lost")
+	}
+}
+
+func TestPinsReleased(t *testing.T) {
+	d := storage.NewDisk()
+	bp := storage.NewBufferPool(d, 64, nil, storage.Funcs{})
+	tr, _ := Create("t", bp, nil, Funcs{})
+	for i := 0; i < 3000; i++ {
+		if err := tr.Insert(int64(i), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		tr.Search(int64(i * 17 % 3000))
+	}
+	cur, _ := tr.OpenScan(0, 100, true)
+	for {
+		_, _, ok, _ := cur.Next()
+		if !ok {
+			break
+		}
+	}
+	cur.Close()
+	if bp.PinnedFrames() != 0 {
+		t.Errorf("%d frames still pinned after tree ops", bp.PinnedFrames())
+	}
+}
+
+// Property: for any multiset of keys, a full scan returns exactly the
+// sorted multiset.
+func TestSortedIterationProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		d := storage.NewDisk()
+		bp := storage.NewBufferPool(d, 256, nil, storage.Funcs{})
+		tr, err := Create("prop", bp, nil, Funcs{})
+		if err != nil {
+			return false
+		}
+		want := make([]int64, 0, len(raw))
+		for i, k := range raw {
+			key := int64(k)
+			if err := tr.Insert(key, rid(i)); err != nil {
+				return false
+			}
+			want = append(want, key)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		cur, err := tr.OpenScan(-1<<40, 0, false)
+		if err != nil {
+			return false
+		}
+		defer cur.Close()
+		var got []int64
+		for {
+			k, _, ok, err := cur.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got = append(got, k)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

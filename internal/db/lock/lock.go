@@ -1,0 +1,234 @@
+// Package lock is the concurrency-control substrate: a table of shared/
+// exclusive locks keyed by abstract resource IDs (pages, records), with
+// per-owner bookkeeping for two-phase release. Queries in the simulated
+// workloads run cooperatively, so a conflict is an error rather than a
+// wait — the instrumented code path (the paper's Lock_page/Unlock_page,
+// lock_record) is what matters for the I-cache study.
+package lock
+
+import (
+	"fmt"
+
+	"cgp/internal/db/probe"
+	"cgp/internal/program"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits one writer.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Resource identifies a lockable object.
+type Resource uint64
+
+// PageResource builds a resource ID for a page.
+func PageResource(pageID uint32) Resource {
+	return Resource(uint64(pageID) | 1<<40)
+}
+
+// RecordResource builds a resource ID for a record.
+func RecordResource(pageID uint32, slot uint16) Resource {
+	return Resource(uint64(pageID)<<16 | uint64(slot) | 1<<41)
+}
+
+// Owner identifies a lock holder (a transaction).
+type Owner uint64
+
+// Funcs holds the instrumented-function IDs of the lock manager.
+type Funcs struct {
+	LockPage     program.FuncID
+	UnlockPage   program.FuncID
+	LockRecord   program.FuncID
+	UnlockRecord program.FuncID
+	LockAcquire  program.FuncID
+	LockRelease  program.FuncID
+}
+
+// RegisterFuncs registers the lock-manager functions.
+func RegisterFuncs(reg *program.Registry) Funcs {
+	return Funcs{
+		LockPage:     reg.Register("Lock_page", 150),
+		UnlockPage:   reg.Register("Unlock_page", 120),
+		LockRecord:   reg.Register("Lock_record", 170),
+		UnlockRecord: reg.Register("Unlock_record", 130),
+		LockAcquire:  reg.Register("Lock_acquire", 260),
+		LockRelease:  reg.Register("Lock_release", 200),
+	}
+}
+
+type lockState struct {
+	mode    Mode
+	holders map[Owner]int // owner -> acquisition count (reentrant)
+}
+
+// Stats counts lock-manager activity.
+type Stats struct {
+	Acquires  int64
+	Releases  int64
+	Upgrades  int64
+	Conflicts int64
+}
+
+// Manager is the lock table.
+type Manager struct {
+	table map[Resource]*lockState
+	held  map[Owner]map[Resource]struct{}
+	pr    *probe.Probe
+	fns   Funcs
+	stats Stats
+}
+
+// NewManager builds an empty lock table.
+func NewManager(pr *probe.Probe, fns Funcs) *Manager {
+	return &Manager{
+		table: make(map[Resource]*lockState),
+		held:  make(map[Owner]map[Resource]struct{}),
+		pr:    pr,
+		fns:   fns,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// LockPage acquires a page lock (the paper's Lock_page).
+func (m *Manager) LockPage(o Owner, pageID uint32, mode Mode) error {
+	m.pr.Enter(m.fns.LockPage)
+	defer m.pr.Exit()
+	m.pr.Work(10)
+	return m.acquire(o, PageResource(pageID), mode)
+}
+
+// UnlockPage releases a page lock (the paper's Unlock_page).
+func (m *Manager) UnlockPage(o Owner, pageID uint32) {
+	m.pr.Enter(m.fns.UnlockPage)
+	defer m.pr.Exit()
+	m.pr.Work(8)
+	m.release(o, PageResource(pageID))
+}
+
+// LockRecord acquires a record lock (the paper's lock_record example of
+// a function called from many places, §5.2).
+func (m *Manager) LockRecord(o Owner, pageID uint32, slot uint16, mode Mode) error {
+	m.pr.Enter(m.fns.LockRecord)
+	defer m.pr.Exit()
+	m.pr.Work(12)
+	return m.acquire(o, RecordResource(pageID, slot), mode)
+}
+
+// UnlockRecord releases a record lock.
+func (m *Manager) UnlockRecord(o Owner, pageID uint32, slot uint16) {
+	m.pr.Enter(m.fns.UnlockRecord)
+	defer m.pr.Exit()
+	m.pr.Work(8)
+	m.release(o, RecordResource(pageID, slot))
+}
+
+// acquire takes r in the given mode for o, upgrading S->X when o is the
+// sole holder.
+func (m *Manager) acquire(o Owner, r Resource, mode Mode) error {
+	m.pr.Enter(m.fns.LockAcquire)
+	defer m.pr.Exit()
+	m.pr.Work(24)
+	st := m.table[r]
+	if st == nil {
+		st = &lockState{mode: mode, holders: map[Owner]int{o: 1}}
+		m.table[r] = st
+		m.record(o, r)
+		m.stats.Acquires++
+		return nil
+	}
+	if n := st.holders[o]; n > 0 {
+		// Reentrant; upgrade if needed and possible.
+		if mode == Exclusive && st.mode == Shared {
+			if len(st.holders) > 1 {
+				m.stats.Conflicts++
+				return fmt.Errorf("lock: upgrade conflict on %#x", uint64(r))
+			}
+			st.mode = Exclusive
+			m.stats.Upgrades++
+		}
+		st.holders[o] = n + 1
+		m.stats.Acquires++
+		return nil
+	}
+	if st.mode == Exclusive || mode == Exclusive {
+		m.stats.Conflicts++
+		return fmt.Errorf("lock: %s conflict on %#x", mode, uint64(r))
+	}
+	st.holders[o] = 1
+	m.record(o, r)
+	m.stats.Acquires++
+	return nil
+}
+
+// release drops one acquisition of r by o.
+func (m *Manager) release(o Owner, r Resource) {
+	m.pr.Enter(m.fns.LockRelease)
+	defer m.pr.Exit()
+	m.pr.Work(18)
+	st := m.table[r]
+	if st == nil || st.holders[o] == 0 {
+		return // releasing an unheld lock is a no-op, as in SHORE
+	}
+	m.stats.Releases++
+	st.holders[o]--
+	if st.holders[o] > 0 {
+		return
+	}
+	delete(st.holders, o)
+	if set := m.held[o]; set != nil {
+		delete(set, r)
+	}
+	if len(st.holders) == 0 {
+		delete(m.table, r)
+	}
+}
+
+// ReleaseAll drops every lock held by o (end of transaction: the release
+// phase of two-phase locking).
+func (m *Manager) ReleaseAll(o Owner) {
+	set := m.held[o]
+	for r := range set {
+		st := m.table[r]
+		if st == nil {
+			continue
+		}
+		if st.holders[o] > 0 {
+			m.stats.Releases++
+		}
+		delete(st.holders, o)
+		if len(st.holders) == 0 {
+			delete(m.table, r)
+		}
+	}
+	delete(m.held, o)
+}
+
+// HeldBy returns how many resources o currently holds.
+func (m *Manager) HeldBy(o Owner) int { return len(m.held[o]) }
+
+// Outstanding returns the number of locked resources.
+func (m *Manager) Outstanding() int { return len(m.table) }
+
+func (m *Manager) record(o Owner, r Resource) {
+	set := m.held[o]
+	if set == nil {
+		set = make(map[Resource]struct{})
+		m.held[o] = set
+	}
+	set[r] = struct{}{}
+}

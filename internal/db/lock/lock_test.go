@@ -1,0 +1,135 @@
+package lock
+
+import "testing"
+
+func newMgr() *Manager { return NewManager(nil, Funcs{}) }
+
+func TestSharedCompatible(t *testing.T) {
+	m := newMgr()
+	if err := m.LockPage(1, 10, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockPage(2, 10, Shared); err != nil {
+		t.Fatalf("second shared lock: %v", err)
+	}
+}
+
+func TestExclusiveConflicts(t *testing.T) {
+	m := newMgr()
+	if err := m.LockPage(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockPage(2, 10, Shared); err == nil {
+		t.Error("S granted over X")
+	}
+	if err := m.LockPage(2, 10, Exclusive); err == nil {
+		t.Error("X granted over X")
+	}
+	if m.Stats().Conflicts != 2 {
+		t.Errorf("conflicts = %d", m.Stats().Conflicts)
+	}
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	m := newMgr()
+	m.LockPage(1, 10, Shared)
+	m.LockPage(2, 10, Shared)
+	if err := m.LockPage(3, 10, Exclusive); err == nil {
+		t.Error("X granted over two S holders")
+	}
+}
+
+func TestReentrant(t *testing.T) {
+	m := newMgr()
+	for i := 0; i < 3; i++ {
+		if err := m.LockPage(1, 10, Shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.UnlockPage(1, 10)
+	m.UnlockPage(1, 10)
+	// Still held once.
+	if err := m.LockPage(2, 10, Exclusive); err == nil {
+		t.Error("X granted while S still held")
+	}
+	m.UnlockPage(1, 10)
+	if err := m.LockPage(2, 10, Exclusive); err != nil {
+		t.Errorf("X after full release: %v", err)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := newMgr()
+	m.LockPage(1, 10, Shared)
+	if err := m.LockPage(1, 10, Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade failed: %v", err)
+	}
+	if err := m.LockPage(2, 10, Shared); err == nil {
+		t.Error("S granted after upgrade to X")
+	}
+	if m.Stats().Upgrades != 1 {
+		t.Errorf("upgrades = %d", m.Stats().Upgrades)
+	}
+}
+
+func TestUpgradeConflict(t *testing.T) {
+	m := newMgr()
+	m.LockPage(1, 10, Shared)
+	m.LockPage(2, 10, Shared)
+	if err := m.LockPage(1, 10, Exclusive); err == nil {
+		t.Error("upgrade granted with other holders")
+	}
+}
+
+func TestRecordAndPageDistinct(t *testing.T) {
+	m := newMgr()
+	if err := m.LockPage(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockRecord(2, 10, 0, Exclusive); err != nil {
+		t.Errorf("record lock conflated with page lock: %v", err)
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := newMgr()
+	m.LockPage(1, 10, Exclusive)
+	m.LockPage(1, 11, Shared)
+	m.LockRecord(1, 10, 3, Exclusive)
+	if m.HeldBy(1) != 3 {
+		t.Fatalf("held = %d", m.HeldBy(1))
+	}
+	m.ReleaseAll(1)
+	if m.HeldBy(1) != 0 || m.Outstanding() != 0 {
+		t.Errorf("held=%d outstanding=%d after ReleaseAll", m.HeldBy(1), m.Outstanding())
+	}
+	if err := m.LockPage(2, 10, Exclusive); err != nil {
+		t.Errorf("lock after ReleaseAll: %v", err)
+	}
+}
+
+func TestReleaseUnheldIsNoop(t *testing.T) {
+	m := newMgr()
+	m.UnlockPage(1, 99) // must not panic
+	if m.Stats().Releases != 0 {
+		t.Errorf("releases = %d", m.Stats().Releases)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestResourceEncodings(t *testing.T) {
+	if PageResource(10) == RecordResource(10, 0) {
+		t.Error("page and record resources collide")
+	}
+	if RecordResource(10, 1) == RecordResource(10, 2) {
+		t.Error("record resources collide across slots")
+	}
+	if PageResource(1) == PageResource(2) {
+		t.Error("page resources collide")
+	}
+}

@@ -1,0 +1,105 @@
+// Package probe is the seam between the database engine and the trace
+// synthesizer. Every instrumented DB function brackets its body with
+// Enter/Exit and reports local computation (Work) and memory traffic
+// (Data) through a Probe.
+//
+// A nil Probe (or one built over a nil tracer) is inert, so the engine
+// can run at full speed in correctness tests without a simulator
+// attached.
+package probe
+
+import (
+	"cgp/internal/isa"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+// Probe forwards instrumentation calls to a tracer, if one is attached.
+type Probe struct {
+	tr *trace.Tracer
+}
+
+// New returns a probe over tr. tr may be nil.
+func New(tr *trace.Tracer) *Probe {
+	return &Probe{tr: tr}
+}
+
+// SetTracer swaps the active tracer. The engine's scheduler points the
+// shared probe at the tracer of whichever query thread is running; nil
+// silences instrumentation (e.g. while bulk-loading the database, which
+// the paper's measurements exclude).
+func (p *Probe) SetTracer(tr *trace.Tracer) {
+	if p == nil {
+		return
+	}
+	p.tr = tr
+}
+
+// Enabled reports whether instrumentation is live.
+func (p *Probe) Enabled() bool { return p != nil && p.tr != nil }
+
+// Enter records a call to fn.
+func (p *Probe) Enter(fn program.FuncID) {
+	if p == nil || p.tr == nil {
+		return
+	}
+	p.tr.Enter(fn)
+}
+
+// Exit records the return from the current function.
+func (p *Probe) Exit() {
+	if p == nil || p.tr == nil {
+		return
+	}
+	p.tr.Exit()
+}
+
+// Work records n instructions of local computation.
+func (p *Probe) Work(n int) {
+	if p == nil || p.tr == nil {
+		return
+	}
+	p.tr.Work(n)
+}
+
+// Data records an n-byte data reference at addr.
+func (p *Probe) Data(addr isa.Addr, n int, write bool) {
+	if p == nil || p.tr == nil {
+		return
+	}
+	p.tr.Data(addr, n, write)
+}
+
+// Tracer exposes the underlying tracer (nil when inert) for stats.
+func (p *Probe) Tracer() *trace.Tracer {
+	if p == nil {
+		return nil
+	}
+	return p.tr
+}
+
+// Arena hands out addresses for transient in-memory structures (hash
+// tables, sort buffers) so their references hit the simulated D-cache at
+// stable locations.
+type Arena struct {
+	base isa.Addr
+	next isa.Addr
+}
+
+// NewArena returns an arena starting at base.
+func NewArena(base isa.Addr) *Arena {
+	return &Arena{base: base, next: base}
+}
+
+// Alloc reserves n bytes and returns their address, line-aligned.
+func (a *Arena) Alloc(n int) isa.Addr {
+	addr := a.next
+	a.next = isa.AlignUp(a.next+isa.Addr(n), isa.LineBytes)
+	return addr
+}
+
+// Reset rewinds the arena (between queries).
+func (a *Arena) Reset() { a.next = a.base }
+
+// Used returns the number of bytes handed out.
+func (a *Arena) Used() int { return int(a.next - a.base) }

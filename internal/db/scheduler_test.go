@@ -1,0 +1,198 @@
+package db_test
+
+import (
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+func loadEngine(t *testing.T, n int) *db.Engine {
+	t.Helper()
+	e := db.NewEngine(db.Options{BufferFrames: 512})
+	tx := e.Txns.Begin()
+	tbl, err := e.CreateTable("nums", catalog.NewSchema(
+		catalog.Column{Name: "k", Type: catalog.Int},
+		catalog.Column{Name: "v", Type: catalog.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := e.InsertRow(tx, tbl, []catalog.Value{
+			catalog.V(int64(i)), catalog.V(int64(i * 3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CreateIndex(tx, "nums", "k", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Txns.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func scanQuery(name string, lo, hi int64) db.Query {
+	return db.Query{
+		Name: name,
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			tbl := e.MustTable("nums")
+			it := exec.NewFilter(ctx,
+				exec.NewSeqScan(ctx, tbl.Heap, tbl.Schema),
+				exec.IntRange{Col: "k", Lo: lo, Hi: hi})
+			return it, nil, nil
+		},
+	}
+}
+
+func TestRunConcurrentRowCounts(t *testing.T) {
+	e := loadEngine(t, 500)
+	queries := []db.Query{
+		scanQuery("q1", 0, 99),
+		scanQuery("q2", 100, 149),
+		scanQuery("q3", 0, 499),
+	}
+	results, err := e.RunConcurrent(queries, nil, trace.Discard, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{100, 50, 500}
+	for i, r := range results {
+		if r.Rows != want[i] {
+			t.Errorf("%s rows = %d, want %d", r.Name, r.Rows, want[i])
+		}
+	}
+}
+
+func TestRunConcurrentMatchesSerial(t *testing.T) {
+	// The same queries run concurrently and serially must return the
+	// same row counts (cooperative scheduling cannot change results).
+	for _, quantum := range []int{1, 3, 100} {
+		e := loadEngine(t, 300)
+		queries := []db.Query{
+			scanQuery("a", 10, 59),
+			scanQuery("b", 0, 299),
+			scanQuery("c", 250, 299),
+		}
+		res, err := e.RunConcurrent(queries, nil, trace.Discard, quantum, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []int64{50, 300, 50}
+		for i := range res {
+			if res[i].Rows != want[i] {
+				t.Errorf("quantum %d: %s = %d, want %d", quantum, res[i].Name, res[i].Rows, want[i])
+			}
+		}
+	}
+}
+
+func TestRunConcurrentEmitsTrace(t *testing.T) {
+	e := loadEngine(t, 200)
+	reg2, _ := db.BuildRegistry()
+	img := program.LayoutO5(reg2)
+	var st trace.Stats
+	_, err := e.RunConcurrent([]db.Query{
+		scanQuery("a", 0, 99),
+		scanQuery("b", 100, 199),
+	}, img, &st, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions == 0 || st.Calls == 0 {
+		t.Fatalf("no trace emitted: %+v", st)
+	}
+	if st.Switches == 0 {
+		t.Error("no context switches emitted for 2 concurrent queries")
+	}
+	if st.Calls != st.Returns {
+		t.Errorf("unbalanced calls/returns: %d/%d", st.Calls, st.Returns)
+	}
+}
+
+func TestMaterializingQueryThroughScheduler(t *testing.T) {
+	e := loadEngine(t, 100)
+	q := db.Query{
+		Name: "into_tmp",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			tbl := e.MustTable("nums")
+			it := exec.NewFilter(ctx,
+				exec.NewSeqScan(ctx, tbl.Heap, tbl.Schema),
+				exec.IntCmp{Col: "k", Op: exec.Lt, Val: 25})
+			tmp, err := e.TempFile("result")
+			return it, tmp, err
+		},
+	}
+	res, err := e.RunConcurrent([]db.Query{q}, nil, trace.Discard, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Rows != 25 {
+		t.Errorf("rows = %d", res[0].Rows)
+	}
+}
+
+func TestTransactionsCommittedByScheduler(t *testing.T) {
+	e := loadEngine(t, 50)
+	_, err := e.RunConcurrent([]db.Query{scanQuery("a", 0, 9)}, nil, trace.Discard, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, committed, _ := e.Txns.Counts()
+	if committed < 2 { // loader txn + query txn
+		t.Errorf("committed = %d", committed)
+	}
+	if e.Pool.PinnedFrames() != 0 {
+		t.Errorf("pinned frames leaked: %d", e.Pool.PinnedFrames())
+	}
+}
+
+func TestEngineIndexLookupErrors(t *testing.T) {
+	e := loadEngine(t, 10)
+	if _, err := e.Index("nums", "v"); err == nil {
+		t.Error("missing index lookup succeeded")
+	}
+	if _, err := e.Index("nope", "k"); err == nil {
+		t.Error("missing table lookup succeeded")
+	}
+	if _, err := e.Table("nums"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreateIndexRejectsStringColumn(t *testing.T) {
+	e := db.NewEngine(db.Options{BufferFrames: 64})
+	tx := e.Txns.Begin()
+	_, err := e.CreateTable("s", catalog.NewSchema(
+		catalog.Column{Name: "name", Type: catalog.String, Len: 8},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex(tx, "s", "name", false); err == nil {
+		t.Error("index on string column succeeded")
+	}
+}
+
+func TestBuildRegistryDeterministic(t *testing.T) {
+	r1, f1 := db.BuildRegistry()
+	r2, f2 := db.BuildRegistry()
+	if r1.Len() != r2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", r1.Len(), r2.Len())
+	}
+	if f1.Heap.CreateRec != f2.Heap.CreateRec {
+		t.Error("function IDs differ between builds")
+	}
+	for i := 0; i < r1.Len(); i++ {
+		a, b := r1.Info(program.FuncID(i)), r2.Info(program.FuncID(i))
+		if a.Name != b.Name || a.Size != b.Size {
+			t.Fatalf("func %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}

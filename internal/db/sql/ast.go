@@ -1,0 +1,121 @@
+package sql
+
+import "fmt"
+
+// SelectStmt is the AST of one statement:
+//
+//	SELECT <items> [INTO tmp] FROM t1 [, t2 ...] [WHERE pred [AND ...]]
+//	[GROUP BY cols] [ORDER BY col [DESC], ...] [LIMIT n]
+type SelectStmt struct {
+	Items   []SelectItem
+	Star    bool
+	Into    string
+	From    []TableRef
+	Where   []Predicate // implicit conjunction
+	GroupBy []ColRef
+	OrderBy []OrderKey
+	Limit   int64 // -1 = none
+}
+
+// SelectItem is one output column: a plain column or an aggregate.
+type SelectItem struct {
+	Col ColRef
+	// Agg is "" for plain columns, else COUNT/SUM/MIN/MAX/AVG.
+	Agg string
+	// Star marks COUNT(*).
+	Star bool
+	As   string
+}
+
+// TableRef names a FROM table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the binding name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Table string // "" = unqualified
+	Col   string
+}
+
+// String renders t.c or c.
+func (c ColRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Col
+	}
+	return c.Col
+}
+
+// Value is a literal operand.
+type Value struct {
+	Int   int64
+	Str   string
+	IsStr bool
+}
+
+// Predicate is one WHERE conjunct: either column-op-literal,
+// column-op-column (join), or column BETWEEN lo AND hi.
+type Predicate struct {
+	Left ColRef
+	// Op is one of = <> < <= > >= BETWEEN.
+	Op string
+	// Right is set for column-column predicates.
+	Right *ColRef
+	// Lit is set for column-literal predicates (and BETWEEN's low
+	// bound).
+	Lit Value
+	// Hi is BETWEEN's high bound.
+	Hi Value
+}
+
+// IsJoin reports whether the predicate links two columns.
+func (p Predicate) IsJoin() bool { return p.Right != nil }
+
+// OrderKey is one ORDER BY entry.
+type OrderKey struct {
+	Col  ColRef
+	Desc bool
+}
+
+// String renders the statement (for error messages and tests).
+func (s *SelectStmt) String() string {
+	out := "SELECT "
+	if s.Star {
+		out += "*"
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				out += ", "
+			}
+			if it.Agg != "" {
+				if it.Star {
+					out += it.Agg + "(*)"
+				} else {
+					out += fmt.Sprintf("%s(%s)", it.Agg, it.Col)
+				}
+			} else {
+				out += it.Col.String()
+			}
+		}
+	}
+	out += " FROM"
+	for i, t := range s.From {
+		if i > 0 {
+			out += ","
+		}
+		out += " " + t.Table
+		if t.Alias != "" {
+			out += " " + t.Alias
+		}
+	}
+	return out
+}

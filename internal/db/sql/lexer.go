@@ -1,0 +1,135 @@
+// Package sql implements the top layers of Figure 1: a small SQL
+// dialect (SELECT with joins, WHERE, GROUP BY, ORDER BY, LIMIT and
+// SELECT INTO), a parser, and a rule-based planner that lowers
+// statements onto the relational operator layer — choosing index scans
+// over sequential scans, and index nested-loops over Grace hash joins,
+// from the catalog's indexes.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = <> < <= > >= .
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"INTO": true, "AS": true, "DESC": true, "ASC": true,
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"BETWEEN": true, "JOIN": true, "ON": true, "INNER": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. Keywords are case-insensitive and normalized to
+// upper case; identifiers keep their case.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			if keywords[strings.ToUpper(word)] {
+				l.emit(tokKeyword, strings.ToUpper(word))
+			} else {
+				l.emit(tokIdent, word)
+			}
+		case c >= '0' && c <= '9' || c == '-' && l.peekDigit():
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos])
+		case c == '\'':
+			l.pos++
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("sql: unterminated string at %d", start)
+			}
+			l.emit(tokString, l.src[start:l.pos])
+			l.pos++
+		case strings.ContainsRune("(),*.", rune(c)):
+			l.emit(tokSymbol, string(c))
+			l.pos++
+		case c == '=':
+			l.emit(tokSymbol, "=")
+			l.pos++
+		case c == '<':
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '=' || l.src[l.pos+1] == '>') {
+				l.emit(tokSymbol, l.src[l.pos:l.pos+2])
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokSymbol, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokSymbol, ">")
+				l.pos++
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekDigit() bool {
+	return l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

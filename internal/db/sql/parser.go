@@ -1,0 +1,304 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse turns one SELECT statement into its AST.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input at %q", p.peek().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: "+format, args...)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.kind == tokSymbol && t.text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errf("expected identifier, got %q", p.peek().text)
+}
+
+func (p *parser) selectStmt() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	if p.acceptSymbol("*") {
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("INTO") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Into = name
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pred, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.colRef()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Col: c}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, key)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, p.errf("expected LIMIT count, got %q", t.text)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+var aggKeywords = map[string]bool{"COUNT": true, "SUM": true, "MIN": true, "MAX": true, "AVG": true}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	if t.kind == tokKeyword && aggKeywords[t.text] {
+		p.pos++
+		if !p.acceptSymbol("(") {
+			return SelectItem{}, p.errf("expected ( after %s", t.text)
+		}
+		item := SelectItem{Agg: t.text}
+		if p.acceptSymbol("*") {
+			if t.text != "COUNT" {
+				return SelectItem{}, p.errf("%s(*) is not valid", t.text)
+			}
+			item.Star = true
+		} else {
+			c, err := p.colRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = c
+		}
+		if !p.acceptSymbol(")") {
+			return SelectItem{}, p.errf("expected ) in aggregate")
+		}
+		item.As = p.maybeAlias()
+		return item, nil
+	}
+	c, err := p.colRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: c, As: p.maybeAlias()}, nil
+}
+
+func (p *parser) maybeAlias() string {
+	if p.acceptKeyword("AS") {
+		if t := p.peek(); t.kind == tokIdent {
+			p.pos++
+			return t.text
+		}
+	}
+	return ""
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if t := p.peek(); t.kind == tokIdent {
+		p.pos++
+		tr.Alias = t.text
+	}
+	return tr, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.expectIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptSymbol(".") {
+		col, err := p.expectIdent()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first, Col: col}, nil
+	}
+	return ColRef{Col: first}, nil
+}
+
+func (p *parser) literal() (Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return Value{}, p.errf("bad number %q", t.text)
+		}
+		return Value{Int: n}, nil
+	case tokString:
+		return Value{Str: t.text, IsStr: true}, nil
+	}
+	return Value{}, p.errf("expected literal, got %q", t.text)
+}
+
+func (p *parser) predicate() (Predicate, error) {
+	left, err := p.colRef()
+	if err != nil {
+		return Predicate{}, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return Predicate{}, err
+		}
+		hi, err := p.literal()
+		if err != nil {
+			return Predicate{}, err
+		}
+		if lo.IsStr || hi.IsStr {
+			return Predicate{}, p.errf("BETWEEN requires integer bounds")
+		}
+		return Predicate{Left: left, Op: "BETWEEN", Lit: lo, Hi: hi}, nil
+	}
+	t := p.next()
+	if t.kind != tokSymbol || !isCmp(t.text) {
+		return Predicate{}, p.errf("expected comparison, got %q", t.text)
+	}
+	// Column or literal on the right?
+	if r := p.peek(); r.kind == tokIdent {
+		right, err := p.colRef()
+		if err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Left: left, Op: t.text, Right: &right}, nil
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Left: left, Op: t.text, Lit: lit}, nil
+}
+
+func isCmp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,213 @@
+package sql
+
+import (
+	"fmt"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+)
+
+// Plan lowers a parsed statement onto the operator layer. It returns
+// the root iterator plus the SELECT INTO target, if any — the same
+// shape db.Query.Build expects, so SQL queries drop straight into the
+// concurrent scheduler.
+//
+// Planning rules (the "query optimizer" of Figure 1):
+//   - single-table predicates are pushed to the table's access path;
+//   - an indexed column with an equality or range predicate turns the
+//     scan into a B+-tree range scan;
+//   - joins are left-deep in a greedy connected order; the inner side
+//     uses index nested-loops when it is a bare indexed table, and a
+//     Grace hash join otherwise;
+//   - aggregates lower to hash aggregation, ORDER BY to sort, LIMIT to
+//     limit, and plain column lists to a projection.
+func Plan(e *db.Engine, ctx *exec.Context, stmt *SelectStmt) (exec.Iterator, *heap.File, error) {
+	pl := &planner{e: e, ctx: ctx, stmt: stmt, phys: map[string]map[string]string{}}
+	return pl.build()
+}
+
+type planner struct {
+	e    *db.Engine
+	ctx  *exec.Context
+	stmt *SelectStmt
+
+	// phys maps binding name -> column -> physical column name in the
+	// current plan schema (joins rename duplicate right-side columns).
+	phys map[string]map[string]string
+
+	bindings []binding
+}
+
+type binding struct {
+	name string
+	tbl  *db.Table
+}
+
+func (pl *planner) build() (exec.Iterator, *heap.File, error) {
+	if len(pl.stmt.From) == 0 {
+		return nil, nil, fmt.Errorf("sql: no FROM tables")
+	}
+	// Resolve bindings.
+	seen := map[string]bool{}
+	for _, tr := range pl.stmt.From {
+		tbl, err := pl.e.Table(tr.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		name := tr.Name()
+		if seen[name] {
+			return nil, nil, fmt.Errorf("sql: duplicate table binding %q", name)
+		}
+		seen[name] = true
+		pl.bindings = append(pl.bindings, binding{name: name, tbl: tbl})
+	}
+
+	// Split WHERE into local and join predicates.
+	var locals, joins []Predicate
+	for _, p := range pl.stmt.Where {
+		if p.IsJoin() {
+			joins = append(joins, p)
+		} else {
+			locals = append(locals, p)
+		}
+	}
+
+	plan, err := pl.joinAll(locals, joins)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregation.
+	hasAgg := false
+	for _, it := range pl.stmt.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	if hasAgg || len(pl.stmt.GroupBy) > 0 {
+		plan, err = pl.aggregate(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else if !pl.stmt.Star && len(pl.stmt.Items) > 0 {
+		cols := make([]string, len(pl.stmt.Items))
+		for i, it := range pl.stmt.Items {
+			name, err := pl.resolve(it.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			cols[i] = name
+		}
+		plan = exec.NewProject(pl.ctx, plan, cols...)
+		// Projection renames physical columns back to their bare names;
+		// downstream ORDER BY resolves against the projected schema.
+		pl.rebindToSchema(plan.Schema())
+	}
+
+	// ORDER BY.
+	if len(pl.stmt.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(pl.stmt.OrderBy))
+		for i, k := range pl.stmt.OrderBy {
+			name, err := pl.resolveIn(plan.Schema(), k.Col)
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[i] = exec.SortKey{Col: name, Desc: k.Desc}
+		}
+		plan = exec.NewSort(pl.ctx, plan, keys...)
+	}
+	if pl.stmt.Limit >= 0 {
+		plan = exec.NewLimit(pl.ctx, plan, pl.stmt.Limit)
+	}
+
+	var into *heap.File
+	if pl.stmt.Into != "" {
+		f, err := pl.e.TempFile(pl.stmt.Into)
+		if err != nil {
+			return nil, nil, err
+		}
+		into = f
+	}
+	return plan, into, nil
+}
+
+// rebindToSchema resets the physical map after a projection: every
+// binding column that survives keeps its (possibly renamed) identity.
+func (pl *planner) rebindToSchema(sch *catalog.Schema) {
+	for _, b := range pl.bindings {
+		m := pl.phys[b.name]
+		for col, phys := range m {
+			if !sch.HasCol(phys) {
+				delete(m, col)
+			}
+		}
+	}
+}
+
+// resolve maps a column reference to its physical name in the current
+// joined schema.
+func (pl *planner) resolve(c ColRef) (string, error) {
+	if c.Table != "" {
+		m := pl.phys[c.Table]
+		if m == nil {
+			return "", fmt.Errorf("sql: unknown table %q in %s", c.Table, c)
+		}
+		name, ok := m[c.Col]
+		if !ok {
+			return "", fmt.Errorf("sql: no column %s", c)
+		}
+		return name, nil
+	}
+	var found string
+	for _, m := range pl.phys {
+		if name, ok := m[c.Col]; ok {
+			if found != "" && found != name {
+				return "", fmt.Errorf("sql: ambiguous column %q", c.Col)
+			}
+			found = name
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("sql: no column %q", c.Col)
+	}
+	return found, nil
+}
+
+// resolveIn resolves against an explicit schema (post-projection or
+// post-aggregation), falling back to the bare name.
+func (pl *planner) resolveIn(sch *catalog.Schema, c ColRef) (string, error) {
+	if name, err := pl.resolve(c); err == nil && sch.HasCol(name) {
+		return name, nil
+	}
+	if sch.HasCol(c.Col) {
+		return c.Col, nil
+	}
+	return "", fmt.Errorf("sql: no column %s in output", c)
+}
+
+// bindingOf returns which binding a predicate's column belongs to.
+func (pl *planner) bindingOf(c ColRef) (*binding, error) {
+	if c.Table != "" {
+		for i := range pl.bindings {
+			if pl.bindings[i].name == c.Table {
+				return &pl.bindings[i], nil
+			}
+		}
+		return nil, fmt.Errorf("sql: unknown table %q", c.Table)
+	}
+	var found *binding
+	for i := range pl.bindings {
+		if pl.bindings[i].tbl.Schema.HasCol(c.Col) {
+			if found != nil {
+				return nil, fmt.Errorf("sql: ambiguous column %q", c.Col)
+			}
+			found = &pl.bindings[i]
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("sql: no column %q", c.Col)
+	}
+	return found, nil
+}

@@ -1,0 +1,382 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+)
+
+// joinAll builds the left-deep join tree over all FROM tables.
+func (pl *planner) joinAll(locals, joins []Predicate) (exec.Iterator, error) {
+	// Group local predicates per binding.
+	localsFor := make(map[string][]Predicate)
+	for _, p := range locals {
+		b, err := pl.bindingOf(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		localsFor[b.name] = append(localsFor[b.name], p)
+	}
+
+	joined := map[string]bool{}
+	first := pl.bindings[0]
+	plan, err := pl.baseAccess(first, localsFor[first.name])
+	if err != nil {
+		return nil, err
+	}
+	pl.bindIdentity(first)
+	joined[first.name] = true
+
+	// Pending join predicates; equality predicates drive the join
+	// order, the rest become post-filters.
+	pending := append([]Predicate(nil), joins...)
+	joinLevel := 1
+
+	for len(joined) < len(pl.bindings) {
+		pi, inner, outerCol := pl.nextJoin(pending, joined)
+		var innerB *binding
+		var innerCol string
+		if pi >= 0 {
+			innerB = inner
+			p := pending[pi]
+			if p.Right == nil {
+				return nil, fmt.Errorf("sql: internal: join predicate without right side")
+			}
+			// Figure out which side is the inner (unjoined) column.
+			if b, _ := pl.bindingOf(p.Left); b != nil && b.name == innerB.name {
+				innerCol = p.Left.Col
+			} else {
+				innerCol = p.Right.Col
+			}
+			pending = append(pending[:pi], pending[pi+1:]...)
+		} else {
+			// No connecting equality: cross join the next unjoined table.
+			for i := range pl.bindings {
+				if !joined[pl.bindings[i].name] {
+					innerB = &pl.bindings[i]
+					break
+				}
+			}
+		}
+
+		prefix := fmt.Sprintf("j%d_", joinLevel)
+		joinLevel++
+		leftSch := plan.Schema()
+		innerLocals := localsFor[innerB.name]
+
+		idxTree := innerB.tbl.Indexes[innerCol]
+		if pi >= 0 && idxTree != nil {
+			// Index nested-loops: the inner is the bare table through
+			// its B+-tree; inner-local predicates become post-filters.
+			plan = exec.NewIndexNLJoin(pl.ctx, plan, outerCol,
+				idxTree, innerB.tbl.Heap, innerB.tbl.Schema, prefix)
+			pl.bindJoined(*innerB, leftSch, prefix)
+			for _, p := range innerLocals {
+				name, err := pl.resolve(ColRef{Table: innerB.name, Col: p.Left.Col})
+				if err != nil {
+					return nil, err
+				}
+				pred, err := localPred(p, name, innerB.tbl.Schema, p.Left.Col)
+				if err != nil {
+					return nil, err
+				}
+				plan = exec.NewFilter(pl.ctx, plan, pred)
+			}
+		} else {
+			innerPlan, err := pl.baseAccess(*innerB, innerLocals)
+			if err != nil {
+				return nil, err
+			}
+			if pi >= 0 {
+				plan = exec.NewGraceHashJoin(pl.ctx, plan, innerPlan,
+					outerCol, innerCol, 4, prefix)
+			} else {
+				plan = exec.NewNLJoin(pl.ctx, plan, innerPlan, exec.True{}, prefix)
+			}
+			pl.bindJoined(*innerB, leftSch, prefix)
+		}
+		joined[innerB.name] = true
+	}
+
+	// Remaining join predicates become filters over the joined schema.
+	for _, p := range pending {
+		l, err := pl.resolve(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := pl.resolve(*p.Right)
+		if err != nil {
+			return nil, err
+		}
+		op, err := cmpOp(p.Op)
+		if err != nil {
+			return nil, err
+		}
+		plan = exec.NewFilter(pl.ctx, plan, exec.ColCmp{Left: l, Right: r, Op: op})
+	}
+	return plan, nil
+}
+
+// nextJoin finds a pending equality predicate connecting the joined set
+// to one new table; it returns the predicate index, the new binding and
+// the physical outer join column.
+func (pl *planner) nextJoin(pending []Predicate, joined map[string]bool) (int, *binding, string) {
+	for i, p := range pending {
+		if p.Op != "=" || p.Right == nil {
+			continue
+		}
+		lb, err1 := pl.bindingOf(p.Left)
+		rb, err2 := pl.bindingOf(*p.Right)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		switch {
+		case joined[lb.name] && !joined[rb.name]:
+			if outer, err := pl.resolve(p.Left); err == nil {
+				return i, rb, outer
+			}
+		case joined[rb.name] && !joined[lb.name]:
+			if outer, err := pl.resolve(*p.Right); err == nil {
+				return i, lb, outer
+			}
+		}
+	}
+	return -1, nil, ""
+}
+
+// bindIdentity maps a base table's columns to themselves.
+func (pl *planner) bindIdentity(b binding) {
+	m := make(map[string]string, b.tbl.Schema.NumCols())
+	for i := 0; i < b.tbl.Schema.NumCols(); i++ {
+		c := b.tbl.Schema.Col(i).Name
+		m[c] = c
+	}
+	pl.phys[b.name] = m
+}
+
+// bindJoined maps a newly joined table's columns, applying the join's
+// duplicate-renaming prefix.
+func (pl *planner) bindJoined(b binding, leftSch *catalog.Schema, prefix string) {
+	m := make(map[string]string, b.tbl.Schema.NumCols())
+	for i := 0; i < b.tbl.Schema.NumCols(); i++ {
+		c := b.tbl.Schema.Col(i).Name
+		if leftSch.HasCol(c) {
+			m[c] = prefix + c
+		} else {
+			m[c] = c
+		}
+	}
+	pl.phys[b.name] = m
+}
+
+// baseAccess builds a table's access path: an index range scan when a
+// local predicate covers an indexed integer column, else a sequential
+// scan; predicates not absorbed by the range become filters.
+func (pl *planner) baseAccess(b binding, locals []Predicate) (exec.Iterator, error) {
+	var plan exec.Iterator
+	used := make([]bool, len(locals))
+
+	// Find an indexed column with a usable range. Candidates are
+	// visited in a deterministic order (plans must be reproducible);
+	// the clustered index is preferred.
+	var candidates []string
+	for col := range b.tbl.Indexes {
+		candidates = append(candidates, col)
+	}
+	sort.Strings(candidates)
+	if b.tbl.Clustered != "" {
+		for i, c := range candidates {
+			if c == b.tbl.Clustered {
+				candidates[0], candidates[i] = candidates[i], candidates[0]
+			}
+		}
+	}
+	for _, col := range candidates {
+		tree := b.tbl.Indexes[col]
+		lo, hi := int64(math.MinInt64), int64(math.MaxInt64)
+		bounded := false
+		for i, p := range locals {
+			if p.Left.Col != col || p.Lit.IsStr {
+				continue
+			}
+			switch p.Op {
+			case "=":
+				lo, hi = maxi(lo, p.Lit.Int), mini(hi, p.Lit.Int)
+			case "BETWEEN":
+				lo, hi = maxi(lo, p.Lit.Int), mini(hi, p.Hi.Int)
+			case "<=":
+				hi = mini(hi, p.Lit.Int)
+			case "<":
+				hi = mini(hi, p.Lit.Int-1)
+			case ">=":
+				lo = maxi(lo, p.Lit.Int)
+			case ">":
+				lo = maxi(lo, p.Lit.Int+1)
+			default:
+				continue
+			}
+			bounded = true
+			used[i] = true
+		}
+		if bounded {
+			plan = exec.NewIndexScan(pl.ctx, tree, b.tbl.Heap, b.tbl.Schema, lo, hi)
+			break
+		}
+		// Reset for the next candidate column.
+		for i := range used {
+			used[i] = false
+		}
+	}
+	if plan == nil {
+		plan = exec.NewSeqScan(pl.ctx, b.tbl.Heap, b.tbl.Schema)
+	}
+	for i, p := range locals {
+		if used[i] {
+			continue
+		}
+		pred, err := localPred(p, p.Left.Col, b.tbl.Schema, p.Left.Col)
+		if err != nil {
+			return nil, err
+		}
+		plan = exec.NewFilter(pl.ctx, plan, pred)
+	}
+	return plan, nil
+}
+
+// localPred converts a column-literal predicate into an exec.Pred over
+// the physical column name.
+func localPred(p Predicate, physName string, tblSch *catalog.Schema, bareCol string) (exec.Pred, error) {
+	isStr := tblSch.HasCol(bareCol) && tblSch.Col(tblSch.ColIndex(bareCol)).Type == catalog.String
+	if p.Lit.IsStr != isStr {
+		return nil, fmt.Errorf("sql: type mismatch on %s", p.Left)
+	}
+	if isStr {
+		if p.Op != "=" {
+			return nil, fmt.Errorf("sql: only = supported on string column %s", p.Left)
+		}
+		return exec.StrEq{Col: physName, Val: p.Lit.Str}, nil
+	}
+	if p.Op == "BETWEEN" {
+		return exec.IntRange{Col: physName, Lo: p.Lit.Int, Hi: p.Hi.Int}, nil
+	}
+	op, err := cmpOp(p.Op)
+	if err != nil {
+		return nil, err
+	}
+	return exec.IntCmp{Col: physName, Op: op, Val: p.Lit.Int}, nil
+}
+
+func cmpOp(op string) (exec.CmpOp, error) {
+	switch op {
+	case "=":
+		return exec.Eq, nil
+	case "<>":
+		return exec.Ne, nil
+	case "<":
+		return exec.Lt, nil
+	case "<=":
+		return exec.Le, nil
+	case ">":
+		return exec.Gt, nil
+	case ">=":
+		return exec.Ge, nil
+	}
+	return 0, fmt.Errorf("sql: unsupported operator %q", op)
+}
+
+// aggregate lowers GROUP BY + aggregate items.
+func (pl *planner) aggregate(plan exec.Iterator) (exec.Iterator, error) {
+	groupPhys := make([]string, len(pl.stmt.GroupBy))
+	groupSet := map[string]bool{}
+	for i, g := range pl.stmt.GroupBy {
+		name, err := pl.resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		groupPhys[i] = name
+		groupSet[name] = true
+	}
+	var aggs []exec.Agg
+	var outCols []string
+	for _, it := range pl.stmt.Items {
+		if it.Agg == "" {
+			name, err := pl.resolve(it.Col)
+			if err != nil {
+				return nil, err
+			}
+			if !groupSet[name] {
+				return nil, fmt.Errorf("sql: column %s is neither aggregated nor grouped", it.Col)
+			}
+			outCols = append(outCols, name)
+			continue
+		}
+		as := it.As
+		var op exec.AggOp
+		switch it.Agg {
+		case "COUNT":
+			op = exec.Count
+		case "SUM":
+			op = exec.Sum
+		case "MIN":
+			op = exec.Min
+		case "MAX":
+			op = exec.Max
+		case "AVG":
+			op = exec.Avg
+		}
+		col := ""
+		if !it.Star {
+			name, err := pl.resolve(it.Col)
+			if err != nil {
+				return nil, err
+			}
+			col = name
+		}
+		if as == "" {
+			if it.Star {
+				as = "count"
+			} else {
+				as = strings.ToLower(it.Agg) + "_" + col
+			}
+		}
+		aggs = append(aggs, exec.Agg{Op: op, Col: col, As: as})
+		outCols = append(outCols, as)
+	}
+	out := exec.NewHashAggregate(pl.ctx, plan, groupPhys, aggs)
+	pl.rebindToSchema(out.Schema())
+	// Reorder/narrow the output to the user's item order.
+	if len(outCols) > 0 && !sameOrder(out.Schema(), outCols) {
+		return exec.NewProject(pl.ctx, out, outCols...), nil
+	}
+	return out, nil
+}
+
+func sameOrder(sch *catalog.Schema, cols []string) bool {
+	if sch.NumCols() != len(cols) {
+		return false
+	}
+	for i, c := range cols {
+		if sch.Col(i).Name != c {
+			return false
+		}
+	}
+	return true
+}
+
+func mini(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package sql
+
+import (
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+)
+
+// Query wraps a SQL statement as a schedulable db.Query, so SQL text
+// can run concurrently with hand-built plans.
+func Query(name, src string) (db.Query, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return db.Query{}, err
+	}
+	return db.Query{
+		Name: name,
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			return Plan(e, ctx, stmt)
+		},
+	}, nil
+}
+
+// MustQuery is Query for statically known statements.
+func MustQuery(name, src string) db.Query {
+	q, err := Query(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Run parses, plans and executes src in its own transaction, returning
+// the result rows (or, for SELECT INTO, the materialized row count via
+// len of the returned rows being 0 and the temp file filled). The
+// parse/optimize phases run under the engine's probe so they appear in
+// the simulated call graph exactly where Figure 1 puts them.
+func Run(e *db.Engine, src string) ([]catalog.Tuple, error) {
+	tx := e.Txns.Begin()
+	ctx := e.NewContext(tx)
+
+	e.Pr.Enter(e.Fns.Exec.QueryParse)
+	e.Pr.Work(60 + 2*len(src))
+	stmt, err := Parse(src)
+	e.Pr.Exit()
+	if err != nil {
+		e.Txns.Abort(tx)
+		return nil, err
+	}
+
+	e.Pr.Enter(e.Fns.Exec.QueryOptimize)
+	e.Pr.Work(240 + 90*len(stmt.From) + 30*len(stmt.Where))
+	it, into, err := Plan(e, ctx, stmt)
+	e.Pr.Exit()
+	if err != nil {
+		e.Txns.Abort(tx)
+		return nil, err
+	}
+
+	e.Pr.Enter(e.Fns.Exec.QueryExecute)
+	var rows []catalog.Tuple
+	if into != nil {
+		_, err = exec.Materialize(ctx, it, into)
+	} else {
+		rows, err = exec.Collect(it)
+	}
+	e.Pr.Exit()
+	if err != nil {
+		e.Txns.Abort(tx)
+		return nil, err
+	}
+	if err := e.Txns.Commit(tx); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,366 @@
+package sql_test
+
+import (
+	"strings"
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/sql"
+	"cgp/internal/trace"
+)
+
+// loadEngine builds orders(id, cust, amount, day) with a clustered
+// index on id and a secondary on cust, plus customers(cust, name, tier).
+func loadEngine(t *testing.T) *db.Engine {
+	t.Helper()
+	e := db.NewEngine(db.Options{BufferFrames: 512})
+	tx := e.Txns.Begin()
+
+	orders, err := e.CreateTable("orders", catalog.NewSchema(
+		catalog.Column{Name: "id", Type: catalog.Int},
+		catalog.Column{Name: "cust", Type: catalog.Int},
+		catalog.Column{Name: "amount", Type: catalog.Int},
+		catalog.Column{Name: "day", Type: catalog.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := e.InsertRow(tx, orders, []catalog.Value{
+			catalog.V(int64(i)), catalog.V(int64(i % 20)),
+			catalog.V(int64(100 + i*3)), catalog.V(int64(i % 30)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CreateIndex(tx, "orders", "id", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateIndex(tx, "orders", "cust", false); err != nil {
+		t.Fatal(err)
+	}
+
+	custs, err := e.CreateTable("customers", catalog.NewSchema(
+		catalog.Column{Name: "cust", Type: catalog.Int},
+		catalog.Column{Name: "name", Type: catalog.String, Len: 12},
+		catalog.Column{Name: "tier", Type: catalog.Int},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := e.InsertRow(tx, custs, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV("cust" + string(rune('a'+i))), catalog.V(int64(i % 3)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.CreateIndex(tx, "customers", "cust", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Txns.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * WHERE x = 1",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT x",
+		"SELECT SUM(*) FROM t",
+		"SELECT * FROM t WHERE a BETWEEN 'x' AND 'y'",
+		"SELECT * FROM t extra junk (",
+		"SELECT * FROM t WHERE a = 'unterminated",
+	}
+	for _, src := range bad {
+		if _, err := sql.Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	stmt, err := sql.Parse(`SELECT cust, SUM(amount) AS total INTO tmp
+		FROM orders o, customers c
+		WHERE o.cust = c.cust AND amount > 200 AND day BETWEEN 3 AND 9
+		GROUP BY cust ORDER BY total DESC LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Items) != 2 || stmt.Items[1].Agg != "SUM" || stmt.Items[1].As != "total" {
+		t.Errorf("items = %+v", stmt.Items)
+	}
+	if stmt.Into != "tmp" {
+		t.Errorf("into = %q", stmt.Into)
+	}
+	if len(stmt.From) != 2 || stmt.From[0].Alias != "o" {
+		t.Errorf("from = %+v", stmt.From)
+	}
+	if len(stmt.Where) != 3 || !stmt.Where[0].IsJoin() || stmt.Where[2].Op != "BETWEEN" {
+		t.Errorf("where = %+v", stmt.Where)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.OrderBy[0].Col.Col != "total" || !stmt.OrderBy[0].Desc {
+		t.Errorf("group/order = %+v / %+v", stmt.GroupBy, stmt.OrderBy)
+	}
+	if stmt.Limit != 5 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestSimpleSelect(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT * FROM orders WHERE amount > 900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// amount = 100 + 3i > 900 -> i > 266.67 -> i in 267..299 = 33 rows
+	if len(rows) != 33 {
+		t.Fatalf("rows = %d, want 33", len(rows))
+	}
+}
+
+func TestIndexRangePlan(t *testing.T) {
+	e := loadEngine(t)
+	tx := e.Txns.Begin()
+	ctx := e.NewContext(tx)
+	stmt, err := sql.Parse("SELECT * FROM orders WHERE id BETWEEN 100 AND 149")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := sql.Plan(e, ctx, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clustered index on id must be used: the plan root is the
+	// IndexScan itself (no residual filter needed).
+	if _, ok := plan.(*exec.IndexScan); !ok {
+		t.Errorf("plan root = %T, want *exec.IndexScan", plan)
+	}
+	rows, err := exec.Collect(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Errorf("rows = %d, want 50", len(rows))
+	}
+	e.Txns.Commit(tx)
+}
+
+func TestProjectionAndOrder(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT id, amount FROM orders WHERE id < 10 ORDER BY amount DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Schema.ColNames() != "id,amount" {
+		t.Errorf("schema = %s", rows[0].Schema.ColNames())
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Int(1) < rows[i].Int(1) {
+			t.Fatal("not sorted descending")
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Int(0) != 300 {
+		t.Errorf("count = %d", r.Int(0))
+	}
+	wantSum := int64(0)
+	for i := 0; i < 300; i++ {
+		wantSum += int64(100 + i*3)
+	}
+	if r.Int(1) != wantSum {
+		t.Errorf("sum = %d, want %d", r.Int(1), wantSum)
+	}
+	if r.Int(2) != 100 || r.Int(3) != 100+299*3 {
+		t.Errorf("min/max = %d/%d", r.Int(2), r.Int(3))
+	}
+	if r.Int(4) != wantSum/300 {
+		t.Errorf("avg = %d", r.Int(4))
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT cust, COUNT(*) AS n FROM orders GROUP BY cust ORDER BY cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Int(0) != int64(i) || r.Int(1) != 15 {
+			t.Errorf("group %d = (%d, %d), want (%d, 15)", i, r.Int(0), r.Int(1), i)
+		}
+	}
+}
+
+func TestJoinViaIndex(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, `SELECT name, amount FROM customers c, orders o
+		WHERE c.cust = o.cust AND o.id < 40 ORDER BY amount`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 40 {
+		t.Fatalf("rows = %d, want 40", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Int(1) > rows[i].Int(1) {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestJoinGroupOrderLimit(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, `SELECT name, SUM(amount) AS total
+		FROM customers c, orders o WHERE c.cust = o.cust
+		GROUP BY name ORDER BY total DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Customer 19's orders have the largest amounts (amount grows with
+	// id, id%20 = cust): total for cust c = sum over i≡c (mod 20).
+	if got := rows[0].Str(0); got != "cust"+string(rune('a'+19)) {
+		t.Errorf("top customer = %q", got)
+	}
+	if rows[0].Int(1) < rows[1].Int(1) || rows[1].Int(1) < rows[2].Int(1) {
+		t.Error("not sorted by total")
+	}
+}
+
+func TestSelectIntoMaterializes(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT * INTO hot FROM orders WHERE amount >= 900")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("INTO returned %d rows to the client", len(rows))
+	}
+}
+
+func TestStringPredicate(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, "SELECT * FROM customers WHERE name = 'custa'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Int(0) != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestNonEquiJoinPredicate(t *testing.T) {
+	e := loadEngine(t)
+	rows, err := sql.Run(e, `SELECT id FROM orders o, customers c
+		WHERE o.cust = c.cust AND o.day < c.tier`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify against a direct computation: day = id%30, tier = cust%3,
+	// cust = id%20.
+	want := 0
+	for i := 0; i < 300; i++ {
+		if i%30 < (i%20)%3 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Errorf("rows = %d, want %d", len(rows), want)
+	}
+}
+
+func TestSQLThroughScheduler(t *testing.T) {
+	e := loadEngine(t)
+	q1 := sql.MustQuery("sql1", "SELECT * FROM orders WHERE id BETWEEN 0 AND 49")
+	q2 := sql.MustQuery("sql2", "SELECT cust, COUNT(*) FROM orders GROUP BY cust")
+	res, err := e.RunConcurrent([]db.Query{q1, q2}, nil, trace.Discard, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Rows != 50 || res[1].Rows != 20 {
+		t.Errorf("rows = %d / %d", res[0].Rows, res[1].Rows)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	e := loadEngine(t)
+	bad := []string{
+		"SELECT * FROM nope",
+		"SELECT missing FROM orders",
+		"SELECT o.id FROM orders o, orders o", // duplicate binding
+		"SELECT cust FROM orders, customers",  // ambiguous
+		"SELECT id, COUNT(*) FROM orders",     // id not grouped
+		"SELECT * FROM customers WHERE name > 'x'",
+	}
+	for _, src := range bad {
+		if _, err := sql.Run(e, src); err == nil {
+			t.Errorf("Run(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSQLMatchesHandPlan(t *testing.T) {
+	e := loadEngine(t)
+	got, err := sql.Run(e, "SELECT * FROM orders WHERE cust = 7 AND amount > 400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built equivalent.
+	tx := e.Txns.Begin()
+	ctx := e.NewContext(tx)
+	tbl := e.MustTable("orders")
+	hand := exec.NewFilter(ctx,
+		exec.NewIndexScan(ctx, tbl.Indexes["cust"], tbl.Heap, tbl.Schema, 7, 7),
+		exec.IntCmp{Col: "amount", Op: exec.Gt, Val: 400})
+	want, err := exec.Collect(hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Txns.Commit(tx)
+	if len(got) != len(want) {
+		t.Fatalf("sql %d rows, hand plan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Int(0) != want[i].Int(0) {
+			t.Errorf("row %d differs", i)
+		}
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	stmt, err := sql.Parse("SELECT COUNT(*), SUM(amount) FROM orders o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.String()
+	if !strings.Contains(s, "COUNT(*)") || !strings.Contains(s, "orders o") {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,55 @@
+package storage
+
+import "fmt"
+
+// Disk is the simulated storage volume: a flat array of pages with I/O
+// counters. The paper's configuration keeps the working set resident in
+// the buffer pool (memory-resident databases are its premise), so disk
+// traffic exists mainly to make Getpage_from_disk a real code path.
+type Disk struct {
+	pages  [][]byte
+	reads  int64
+	writes int64
+}
+
+// NewDisk returns an empty volume.
+func NewDisk() *Disk { return &Disk{} }
+
+// Allocate appends a fresh zeroed page and returns its ID.
+func (d *Disk) Allocate() PageID {
+	id := PageID(len(d.pages))
+	if id == InvalidPageID {
+		panic("storage: disk full (PageID space exhausted)")
+	}
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return id
+}
+
+// Read copies page id into buf.
+func (d *Disk) Read(id PageID, buf []byte) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	d.reads++
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// Write copies buf to page id.
+func (d *Disk) Write(id PageID, buf []byte) error {
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	d.writes++
+	copy(d.pages[id], buf)
+	return nil
+}
+
+// NumPages returns the allocated page count.
+func (d *Disk) NumPages() int { return len(d.pages) }
+
+// Reads returns the read-I/O count.
+func (d *Disk) Reads() int64 { return d.reads }
+
+// Writes returns the write-I/O count.
+func (d *Disk) Writes() int64 { return d.writes }

@@ -1,0 +1,35 @@
+package storage
+
+import "cgp/internal/program"
+
+// Funcs holds the instrumented-function IDs of the storage-manager
+// layer. The names (and the call structure around them) reproduce the
+// paper's Figure 2 call graph.
+type Funcs struct {
+	FindPageInBufferPool program.FuncID
+	GetpageFromDisk      program.FuncID
+	FlushPage            program.FuncID
+	AllocPage            program.FuncID
+	PinPage              program.FuncID
+	UnpinPage            program.FuncID
+	HashPageID           program.FuncID
+	LatchAcquire         program.FuncID
+	LatchRelease         program.FuncID
+}
+
+// RegisterFuncs registers the storage-manager functions. Sizes are
+// synthetic instruction counts chosen so the storage layer's hot
+// footprint resembles a real storage manager's.
+func RegisterFuncs(reg *program.Registry) Funcs {
+	return Funcs{
+		FindPageInBufferPool: reg.Register("Find_page_in_buffer_pool", 190),
+		GetpageFromDisk:      reg.Register("Getpage_from_disk", 430),
+		FlushPage:            reg.Register("Flush_page", 280),
+		AllocPage:            reg.Register("Alloc_page", 210),
+		PinPage:              reg.Register("Pin_page", 90),
+		UnpinPage:            reg.Register("Unpin_page", 100),
+		HashPageID:           reg.Register("Hash_page_id", 100),
+		LatchAcquire:         reg.Register("Latch_acquire", 80),
+		LatchRelease:         reg.Register("Latch_release", 70),
+	}
+}

@@ -1,0 +1,265 @@
+// Package txn provides transactions over the lock manager and a
+// write-ahead log: begin/commit/abort, two-phase lock release, and
+// LSN-stamped log records. It is the transaction-management facility of
+// the storage-manager layer (Figure 1).
+package txn
+
+import (
+	"fmt"
+
+	"cgp/internal/db/lock"
+	"cgp/internal/db/probe"
+	"cgp/internal/db/storage"
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// ID identifies a transaction.
+type ID uint64
+
+// Funcs holds the instrumented-function IDs of the transaction layer.
+type Funcs struct {
+	TxnBegin  program.FuncID
+	TxnCommit program.FuncID
+	TxnAbort  program.FuncID
+	LogAppend program.FuncID
+	LogForce  program.FuncID
+}
+
+// RegisterFuncs registers the transaction-layer functions.
+func RegisterFuncs(reg *program.Registry) Funcs {
+	return Funcs{
+		TxnBegin:  reg.Register("Txn_begin", 180),
+		TxnCommit: reg.Register("Txn_commit", 320),
+		TxnAbort:  reg.Register("Txn_abort", 300),
+		LogAppend: reg.Register("Log_append", 150),
+		LogForce:  reg.Register("Log_force", 220),
+	}
+}
+
+// LogRecordType discriminates WAL records.
+type LogRecordType uint8
+
+const (
+	// LogUpdate records a generic page modification (size only; not
+	// replayable — kept for non-recoverable structures like B+-tree
+	// pages, which recovery rebuilds instead).
+	LogUpdate LogRecordType = iota
+	// LogCommit marks a committed transaction.
+	LogCommit
+	// LogAbort marks an aborted transaction.
+	LogAbort
+	// LogInsert is a physiological record insertion: page + slot + bytes.
+	LogInsert
+	// LogRecUpdate is an in-place record overwrite.
+	LogRecUpdate
+	// LogRecDelete is a slot deletion.
+	LogRecDelete
+	// LogFormatPage initializes a fresh page.
+	LogFormatPage
+	// LogSetNext links a page chain.
+	LogSetNext
+)
+
+// LogRecord is one WAL entry.
+type LogRecord struct {
+	LSN    uint64
+	Txn    ID
+	Type   LogRecordType
+	PageID storage.PageID
+	Slot   uint16
+	Bytes  int
+	// Rec is the after-image payload of LogInsert/LogRecUpdate.
+	Rec []byte
+	// Next is LogSetNext's new chain link.
+	Next storage.PageID
+}
+
+// logRegion is where WAL writes land in the simulated data space.
+const logRegion = isa.Addr(0x1000_0000)
+
+// Log is an append-only write-ahead log.
+type Log struct {
+	records  []LogRecord
+	nextLSN  uint64
+	flushed  uint64
+	tailAddr isa.Addr
+	pr       *probe.Probe
+	fns      Funcs
+}
+
+// NewLog builds an empty log.
+func NewLog(pr *probe.Probe, fns Funcs) *Log {
+	return &Log{nextLSN: 1, tailAddr: isa.DataBase + logRegion, pr: pr, fns: fns}
+}
+
+// Append adds a record and returns its LSN.
+func (l *Log) Append(rec LogRecord) uint64 {
+	l.pr.Enter(l.fns.LogAppend)
+	defer l.pr.Exit()
+	l.pr.Work(20)
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	size := 32 + rec.Bytes
+	l.pr.Data(l.tailAddr, size, true)
+	l.tailAddr += isa.Addr(size)
+	l.records = append(l.records, rec)
+	return rec.LSN
+}
+
+// Force flushes the log through lsn (group commit would batch here).
+func (l *Log) Force(lsn uint64) {
+	l.pr.Enter(l.fns.LogForce)
+	defer l.pr.Exit()
+	l.pr.Work(40)
+	if lsn > l.flushed {
+		l.flushed = lsn
+	}
+}
+
+// FlushedLSN returns the highest durable LSN.
+func (l *Log) FlushedLSN() uint64 { return l.flushed }
+
+// Len returns the number of log records.
+func (l *Log) Len() int { return len(l.records) }
+
+// Records returns the log contents (for recovery tests).
+func (l *Log) Records() []LogRecord { return l.records }
+
+// Txn is one transaction.
+type Txn struct {
+	id        ID
+	mgr       *Manager
+	active    bool
+	lastLSN   uint64
+	nUpdates  int
+	committed bool
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() ID { return t.id }
+
+// Owner returns the lock-manager owner token.
+func (t *Txn) Owner() lock.Owner { return lock.Owner(t.id) }
+
+// Active reports whether the transaction is in flight.
+func (t *Txn) Active() bool { return t.active }
+
+// Committed reports whether the transaction committed.
+func (t *Txn) Committed() bool { return t.committed }
+
+// LogUpdate appends a generic (non-replayable) update record for a page
+// this txn modified.
+func (t *Txn) LogUpdate(pageID storage.PageID, bytes int) uint64 {
+	return t.log(LogRecord{Type: LogUpdate, PageID: pageID, Bytes: bytes})
+}
+
+// LogInsert appends a replayable record-insertion entry.
+func (t *Txn) LogInsert(pageID storage.PageID, slot uint16, rec []byte) uint64 {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	return t.log(LogRecord{Type: LogInsert, PageID: pageID, Slot: slot, Bytes: len(rec), Rec: cp})
+}
+
+// LogRecUpdate appends a replayable in-place record update.
+func (t *Txn) LogRecUpdate(pageID storage.PageID, slot uint16, rec []byte) uint64 {
+	cp := make([]byte, len(rec))
+	copy(cp, rec)
+	return t.log(LogRecord{Type: LogRecUpdate, PageID: pageID, Slot: slot, Bytes: len(rec), Rec: cp})
+}
+
+// LogRecDelete appends a replayable record deletion.
+func (t *Txn) LogRecDelete(pageID storage.PageID, slot uint16) uint64 {
+	return t.log(LogRecord{Type: LogRecDelete, PageID: pageID, Slot: slot})
+}
+
+// LogFormatPage appends a replayable page initialization.
+func (t *Txn) LogFormatPage(pageID storage.PageID) uint64 {
+	return t.log(LogRecord{Type: LogFormatPage, PageID: pageID})
+}
+
+// LogSetNext appends a replayable chain link.
+func (t *Txn) LogSetNext(pageID, next storage.PageID) uint64 {
+	return t.log(LogRecord{Type: LogSetNext, PageID: pageID, Next: next})
+}
+
+func (t *Txn) log(rec LogRecord) uint64 {
+	rec.Txn = t.id
+	lsn := t.mgr.log.Append(rec)
+	t.lastLSN = lsn
+	t.nUpdates++
+	return lsn
+}
+
+// Manager creates and completes transactions.
+type Manager struct {
+	next  ID
+	locks *lock.Manager
+	log   *Log
+	pr    *probe.Probe
+	fns   Funcs
+
+	begun     int64
+	committed int64
+	aborted   int64
+}
+
+// NewManager builds a transaction manager over a lock manager and log.
+func NewManager(locks *lock.Manager, log *Log, pr *probe.Probe, fns Funcs) *Manager {
+	return &Manager{next: 1, locks: locks, log: log, pr: pr, fns: fns}
+}
+
+// Locks returns the lock manager.
+func (m *Manager) Locks() *lock.Manager { return m.locks }
+
+// Log returns the WAL.
+func (m *Manager) Log() *Log { return m.log }
+
+// Begin starts a transaction.
+func (m *Manager) Begin() *Txn {
+	m.pr.Enter(m.fns.TxnBegin)
+	defer m.pr.Exit()
+	m.pr.Work(26)
+	t := &Txn{id: m.next, mgr: m, active: true}
+	m.next++
+	m.begun++
+	return t
+}
+
+// Commit forces the log and releases the transaction's locks.
+func (m *Manager) Commit(t *Txn) error {
+	if !t.active {
+		return fmt.Errorf("txn: commit of inactive transaction %d", t.id)
+	}
+	m.pr.Enter(m.fns.TxnCommit)
+	defer m.pr.Exit()
+	m.pr.Work(40)
+	lsn := m.log.Append(LogRecord{Txn: t.id, Type: LogCommit})
+	m.log.Force(lsn)
+	m.locks.ReleaseAll(t.Owner())
+	t.active = false
+	t.committed = true
+	m.committed++
+	return nil
+}
+
+// Abort releases locks without committing (undo is logged, not applied:
+// the workloads never abort mid-update).
+func (m *Manager) Abort(t *Txn) error {
+	if !t.active {
+		return fmt.Errorf("txn: abort of inactive transaction %d", t.id)
+	}
+	m.pr.Enter(m.fns.TxnAbort)
+	defer m.pr.Exit()
+	m.pr.Work(36)
+	m.log.Append(LogRecord{Txn: t.id, Type: LogAbort})
+	m.locks.ReleaseAll(t.Owner())
+	t.active = false
+	m.aborted++
+	return nil
+}
+
+// Counts returns (begun, committed, aborted).
+func (m *Manager) Counts() (int64, int64, int64) {
+	return m.begun, m.committed, m.aborted
+}

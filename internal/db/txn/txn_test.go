@@ -1,0 +1,120 @@
+package txn
+
+import (
+	"testing"
+
+	"cgp/internal/db/lock"
+	"cgp/internal/db/storage"
+)
+
+func newMgr() *Manager {
+	locks := lock.NewManager(nil, lock.Funcs{})
+	log := NewLog(nil, Funcs{})
+	return NewManager(locks, log, nil, Funcs{})
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	if !tx.Active() {
+		t.Fatal("txn not active after begin")
+	}
+	if err := m.Locks().LockPage(tx.Owner(), 5, lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Active() || !tx.Committed() {
+		t.Error("txn state wrong after commit")
+	}
+	if m.Locks().HeldBy(tx.Owner()) != 0 {
+		t.Error("locks survive commit")
+	}
+	// Another txn can now lock the page.
+	tx2 := m.Begin()
+	if err := m.Locks().LockPage(tx2.Owner(), 5, lock.Exclusive); err != nil {
+		t.Errorf("lock after commit: %v", err)
+	}
+}
+
+func TestAbortReleasesLocks(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	m.Locks().LockPage(tx.Owner(), 5, lock.Exclusive)
+	if err := m.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Committed() {
+		t.Error("aborted txn reports committed")
+	}
+	if m.Locks().HeldBy(tx.Owner()) != 0 {
+		t.Error("locks survive abort")
+	}
+}
+
+func TestDoubleCommitFails(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	m.Commit(tx)
+	if err := m.Commit(tx); err == nil {
+		t.Error("double commit succeeded")
+	}
+	if err := m.Abort(tx); err == nil {
+		t.Error("abort after commit succeeded")
+	}
+}
+
+func TestLogLSNsMonotonic(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		lsn := tx.LogUpdate(storage.PageID(i), 100)
+		if lsn <= prev {
+			t.Fatalf("LSN %d after %d", lsn, prev)
+		}
+		prev = lsn
+	}
+	if m.Log().Len() != 10 {
+		t.Errorf("log has %d records", m.Log().Len())
+	}
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	tx.LogUpdate(1, 50)
+	m.Commit(tx)
+	log := m.Log()
+	recs := log.Records()
+	last := recs[len(recs)-1]
+	if last.Type != LogCommit || last.Txn != tx.ID() {
+		t.Errorf("last record = %+v", last)
+	}
+	if log.FlushedLSN() < last.LSN {
+		t.Errorf("commit record not durable: flushed %d < %d", log.FlushedLSN(), last.LSN)
+	}
+}
+
+func TestAbortLogged(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin()
+	m.Abort(tx)
+	recs := m.Log().Records()
+	if len(recs) != 1 || recs[0].Type != LogAbort {
+		t.Errorf("log = %+v", recs)
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	m := newMgr()
+	a, b := m.Begin(), m.Begin()
+	if a.ID() == b.ID() {
+		t.Error("duplicate txn IDs")
+	}
+	begun, committed, aborted := m.Counts()
+	if begun != 2 || committed != 0 || aborted != 0 {
+		t.Errorf("counts = %d/%d/%d", begun, committed, aborted)
+	}
+}

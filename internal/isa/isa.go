@@ -1,0 +1,59 @@
+// Package isa defines the synthetic machine model shared by the tracer,
+// the code-layout tool and the cycle simulator: address arithmetic,
+// instruction and cache-line geometry, and the fixed address-space map.
+//
+// The model mirrors the Alpha-class machine of the paper: 4-byte fixed
+// width instructions and 32-byte cache lines (8 instructions per line).
+package isa
+
+// Addr is a byte address in the simulated address space.
+type Addr uint64
+
+const (
+	// InstrBytes is the size of one instruction word.
+	InstrBytes = 4
+	// LineBytes is the cache line size used throughout the hierarchy
+	// (Table 1: 32-byte lines in L1I, L1D and L2).
+	LineBytes = 32
+	// InstrPerLine is the number of instructions per cache line.
+	InstrPerLine = LineBytes / InstrBytes
+	// LineShift is log2(LineBytes).
+	LineShift = 5
+)
+
+// Fixed segment bases. Code and data are disjoint so a unified L2 sees
+// both streams without aliasing.
+const (
+	// CodeBase is where binary images are laid out.
+	CodeBase Addr = 0x0040_0000
+	// DataBase is where database pages are mapped for data references.
+	DataBase Addr = 0x4000_0000
+	// StackBase is where per-thread stack references are mapped.
+	StackBase Addr = 0x7000_0000
+)
+
+// Line returns the cache-line index containing a.
+func Line(a Addr) Addr { return a >> LineShift }
+
+// LineAddr returns the address of the first byte of the line containing a.
+func LineAddr(a Addr) Addr { return a &^ (LineBytes - 1) }
+
+// NextLine returns the address of the line following the one containing a.
+func NextLine(a Addr) Addr { return LineAddr(a) + LineBytes }
+
+// LinesCovered returns how many distinct cache lines the byte range
+// [a, a+n) touches. n is in bytes; zero-length ranges cover zero lines.
+func LinesCovered(a Addr, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	first := Line(a)
+	last := Line(a + Addr(n) - 1)
+	return int(last-first) + 1
+}
+
+// InstrRangeBytes converts an instruction count to a byte length.
+func InstrRangeBytes(n int) int { return n * InstrBytes }
+
+// AlignUp rounds a up to the next multiple of align (a power of two).
+func AlignUp(a Addr, align Addr) Addr { return (a + align - 1) &^ (align - 1) }

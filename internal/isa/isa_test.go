@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineArithmetic(t *testing.T) {
+	cases := []struct {
+		addr     Addr
+		line     Addr
+		lineAddr Addr
+	}{
+		{0, 0, 0},
+		{1, 0, 0},
+		{31, 0, 0},
+		{32, 1, 32},
+		{33, 1, 32},
+		{0x0040_0000, 0x0040_0000 / 32, 0x0040_0000},
+		{0x0040_001F, 0x0040_0000 / 32, 0x0040_0000},
+	}
+	for _, c := range cases {
+		if got := Line(c.addr); got != c.line {
+			t.Errorf("Line(%#x) = %d, want %d", c.addr, got, c.line)
+		}
+		if got := LineAddr(c.addr); got != c.lineAddr {
+			t.Errorf("LineAddr(%#x) = %#x, want %#x", c.addr, got, c.lineAddr)
+		}
+	}
+}
+
+func TestNextLine(t *testing.T) {
+	if got := NextLine(0); got != 32 {
+		t.Errorf("NextLine(0) = %d, want 32", got)
+	}
+	if got := NextLine(31); got != 32 {
+		t.Errorf("NextLine(31) = %d, want 32", got)
+	}
+	if got := NextLine(32); got != 64 {
+		t.Errorf("NextLine(32) = %d, want 64", got)
+	}
+}
+
+func TestLinesCovered(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		n    int
+		want int
+	}{
+		{0, 0, 0},
+		{0, -4, 0},
+		{0, 1, 1},
+		{0, 32, 1},
+		{0, 33, 2},
+		{30, 4, 2},  // straddles a boundary
+		{31, 1, 1},  // last byte of a line
+		{31, 2, 2},  // crosses into the next
+		{0, 256, 8}, // exactly 8 lines
+	}
+	for _, c := range cases {
+		if got := LinesCovered(c.addr, c.n); got != c.want {
+			t.Errorf("LinesCovered(%d, %d) = %d, want %d", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	if got := AlignUp(0, 32); got != 0 {
+		t.Errorf("AlignUp(0,32) = %d", got)
+	}
+	if got := AlignUp(1, 32); got != 32 {
+		t.Errorf("AlignUp(1,32) = %d", got)
+	}
+	if got := AlignUp(32, 32); got != 32 {
+		t.Errorf("AlignUp(32,32) = %d", got)
+	}
+	if got := AlignUp(33, 32); got != 64 {
+		t.Errorf("AlignUp(33,32) = %d", got)
+	}
+}
+
+func TestInstrRangeBytes(t *testing.T) {
+	if got := InstrRangeBytes(8); got != 32 {
+		t.Errorf("InstrRangeBytes(8) = %d, want 32", got)
+	}
+}
+
+// Property: LinesCovered is consistent with walking the range byte by
+// byte and counting distinct line indexes.
+func TestLinesCoveredProperty(t *testing.T) {
+	f := func(addr16 uint16, n8 uint8) bool {
+		addr := Addr(addr16)
+		n := int(n8)
+		got := LinesCovered(addr, n)
+		seen := map[Addr]bool{}
+		for i := 0; i < n; i++ {
+			seen[Line(addr+Addr(i))] = true
+		}
+		return got == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AlignUp returns the least multiple of align that is >= a.
+func TestAlignUpProperty(t *testing.T) {
+	f := func(a32 uint32, shift uint8) bool {
+		align := Addr(1) << (shift % 12)
+		a := Addr(a32)
+		up := AlignUp(a, align)
+		return up >= a && up%align == 0 && up-a < align
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package prefetch defines the instruction-prefetcher interface the CPU
+// front end drives, plus the sequential prefetchers the paper compares
+// against: next-N-line (NL, Smith & Hsu) and the run-ahead NL variant of
+// §5.6. The paper's own contribution, Call Graph Prefetching, lives in
+// internal/core and implements the same interface.
+package prefetch
+
+import "cgp/internal/isa"
+
+// Portion attributes a prefetch request to the component that issued it,
+// so Figure 9's NL-portion vs CGHC-portion split can be reproduced.
+type Portion uint8
+
+const (
+	// PortionNL marks prefetches issued by a next-N-line component.
+	PortionNL Portion = iota
+	// PortionCGHC marks prefetches issued by the call-graph history cache.
+	PortionCGHC
+)
+
+// String returns the portion name.
+func (p Portion) String() string {
+	if p == PortionCGHC {
+		return "cghc"
+	}
+	return "nl"
+}
+
+// Request is one line prefetch: the line-aligned address to fetch and
+// the component that asked for it.
+type Request struct {
+	Addr    isa.Addr
+	Portion Portion
+}
+
+// Issue is the sink prefetchers push requests into. The memory system
+// behind it squashes requests for lines already resident or in flight.
+type Issue func(Request)
+
+// Prefetcher is driven by the CPU front end.
+//
+// OnFetch is called once per demand-fetched cache line with the line
+// address. OnCall and OnReturn are called when the branch predictor
+// resolves a call or return; sequential prefetchers ignore them.
+type Prefetcher interface {
+	Name() string
+	OnFetch(line isa.Addr, issue Issue)
+	OnCall(target, callerStart isa.Addr, issue Issue)
+	OnReturn(predictedCallerStart, returningStart isa.Addr, issue Issue)
+}
+
+// None is the null prefetcher (the O5 and O5+OM baselines).
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "none" }
+
+// OnFetch implements Prefetcher.
+func (None) OnFetch(isa.Addr, Issue) {}
+
+// OnCall implements Prefetcher.
+func (None) OnCall(isa.Addr, isa.Addr, Issue) {}
+
+// OnReturn implements Prefetcher.
+func (None) OnReturn(isa.Addr, isa.Addr, Issue) {}
+
+// NL is next-N-line prefetching: when the CPU fetches a line, the next N
+// sequential lines are prefetched unless already present (§2).
+type NL struct {
+	// N is the number of sequential lines to prefetch.
+	N int
+	// lastTrigger suppresses re-issuing the same window while fetch
+	// stays within one line.
+	lastTrigger isa.Addr
+	haveTrigger bool
+}
+
+// NewNL returns a next-N-line prefetcher.
+func NewNL(n int) *NL {
+	if n <= 0 {
+		panic("prefetch: NL degree must be positive")
+	}
+	return &NL{N: n}
+}
+
+// Name implements Prefetcher.
+func (p *NL) Name() string { return nlName("nl", p.N) }
+
+// OnFetch implements Prefetcher.
+func (p *NL) OnFetch(line isa.Addr, issue Issue) {
+	line = isa.LineAddr(line)
+	if p.haveTrigger && p.lastTrigger == line {
+		return
+	}
+	p.haveTrigger = true
+	p.lastTrigger = line
+	for i := 1; i <= p.N; i++ {
+		issue(Request{Addr: line + isa.Addr(i*isa.LineBytes), Portion: PortionNL})
+	}
+}
+
+// OnCall implements Prefetcher.
+func (p *NL) OnCall(isa.Addr, isa.Addr, Issue) {}
+
+// OnReturn implements Prefetcher.
+func (p *NL) OnReturn(isa.Addr, isa.Addr, Issue) {}
+
+// RunAheadNL is the modified NL scheme of §5.6: instead of the next N
+// lines, it prefetches N lines beginning M lines after the current
+// fetch. The paper found it performs much worse than NL on DB workloads;
+// it is included as the ablation.
+type RunAheadNL struct {
+	N, M        int
+	lastTrigger isa.Addr
+	haveTrigger bool
+}
+
+// NewRunAheadNL returns a run-ahead NL prefetcher.
+func NewRunAheadNL(n, m int) *RunAheadNL {
+	if n <= 0 || m <= 0 {
+		panic("prefetch: run-ahead NL degrees must be positive")
+	}
+	return &RunAheadNL{N: n, M: m}
+}
+
+// Name implements Prefetcher.
+func (p *RunAheadNL) Name() string { return nlName("ranl", p.N) }
+
+// OnFetch implements Prefetcher.
+func (p *RunAheadNL) OnFetch(line isa.Addr, issue Issue) {
+	line = isa.LineAddr(line)
+	if p.haveTrigger && p.lastTrigger == line {
+		return
+	}
+	p.haveTrigger = true
+	p.lastTrigger = line
+	for i := 0; i < p.N; i++ {
+		off := isa.Addr((p.M + i) * isa.LineBytes)
+		issue(Request{Addr: line + off, Portion: PortionNL})
+	}
+}
+
+// OnCall implements Prefetcher.
+func (p *RunAheadNL) OnCall(isa.Addr, isa.Addr, Issue) {}
+
+// OnReturn implements Prefetcher.
+func (p *RunAheadNL) OnReturn(isa.Addr, isa.Addr, Issue) {}
+
+func nlName(base string, n int) string {
+	return base + "_" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,133 @@
+package program
+
+import "sort"
+
+// CallPair is a (caller, callee) edge in the dynamic call graph.
+type CallPair struct {
+	Caller FuncID
+	Callee FuncID
+}
+
+// Profile aggregates the feedback information a profile run produces:
+// call-edge weights and per-function call counts. It is what LayoutOM
+// consumes, standing in for the instrumented profile run OM requires.
+type Profile struct {
+	// CallEdges counts dynamic calls per (caller, callee) pair.
+	CallEdges map[CallPair]int64
+	// CallCounts counts dynamic invocations per callee.
+	CallCounts map[FuncID]int64
+	// Instructions is the total dynamic instruction count observed.
+	Instructions int64
+	// Calls is the total number of dynamic calls observed.
+	Calls int64
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{
+		CallEdges:  make(map[CallPair]int64),
+		CallCounts: make(map[FuncID]int64),
+	}
+}
+
+// AddCall records one dynamic call.
+func (p *Profile) AddCall(caller, callee FuncID) {
+	p.CallEdges[CallPair{caller, callee}]++
+	p.CallCounts[callee]++
+	p.Calls++
+}
+
+// AddInstructions records n executed instructions.
+func (p *Profile) AddInstructions(n int64) { p.Instructions += n }
+
+// Merge folds other into p. The paper merges the profiles of two
+// workload runs (wisc-prof and wisc+tpch) before feeding OM.
+func (p *Profile) Merge(other *Profile) {
+	for k, v := range other.CallEdges {
+		p.CallEdges[k] += v
+	}
+	for k, v := range other.CallCounts {
+		p.CallCounts[k] += v
+	}
+	p.Instructions += other.Instructions
+	p.Calls += other.Calls
+}
+
+// InstructionsPerCall returns the average number of instructions
+// executed between dynamic calls (the paper measures 43 for the DB
+// workloads).
+func (p *Profile) InstructionsPerCall() float64 {
+	if p.Calls == 0 {
+		return 0
+	}
+	return float64(p.Instructions) / float64(p.Calls)
+}
+
+// FanoutDistinct returns, for every function that makes calls, how many
+// distinct callees it invokes. Used to validate the paper's ATOM
+// observation that 80% of functions call fewer than 8 distinct functions.
+func (p *Profile) FanoutDistinct() map[FuncID]int {
+	fan := make(map[FuncID]map[FuncID]struct{})
+	for pair := range p.CallEdges {
+		if pair.Caller == NoFunc {
+			continue
+		}
+		set := fan[pair.Caller]
+		if set == nil {
+			set = make(map[FuncID]struct{})
+			fan[pair.Caller] = set
+		}
+		set[pair.Callee] = struct{}{}
+	}
+	out := make(map[FuncID]int, len(fan))
+	for f, set := range fan {
+		out[f] = len(set)
+	}
+	return out
+}
+
+// FanoutFractionBelow returns the fraction of calling functions whose
+// distinct-callee count is strictly below k.
+func (p *Profile) FanoutFractionBelow(k int) float64 {
+	fan := p.FanoutDistinct()
+	if len(fan) == 0 {
+		return 0
+	}
+	below := 0
+	for _, n := range fan {
+		if n < k {
+			below++
+		}
+	}
+	return float64(below) / float64(len(fan))
+}
+
+// HottestEdges returns up to n call edges in descending weight order,
+// for reports and tests.
+func (p *Profile) HottestEdges(n int) []CallPair {
+	type we struct {
+		pair CallPair
+		w    int64
+	}
+	all := make([]we, 0, len(p.CallEdges))
+	for pair, w := range p.CallEdges {
+		all = append(all, we{pair, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		if all[i].pair.Caller != all[j].pair.Caller {
+			return all[i].pair.Caller < all[j].pair.Caller
+		}
+		return all[i].pair.Callee < all[j].pair.Callee
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]CallPair, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].pair
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package program
+
+import "testing"
+
+func TestProfileCounts(t *testing.T) {
+	p := NewProfile()
+	p.AddCall(0, 1)
+	p.AddCall(0, 1)
+	p.AddCall(0, 2)
+	p.AddCall(1, 2)
+	p.AddInstructions(430)
+	if p.Calls != 4 {
+		t.Errorf("calls = %d", p.Calls)
+	}
+	if p.CallEdges[CallPair{0, 1}] != 2 {
+		t.Errorf("edge 0->1 = %d", p.CallEdges[CallPair{0, 1}])
+	}
+	if p.CallCounts[2] != 2 {
+		t.Errorf("count(2) = %d", p.CallCounts[2])
+	}
+	if got := p.InstructionsPerCall(); got != 107.5 {
+		t.Errorf("instr/call = %f", got)
+	}
+}
+
+func TestProfileMerge(t *testing.T) {
+	a := NewProfile()
+	a.AddCall(0, 1)
+	a.AddInstructions(100)
+	b := NewProfile()
+	b.AddCall(0, 1)
+	b.AddCall(2, 3)
+	b.AddInstructions(50)
+	a.Merge(b)
+	if a.Calls != 3 || a.Instructions != 150 {
+		t.Errorf("merged = %d calls, %d instrs", a.Calls, a.Instructions)
+	}
+	if a.CallEdges[CallPair{0, 1}] != 2 {
+		t.Errorf("edge weight = %d", a.CallEdges[CallPair{0, 1}])
+	}
+}
+
+func TestFanout(t *testing.T) {
+	p := NewProfile()
+	// fn 0 calls 9 distinct functions; fn 1 calls 2.
+	for i := 1; i <= 9; i++ {
+		p.AddCall(0, FuncID(i))
+	}
+	p.AddCall(1, 2)
+	p.AddCall(1, 3)
+	p.AddCall(NoFunc, 0) // thread entry: excluded from fanout
+	fan := p.FanoutDistinct()
+	if fan[0] != 9 || fan[1] != 2 {
+		t.Errorf("fanout = %v", fan)
+	}
+	if _, ok := fan[NoFunc]; ok {
+		t.Error("NoFunc counted as a calling function")
+	}
+	if got := p.FanoutFractionBelow(8); got != 0.5 {
+		t.Errorf("fraction below 8 = %f, want 0.5", got)
+	}
+}
+
+func TestHottestEdges(t *testing.T) {
+	p := NewProfile()
+	for i := 0; i < 5; i++ {
+		p.AddCall(1, 2)
+	}
+	for i := 0; i < 3; i++ {
+		p.AddCall(3, 4)
+	}
+	p.AddCall(5, 6)
+	edges := p.HottestEdges(2)
+	if len(edges) != 2 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	if edges[0] != (CallPair{1, 2}) || edges[1] != (CallPair{3, 4}) {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestInstructionsPerCallEmpty(t *testing.T) {
+	if got := NewProfile().InstructionsPerCall(); got != 0 {
+		t.Errorf("empty profile instr/call = %f", got)
+	}
+}

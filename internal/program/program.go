@@ -1,0 +1,402 @@
+// Package program models the static side of a simulated binary: the set
+// of functions that make up an application, their synthetic code sizes
+// and branch behaviour, and the layout of those functions into an
+// address-space image.
+//
+// Two layouts are provided, mirroring the paper's two binaries:
+//
+//   - O5: functions appear in registration (link) order with default
+//     intra-function branch behaviour. This stands in for the compiler's
+//     -O5 output.
+//   - OM: a profile-guided layout in the style of the OM link-time
+//     optimizer: Pettis-Hansen "closest-is-best" function placement from
+//     measured call-edge weights, straightened intra-function branches
+//     (lower taken-branch rate) and a reduced dynamic instruction count.
+package program
+
+import (
+	"fmt"
+	"sort"
+
+	"cgp/internal/isa"
+)
+
+// FuncID identifies a registered function. IDs are dense and start at 0.
+type FuncID int32
+
+// NoFunc is the zero value used when no function applies (e.g. the
+// caller of the outermost frame).
+const NoFunc FuncID = -1
+
+// FuncInfo describes one function of the simulated binary.
+type FuncInfo struct {
+	ID   FuncID
+	Name string
+	// Size is the static body size in instructions.
+	Size int
+	// TakenRate is the probability that a conditional branch inside the
+	// body is taken (and thus breaks sequential fetch). The O5 image uses
+	// this value as-is; the OM image reduces it.
+	TakenRate float64
+	// BranchEvery is the average number of instructions between
+	// conditional branch points inside the body.
+	BranchEvery int
+	// Helpers are the small private functions this function calls
+	// between its instrumented call sites (slot accessors, comparators,
+	// allocation wrappers...). The tracer cycles through them in a
+	// stable order per invocation — the highly repeatable call
+	// sequences CGP feeds on.
+	Helpers []FuncID
+}
+
+// Registry holds the functions of one application. A Registry is built
+// once (at "link time") and then shared by all images of the program.
+type Registry struct {
+	funcs  []FuncInfo
+	byName map[string]FuncID
+	// sizeScale multiplies registered sizes (1.0 default). Real database
+	// binaries carry far more code per conceptual function than the
+	// instrumented skeleton names, and the scale recovers that footprint.
+	sizeScale float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]FuncID), sizeScale: 1.0}
+}
+
+// SetSizeScale sets the multiplier applied to subsequently registered
+// function sizes. It must be called before Register.
+func (r *Registry) SetSizeScale(s float64) {
+	if s <= 0 {
+		panic("program: size scale must be positive")
+	}
+	r.sizeScale = s
+}
+
+// DefaultTakenRate is the taken-branch probability assigned to functions
+// registered without an explicit rate. It reflects unoptimized code in
+// which roughly one branch in three redirects fetch.
+const DefaultTakenRate = 0.40
+
+// DefaultBranchEvery is the default distance, in instructions, between
+// conditional branches.
+const DefaultBranchEvery = 10
+
+// Register adds a function with the given name and body size (in
+// instructions) and returns its ID. Registering the same name twice
+// panics: function names double as stable identifiers in tests and
+// profiles.
+func (r *Registry) Register(name string, size int) FuncID {
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("program: duplicate function %q", name))
+	}
+	size = int(float64(size) * r.sizeScale)
+	if size < 1 {
+		size = 1
+	}
+	id := FuncID(len(r.funcs))
+	r.funcs = append(r.funcs, FuncInfo{
+		ID:          id,
+		Name:        name,
+		Size:        size,
+		TakenRate:   DefaultTakenRate,
+		BranchEvery: DefaultBranchEvery,
+	})
+	r.byName[name] = id
+	return id
+}
+
+// GenerateHelpers gives every already-registered function of at least
+// minSize instructions a set of helper functions, one per perInstr
+// instructions of parent body, with sizes in [sizeLo, sizeHi]. Helper
+// sizes are NOT subject to the registry's size scale (they are already
+// final), and helpers get no helpers of their own. Deterministic for a
+// given registry state.
+func (r *Registry) GenerateHelpers(minSize, perInstr, sizeLo, sizeHi int) {
+	if perInstr <= 0 || sizeHi < sizeLo {
+		panic("program: bad helper generation parameters")
+	}
+	savedScale := r.sizeScale
+	r.sizeScale = 1.0
+	defer func() { r.sizeScale = savedScale }()
+	primaries := len(r.funcs)
+	for id := 0; id < primaries; id++ {
+		parent := r.funcs[id]
+		if parent.Size < minSize {
+			continue
+		}
+		k := 1 + parent.Size/perInstr
+		if k > 6 {
+			k = 6
+		}
+		for j := 0; j < k; j++ {
+			h := siteHash(uint64(id)*31+uint64(j), 0x4E)
+			size := sizeLo + int(h%uint64(sizeHi-sizeLo+1))
+			hid := r.Register(fmt.Sprintf("%s.h%d", parent.Name, j), size)
+			r.funcs[id].Helpers = append(r.funcs[id].Helpers, hid)
+		}
+	}
+}
+
+// siteHash mixes two values into a stable pseudo-random 64-bit value.
+func siteHash(a, b uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x ^= x >> 31
+	x *= 0x94D049BB133111EB
+	x ^= x >> 29
+	return x
+}
+
+// SetBranchProfile overrides the branch behaviour of fn.
+func (r *Registry) SetBranchProfile(fn FuncID, takenRate float64, branchEvery int) {
+	f := &r.funcs[fn]
+	f.TakenRate = takenRate
+	if branchEvery > 0 {
+		f.BranchEvery = branchEvery
+	}
+}
+
+// Lookup returns the ID for name.
+func (r *Registry) Lookup(name string) (FuncID, bool) {
+	id, ok := r.byName[name]
+	return id, ok
+}
+
+// Info returns the descriptor for fn.
+func (r *Registry) Info(fn FuncID) FuncInfo { return r.funcs[fn] }
+
+// Name returns the name of fn, or "<none>" for NoFunc.
+func (r *Registry) Name(fn FuncID) string {
+	if fn == NoFunc {
+		return "<none>"
+	}
+	return r.funcs[fn].Name
+}
+
+// Len returns the number of registered functions.
+func (r *Registry) Len() int { return len(r.funcs) }
+
+// Funcs returns a copy of all function descriptors in ID order.
+func (r *Registry) Funcs() []FuncInfo {
+	out := make([]FuncInfo, len(r.funcs))
+	copy(out, r.funcs)
+	return out
+}
+
+// TotalSize returns the static code footprint in bytes.
+func (r *Registry) TotalSize() int {
+	total := 0
+	for _, f := range r.funcs {
+		total += isa.InstrRangeBytes(f.Size)
+	}
+	return total
+}
+
+// Placement records where one function lives in an image.
+type Placement struct {
+	Start isa.Addr
+	// SizeBytes is the body size in bytes after layout (OM may shrink it).
+	SizeBytes int
+	// TakenRate is the effective taken-branch rate in this image.
+	TakenRate float64
+	// BranchEvery is the effective branch spacing in this image.
+	BranchEvery int
+}
+
+// End returns the first byte past the function body.
+func (p Placement) End() isa.Addr { return p.Start + isa.Addr(p.SizeBytes) }
+
+// Image is one laid-out binary: an address for every function plus the
+// image-wide dynamic-instruction scale factor.
+type Image struct {
+	Name string
+	reg  *Registry
+	// place is indexed by FuncID.
+	place []Placement
+	// InstrScale multiplies dynamic run lengths. OM's link-time classical
+	// optimizations removed 12% of dynamic instructions in the paper, so
+	// its image uses 0.88; O5 uses 1.0.
+	InstrScale float64
+	// byStart supports reverse lookup (address -> function) for tests
+	// and for the trace synthesizer.
+	byStart map[isa.Addr]FuncID
+	limit   isa.Addr
+}
+
+// Registry returns the registry the image was laid out from.
+func (im *Image) Registry() *Registry { return im.reg }
+
+// Placement returns where fn lives in this image.
+func (im *Image) Placement(fn FuncID) Placement { return im.place[fn] }
+
+// Start returns the starting address of fn.
+func (im *Image) Start(fn FuncID) isa.Addr { return im.place[fn].Start }
+
+// FuncAt returns the function whose body starts exactly at a.
+func (im *Image) FuncAt(a isa.Addr) (FuncID, bool) {
+	id, ok := im.byStart[a]
+	return id, ok
+}
+
+// Limit returns the first address past the image.
+func (im *Image) Limit() isa.Addr { return im.limit }
+
+// FootprintBytes returns the total size of the image body in bytes.
+func (im *Image) FootprintBytes() int { return int(im.limit - isa.CodeBase) }
+
+// layoutInOrder assigns addresses to functions in the given order,
+// aligning each body to a cache-line boundary (linkers align function
+// entries; it also keeps the per-function NL clamp honest).
+func layoutInOrder(name string, reg *Registry, order []FuncID, instrScale float64, takenScale float64) *Image {
+	im := &Image{
+		Name:       name,
+		reg:        reg,
+		place:      make([]Placement, reg.Len()),
+		InstrScale: instrScale,
+		byStart:    make(map[isa.Addr]FuncID, reg.Len()),
+	}
+	next := isa.CodeBase
+	for _, fn := range order {
+		f := reg.Info(fn)
+		sizeBytes := isa.InstrRangeBytes(f.Size)
+		tr := f.TakenRate * takenScale
+		be := f.BranchEvery
+		if takenScale < 1 {
+			// Straightened code also spaces its remaining branches
+			// further apart: blocks were merged.
+			be = be * 3 / 2
+		}
+		im.place[fn] = Placement{Start: next, SizeBytes: sizeBytes, TakenRate: tr, BranchEvery: be}
+		im.byStart[next] = fn
+		next = isa.AlignUp(next+isa.Addr(sizeBytes), isa.LineBytes)
+	}
+	im.limit = next
+	return im
+}
+
+// LayoutO5 builds the baseline image: registration order with each
+// function's private helpers immediately after it (they live in the
+// same object file, so the linker emits them together), unmodified
+// branch behaviour, no instruction-count reduction.
+func LayoutO5(reg *Registry) *Image {
+	placed := make([]bool, reg.Len())
+	order := make([]FuncID, 0, reg.Len())
+	emit := func(fn FuncID) {
+		if !placed[fn] {
+			placed[fn] = true
+			order = append(order, fn)
+		}
+	}
+	for i := 0; i < reg.Len(); i++ {
+		fn := FuncID(i)
+		emit(fn)
+		for _, h := range reg.Info(fn).Helpers {
+			emit(h)
+		}
+	}
+	return layoutInOrder("O5", reg, order, 1.0, 1.0)
+}
+
+// OMTakenScale is the factor by which OM's basic-block straightening
+// reduces the taken-branch rate.
+const OMTakenScale = 0.75
+
+// OMInstrScale reflects OM's 12% dynamic-instruction reduction (§5.1).
+const OMInstrScale = 0.88
+
+// LayoutOM builds the profile-guided image. Functions are placed with the
+// Pettis-Hansen closest-is-best strategy driven by the call-edge weights
+// in prof; branch behaviour is straightened; the dynamic instruction
+// count is scaled by OMInstrScale.
+//
+// Functions absent from the profile are appended in registration order
+// after all profiled code, exactly as a link-time optimizer would demote
+// never-executed code.
+func LayoutOM(reg *Registry, prof *Profile) *Image {
+	order := closestIsBest(reg, prof)
+	return layoutInOrder("O5+OM", reg, order, OMInstrScale, OMTakenScale)
+}
+
+// closestIsBest implements Pettis-Hansen function placement: treat every
+// function as a singleton chain, repeatedly merge the two chains joined
+// by the heaviest remaining call edge, then concatenate leftover chains
+// by total weight.
+func closestIsBest(reg *Registry, prof *Profile) []FuncID {
+	type edge struct {
+		a, b FuncID
+		w    int64
+	}
+	edges := make([]edge, 0, len(prof.CallEdges))
+	for pair, w := range prof.CallEdges {
+		if pair.Caller == NoFunc || pair.Callee == NoFunc || pair.Caller == pair.Callee {
+			continue
+		}
+		edges = append(edges, edge{pair.Caller, pair.Callee, w})
+	}
+	// Heaviest first; break ties deterministically by IDs.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	n := reg.Len()
+	chainOf := make([]int, n) // function -> chain index
+	chains := make([][]FuncID, n)
+	hot := make([]int64, n) // chain -> total edge weight absorbed
+	for i := 0; i < n; i++ {
+		chainOf[i] = i
+		chains[i] = []FuncID{FuncID(i)}
+	}
+	for _, e := range edges {
+		ca, cb := chainOf[e.a], chainOf[e.b]
+		if ca == cb {
+			continue
+		}
+		// Merge the callee's chain after the caller's chain: callers
+		// fall through toward callees.
+		merged := append(chains[ca], chains[cb]...)
+		chains[ca] = merged
+		chains[cb] = nil
+		hot[ca] += hot[cb] + e.w
+		for _, f := range chains[ca] {
+			chainOf[f] = ca
+		}
+	}
+	// Order chains: executed (hot) chains first, by weight, then cold
+	// functions in registration order.
+	type chainRef struct {
+		idx int
+		w   int64
+	}
+	var refs []chainRef
+	for i, c := range chains {
+		if len(c) == 0 {
+			continue
+		}
+		w := hot[i]
+		if w == 0 && prof.CallCounts[c[0]] > 0 {
+			w = 1 // executed but never merged: still hotter than cold code
+		}
+		refs = append(refs, chainRef{i, w})
+	}
+	sort.SliceStable(refs, func(i, j int) bool {
+		if refs[i].w != refs[j].w {
+			return refs[i].w > refs[j].w
+		}
+		return chains[refs[i].idx][0] < chains[refs[j].idx][0]
+	})
+	order := make([]FuncID, 0, n)
+	for _, ref := range refs {
+		order = append(order, chains[ref.idx]...)
+	}
+	if len(order) != n {
+		panic("program: closestIsBest lost functions")
+	}
+	return order
+}

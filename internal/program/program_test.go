@@ -1,0 +1,238 @@
+package program
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cgp/internal/isa"
+)
+
+func buildRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register("a", 100)
+	reg.Register("b", 200)
+	reg.Register("c", 300)
+	reg.Register("d", 50)
+	return reg
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	reg := buildRegistry()
+	id, ok := reg.Lookup("b")
+	if !ok || reg.Info(id).Size != 200 {
+		t.Fatalf("lookup b = %v,%v", id, ok)
+	}
+	if reg.Len() != 4 {
+		t.Errorf("len = %d", reg.Len())
+	}
+	if reg.Name(NoFunc) != "<none>" {
+		t.Errorf("Name(NoFunc) = %q", reg.Name(NoFunc))
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	reg := buildRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate name")
+		}
+	}()
+	reg.Register("a", 10)
+}
+
+func TestSizeScale(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSizeScale(3.0)
+	id := reg.Register("x", 100)
+	if got := reg.Info(id).Size; got != 300 {
+		t.Errorf("scaled size = %d, want 300", got)
+	}
+}
+
+func TestGenerateHelpers(t *testing.T) {
+	reg := NewRegistry()
+	big := reg.Register("big", 2000)
+	small := reg.Register("small", 100)
+	reg.GenerateHelpers(400, 700, 48, 200)
+	bh := reg.Info(big).Helpers
+	if len(bh) == 0 {
+		t.Fatal("big function got no helpers")
+	}
+	if len(reg.Info(small).Helpers) != 0 {
+		t.Error("small function got helpers")
+	}
+	for _, h := range bh {
+		info := reg.Info(h)
+		if info.Size < 48 || info.Size > 200 {
+			t.Errorf("helper %s size %d out of range", info.Name, info.Size)
+		}
+		if !strings.HasPrefix(info.Name, "big.h") {
+			t.Errorf("helper name %q", info.Name)
+		}
+		if len(info.Helpers) != 0 {
+			t.Error("helper has helpers")
+		}
+	}
+}
+
+func TestHelpersNotSizeScaled(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetSizeScale(8)
+	reg.Register("big", 500) // becomes 4000
+	reg.GenerateHelpers(400, 700, 48, 200)
+	for _, f := range reg.Funcs() {
+		if strings.Contains(f.Name, ".h") && f.Size > 200 {
+			t.Errorf("helper %s size %d was scaled", f.Name, f.Size)
+		}
+	}
+}
+
+func checkImage(t *testing.T, im *Image, reg *Registry) {
+	t.Helper()
+	type span struct{ lo, hi isa.Addr }
+	var spans []span
+	for i := 0; i < reg.Len(); i++ {
+		p := im.Placement(FuncID(i))
+		if p.Start < isa.CodeBase {
+			t.Fatalf("func %d below code base", i)
+		}
+		if p.Start%isa.LineBytes != 0 {
+			t.Errorf("func %d start %#x not line-aligned", i, p.Start)
+		}
+		if p.SizeBytes != isa.InstrRangeBytes(reg.Info(FuncID(i)).Size) {
+			t.Errorf("func %d size mismatch", i)
+		}
+		spans = append(spans, span{p.Start, p.End()})
+	}
+	for i, a := range spans {
+		for j, b := range spans {
+			if i != j && a.lo < b.hi && b.lo < a.hi {
+				t.Fatalf("functions %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestLayoutO5NoOverlap(t *testing.T) {
+	reg := buildRegistry()
+	im := LayoutO5(reg)
+	checkImage(t, im, reg)
+	if im.InstrScale != 1.0 {
+		t.Errorf("O5 instr scale = %f", im.InstrScale)
+	}
+}
+
+func TestLayoutO5HelpersAdjacent(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Register("a", 2000)
+	reg.Register("b", 2000)
+	reg.GenerateHelpers(400, 700, 48, 200)
+	im := LayoutO5(reg)
+	// a's first helper must be laid out before b (file-local
+	// placement), even though it was registered after b.
+	bID, _ := reg.Lookup("b")
+	h0 := reg.Info(a).Helpers[0]
+	if im.Start(h0) > im.Start(bID) {
+		t.Errorf("helper placed at %#x after next primary %#x", im.Start(h0), im.Start(bID))
+	}
+}
+
+func TestLayoutOM(t *testing.T) {
+	reg := buildRegistry()
+	a, _ := reg.Lookup("a")
+	b, _ := reg.Lookup("b")
+	c, _ := reg.Lookup("c")
+	prof := NewProfile()
+	// Hot edge a->c: OM must place c right after a.
+	for i := 0; i < 100; i++ {
+		prof.AddCall(a, c)
+	}
+	prof.AddCall(a, b)
+	im := LayoutOM(reg, prof)
+	checkImage(t, im, reg)
+	if im.InstrScale != OMInstrScale {
+		t.Errorf("OM instr scale = %f", im.InstrScale)
+	}
+	pa, pc := im.Placement(a), im.Placement(c)
+	if pc.Start != isa.AlignUp(pa.End(), isa.LineBytes) {
+		t.Errorf("closest-is-best: c at %#x, a ends %#x", pc.Start, pa.End())
+	}
+	// Straightening: lower taken rate, wider branch spacing.
+	if pa.TakenRate >= reg.Info(a).TakenRate {
+		t.Error("OM did not straighten branches")
+	}
+	if pa.BranchEvery <= reg.Info(a).BranchEvery {
+		t.Error("OM did not widen branch spacing")
+	}
+}
+
+func TestLayoutOMColdCodeLast(t *testing.T) {
+	reg := buildRegistry()
+	a, _ := reg.Lookup("a")
+	b, _ := reg.Lookup("b")
+	prof := NewProfile()
+	prof.AddCall(a, b) // c and d never executed
+	im := LayoutOM(reg, prof)
+	c, _ := reg.Lookup("c")
+	d, _ := reg.Lookup("d")
+	if im.Start(c) < im.Start(b) || im.Start(d) < im.Start(b) {
+		t.Error("cold functions placed before hot chain")
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	reg := buildRegistry()
+	im := LayoutO5(reg)
+	a, _ := reg.Lookup("a")
+	if got, ok := im.FuncAt(im.Start(a)); !ok || got != a {
+		t.Errorf("FuncAt(start a) = %v,%v", got, ok)
+	}
+	if _, ok := im.FuncAt(im.Start(a) + 4); ok {
+		t.Error("FuncAt mid-body reported a function")
+	}
+}
+
+// Property: any profile yields an OM layout that is a permutation of
+// all functions with no overlaps.
+func TestLayoutOMPermutationProperty(t *testing.T) {
+	f := func(edges []uint16) bool {
+		reg := buildRegistry()
+		reg.GenerateHelpers(100, 100, 48, 96)
+		prof := NewProfile()
+		n := reg.Len()
+		for _, e := range edges {
+			caller := FuncID(int(e>>8) % n)
+			callee := FuncID(int(e&0xFF) % n)
+			prof.AddCall(caller, callee)
+		}
+		im := LayoutOM(reg, prof)
+		seen := map[isa.Addr]bool{}
+		for i := 0; i < n; i++ {
+			s := im.Start(FuncID(i))
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalSizeAndFootprint(t *testing.T) {
+	reg := buildRegistry()
+	im := LayoutO5(reg)
+	if reg.TotalSize() != (100+200+300+50)*4 {
+		t.Errorf("TotalSize = %d", reg.TotalSize())
+	}
+	if im.FootprintBytes() < reg.TotalSize() {
+		t.Errorf("footprint %d smaller than code %d", im.FootprintBytes(), reg.TotalSize())
+	}
+	// Alignment waste is bounded by one line per function.
+	if im.FootprintBytes() > reg.TotalSize()+reg.Len()*isa.LineBytes {
+		t.Errorf("footprint %d too large", im.FootprintBytes())
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// The binary trace format: a fixed magic header followed by one varint-
+// packed record per event. Traces are normally streamed straight into
+// the simulator, but capture/replay is useful for debugging and for
+// decoupling expensive query execution from parameter sweeps.
+
+var traceMagic = [8]byte{'C', 'G', 'P', 'T', 'R', 'C', '0', '1'}
+
+// ErrBadMagic is returned when a reader is handed a non-trace stream.
+var ErrBadMagic = errors.New("trace: bad magic")
+
+// Writer encodes events to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	buf [8 * binary.MaxVarintLen64]byte
+	err error
+}
+
+// NewWriter writes the header and returns an event writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, fmt.Errorf("trace: write header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Event implements Consumer, encoding ev. Errors are sticky and are
+// reported by Flush.
+func (tw *Writer) Event(ev Event) {
+	if tw.err != nil {
+		return
+	}
+	b := tw.buf[:0]
+	flags := byte(ev.Kind) << 1
+	if ev.Taken {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(ev.Addr))
+	b = binary.AppendUvarint(b, uint64(ev.Target))
+	b = binary.AppendUvarint(b, uint64(ev.CallerStart))
+	b = binary.AppendVarint(b, int64(ev.N))
+	b = binary.AppendVarint(b, int64(ev.Iters))
+	b = binary.AppendVarint(b, int64(ev.Fn))
+	b = binary.AppendVarint(b, int64(ev.Caller))
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+	}
+}
+
+// Flush flushes buffered output and returns the first error encountered
+// while writing, if any.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes a stream written by Writer.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the header and returns an event reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next decodes the next event. It returns io.EOF at a clean end of
+// stream.
+func (tr *Reader) Next() (Event, error) {
+	var ev Event
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		return ev, err // io.EOF passes through for clean termination
+	}
+	ev.Kind = Kind(flags >> 1)
+	ev.Taken = flags&1 != 0
+	fail := func(field string, err error) (Event, error) {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return ev, fmt.Errorf("trace: decode %s: %w", field, err)
+	}
+	u, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return fail("addr", err)
+	}
+	ev.Addr = isa.Addr(u)
+	if u, err = binary.ReadUvarint(tr.r); err != nil {
+		return fail("target", err)
+	}
+	ev.Target = isa.Addr(u)
+	if u, err = binary.ReadUvarint(tr.r); err != nil {
+		return fail("callerStart", err)
+	}
+	ev.CallerStart = isa.Addr(u)
+	v, err := binary.ReadVarint(tr.r)
+	if err != nil {
+		return fail("n", err)
+	}
+	ev.N = int32(v)
+	if v, err = binary.ReadVarint(tr.r); err != nil {
+		return fail("iters", err)
+	}
+	ev.Iters = int32(v)
+	if v, err = binary.ReadVarint(tr.r); err != nil {
+		return fail("fn", err)
+	}
+	ev.Fn = program.FuncID(v)
+	if v, err = binary.ReadVarint(tr.r); err != nil {
+		return fail("caller", err)
+	}
+	ev.Caller = program.FuncID(v)
+	return ev, nil
+}
+
+// Replay feeds every event in the stream to c, stopping at EOF.
+func (tr *Reader) Replay(c Consumer) error {
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.Event(ev)
+	}
+}

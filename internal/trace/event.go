@@ -1,0 +1,116 @@
+// Package trace defines the dynamic side of a simulated program: the
+// event stream a run produces (instruction runs, loops, branches, calls,
+// returns and data references) and the Tracer used to instrument the
+// database engine so that executing real queries synthesizes a fetch
+// address stream for the cycle simulator.
+//
+// The stream plays the role of the instrumented Alpha binaries the paper
+// fed to SimpleScalar: every event carries concrete addresses from a
+// program.Image, so the consumer (the CPU model) sees exactly what a
+// fetch unit would see.
+package trace
+
+import (
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// Kind discriminates trace events.
+type Kind uint8
+
+const (
+	// KindRun is a sequential fetch of N instructions starting at Addr.
+	KindRun Kind = iota
+	// KindLoop is a compressed loop: a body of N instructions at Addr
+	// executed Iters times (with a backward taken branch per iteration).
+	KindLoop
+	// KindBranch is a conditional branch at Addr with outcome Taken; if
+	// taken, fetch continues at Target.
+	KindBranch
+	// KindCall is a function call: control transfers to Target (the
+	// start of function Fn). Addr is the address of the call
+	// instruction; Addr+isa.InstrBytes is the return address. Caller and
+	// CallerStart identify the calling function.
+	KindCall
+	// KindReturn is a return from function Fn (whose start is Addr) back
+	// to Target inside Caller (whose start is CallerStart).
+	KindReturn
+	// KindData is a data reference of N bytes at Addr; Taken doubles as
+	// the "is write" flag.
+	KindData
+	// KindSwitch marks a context switch between query threads. Thread
+	// is carried in N.
+	KindSwitch
+)
+
+// String returns a short mnemonic for k.
+func (k Kind) String() string {
+	switch k {
+	case KindRun:
+		return "run"
+	case KindLoop:
+		return "loop"
+	case KindBranch:
+		return "br"
+	case KindCall:
+		return "call"
+	case KindReturn:
+		return "ret"
+	case KindData:
+		return "data"
+	case KindSwitch:
+		return "switch"
+	}
+	return "?"
+}
+
+// Event is one element of the dynamic trace. Field meaning depends on
+// Kind; see the Kind constants.
+type Event struct {
+	Addr        isa.Addr
+	Target      isa.Addr
+	CallerStart isa.Addr
+	N           int32
+	Iters       int32
+	Fn          program.FuncID
+	Caller      program.FuncID
+	Kind        Kind
+	Taken       bool
+}
+
+// Instructions returns how many dynamic instructions the event accounts
+// for (calls, returns and branches are single instructions already
+// counted inside their surrounding runs).
+func (e Event) Instructions() int64 {
+	switch e.Kind {
+	case KindRun:
+		return int64(e.N)
+	case KindLoop:
+		return int64(e.N) * int64(e.Iters)
+	}
+	return 0
+}
+
+// Consumer receives a stream of events. Implementations must not retain
+// the event past the call.
+type Consumer interface {
+	Event(ev Event)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(Event)
+
+// Event implements Consumer.
+func (f ConsumerFunc) Event(ev Event) { f(ev) }
+
+// Tee returns a Consumer that forwards every event to each of cs.
+func Tee(cs ...Consumer) Consumer {
+	return ConsumerFunc(func(ev Event) {
+		for _, c := range cs {
+			c.Event(ev)
+		}
+	})
+}
+
+// Discard is a Consumer that drops all events.
+var Discard Consumer = ConsumerFunc(func(Event) {})

@@ -1,0 +1,87 @@
+package trace
+
+import "cgp/internal/program"
+
+// Stats is a Consumer that accumulates aggregate statistics about a
+// trace: instruction, call, branch and data-reference counts.
+type Stats struct {
+	Instructions int64
+	Calls        int64
+	Returns      int64
+	Branches     int64
+	TakenBrs     int64
+	Loops        int64
+	DataRefs     int64
+	DataBytes    int64
+	Switches     int64
+	Events       int64
+}
+
+// Event implements Consumer.
+func (s *Stats) Event(ev Event) {
+	s.Events++
+	switch ev.Kind {
+	case KindRun:
+		s.Instructions += int64(ev.N)
+	case KindLoop:
+		s.Instructions += int64(ev.N) * int64(ev.Iters)
+		s.Loops++
+		// One backward branch per iteration.
+		s.Branches += int64(ev.Iters)
+		s.TakenBrs += int64(ev.Iters) - 1
+	case KindBranch:
+		s.Branches++
+		if ev.Taken {
+			s.TakenBrs++
+		}
+	case KindCall:
+		s.Calls++
+	case KindReturn:
+		s.Returns++
+	case KindData:
+		s.DataRefs++
+		s.DataBytes += int64(ev.N)
+	case KindSwitch:
+		s.Switches++
+	}
+}
+
+// InstructionsPerCall reports the average number of instructions between
+// dynamic calls. The paper measures 43 for the DB workloads (§5.4).
+func (s *Stats) InstructionsPerCall() float64 {
+	if s.Calls == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Calls)
+}
+
+// ProfileCollector is a Consumer that builds a program.Profile from a
+// run — the stand-in for the instrumented profile pass OM requires.
+type ProfileCollector struct {
+	Profile *program.Profile
+}
+
+// NewProfileCollector returns a collector with a fresh profile.
+func NewProfileCollector() *ProfileCollector {
+	return &ProfileCollector{Profile: program.NewProfile()}
+}
+
+// Event implements Consumer.
+func (p *ProfileCollector) Event(ev Event) {
+	switch ev.Kind {
+	case KindCall:
+		p.Profile.AddCall(ev.Caller, ev.Fn)
+	case KindRun:
+		p.Profile.AddInstructions(int64(ev.N))
+	case KindLoop:
+		p.Profile.AddInstructions(int64(ev.N) * int64(ev.Iters))
+	}
+}
+
+// Recorder is a Consumer that stores events in memory, mainly for tests.
+type Recorder struct {
+	Events []Event
+}
+
+// Event implements Consumer.
+func (r *Recorder) Event(ev Event) { r.Events = append(r.Events, ev) }

@@ -1,0 +1,409 @@
+package workload
+
+import (
+	"math/rand"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+)
+
+// TPCHScale sizes the TPC-H-like database. The paper used a 30MB TPC-H
+// dataset; the default here is smaller so full parameter sweeps finish
+// quickly, and the generator scales linearly if callers want more.
+type TPCHScale struct {
+	Suppliers int
+	Customers int
+	Parts     int
+	Orders    int
+	// MaxLines is the max lineitems per order (uniform 1..MaxLines).
+	MaxLines int
+}
+
+// DefaultTPCHScale returns the sweep-friendly size.
+func DefaultTPCHScale() TPCHScale {
+	return TPCHScale{Suppliers: 40, Customers: 240, Parts: 320, Orders: 960, MaxLines: 7}
+}
+
+// Date range: integer days over 7 years, as TPC-H's 1992-1998.
+const tpchDays = 2557
+
+var mktSegments = [5]string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+var regionNames = [5]string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"}
+
+// LoadTPCH creates and populates the eight TPC-H tables.
+func LoadTPCH(e *db.Engine, sc TPCHScale, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	t := e.Txns.Begin()
+
+	region, err := e.CreateTable("region", catalog.NewSchema(
+		catalog.Column{Name: "r_regionkey", Type: catalog.Int},
+		catalog.Column{Name: "r_name", Type: catalog.String, Len: 12},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := e.InsertRow(t, region, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(regionNames[i]),
+		}); err != nil {
+			return err
+		}
+	}
+
+	nation, err := e.CreateTable("nation", catalog.NewSchema(
+		catalog.Column{Name: "n_nationkey", Type: catalog.Int},
+		catalog.Column{Name: "n_name", Type: catalog.String, Len: 16},
+		catalog.Column{Name: "n_regionkey", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := e.InsertRow(t, nation, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(wisconsinString(int64(i))[:14]), catalog.V(int64(i % 5)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	supplier, err := e.CreateTable("supplier", catalog.NewSchema(
+		catalog.Column{Name: "s_suppkey", Type: catalog.Int},
+		catalog.Column{Name: "s_name", Type: catalog.String, Len: 18},
+		catalog.Column{Name: "s_nationkey", Type: catalog.Int},
+		catalog.Column{Name: "s_acctbal", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sc.Suppliers; i++ {
+		if _, err := e.InsertRow(t, supplier, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(wisconsinString(int64(i) * 3)[:16]),
+			catalog.V(rng.Int63n(25)), catalog.V(rng.Int63n(1000000)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	part, err := e.CreateTable("part", catalog.NewSchema(
+		catalog.Column{Name: "p_partkey", Type: catalog.Int},
+		catalog.Column{Name: "p_name", Type: catalog.String, Len: 24},
+		catalog.Column{Name: "p_mfgr", Type: catalog.String, Len: 12},
+		catalog.Column{Name: "p_size", Type: catalog.Int},
+		catalog.Column{Name: "p_retailprice", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sc.Parts; i++ {
+		if _, err := e.InsertRow(t, part, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(wisconsinString(int64(i) * 5)[:22]),
+			catalog.SV("MFGR#" + string(rune('1'+i%5))),
+			catalog.V(1 + rng.Int63n(50)), catalog.V(90000 + rng.Int63n(20000)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	partsupp, err := e.CreateTable("partsupp", catalog.NewSchema(
+		catalog.Column{Name: "ps_partkey", Type: catalog.Int},
+		catalog.Column{Name: "ps_suppkey", Type: catalog.Int},
+		catalog.Column{Name: "ps_availqty", Type: catalog.Int},
+		catalog.Column{Name: "ps_supplycost", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sc.Parts; i++ {
+		for j := 0; j < 4; j++ {
+			if _, err := e.InsertRow(t, partsupp, []catalog.Value{
+				catalog.V(int64(i)), catalog.V(int64((i*13 + j*7) % sc.Suppliers)),
+				catalog.V(rng.Int63n(10000)), catalog.V(100 + rng.Int63n(100000)),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	customer, err := e.CreateTable("customer", catalog.NewSchema(
+		catalog.Column{Name: "c_custkey", Type: catalog.Int},
+		catalog.Column{Name: "c_name", Type: catalog.String, Len: 18},
+		catalog.Column{Name: "c_nationkey", Type: catalog.Int},
+		catalog.Column{Name: "c_mktsegment", Type: catalog.String, Len: 12},
+		catalog.Column{Name: "c_acctbal", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < sc.Customers; i++ {
+		if _, err := e.InsertRow(t, customer, []catalog.Value{
+			catalog.V(int64(i)), catalog.SV(wisconsinString(int64(i) * 11)[:16]),
+			catalog.V(rng.Int63n(25)), catalog.SV(mktSegments[rng.Intn(5)]),
+			catalog.V(rng.Int63n(1000000)),
+		}); err != nil {
+			return err
+		}
+	}
+
+	orders, err := e.CreateTable("orders", catalog.NewSchema(
+		catalog.Column{Name: "o_orderkey", Type: catalog.Int},
+		catalog.Column{Name: "o_custkey", Type: catalog.Int},
+		catalog.Column{Name: "o_orderdate", Type: catalog.Int},
+		catalog.Column{Name: "o_totalprice", Type: catalog.Int},
+		catalog.Column{Name: "o_shippriority", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	lineitem, err := e.CreateTable("lineitem", catalog.NewSchema(
+		catalog.Column{Name: "l_orderkey", Type: catalog.Int},
+		catalog.Column{Name: "l_partkey", Type: catalog.Int},
+		catalog.Column{Name: "l_suppkey", Type: catalog.Int},
+		catalog.Column{Name: "l_linenumber", Type: catalog.Int},
+		catalog.Column{Name: "l_quantity", Type: catalog.Int},
+		catalog.Column{Name: "l_extendedprice", Type: catalog.Int},
+		catalog.Column{Name: "l_discount", Type: catalog.Int},
+		catalog.Column{Name: "l_tax", Type: catalog.Int},
+		catalog.Column{Name: "l_returnflag", Type: catalog.Int},
+		catalog.Column{Name: "l_linestatus", Type: catalog.Int},
+		catalog.Column{Name: "l_shipdate", Type: catalog.Int},
+	))
+	if err != nil {
+		return err
+	}
+	for o := 0; o < sc.Orders; o++ {
+		odate := rng.Int63n(tpchDays - 200)
+		if _, err := e.InsertRow(t, orders, []catalog.Value{
+			catalog.V(int64(o)), catalog.V(rng.Int63n(int64(sc.Customers))),
+			catalog.V(odate), catalog.V(10000 + rng.Int63n(5000000)),
+			catalog.V(rng.Int63n(2)),
+		}); err != nil {
+			return err
+		}
+		lines := 1 + rng.Intn(sc.MaxLines)
+		for l := 0; l < lines; l++ {
+			ship := odate + 1 + rng.Int63n(120)
+			rf := int64(0)
+			if ship > tpchDays*3/4 {
+				rf = 1
+			} else if rng.Intn(4) == 0 {
+				rf = 2
+			}
+			if _, err := e.InsertRow(t, lineitem, []catalog.Value{
+				catalog.V(int64(o)), catalog.V(rng.Int63n(int64(sc.Parts))),
+				catalog.V(rng.Int63n(int64(sc.Suppliers))), catalog.V(int64(l)),
+				catalog.V(1 + rng.Int63n(50)), catalog.V(10000 + rng.Int63n(90000)),
+				catalog.V(rng.Int63n(1100)), catalog.V(rng.Int63n(900)),
+				catalog.V(rf), catalog.V(rng.Int63n(2)), catalog.V(ship),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Indexes: clustered where the generator emitted key order.
+	for _, ix := range []struct {
+		table, col string
+		clustered  bool
+	}{
+		{"supplier", "s_suppkey", true},
+		{"part", "p_partkey", true},
+		{"partsupp", "ps_partkey", true},
+		{"customer", "c_custkey", true},
+		{"orders", "o_orderkey", true},
+		{"orders", "o_custkey", false},
+		{"lineitem", "l_orderkey", true},
+	} {
+		if _, err := e.CreateIndex(t, ix.table, ix.col, ix.clustered); err != nil {
+			return err
+		}
+	}
+	return e.Txns.Commit(t)
+}
+
+// revenueExtend appends revenue = extendedprice * (10000-discount)/10000.
+func revenueExtend(ctx *exec.Context, in exec.Iterator) *exec.Extend {
+	epi := in.Schema().ColIndex("l_extendedprice")
+	dci := in.Schema().ColIndex("l_discount")
+	return exec.NewExtend(ctx, in, "revenue", 14, func(t catalog.Tuple) int64 {
+		return t.Int(epi) * (10000 - t.Int(dci)) / 10000
+	})
+}
+
+// TPCHQ1 is the pricing summary report.
+func TPCHQ1() db.Query {
+	return db.Query{
+		Name: "tpch_q1",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			li := e.MustTable("lineitem")
+			scan := exec.NewSeqScan(ctx, li.Heap, li.Schema)
+			filt := exec.NewFilter(ctx, scan, exec.IntCmp{Col: "l_shipdate", Op: exec.Le, Val: tpchDays - 90})
+			rev := revenueExtend(ctx, filt)
+			txi := rev.Schema().ColIndex("l_tax")
+			rvi := rev.Schema().ColIndex("revenue")
+			chg := exec.NewExtend(ctx, rev, "charge", 16, func(t catalog.Tuple) int64 {
+				return t.Int(rvi) * (10000 + t.Int(txi)) / 10000
+			})
+			agg := exec.NewHashAggregate(ctx, chg,
+				[]string{"l_returnflag", "l_linestatus"},
+				[]exec.Agg{
+					{Op: exec.Sum, Col: "l_quantity", As: "sum_qty"},
+					{Op: exec.Sum, Col: "l_extendedprice", As: "sum_base_price"},
+					{Op: exec.Sum, Col: "revenue", As: "sum_disc_price"},
+					{Op: exec.Sum, Col: "charge", As: "sum_charge"},
+					{Op: exec.Avg, Col: "l_quantity", As: "avg_qty"},
+					{Op: exec.Avg, Col: "l_extendedprice", As: "avg_price"},
+					{Op: exec.Avg, Col: "l_discount", As: "avg_disc"},
+					{Op: exec.Count, As: "count_order"},
+				})
+			out := exec.NewSort(ctx, agg,
+				exec.SortKey{Col: "l_returnflag"}, exec.SortKey{Col: "l_linestatus"})
+			return out, nil, nil
+		},
+	}
+}
+
+// TPCHQ6 is the forecasting revenue change query.
+func TPCHQ6() db.Query {
+	return db.Query{
+		Name: "tpch_q6",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			li := e.MustTable("lineitem")
+			scan := exec.NewSeqScan(ctx, li.Heap, li.Schema)
+			filt := exec.NewFilter(ctx, scan, exec.And{
+				exec.IntRange{Col: "l_shipdate", Lo: 365, Hi: 729},
+				exec.IntRange{Col: "l_discount", Lo: 500, Hi: 700},
+				exec.IntCmp{Col: "l_quantity", Op: exec.Lt, Val: 24},
+			})
+			epi := filt.Schema().ColIndex("l_extendedprice")
+			dci := filt.Schema().ColIndex("l_discount")
+			rev := exec.NewExtend(ctx, filt, "disc_revenue", 10, func(t catalog.Tuple) int64 {
+				return t.Int(epi) * t.Int(dci) / 10000
+			})
+			agg := exec.NewHashAggregate(ctx, rev, nil,
+				[]exec.Agg{{Op: exec.Sum, Col: "disc_revenue", As: "revenue"}})
+			return agg, nil, nil
+		},
+	}
+}
+
+// TPCHQ3 is the shipping priority query (top-10 unshipped orders).
+func TPCHQ3() db.Query {
+	return db.Query{
+		Name: "tpch_q3",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			cutoff := int64(tpchDays / 2)
+			cust := e.MustTable("customer")
+			orders := e.MustTable("orders")
+			li := e.MustTable("lineitem")
+			seg := exec.NewFilter(ctx,
+				exec.NewSeqScan(ctx, cust.Heap, cust.Schema),
+				exec.StrEq{Col: "c_mktsegment", Val: "BUILDING"})
+			co := exec.NewIndexNLJoin(ctx, seg, "c_custkey",
+				orders.Indexes["o_custkey"], orders.Heap, orders.Schema)
+			cof := exec.NewFilter(ctx, co, exec.IntCmp{Col: "o_orderdate", Op: exec.Lt, Val: cutoff})
+			col := exec.NewIndexNLJoin(ctx, cof, "o_orderkey",
+				li.Indexes["l_orderkey"], li.Heap, li.Schema)
+			colf := exec.NewFilter(ctx, col, exec.IntCmp{Col: "l_shipdate", Op: exec.Gt, Val: cutoff})
+			rev := revenueExtend(ctx, colf)
+			agg := exec.NewHashAggregate(ctx, rev,
+				[]string{"o_orderkey", "o_orderdate", "o_shippriority"},
+				[]exec.Agg{{Op: exec.Sum, Col: "revenue", As: "revenue"}})
+			srt := exec.NewSort(ctx, agg,
+				exec.SortKey{Col: "revenue", Desc: true}, exec.SortKey{Col: "o_orderdate"})
+			return exec.NewLimit(ctx, srt, 10), nil, nil
+		},
+	}
+}
+
+// TPCHQ5 is the local supplier volume query (6-way join).
+func TPCHQ5() db.Query {
+	return db.Query{
+		Name: "tpch_q5",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			region := e.MustTable("region")
+			nation := e.MustTable("nation")
+			supp := e.MustTable("supplier")
+			cust := e.MustTable("customer")
+			orders := e.MustTable("orders")
+			li := e.MustTable("lineitem")
+
+			natRegion := exec.NewNLJoin(ctx,
+				exec.NewSeqScan(ctx, nation.Heap, nation.Schema),
+				exec.NewFilter(ctx, exec.NewSeqScan(ctx, region.Heap, region.Schema),
+					exec.StrEq{Col: "r_name", Val: "ASIA"}),
+				exec.ColEq{Left: "n_regionkey", Right: "r_regionkey"})
+			supNat := exec.NewGraceHashJoin(ctx,
+				exec.NewSeqScan(ctx, supp.Heap, supp.Schema), natRegion,
+				"s_nationkey", "n_nationkey", 4)
+
+			co := exec.NewIndexNLJoin(ctx,
+				exec.NewSeqScan(ctx, cust.Heap, cust.Schema), "c_custkey",
+				orders.Indexes["o_custkey"], orders.Heap, orders.Schema)
+			cof := exec.NewFilter(ctx, co, exec.IntRange{Col: "o_orderdate", Lo: 730, Hi: 1094})
+			col := exec.NewIndexNLJoin(ctx, cof, "o_orderkey",
+				li.Indexes["l_orderkey"], li.Heap, li.Schema)
+
+			all := exec.NewGraceHashJoin(ctx, col, supNat, "l_suppkey", "s_suppkey", 4)
+			local := exec.NewFilter(ctx, all, exec.ColEq{Left: "c_nationkey", Right: "s_nationkey"})
+			rev := revenueExtend(ctx, local)
+			agg := exec.NewHashAggregate(ctx, rev, []string{"n_name"},
+				[]exec.Agg{{Op: exec.Sum, Col: "revenue", As: "revenue"}})
+			return exec.NewSort(ctx, agg, exec.SortKey{Col: "revenue", Desc: true}), nil, nil
+		},
+	}
+}
+
+// TPCHQ2 is the minimum-cost supplier query (the "simple nested query"
+// the paper cites): the inner aggregation finds the minimum supply cost
+// per part within a region, the outer query re-joins to select the
+// suppliers achieving it.
+func TPCHQ2() db.Query {
+	return db.Query{
+		Name: "tpch_q2",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			part := e.MustTable("part")
+			psupp := e.MustTable("partsupp")
+			supp := e.MustTable("supplier")
+			nation := e.MustTable("nation")
+			region := e.MustTable("region")
+
+			// candidate pipeline: parts of the target size joined to
+			// their suppliers within EUROPE.
+			candidates := func() exec.Iterator {
+				pf := exec.NewFilter(ctx,
+					exec.NewSeqScan(ctx, part.Heap, part.Schema),
+					exec.IntCmp{Col: "p_size", Op: exec.Eq, Val: 15})
+				pps := exec.NewIndexNLJoin(ctx, pf, "p_partkey",
+					psupp.Indexes["ps_partkey"], psupp.Heap, psupp.Schema)
+				natReg := exec.NewNLJoin(ctx,
+					exec.NewSeqScan(ctx, nation.Heap, nation.Schema),
+					exec.NewFilter(ctx, exec.NewSeqScan(ctx, region.Heap, region.Schema),
+						exec.StrEq{Col: "r_name", Val: "EUROPE"}),
+					exec.ColEq{Left: "n_regionkey", Right: "r_regionkey"})
+				supNat := exec.NewGraceHashJoin(ctx,
+					exec.NewSeqScan(ctx, supp.Heap, supp.Schema), natReg,
+					"s_nationkey", "n_nationkey", 2)
+				return exec.NewGraceHashJoin(ctx, pps, supNat, "ps_suppkey", "s_suppkey", 4)
+			}
+
+			// Inner aggregation: min supply cost per part.
+			mins := exec.NewHashAggregate(ctx, candidates(),
+				[]string{"p_partkey"},
+				[]exec.Agg{{Op: exec.Min, Col: "ps_supplycost", As: "min_cost"}})
+			// Outer: re-join and keep suppliers at the minimum.
+			joined := exec.NewGraceHashJoin(ctx, mins, candidates(), "p_partkey", "p_partkey", 2)
+			final := exec.NewFilter(ctx, joined, exec.ColEq{Left: "min_cost", Right: "ps_supplycost"})
+			srt := exec.NewSort(ctx, final,
+				exec.SortKey{Col: "s_acctbal", Desc: true}, exec.SortKey{Col: "p_partkey"})
+			return exec.NewLimit(ctx, srt, 100), nil, nil
+		},
+	}
+}
+
+// TPCHQueries returns the five evaluated queries (1, 2, 3, 5, 6).
+func TPCHQueries() []db.Query {
+	return []db.Query{TPCHQ1(), TPCHQ2(), TPCHQ3(), TPCHQ5(), TPCHQ6()}
+}

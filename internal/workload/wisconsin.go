@@ -1,0 +1,208 @@
+// Package workload builds the paper's three workload families: the
+// Wisconsin benchmark queries, a scaled-down TPC-H, and synthetic
+// SPEC CPU2000 stand-ins, each as a Workload that drives the simulator
+// through a trace consumer.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+)
+
+// WisconsinSchema returns the standard 16-column Wisconsin relation
+// schema (13 integers and three 52-byte strings; Bitton et al. 1983).
+func WisconsinSchema() *catalog.Schema {
+	return catalog.NewSchema(
+		catalog.Column{Name: "unique1", Type: catalog.Int},
+		catalog.Column{Name: "unique2", Type: catalog.Int},
+		catalog.Column{Name: "two", Type: catalog.Int},
+		catalog.Column{Name: "four", Type: catalog.Int},
+		catalog.Column{Name: "ten", Type: catalog.Int},
+		catalog.Column{Name: "twenty", Type: catalog.Int},
+		catalog.Column{Name: "onePercent", Type: catalog.Int},
+		catalog.Column{Name: "tenPercent", Type: catalog.Int},
+		catalog.Column{Name: "twentyPercent", Type: catalog.Int},
+		catalog.Column{Name: "fiftyPercent", Type: catalog.Int},
+		catalog.Column{Name: "unique3", Type: catalog.Int},
+		catalog.Column{Name: "evenOnePercent", Type: catalog.Int},
+		catalog.Column{Name: "oddOnePercent", Type: catalog.Int},
+		catalog.Column{Name: "stringu1", Type: catalog.String, Len: 52},
+		catalog.Column{Name: "stringu2", Type: catalog.String, Len: 52},
+		catalog.Column{Name: "string4", Type: catalog.String, Len: 52},
+	)
+}
+
+var string4Cycle = [4]string{"AAAA", "HHHH", "OOOO", "VVVV"}
+
+// wisconsinString builds the 52-char cyclic string of the benchmark.
+func wisconsinString(seed int64) string {
+	var buf [52]byte
+	for i := range buf {
+		buf[i] = 'A' + byte((seed+int64(i)*7)%26)
+	}
+	return string(buf[:])
+}
+
+// LoadWisconsin creates and populates a Wisconsin relation of n tuples.
+// unique2 is sequential (so an index on it is clustered); unique1 is a
+// seeded permutation of 0..n-1.
+func LoadWisconsin(e *db.Engine, name string, n int, seed int64) (*db.Table, error) {
+	sch := WisconsinSchema()
+	tbl, err := e.CreateTable(name, sch)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	t := e.Txns.Begin()
+	for i := 0; i < n; i++ {
+		u1 := int64(perm[i])
+		u2 := int64(i)
+		one := u1 % 100
+		vals := []catalog.Value{
+			catalog.V(u1), catalog.V(u2),
+			catalog.V(u1 % 2), catalog.V(u1 % 4), catalog.V(u1 % 10), catalog.V(u1 % 20),
+			catalog.V(one), catalog.V(u1 % 10), catalog.V(u1 % 5), catalog.V(u1 % 2),
+			catalog.V(u1), catalog.V(one * 2), catalog.V(one*2 + 1),
+			catalog.SV(wisconsinString(u1)), catalog.SV(wisconsinString(u2)),
+			catalog.SV(string4Cycle[i%4]),
+		}
+		if _, err := e.InsertRow(t, tbl, vals); err != nil {
+			return nil, err
+		}
+	}
+	// Clustered index on unique2 (load order), non-clustered on unique1.
+	if _, err := e.CreateIndex(t, name, "unique2", true); err != nil {
+		return nil, err
+	}
+	if _, err := e.CreateIndex(t, name, "unique1", false); err != nil {
+		return nil, err
+	}
+	if err := e.Txns.Commit(t); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// WisconsinDB describes the loaded relations.
+type WisconsinDB struct {
+	// N is the cardinality of the two big relations; the small relation
+	// has N/10 tuples.
+	N int
+}
+
+// Load populates big1, big2 and small.
+func (w WisconsinDB) Load(e *db.Engine, seed int64) error {
+	if _, err := LoadWisconsin(e, "big1", w.N, seed); err != nil {
+		return err
+	}
+	if _, err := LoadWisconsin(e, "big2", w.N, seed+1); err != nil {
+		return err
+	}
+	small := w.N / 10
+	if small < 10 {
+		small = 10
+	}
+	if _, err := LoadWisconsin(e, "small", small, seed+2); err != nil {
+		return err
+	}
+	return nil
+}
+
+// scanInto builds SELECT * INTO TMP FROM big1 WHERE unique2 in a range,
+// without an index (Wisconsin queries 1 and 2).
+func wiscRangeScan(name string, lo, hi int64) db.Query {
+	return db.Query{
+		Name: name,
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			tbl := e.MustTable("big1")
+			scan := exec.NewSeqScan(ctx, tbl.Heap, tbl.Schema)
+			filt := exec.NewFilter(ctx, scan, exec.IntRange{Col: "unique2", Lo: lo, Hi: hi})
+			tmp, err := e.TempFile(name)
+			return filt, tmp, err
+		},
+	}
+}
+
+// wiscIndexSelect builds the indexed range selections (queries 3-6):
+// clustered on unique2, non-clustered on unique1.
+func wiscIndexSelect(name, col string, lo, hi int64) db.Query {
+	return db.Query{
+		Name: name,
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			tbl := e.MustTable("big1")
+			tree := tbl.Indexes[col]
+			it := exec.NewIndexScan(ctx, tree, tbl.Heap, tbl.Schema, lo, hi)
+			tmp, err := e.TempFile(name)
+			return it, tmp, err
+		},
+	}
+}
+
+// WisconsinQueries returns queries 1-7 and 9 for a database of n-tuple
+// big relations, with deterministic range placement derived from seed.
+func WisconsinQueries(n int, seed int64, which []int) []db.Query {
+	rng := rand.New(rand.NewSource(seed ^ 0x5CA1AB1E))
+	pick := func(width int64) (int64, int64) {
+		lo := rng.Int63n(int64(n) - width + 1)
+		return lo, lo + width - 1
+	}
+	one := int64(n / 100)
+	ten := int64(n / 10)
+	if one < 1 {
+		one = 1
+	}
+	if ten < 1 {
+		ten = 1
+	}
+	all := map[int]func() db.Query{
+		1: func() db.Query { lo, hi := pick(one); return wiscRangeScan("wisc_q1", lo, hi) },
+		2: func() db.Query { lo, hi := pick(ten); return wiscRangeScan("wisc_q2", lo, hi) },
+		3: func() db.Query { lo, hi := pick(one); return wiscIndexSelect("wisc_q3", "unique2", lo, hi) },
+		4: func() db.Query { lo, hi := pick(ten); return wiscIndexSelect("wisc_q4", "unique2", lo, hi) },
+		5: func() db.Query { lo, hi := pick(one); return wiscIndexSelect("wisc_q5", "unique1", lo, hi) },
+		6: func() db.Query { lo, hi := pick(ten); return wiscIndexSelect("wisc_q6", "unique1", lo, hi) },
+		7: func() db.Query {
+			key := rng.Int63n(int64(n))
+			return wiscIndexSelect("wisc_q7", "unique2", key, key)
+		},
+		9: func() db.Query { return wiscJoinAselB(int64(n)) },
+	}
+	out := make([]db.Query, 0, len(which))
+	for _, q := range which {
+		build, ok := all[q]
+		if !ok {
+			panic(fmt.Sprintf("workload: no Wisconsin query %d", q))
+		}
+		out = append(out, build())
+	}
+	return out
+}
+
+// wiscJoinAselB is query 9 (JoinAselB): select 10% of big2 by unique2,
+// join to big1 on unique1 via big1's non-clustered index, materializing
+// the result.
+func wiscJoinAselB(n int64) db.Query {
+	return db.Query{
+		Name: "wisc_q9",
+		Build: func(e *db.Engine, ctx *exec.Context) (exec.Iterator, *heap.File, error) {
+			big1 := e.MustTable("big1")
+			big2 := e.MustTable("big2")
+			sel := exec.NewFilter(ctx,
+				exec.NewSeqScan(ctx, big2.Heap, big2.Schema),
+				exec.IntCmp{Col: "unique2", Op: Lt, Val: n / 10})
+			join := exec.NewIndexNLJoin(ctx, sel, "unique1",
+				big1.Indexes["unique1"], big1.Heap, big1.Schema)
+			tmp, err := e.TempFile("wisc_q9")
+			return join, tmp, err
+		},
+	}
+}
+
+// Lt re-exports the operator for readability at the call site above.
+const Lt = exec.Lt

@@ -1,0 +1,284 @@
+package workload
+
+import (
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/db/exec"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+func smallOpts() DBOptions {
+	return DBOptions{WiscN: 400, Quantum: 5, Seed: 11, BufferFrames: 2048,
+		TPCH: TPCHScale{Suppliers: 10, Customers: 40, Parts: 60, Orders: 120, MaxLines: 4}}
+}
+
+func TestWisconsinGeneratorInvariants(t *testing.T) {
+	e := db.NewEngine(db.Options{BufferFrames: 1024})
+	tbl, err := LoadWisconsin(e, "w", 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Txns.Begin()
+	ctx := e.NewContext(tx)
+	rows, err := exec.Collect(exec.NewSeqScan(ctx, tbl.Heap, tbl.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	u1 := tbl.Schema.ColIndex("unique1")
+	u2 := tbl.Schema.ColIndex("unique2")
+	one := tbl.Schema.ColIndex("onePercent")
+	seen := make(map[int64]bool, 500)
+	for i, r := range rows {
+		v1 := r.Int(u1)
+		if v1 < 0 || v1 >= 500 || seen[v1] {
+			t.Fatalf("unique1 not a permutation: %d", v1)
+		}
+		seen[v1] = true
+		if r.Int(u2) != int64(i) {
+			t.Fatalf("unique2 not sequential at %d", i)
+		}
+		if r.Int(one) != v1%100 {
+			t.Fatalf("onePercent wrong for unique1=%d", v1)
+		}
+	}
+	// Indexes exist with the right clustering.
+	if tbl.Indexes["unique2"] == nil || tbl.Indexes["unique1"] == nil {
+		t.Fatal("missing indexes")
+	}
+	if tbl.Clustered != "unique2" {
+		t.Errorf("clustered = %q", tbl.Clustered)
+	}
+}
+
+// TestWisconsinSelectivities verifies each query returns the row count
+// its selectivity prescribes.
+func TestWisconsinSelectivities(t *testing.T) {
+	n := 400
+	e := db.NewEngine(db.Options{BufferFrames: 2048})
+	if err := (WisconsinDB{N: n}).Load(e, 7); err != nil {
+		t.Fatal(err)
+	}
+	queries := WisconsinQueries(n, 7, []int{1, 2, 3, 4, 5, 6, 7, 9})
+	res, err := e.RunConcurrent(queries, nil, trace.Discard, 7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"wisc_q1": int64(n / 100), // 1% selection
+		"wisc_q2": int64(n / 10),  // 10% selection
+		"wisc_q3": int64(n / 100),
+		"wisc_q4": int64(n / 10),
+		"wisc_q5": int64(n / 100),
+		"wisc_q6": int64(n / 10),
+		"wisc_q7": 1,             // single tuple
+		"wisc_q9": int64(n / 10), // 10% of big2 joined on unique key
+	}
+	for _, r := range res {
+		if w, ok := want[r.Name]; ok && r.Rows != w {
+			t.Errorf("%s rows = %d, want %d", r.Name, r.Rows, w)
+		}
+	}
+}
+
+func TestTPCHLoads(t *testing.T) {
+	e := db.NewEngine(db.Options{BufferFrames: 2048})
+	sc := TPCHScale{Suppliers: 10, Customers: 40, Parts: 60, Orders: 120, MaxLines: 4}
+	if err := LoadTPCH(e, sc, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		table string
+		rows  int64
+	}{
+		{"region", 5}, {"nation", 25}, {"supplier", 10},
+		{"part", 60}, {"partsupp", 240}, {"customer", 40}, {"orders", 120},
+	} {
+		tbl, err := e.Table(tc.table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Heap.NumRecords() != tc.rows {
+			t.Errorf("%s rows = %d, want %d", tc.table, tbl.Heap.NumRecords(), tc.rows)
+		}
+	}
+	li := e.MustTable("lineitem")
+	if li.Heap.NumRecords() < 120 {
+		t.Errorf("lineitem rows = %d", li.Heap.NumRecords())
+	}
+}
+
+// TestTPCHQ6MatchesDirectComputation cross-checks the Q6 plan against a
+// straight scan.
+func TestTPCHQ6MatchesDirectComputation(t *testing.T) {
+	e := db.NewEngine(db.Options{BufferFrames: 2048})
+	sc := TPCHScale{Suppliers: 10, Customers: 40, Parts: 60, Orders: 200, MaxLines: 5}
+	if err := LoadTPCH(e, sc, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Direct computation.
+	tx := e.Txns.Begin()
+	ctx := e.NewContext(tx)
+	li := e.MustTable("lineitem")
+	var want int64
+	rows, err := exec.Collect(exec.NewSeqScan(ctx, li.Heap, li.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := li.Schema.ColIndex("l_shipdate")
+	dc := li.Schema.ColIndex("l_discount")
+	qt := li.Schema.ColIndex("l_quantity")
+	ep := li.Schema.ColIndex("l_extendedprice")
+	for _, r := range rows {
+		if r.Int(sd) >= 365 && r.Int(sd) <= 729 &&
+			r.Int(dc) >= 500 && r.Int(dc) <= 700 && r.Int(qt) < 24 {
+			want += r.Int(ep) * r.Int(dc) / 10000
+		}
+	}
+	e.Txns.Commit(tx)
+
+	// Through the Q6 plan.
+	q := TPCHQ6()
+	tx2 := e.Txns.Begin()
+	ctx2 := e.NewContext(tx2)
+	it, _, err := q.Build(e, ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("Q6 returned %d rows", len(out))
+	}
+	if got := out[0].Int(out[0].Schema.ColIndex("revenue")); got != want {
+		t.Errorf("Q6 revenue = %d, want %d", got, want)
+	}
+}
+
+func TestAllTPCHQueriesRun(t *testing.T) {
+	e := db.NewEngine(db.Options{BufferFrames: 4096})
+	sc := TPCHScale{Suppliers: 12, Customers: 50, Parts: 80, Orders: 160, MaxLines: 4}
+	if err := LoadTPCH(e, sc, 9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunConcurrent(TPCHQueries(), nil, trace.Discard, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q1 groups by (returnflag, linestatus): at most 6 groups, at least 1.
+	if res[0].Rows < 1 || res[0].Rows > 6 {
+		t.Errorf("Q1 groups = %d", res[0].Rows)
+	}
+	// Q6 always returns exactly one row.
+	for _, r := range res {
+		if r.Name == "tpch_q6" && r.Rows != 1 {
+			t.Errorf("Q6 rows = %d", r.Rows)
+		}
+	}
+}
+
+func TestDBWorkloadEndToEnd(t *testing.T) {
+	w := WiscProf(smallOpts())
+	reg := w.NewRegistry()
+	img := program.LayoutO5(reg)
+	var st trace.Stats
+	if err := w.Run(img, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Instructions == 0 || st.Calls == 0 || st.Switches == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ipc := st.InstructionsPerCall()
+	if ipc < 25 || ipc > 70 {
+		t.Errorf("instructions/call = %.1f, want near the paper's 43", ipc)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	opts := smallOpts()
+	run := func() trace.Stats {
+		w := WiscProf(opts)
+		img := program.LayoutO5(w.NewRegistry())
+		var st trace.Stats
+		if err := w.Run(img, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCPU2000Workloads(t *testing.T) {
+	for _, spec := range CPU2000Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			w := NewCPU2000(spec, 3)
+			if w.Family != "cpu2000" {
+				t.Errorf("family = %q", w.Family)
+			}
+			img := program.LayoutO5(w.NewRegistry())
+			var st trace.Stats
+			if err := w.Run(img, &st); err != nil {
+				t.Fatal(err)
+			}
+			if st.Instructions < 100000 {
+				t.Errorf("only %d instructions", st.Instructions)
+			}
+			if st.Calls != st.Returns {
+				t.Errorf("unbalanced %d/%d", st.Calls, st.Returns)
+			}
+		})
+	}
+}
+
+func TestCPU2000ByName(t *testing.T) {
+	if _, err := CPU2000ByName("gcc"); err != nil {
+		t.Error(err)
+	}
+	if _, err := CPU2000ByName("nope"); err == nil {
+		t.Error("unknown benchmark lookup succeeded")
+	}
+}
+
+func TestCPU2000RegistryMismatchDetected(t *testing.T) {
+	gcc := NewCPU2000(mustSpec(t, "gcc"), 3)
+	gzip := NewCPU2000(mustSpec(t, "gzip"), 3)
+	wrongImg := program.LayoutO5(gzip.NewRegistry())
+	if err := gcc.Run(wrongImg, trace.Discard); err == nil {
+		t.Error("running gcc against gzip's image succeeded")
+	}
+}
+
+func mustSpec(t *testing.T, name string) CPU2000Spec {
+	t.Helper()
+	s, err := CPU2000ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDBWorkloadsList(t *testing.T) {
+	ws := DBWorkloads(smallOpts())
+	names := []string{"wisc-prof", "wisc-large-1", "wisc-large-2", "wisc+tpch"}
+	if len(ws) != 4 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	for i, w := range ws {
+		if w.Name != names[i] {
+			t.Errorf("workload %d = %q, want %q", i, w.Name, names[i])
+		}
+		if w.Family != "db" {
+			t.Errorf("%s family = %q", w.Name, w.Family)
+		}
+	}
+}

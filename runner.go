@@ -1,0 +1,251 @@
+package cgp
+
+import (
+	"fmt"
+
+	"cgp/internal/core"
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+	"cgp/internal/workload"
+)
+
+// Workload re-exports the workload type for the public API.
+type Workload = workload.Workload
+
+// DBOptions re-exports database workload sizing.
+type DBOptions = workload.DBOptions
+
+// The paper's four database workloads (§4.1).
+var (
+	WiscProf   = workload.WiscProf
+	WiscLarge1 = workload.WiscLarge1
+	WiscLarge2 = workload.WiscLarge2
+	WiscTPCH   = workload.WiscTPCH
+)
+
+// CPU2000 builds the named synthetic SPEC stand-in (gzip, gcc, crafty,
+// parser, gap, bzip2, twolf).
+func CPU2000(name string, seed int64) (*Workload, error) {
+	spec, err := workload.CPU2000ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workload.NewCPU2000(spec, seed), nil
+}
+
+// Result is everything one simulation run measured.
+type Result struct {
+	Workload string
+	Config   string
+
+	// CPU carries the full simulator statistics.
+	CPU *cpu.Stats
+	// Trace carries the trace-level statistics (instructions, calls,
+	// instructions-per-call, ...).
+	Trace trace.Stats
+	// CGPStats is set when the configuration used CGP.
+	CGPStats *core.Stats
+}
+
+// Cycles is shorthand for CPU.Cycles.
+func (r *Result) Cycles() int64 { return r.CPU.Cycles }
+
+// ICacheMisses is shorthand for CPU.ICacheMisses.
+func (r *Result) ICacheMisses() int64 { return r.CPU.ICacheMisses }
+
+// RunnerOptions configures the experiment harness.
+type RunnerOptions struct {
+	// DB sizes the database workloads.
+	DB DBOptions
+	// Seed drives the CPU2000 generators.
+	Seed int64
+	// Verbose enables progress lines on stderr.
+	Verbose bool
+	// Log receives progress lines when Verbose (defaults to a no-op).
+	Log func(format string, args ...any)
+}
+
+// profiles bundles the two feedback artifacts a profile run produces:
+// edge weights (for the OM layout) and modal call sequences (for the
+// software-CGP variant).
+type profiles struct {
+	edges *program.Profile
+	seq   *trace.SequenceProfile
+}
+
+// Runner executes (workload, config) pairs, caching profiles and run
+// results so the figure generators can share work.
+type Runner struct {
+	opts RunnerOptions
+
+	dbProfiles  *profiles
+	cpuProfiles map[string]*profiles
+	cache       map[string]*Result
+}
+
+// NewRunner builds a harness.
+func NewRunner(opts RunnerOptions) *Runner {
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Log == nil {
+		opts.Log = func(string, ...any) {}
+	}
+	return &Runner{
+		opts:        opts,
+		cpuProfiles: make(map[string]*profiles),
+		cache:       make(map[string]*Result),
+	}
+}
+
+// DBWorkloads returns the paper's four database workloads at the
+// runner's scale.
+func (r *Runner) DBWorkloads() []*Workload {
+	return workload.DBWorkloads(r.opts.DB)
+}
+
+// CPU2000Workloads returns the seven Figure-10 programs.
+func (r *Runner) CPU2000Workloads() []*Workload {
+	return workload.CPU2000Workloads(r.opts.Seed)
+}
+
+// profilesFor returns (collecting on first use) the feedback artifacts
+// a profile run produces. Database workloads share one profile, merged
+// from wisc-prof and wisc+tpch runs exactly as §5.1 describes; each
+// CPU2000 program profiles itself (the paper uses the SPEC "test"
+// input).
+func (r *Runner) profilesFor(w *Workload) (*profiles, error) {
+	if w.Family == "db" {
+		if r.dbProfiles != nil {
+			return r.dbProfiles, nil
+		}
+		r.opts.Log("collecting DB profile (wisc-prof + wisc+tpch)")
+		merged := &profiles{edges: program.NewProfile(), seq: trace.NewSequenceProfile(0)}
+		for _, pw := range []*Workload{workload.WiscProf(r.opts.DB), workload.WiscTPCH(r.opts.DB)} {
+			p, err := collectProfiles(pw)
+			if err != nil {
+				return nil, fmt.Errorf("profile run %s: %w", pw.Name, err)
+			}
+			merged.edges.Merge(p.edges)
+			mergeSequences(merged.seq, p.seq)
+		}
+		r.dbProfiles = merged
+		return merged, nil
+	}
+	if p, ok := r.cpuProfiles[w.Name]; ok {
+		return p, nil
+	}
+	r.opts.Log("collecting profile for %s", w.Name)
+	p, err := collectProfiles(w)
+	if err != nil {
+		return nil, err
+	}
+	r.cpuProfiles[w.Name] = p
+	return p, nil
+}
+
+// profileFor returns just the edge-weight profile (OM layout input).
+func (r *Runner) profileFor(w *Workload) (*program.Profile, error) {
+	p, err := r.profilesFor(w)
+	if err != nil {
+		return nil, err
+	}
+	return p.edges, nil
+}
+
+// collectProfiles runs w once on its O5 image with both collectors.
+func collectProfiles(w *Workload) (*profiles, error) {
+	reg := w.NewRegistry()
+	img := program.LayoutO5(reg)
+	pc := trace.NewProfileCollector()
+	sc := trace.NewSequenceCollector(0)
+	if err := w.Run(img, trace.Tee(pc, sc)); err != nil {
+		return nil, err
+	}
+	return &profiles{edges: pc.Profile, seq: sc.Profile}, nil
+}
+
+// mergeSequences folds src's recorded call positions into dst.
+func mergeSequences(dst, src *trace.SequenceProfile) {
+	for _, fn := range src.Functions() {
+		for slot, callee := range src.Sequence(fn) {
+			dst.Record(fn, slot, callee)
+		}
+	}
+}
+
+// Run simulates one workload under one configuration. Results are
+// cached by (workload, label).
+func (r *Runner) Run(w *Workload, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	key := w.Name + "|" + cfg.Label() + "|" + cfg.describeExtra()
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	reg := w.NewRegistry()
+	var img *program.Image
+	switch cfg.Layout {
+	case LayoutO5:
+		img = program.LayoutO5(reg)
+	case LayoutOM:
+		prof, err := r.profileFor(w)
+		if err != nil {
+			return nil, err
+		}
+		img = program.LayoutOM(reg, prof)
+	default:
+		return nil, fmt.Errorf("cgp: unknown layout %d", cfg.Layout)
+	}
+
+	pf, gp := cfg.buildPrefetcher()
+	if cfg.Prefetcher == PrefSoftwareCGP && !cfg.PerfectICache {
+		// The software variant needs the profiled call sequences bound
+		// to this image's addresses.
+		prof, err := r.profilesFor(w)
+		if err != nil {
+			return nil, err
+		}
+		pf = buildSoftwareCGP(cfg, prof.seq, img)
+	}
+	c := cpu.New(cfg.cpuConfig(), pf)
+	res := &Result{Workload: w.Name, Config: cfg.Label()}
+	cons := trace.Tee(&res.Trace, c)
+
+	r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
+	if err := w.Run(img, cons); err != nil {
+		return nil, fmt.Errorf("cgp: %s under %s: %w", w.Name, cfg.Label(), err)
+	}
+	res.CPU = c.Finish()
+	if gp != nil {
+		s := gp.Stats()
+		res.CGPStats = &s
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// buildSoftwareCGP binds a profiled sequence table to an image's
+// addresses and returns the §6 software prefetcher.
+func buildSoftwareCGP(cfg Config, seq *trace.SequenceProfile, img *program.Image) *core.Software {
+	table := make(map[isa.Addr][]isa.Addr, seq.Len())
+	for _, fn := range seq.Functions() {
+		callees := seq.Sequence(fn)
+		addrs := make([]isa.Addr, len(callees))
+		for i, c := range callees {
+			addrs[i] = img.Start(c)
+		}
+		table[img.Start(fn)] = addrs
+	}
+	return core.NewSoftware(cfg.Degree, table)
+}
+
+// describeExtra disambiguates cache keys for configs whose Label is
+// identical but whose internals differ (CGHC sweeps).
+func (c Config) describeExtra() string {
+	if c.Prefetcher == PrefCGP {
+		return c.CGHC.String()
+	}
+	return ""
+}
