@@ -11,6 +11,9 @@ import (
 // no-priority L2 FIFO, prefetching into L1I vs L2, and the §6
 // all-software CGP variant.
 
+// cghcLabel labels grid rows by CGHC geometry instead of config Label.
+func cghcLabel(c Config) string { return c.CGHC.String() }
+
 // CGHCWaysAblation compares the paper's direct-mapped CGHC against
 // 2-way and 4-way variants. The small 1KB single-level CGHC is used
 // because that is where tag conflicts actually occur (the preferred
@@ -18,53 +21,25 @@ import (
 // irrelevant — itself a finding that supports the paper's
 // direct-mapped choice, §3.2).
 func (r *Runner) CGHCWaysAblation() (*Figure, error) {
-	fig := &Figure{ID: "abl-ways", Title: "CGHC associativity ablation (CGP_4, 1K single-level)", Baseline: "CGHC-1K"}
-	for _, w := range r.DBWorkloads() {
-		var base int64
-		for i, ways := range []int{1, 2, 4} {
-			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
-				CGHC: CGHCConfig{L1Bytes: 1024, Ways: ways}}
-			res, err := r.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.CPU.Cycles
-			}
-			fig.Rows = append(fig.Rows, Row{
-				Workload: w.Name, Config: cfg.CGHC.String(),
-				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
-				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
-			})
-		}
+	var configs []Config
+	for _, ways := range []int{1, 2, 4} {
+		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
+			CGHC: CGHCConfig{L1Bytes: 1024, Ways: ways}})
 	}
-	return fig, nil
+	return r.runGridLabeled("abl-ways", "CGHC associativity ablation (CGP_4, 1K single-level)",
+		r.DBWorkloads(), configs, cghcLabel)
 }
 
 // CGHCSlotsAblation varies the callee slots per CGHC entry (the paper
 // picks 8 from the ATOM fanout measurement).
 func (r *Runner) CGHCSlotsAblation() (*Figure, error) {
-	fig := &Figure{ID: "abl-slots", Title: "CGHC entry-width ablation (CGP_4, 2K+32K)", Baseline: "CGHC-2K+32K-slots2"}
-	for _, w := range r.DBWorkloads() {
-		var base int64
-		for i, slots := range []int{2, 4, 8} {
-			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
-				CGHC: CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024, Slots: slots}}
-			res, err := r.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.CPU.Cycles
-			}
-			fig.Rows = append(fig.Rows, Row{
-				Workload: w.Name, Config: cfg.CGHC.String(),
-				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
-				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
-			})
-		}
+	var configs []Config
+	for _, slots := range []int{2, 4, 8} {
+		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
+			CGHC: CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024, Slots: slots}})
 	}
-	return fig, nil
+	return r.runGridLabeled("abl-slots", "CGHC entry-width ablation (CGP_4, 2K+32K)",
+		r.DBWorkloads(), configs, cghcLabel)
 }
 
 // FIFOPolicyAblation tests the §3.3 simplifications: giving demand
@@ -92,57 +67,28 @@ func (r *Runner) SoftwareCGPAblation() (*Figure, error) {
 		r.DBWorkloads(), configs)
 }
 
-// ExtensionFigures runs every ablation study.
+// ExtensionFigures runs every ablation study. Like AllFigures, the
+// generators run concurrently with deterministic results.
 func (r *Runner) ExtensionFigures() ([]*Figure, error) {
-	type gen struct {
-		name string
-		fn   func() (*Figure, error)
-	}
-	gens := []gen{
+	return runFigureGens([]figureGen{
 		{"abl-ways", r.CGHCWaysAblation},
 		{"abl-slots", r.CGHCSlotsAblation},
 		{"abl-policy", r.FIFOPolicyAblation},
 		{"abl-swcgp", r.SoftwareCGPAblation},
 		{"abl-degree", r.DegreeSweep},
 		{"abl-quantum", r.QuantumSweep},
-	}
-	out := make([]*Figure, 0, len(gens))
-	for _, g := range gens {
-		fig, err := g.fn()
-		if err != nil {
-			return nil, fmt.Errorf("cgp: %s: %w", g.name, err)
-		}
-		out = append(out, fig)
-	}
-	return out, nil
+	})
 }
 
 // DegreeSweep extends Figures 4/6 along the N axis: the paper evaluates
 // CGP_2 and CGP_4; this sweeps N in {1, 2, 4, 8} to expose the
 // timeliness-vs-pollution trade-off.
 func (r *Runner) DegreeSweep() (*Figure, error) {
-	fig := &Figure{ID: "abl-degree", Title: "CGP_N degree sweep (OM binary)", Baseline: "O5+OM+CGP_1"}
-	for _, w := range r.DBWorkloads() {
-		var base int64
-		for i, n := range []int{1, 2, 4, 8} {
-			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: n}
-			res, err := r.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.CPU.Cycles
-			}
-			tp := res.CPU.TotalPrefetch()
-			fig.Rows = append(fig.Rows, Row{
-				Workload: w.Name, Config: cfg.Label(),
-				Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
-				PrefHits: tp.PrefHits, DelayedHits: tp.DelayedHits, Useless: tp.Useless,
-				Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
-			})
-		}
+	var configs []Config
+	for _, n := range []int{1, 2, 4, 8} {
+		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: n})
 	}
-	return fig, nil
+	return r.runGrid("abl-degree", "CGP_N degree sweep (OM binary)", r.DBWorkloads(), configs)
 }
 
 // QuantumSweep varies the scheduler's context-switch quantum on
@@ -151,21 +97,29 @@ func (r *Runner) DegreeSweep() (*Figure, error) {
 // database I-cache miss rates; the sweep makes that mechanism visible:
 // smaller quanta mean more switches and more misses per instruction.
 func (r *Runner) QuantumSweep() (*Figure, error) {
+	// Each quantum is a distinct workload configuration, so fresh
+	// sub-runners keep the result cache honest while sharing this
+	// runner's feedback profile. The parent profile is forced first so
+	// the sweep sees the same OM layout whether it runs alone or
+	// concurrently with other figure generators.
+	parentProf, err := r.profilesFor(r.DBWorkloads()[0])
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure{ID: "abl-quantum", Title: "Context-switch quantum sensitivity (wisc-large-2, OM)", Baseline: "quantum-2"}
 	var base int64
 	for i, q := range []int{2, 7, 28, 112} {
 		opts := r.opts.DB
 		opts.Quantum = q
-		// Each quantum is a distinct workload configuration; fresh
-		// sub-runners keep the result cache honest while sharing this
-		// runner's scale.
-		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log})
-		sub.dbProfiles = r.dbProfiles // reuse the feedback profile
+		// Each sub-runner performs a single simulation, so recording a
+		// trace it would replay zero times is pure overhead: re-execute.
+		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log,
+			Workers: 1, NoRecord: true})
+		sub.seed(dbProfilesKey, parentProf)
 		res, err := sub.Run(workload.WiscLarge2(opts), Config{Layout: LayoutOM})
 		if err != nil {
 			return nil, err
 		}
-		r.dbProfiles = sub.dbProfiles
 		if i == 0 {
 			base = res.CPU.Cycles
 		}

@@ -1,7 +1,12 @@
 package cgp
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"cgp/internal/cache"
 	"cgp/internal/core"
@@ -239,4 +244,154 @@ func BenchmarkCPUConsume(b *testing.B) {
 		ev.Addr = 0x400000 + isa.Addr((i&1023)*32)
 		c.Event(ev)
 	}
+}
+
+// ---- harness benchmarks: record/replay + parallel fan-out ----
+
+// harnessBenchOpts is a small scale so a full AllFigures suite fits in
+// one benchmark iteration.
+func harnessBenchOpts(workers int, noRecord bool) RunnerOptions {
+	return RunnerOptions{
+		DB: DBOptions{
+			WiscN: 800, Quantum: 7, Seed: 42, BufferFrames: 8192,
+			TPCH: workload.TPCHScale{Suppliers: 12, Customers: 60, Parts: 90, Orders: 240, MaxLines: 4},
+		},
+		Seed:     42,
+		Workers:  workers,
+		NoRecord: noRecord,
+	}
+}
+
+// harnessBench collects wall-clock and throughput per benchmark for
+// BENCH_harness.json (written by TestMain after the run).
+var harnessBench = struct {
+	sync.Mutex
+	entries map[string]*harnessBenchEntry
+}{entries: map[string]*harnessBenchEntry{}}
+
+type harnessBenchEntry struct {
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       int64   `json:"simulated_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+func recordHarnessBench(name string, wall time.Duration, events int64) {
+	harnessBench.Lock()
+	defer harnessBench.Unlock()
+	harnessBench.entries[name] = &harnessBenchEntry{
+		WallSeconds:  wall.Seconds(),
+		Events:       events,
+		EventsPerSec: float64(events) / wall.Seconds(),
+	}
+}
+
+// figureEvents counts simulated events across the distinct results of
+// a figure set (rows share cached results; count each once).
+func figureEvents(figs []*Figure) int64 {
+	seen := map[*Result]bool{}
+	var events int64
+	for _, f := range figs {
+		for _, row := range f.Rows {
+			if row.Result != nil && !seen[row.Result] {
+				seen[row.Result] = true
+				events += row.Result.Trace.Events
+			}
+		}
+	}
+	return events
+}
+
+func benchAllFigures(b *testing.B, name string, workers int, noRecord bool) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(harnessBenchOpts(workers, noRecord))
+		figs, err := r.AllFigures()
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = figureEvents(figs)
+	}
+	wall := b.Elapsed() / time.Duration(b.N)
+	recordHarnessBench(name, wall, events)
+	b.ReportMetric(float64(events)/wall.Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkAllFiguresSequential is the harness as it existed before
+// this rewrite: one simulation at a time, every cell re-executing the
+// DB engine / CPU2000 generators.
+func BenchmarkAllFiguresSequential(b *testing.B) {
+	benchAllFigures(b, "allfigures_sequential_reexecute", 1, true)
+}
+
+// BenchmarkAllFiguresParallel is the full two-layer harness: traces
+// recorded once per (workload, layout) and replayed into each config,
+// with GOMAXPROCS simulations in flight.
+func BenchmarkAllFiguresParallel(b *testing.B) {
+	benchAllFigures(b, "allfigures_parallel_replay", 0, false)
+}
+
+// benchFig4Workload runs one workload through the six Figure-4 configs
+// as a single RunAll batch — the harness's actual execution path — so
+// the replay arm coalesces all configs into one decode pass.
+func benchFig4Workload(b *testing.B, name string, noRecord bool) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		r := NewRunner(harnessBenchOpts(1, noRecord))
+		w := WiscLarge1(r.opts.DB)
+		jobs := make([]Job, 0, len(fig4Configs()))
+		for _, cfg := range fig4Configs() {
+			jobs = append(jobs, Job{Workload: w, Config: cfg})
+		}
+		results, err := r.RunAll(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = 0
+		for _, res := range results {
+			events += res.Trace.Events
+		}
+	}
+	wall := b.Elapsed() / time.Duration(b.N)
+	recordHarnessBench(name, wall, events)
+	b.ReportMetric(float64(events)/wall.Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkFig4RowReexecute re-executes wisc-large-1 for each config.
+func BenchmarkFig4RowReexecute(b *testing.B) {
+	benchFig4Workload(b, "fig4row_reexecute", true)
+}
+
+// BenchmarkFig4RowReplay records wisc-large-1 once per layout and
+// replays it into each config.
+func BenchmarkFig4RowReplay(b *testing.B) {
+	benchFig4Workload(b, "fig4row_replay", false)
+}
+
+// TestMain writes BENCH_harness.json after a benchmark run so the
+// harness speedup is recorded alongside the repo (see ISSUE 1).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	harnessBench.Lock()
+	defer harnessBench.Unlock()
+	if len(harnessBench.entries) > 0 {
+		out := map[string]any{
+			"scale":      "WiscN=800 (harnessBenchOpts)",
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"bench":      harnessBench.entries,
+		}
+		if seq, ok := harnessBench.entries["allfigures_sequential_reexecute"]; ok {
+			if par, ok := harnessBench.entries["allfigures_parallel_replay"]; ok {
+				out["allfigures_speedup"] = seq.WallSeconds / par.WallSeconds
+			}
+		}
+		if re, ok := harnessBench.entries["fig4row_reexecute"]; ok {
+			if rp, ok := harnessBench.entries["fig4row_replay"]; ok {
+				out["replay_speedup"] = re.WallSeconds / rp.WallSeconds
+			}
+		}
+		if data, err := json.MarshalIndent(out, "", "  "); err == nil {
+			_ = os.WriteFile("BENCH_harness.json", append(data, '\n'), 0o644)
+		}
+	}
+	os.Exit(code)
 }

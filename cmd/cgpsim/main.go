@@ -39,7 +39,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed}
+	// One workload under one config: a recorded trace would be replayed
+	// zero times, so re-execute directly.
+	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed, NoRecord: true}
 	if *verbose {
 		opts.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}

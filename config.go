@@ -146,6 +146,22 @@ func (c Config) Label() string {
 	return label
 }
 
+// fingerprint serializes every field that can influence a simulation,
+// for use as a cache key. Label() is for display only: configs that
+// differ in non-Label fields (RunAheadM, CGHC geometry, a CPU
+// override) share a label but must not share a cached result.
+func (c Config) fingerprint() string {
+	c = c.withDefaults()
+	cpuDesc := "default"
+	if c.CPU != nil {
+		cpuDesc = fmt.Sprintf("%+v", *c.CPU)
+	}
+	return fmt.Sprintf("l%d p%d n%d m%d cghc{%d %d %t %d %d} perf%t prio%t l2o%t cpu{%s}",
+		c.Layout, c.Prefetcher, c.Degree, c.RunAheadM,
+		c.CGHC.L1Bytes, c.CGHC.L2Bytes, c.CGHC.Infinite, c.CGHC.Ways, c.CGHC.Slots,
+		c.PerfectICache, c.DemandPriority, c.PrefetchIntoL2Only, cpuDesc)
+}
+
 // cpuConfig resolves the machine model.
 func (c Config) cpuConfig() cpu.Config {
 	var cfg cpu.Config

@@ -1,6 +1,9 @@
 package cgp
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Row is one bar of a figure: a workload under a configuration.
 type Row struct {
@@ -43,24 +46,38 @@ func fig4Configs() []Config {
 	}
 }
 
-// runGrid measures every workload under every config, computing
-// speedups against the first config.
+// runGrid measures every workload under every config — fanned out
+// through RunAll — computing speedups against the first config.
 func (r *Runner) runGrid(id, title string, workloads []*Workload, configs []Config) (*Figure, error) {
-	fig := &Figure{ID: id, Title: title, Baseline: configs[0].Label()}
+	return r.runGridLabeled(id, title, workloads, configs, Config.Label)
+}
+
+// runGridLabeled is runGrid with a custom per-config display label
+// (the CGHC sweeps label rows by CGHC geometry, not config Label).
+// Rows appear in (workload, config) input order regardless of which
+// simulations finished first.
+func (r *Runner) runGridLabeled(id, title string, workloads []*Workload, configs []Config, label func(Config) string) (*Figure, error) {
+	jobs := make([]Job, 0, len(workloads)*len(configs))
 	for _, w := range workloads {
-		var base int64
-		for i, cfg := range configs {
-			res, err := r.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.CPU.Cycles
-			}
+		for _, cfg := range configs {
+			jobs = append(jobs, Job{Workload: w, Config: cfg})
+		}
+	}
+	results, err := r.RunAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{ID: id, Title: title, Baseline: label(configs[0])}
+	i := 0
+	for _, w := range workloads {
+		base := results[i].CPU.Cycles
+		for _, cfg := range configs {
+			res := results[i]
+			i++
 			tp := res.CPU.TotalPrefetch()
 			fig.Rows = append(fig.Rows, Row{
 				Workload:    w.Name,
-				Config:      cfg.Label(),
+				Config:      label(cfg),
 				Cycles:      res.CPU.Cycles,
 				Misses:      res.CPU.ICacheMisses,
 				PrefHits:    tp.PrefHits,
@@ -91,29 +108,12 @@ func (r *Runner) Figure5() (*Figure, error) {
 		{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024},
 		{Infinite: true},
 	}
-	fig := &Figure{ID: "fig5", Title: "Performance of five CGHC configurations", Baseline: "CGHC-1K"}
-	for _, w := range r.DBWorkloads() {
-		var base int64
-		for i, hc := range cghcs {
-			cfg := Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: hc}
-			res, err := r.Run(w, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res.CPU.Cycles
-			}
-			fig.Rows = append(fig.Rows, Row{
-				Workload: w.Name,
-				Config:   hc.String(),
-				Cycles:   res.CPU.Cycles,
-				Misses:   res.CPU.ICacheMisses,
-				Speedup:  float64(base) / float64(res.CPU.Cycles),
-				Result:   res,
-			})
-		}
+	configs := make([]Config, len(cghcs))
+	for i, hc := range cghcs {
+		configs[i] = Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: hc}
 	}
-	return fig, nil
+	return r.runGridLabeled("fig5", "Performance of five CGHC configurations",
+		r.DBWorkloads(), configs, func(c Config) string { return c.CGHC.String() })
 }
 
 // Figure6 reproduces the NL-vs-CGP comparison: O5, OM, OM+NL_2/4,
@@ -162,11 +162,17 @@ func (r *Runner) Figure8() (*Figure, error) {
 // CGHC portion, each with useful (hits+delayed) and useless counts.
 func (r *Runner) Figure9() (*Figure, error) {
 	fig := &Figure{ID: "fig9", Title: "CGP_4 prefetches due to NL and CGHC", Baseline: "O5+OM+CGP_4"}
-	for _, w := range r.DBWorkloads() {
-		res, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4})
-		if err != nil {
-			return nil, err
-		}
+	ws := r.DBWorkloads()
+	jobs := make([]Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = Job{Workload: w, Config: Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4}}
+	}
+	results, err := r.RunAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range ws {
+		res := results[i]
 		s := res.CPU
 		fig.Rows = append(fig.Rows,
 			Row{
@@ -208,24 +214,43 @@ func (r *Runner) RunAheadAblation() (*Figure, error) {
 	return r.runGrid("sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), configs)
 }
 
-// AllFigures runs every experiment in paper order.
-func (r *Runner) AllFigures() ([]*Figure, error) {
-	type gen struct {
-		name string
-		fn   func() (*Figure, error)
+// figureGen names one figure generator.
+type figureGen struct {
+	name string
+	fn   func() (*Figure, error)
+}
+
+// runFigureGens evaluates generators concurrently, preserving input
+// order in the returned slice. Figures sharing (workload, config)
+// cells share the cached simulations, so concurrent generation does
+// the same total work as sequential generation — just overlapped.
+func runFigureGens(gens []figureGen) ([]*Figure, error) {
+	out := make([]*Figure, len(gens))
+	errs := make([]error, len(gens))
+	var wg sync.WaitGroup
+	for i, g := range gens {
+		wg.Add(1)
+		go func(i int, g figureGen) {
+			defer wg.Done()
+			out[i], errs[i] = g.fn()
+		}(i, g)
 	}
-	gens := []gen{
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cgp: %s: %w", gens[i].name, err)
+		}
+	}
+	return out, nil
+}
+
+// AllFigures runs every experiment in paper order. The generators run
+// concurrently; results are deterministic and identical to generating
+// each figure sequentially.
+func (r *Runner) AllFigures() ([]*Figure, error) {
+	return runFigureGens([]figureGen{
 		{"fig4", r.Figure4}, {"fig5", r.Figure5}, {"fig6", r.Figure6},
 		{"fig7", r.Figure7}, {"fig8", r.Figure8}, {"fig9", r.Figure9},
 		{"fig10", r.Figure10}, {"sec5.6", r.RunAheadAblation},
-	}
-	out := make([]*Figure, 0, len(gens))
-	for _, g := range gens {
-		fig, err := g.fn()
-		if err != nil {
-			return nil, fmt.Errorf("cgp: %s: %w", g.name, err)
-		}
-		out = append(out, fig)
-	}
-	return out, nil
+	})
 }

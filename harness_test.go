@@ -1,0 +1,180 @@
+package cgp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cgp/internal/workload"
+)
+
+// harnessOpts is a reduced scale for the harness determinism tests,
+// which run the Figure-4 grid through two independent runners (one of
+// them re-executing every cell).
+func harnessOpts(workers int, noRecord bool) RunnerOptions {
+	return RunnerOptions{
+		DB: DBOptions{
+			WiscN: 400, Quantum: 5, Seed: 11, BufferFrames: 4096,
+			TPCH: workload.TPCHScale{Suppliers: 8, Customers: 30, Parts: 45, Orders: 100, MaxLines: 3},
+		},
+		Seed:     11,
+		Workers:  workers,
+		NoRecord: noRecord,
+	}
+}
+
+// fig4Jobs builds the Figure-4 grid for a runner's DB workloads.
+func fig4Jobs(r *Runner) []Job {
+	var jobs []Job
+	for _, w := range r.DBWorkloads() {
+		for _, cfg := range fig4Configs() {
+			jobs = append(jobs, Job{Workload: w, Config: cfg})
+		}
+	}
+	return jobs
+}
+
+// TestRunAllParallelMatchesSequential is the harness's headline
+// determinism property: a parallel RunAll over the Figure-4 grid with
+// trace replay must produce byte-identical Result/Stats to the
+// sequential re-executing path, in input order.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	// Sequential reference: one worker, no record/replay — the harness
+	// as it existed before the parallel rewrite.
+	seq := NewRunner(harnessOpts(1, true))
+	var want []*Result
+	for _, j := range fig4Jobs(seq) {
+		res, err := seq.Run(j.Workload, j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+
+	// Parallel replay path: many workers (even on one CPU this
+	// exercises the concurrent interleavings under -race).
+	par := NewRunner(harnessOpts(8, false))
+	jobs := fig4Jobs(par)
+	got, err := par.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RunAll returned %d results, want %d", len(got), len(want))
+	}
+	for i := range got {
+		// Results come back in input order.
+		if got[i].Workload != jobs[i].Workload.Name || got[i].Config != jobs[i].Config.Label() {
+			t.Fatalf("result %d is (%s, %s), want (%s, %s)",
+				i, got[i].Workload, got[i].Config, jobs[i].Workload.Name, jobs[i].Config.Label())
+		}
+		// Byte-identical measurements: replayed traces give identical
+		// cycles (and every other statistic) to direct execution.
+		a, err := json.Marshal(want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(got[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("row %d (%s, %s) differs between sequential and parallel:\nseq: %s\npar: %s",
+				i, got[i].Workload, got[i].Config, a, b)
+		}
+		if want[i].CPU.Cycles != got[i].CPU.Cycles {
+			t.Errorf("row %d cycles: direct %d vs replay %d", i, want[i].CPU.Cycles, got[i].CPU.Cycles)
+		}
+	}
+}
+
+// TestRunAllDeduplicates: duplicate jobs in one batch resolve to the
+// same cached *Result, computed once.
+func TestRunAllDeduplicates(t *testing.T) {
+	r := NewRunner(harnessOpts(4, false))
+	w := WiscProf(r.opts.DB)
+	cfg := Config{Layout: LayoutO5}
+	jobs := []Job{{w, cfg}, {w, cfg}, {w, cfg}, {w, cfg}}
+	results, err := r.RunAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("duplicate job %d got a distinct result", i)
+		}
+	}
+}
+
+// TestConfigFingerprintDisambiguates: configs that share a display
+// label but differ in non-Label fields (the RunAheadM sweep) must not
+// alias in the result cache.
+func TestConfigFingerprintDisambiguates(t *testing.T) {
+	r := NewRunner(harnessOpts(1, false))
+	w := WiscProf(r.opts.DB)
+	a := Config{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4, RunAheadM: 1}
+	b := Config{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4, RunAheadM: 16}
+	if a.Label() != b.Label() {
+		t.Fatalf("labels differ: %q vs %q — test premise broken", a.Label(), b.Label())
+	}
+	ra, err := r.Run(w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.Run(w, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == rb {
+		t.Fatal("RunAheadM variants aliased to one cached result")
+	}
+	if ra.CPU.Cycles == rb.CPU.Cycles {
+		t.Errorf("RunAheadM 1 and 16 measured identical cycles %d — suspicious", ra.CPU.Cycles)
+	}
+}
+
+// TestConcurrentFigureGenerators runs two overlapping figure
+// generators concurrently against one runner (the AllFigures shape)
+// and checks the shared cells resolve to the same cached results as a
+// fresh sequential generation.
+func TestConcurrentFigureGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	conc := NewRunner(harnessOpts(8, false))
+	figs, err := runFigureGens([]figureGen{
+		{"fig6", conc.Figure6},
+		{"fig7", conc.Figure7},
+		{"fig8", conc.Figure8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := NewRunner(harnessOpts(1, true))
+	want6, err := ref.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(want6)
+	b, _ := json.Marshal(figs[0])
+	if !bytes.Equal(a, b) {
+		t.Error("concurrent fig6 differs from sequential fig6")
+	}
+	// fig7's O5+OM+NL_4 cell is shared with fig6; both must reference
+	// the same cached result.
+	var from6, from7 *Result
+	for _, row := range figs[0].Rows {
+		if row.Workload == "wisc-prof" && row.Config == "O5+OM+NL_4" {
+			from6 = row.Result
+		}
+	}
+	for _, row := range figs[1].Rows {
+		if row.Workload == "wisc-prof" && row.Config == "O5+OM+NL_4" {
+			from7 = row.Result
+		}
+	}
+	if from6 == nil || from7 == nil || from6 != from7 {
+		t.Error("shared (workload, config) cell not deduplicated across concurrent figures")
+	}
+}

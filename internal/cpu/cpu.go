@@ -254,8 +254,22 @@ func (c *CPU) drainCompleted() {
 		delete(c.pending, inf.line)
 		c.insertL1I(inf.line, lineMeta{prefetched: true, portion: inf.portion})
 	}
-	if c.qHead > 0 && c.qHead == len(c.queue) {
+	switch {
+	case c.qHead > 0 && c.qHead == len(c.queue):
 		c.queue = c.queue[:0]
+		c.qHead = 0
+	case c.qHead > len(c.queue)/2:
+		// The drained prefix is dead but pins the whole issue history;
+		// a long run whose queue never fully drains would otherwise
+		// retain every inflight ever issued. Compacting once the prefix
+		// passes half the slice keeps the copy amortized O(1) per
+		// drained entry and clears the dead pointers.
+		n := copy(c.queue, c.queue[c.qHead:])
+		tail := c.queue[n:]
+		for i := range tail {
+			tail[i] = nil
+		}
+		c.queue = c.queue[:n]
 		c.qHead = 0
 	}
 }

@@ -375,3 +375,39 @@ func TestPrefetchIntoL2Only(t *testing.T) {
 		t.Errorf("L2 misses = %d, want 4", s.L2Misses)
 	}
 }
+
+// TestPrefetchQueueCompaction drives a queue that never fully drains:
+// every step appends one inflight whose data arrives 1000 cycles later,
+// so the newest entries are always pending. Without compaction the
+// queue would retain the entire issue history.
+func TestPrefetchQueueCompaction(t *testing.T) {
+	c := New(testConfig(), prefetch.None{})
+	const steps, lat = 4096, 1000
+	maxLen := 0
+	for i := 0; i < steps; i++ {
+		inf := &inflight{line: isa.Addr(0x400000 + i*isa.LineBytes), readyAt: int64(i + lat)}
+		c.pending[inf.line] = inf
+		c.queue = append(c.queue, inf)
+		c.cycle = int64(i)
+		c.drainCompleted()
+		if len(c.queue) > maxLen {
+			maxLen = len(c.queue)
+		}
+	}
+	// Steady state keeps ~lat pending entries; compaction bounds the
+	// slice at roughly twice that instead of the full history.
+	if maxLen > 3*lat {
+		t.Errorf("queue grew to %d entries (pending ~%d); compaction not working", maxLen, lat)
+	}
+	// Let everything complete: the queue must empty and every line must
+	// have been filled exactly once (no entries lost in compaction).
+	c.cycle = steps + lat
+	c.drainCompleted()
+	if len(c.queue) != 0 || c.qHead != 0 || len(c.pending) != 0 {
+		t.Errorf("queue not drained: len=%d qHead=%d pending=%d", len(c.queue), c.qHead, len(c.pending))
+	}
+	filled := c.l1i.Stats().Inserts
+	if filled != int64(steps) {
+		t.Errorf("L1I insertions = %d, want %d", filled, steps)
+	}
+}

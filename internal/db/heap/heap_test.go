@@ -171,7 +171,7 @@ func TestFigure2CallSequence(t *testing.T) {
 	hfns := RegisterFuncs(reg)
 	img := program.LayoutO5(reg)
 
-	var rec trace.Recorder
+	var rec trace.Capture
 	tr := trace.NewTracer(img, &rec, 1)
 	pr := probe.New(tr)
 

@@ -131,7 +131,7 @@ func TestCodecProperty(t *testing.T) {
 // replayed CPU-visible stream is byte-identical.
 func TestCodecFullTrace(t *testing.T) {
 	img, ids := testImage()
-	var direct Recorder
+	var direct Capture
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf)
 	if err != nil {
@@ -145,7 +145,7 @@ func TestCodecFullTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var replayed Recorder
+	var replayed Capture
 	if err := r.Replay(&replayed); err != nil {
 		t.Fatal(err)
 	}

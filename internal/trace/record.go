@@ -1,0 +1,316 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// Record/replay: capture a workload's event stream once, in memory, and
+// replay it into any number of simulator configurations. The stream for
+// a given (workload, image) pair is deterministic and independent of
+// the microarchitectural configuration, so the expensive part of a run
+// — executing the database engine or the CPU2000 generators — need not
+// be repeated per configuration. This is the same decoupling the
+// paper's SimpleScalar setup gets from trace-driven simulation.
+//
+// The recording uses the binary codec of codec.go, so a recorded event
+// stream is byte-compatible with the on-disk trace format, and is
+// stored in fixed-size chunks: appending never copies already-recorded
+// data, and replay streams chunk by chunk without materializing
+// decoded events.
+
+// recordChunkBytes is the default chunk size (1 MiB): large enough to
+// amortize allocation, small enough that a short trace wastes little.
+const recordChunkBytes = 1 << 20
+
+// chunkBuffer is an append-only byte buffer split into fixed-capacity
+// chunks. It implements io.Writer for the trace Writer; readers are
+// created per replay and stream the chunks independently.
+type chunkBuffer struct {
+	chunks    [][]byte
+	size      int64
+	chunkSize int
+}
+
+func newChunkBuffer(chunkSize int) *chunkBuffer {
+	if chunkSize <= 0 {
+		chunkSize = recordChunkBytes
+	}
+	return &chunkBuffer{chunkSize: chunkSize}
+}
+
+// Write implements io.Writer, spreading p across chunk boundaries. It
+// never fails.
+func (b *chunkBuffer) Write(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if len(b.chunks) == 0 || len(b.chunks[len(b.chunks)-1]) == b.chunkSize {
+			b.chunks = append(b.chunks, make([]byte, 0, b.chunkSize))
+		}
+		last := &b.chunks[len(b.chunks)-1]
+		free := b.chunkSize - len(*last)
+		if free > len(p) {
+			free = len(p)
+		}
+		*last = append(*last, p[:free]...)
+		p = p[free:]
+	}
+	b.size += int64(n)
+	return n, nil
+}
+
+// chunkReader streams a chunkBuffer. Each reader carries its own
+// position, so concurrent replays of one recording are independent.
+type chunkReader struct {
+	b   *chunkBuffer
+	i   int // current chunk
+	off int // offset within chunk i
+}
+
+// Read implements io.Reader.
+func (r *chunkReader) Read(p []byte) (int, error) {
+	for r.i < len(r.b.chunks) && r.off == len(r.b.chunks[r.i]) {
+		r.i++
+		r.off = 0
+	}
+	if r.i >= len(r.b.chunks) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b.chunks[r.i][r.off:])
+	r.off += n
+	return n, nil
+}
+
+// Recorder is a Consumer that captures an event stream into a compact
+// chunked buffer using the binary trace codec. It simultaneously
+// accumulates the stream's aggregate Stats so replays can copy them
+// instead of recounting.
+type Recorder struct {
+	buf   *chunkBuffer
+	w     *Writer
+	stats Stats
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	buf := newChunkBuffer(recordChunkBytes)
+	w, err := NewWriter(buf)
+	if err != nil {
+		// chunkBuffer writes cannot fail; a header error is a bug.
+		panic(err)
+	}
+	return &Recorder{buf: buf, w: w}
+}
+
+// Event implements Consumer.
+func (r *Recorder) Event(ev Event) {
+	r.stats.Event(ev)
+	r.w.Event(ev)
+}
+
+// Finish flushes buffered output and seals the recording. The Recorder
+// must not be used afterwards.
+func (r *Recorder) Finish() (*Recording, error) {
+	if err := r.w.Flush(); err != nil {
+		return nil, fmt.Errorf("trace: record: %w", err)
+	}
+	return &Recording{buf: r.buf, Stats: r.stats}, nil
+}
+
+// Recording is a sealed recorded trace. It is immutable and safe for
+// concurrent replay from multiple goroutines.
+type Recording struct {
+	buf *chunkBuffer
+	// Stats are the aggregate statistics of the recorded stream,
+	// identical to what a Stats consumer fed by Replay would count.
+	Stats Stats
+}
+
+// Events returns the number of recorded events.
+func (r *Recording) Events() int64 { return r.Stats.Events }
+
+// Bytes returns the in-memory footprint of the encoded trace.
+func (r *Recording) Bytes() int64 { return r.buf.size }
+
+// maxEventRecord bounds one encoded event: the flags byte plus seven
+// varints.
+const maxEventRecord = 1 + 7*binary.MaxVarintLen64
+
+// ReplayAll feeds the recorded events to every consumer in one decode
+// pass: each event is decoded once and dispatched to cs in order. When
+// several simulator configurations consume the same (workload, layout)
+// stream, this amortizes the decode cost across all of them.
+func (r *Recording) ReplayAll(cs ...Consumer) error {
+	if len(cs) == 1 {
+		return r.Replay(cs[0])
+	}
+	return r.Replay(fanout(cs))
+}
+
+// fanout dispatches one event to every consumer in order.
+type fanout []Consumer
+
+func (f fanout) Event(ev Event) {
+	for _, c := range f {
+		c.Event(ev)
+	}
+}
+
+// Replay feeds the recorded events to c in recording order. It decodes
+// varints directly from the chunk slices — the generic Reader pays an
+// interface-dispatched ReadByte per varint byte, which costs as much as
+// the simulation consuming the events.
+func (r *Recording) Replay(c Consumer) error {
+	d := chunkDecoder{b: r.buf}
+	hdr := d.window(len(traceMagic))
+	if len(hdr) < len(traceMagic) || [8]byte(hdr[:8]) != traceMagic {
+		return ErrBadMagic
+	}
+	d.advance(len(traceMagic))
+	for {
+		// Fast path: decode records lying wholly inside the current
+		// chunk without per-event window/advance bookkeeping.
+		if d.ci < len(d.b.chunks) {
+			chunk := d.b.chunks[d.ci]
+			pos := d.off
+			for pos+maxEventRecord <= len(chunk) {
+				ev, n, err := decodeEvent(chunk[pos:])
+				if err != nil {
+					return err
+				}
+				pos += n
+				c.Event(ev)
+			}
+			d.off = pos
+		}
+		// Slow path: a record straddling a chunk boundary, or the tail
+		// of the final chunk.
+		w := d.window(maxEventRecord)
+		if len(w) == 0 {
+			return nil
+		}
+		ev, n, err := decodeEvent(w)
+		if err != nil {
+			return err
+		}
+		d.advance(n)
+		c.Event(ev)
+	}
+}
+
+// chunkDecoder walks a chunkBuffer as one logical byte stream,
+// assembling chunk-straddling records into a scratch buffer. Each
+// decoder carries its own position, so concurrent replays of one
+// recording are independent.
+type chunkDecoder struct {
+	b       *chunkBuffer
+	ci      int // current chunk
+	off     int // offset within chunk ci
+	scratch [maxEventRecord]byte
+}
+
+// window returns at least min(n, bytes remaining) contiguous bytes at
+// the current position without consuming them; advance moves past the
+// bytes actually decoded. The common case — a whole record inside one
+// chunk — returns a subslice with no copy.
+func (d *chunkDecoder) window(n int) []byte {
+	for d.ci < len(d.b.chunks) && d.off == len(d.b.chunks[d.ci]) {
+		d.ci++
+		d.off = 0
+	}
+	if d.ci >= len(d.b.chunks) {
+		return nil
+	}
+	cur := d.b.chunks[d.ci][d.off:]
+	if len(cur) >= n || d.ci == len(d.b.chunks)-1 {
+		return cur
+	}
+	m := copy(d.scratch[:n], cur)
+	for i := d.ci + 1; i < len(d.b.chunks) && m < n; i++ {
+		m += copy(d.scratch[m:n], d.b.chunks[i])
+	}
+	return d.scratch[:m]
+}
+
+func (d *chunkDecoder) advance(n int) {
+	for n > 0 {
+		rest := len(d.b.chunks[d.ci]) - d.off
+		if n < rest {
+			d.off += n
+			return
+		}
+		n -= rest
+		d.ci++
+		d.off = 0
+	}
+}
+
+// decodeEvent decodes one event from the front of b, returning the
+// encoded length. It is the slice-based twin of Reader.Next.
+func decodeEvent(b []byte) (Event, int, error) {
+	var ev Event
+	flags := b[0]
+	ev.Kind = Kind(flags >> 1)
+	ev.Taken = flags&1 != 0
+	pos := 1
+	u, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return ev, 0, decodeErr("addr")
+	}
+	pos += n
+	ev.Addr = isa.Addr(u)
+	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("target")
+	}
+	pos += n
+	ev.Target = isa.Addr(u)
+	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("callerStart")
+	}
+	pos += n
+	ev.CallerStart = isa.Addr(u)
+	v, n := binary.Varint(b[pos:])
+	if n <= 0 {
+		return ev, 0, decodeErr("n")
+	}
+	pos += n
+	ev.N = int32(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("iters")
+	}
+	pos += n
+	ev.Iters = int32(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("fn")
+	}
+	pos += n
+	ev.Fn = program.FuncID(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("caller")
+	}
+	pos += n
+	ev.Caller = program.FuncID(v)
+	return ev, pos, nil
+}
+
+func decodeErr(field string) error {
+	return fmt.Errorf("trace: decode %s: %w", field, io.ErrUnexpectedEOF)
+}
+
+// WriteTo copies the raw encoded trace (header included) to w, so a
+// recording can be saved in the cgptrace on-disk format.
+func (r *Recording) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, chunk := range r.buf.chunks {
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

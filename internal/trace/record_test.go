@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// recordTestEvents synthesizes a stream long enough to span several
+// chunks when recorded with a small chunk size.
+func recordTestEvents(n int) []Event {
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			evs = append(evs, Event{Kind: KindRun, Addr: isa.Addr(0x400000 + i*32), N: int32(1 + i%40)})
+		case 1:
+			evs = append(evs, Event{Kind: KindCall, Addr: isa.Addr(0x400100 + i*8),
+				Target: isa.Addr(0x500000 + i*64), CallerStart: 0x400000,
+				Fn: program.FuncID(i % 97), Caller: program.FuncID(i % 31)})
+		case 2:
+			evs = append(evs, Event{Kind: KindBranch, Addr: isa.Addr(0x400200 + i*4),
+				Target: isa.Addr(0x400000), Taken: i%2 == 0})
+		case 3:
+			evs = append(evs, Event{Kind: KindLoop, Addr: isa.Addr(0x400300), N: 12, Iters: int32(i%9 + 1)})
+		default:
+			evs = append(evs, Event{Kind: KindReturn, Addr: isa.Addr(0x500000 + i*64),
+				Target: 0x400104, CallerStart: 0x400000,
+				Fn: program.FuncID(i % 97), Caller: program.FuncID(i % 31)})
+		}
+	}
+	return evs
+}
+
+func TestRecordingRoundTrip(t *testing.T) {
+	evs := recordTestEvents(10000)
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Event(ev)
+	}
+	rec, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() != int64(len(evs)) {
+		t.Fatalf("Events() = %d, want %d", rec.Events(), len(evs))
+	}
+	var got Capture
+	if err := rec.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, evs) {
+		t.Fatal("replayed events differ from recorded events")
+	}
+
+	// The recorded stats must match a Stats consumer fed directly.
+	var direct Stats
+	for _, ev := range evs {
+		direct.Event(ev)
+	}
+	if rec.Stats != direct {
+		t.Errorf("recorded stats %+v differ from direct stats %+v", rec.Stats, direct)
+	}
+}
+
+// TestRecordingChunkBoundaries forces tiny chunks so events span chunk
+// boundaries, and checks the stream still decodes exactly.
+func TestRecordingChunkBoundaries(t *testing.T) {
+	evs := recordTestEvents(500)
+	buf := newChunkBuffer(13) // adversarial: smaller than one encoded event
+	w, err := NewWriter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	for _, ev := range evs {
+		stats.Event(ev)
+		w.Event(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recording{buf: buf, Stats: stats}
+	var got Capture
+	if err := rec.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, evs) {
+		t.Fatal("chunk-boundary replay differs")
+	}
+}
+
+// TestRecordingConcurrentReplay replays one recording from several
+// goroutines at once; each must see the full stream (run with -race).
+func TestRecordingConcurrentReplay(t *testing.T) {
+	evs := recordTestEvents(3000)
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Event(ev)
+	}
+	rec, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	counts := make([]int64, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var s Stats
+			errs[i] = rec.Replay(&s)
+			counts[i] = s.Events
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if counts[i] != int64(len(evs)) {
+			t.Errorf("replay %d saw %d events, want %d", i, counts[i], len(evs))
+		}
+	}
+}
+
+// TestRecordingWriteTo checks that the raw bytes are codec-compatible.
+func TestRecordingWriteTo(t *testing.T) {
+	evs := recordTestEvents(200)
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Event(ev)
+	}
+	rec, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := rec.WriteTo(&buf)
+	if err != nil || n != rec.Bytes() {
+		t.Fatalf("WriteTo = %d, %v; want %d bytes", n, err, rec.Bytes())
+	}
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Capture
+	if err := tr.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, evs) {
+		t.Fatal("WriteTo bytes decode differently")
+	}
+}

@@ -78,10 +78,12 @@ func (p *ProfileCollector) Event(ev Event) {
 	}
 }
 
-// Recorder is a Consumer that stores events in memory, mainly for tests.
-type Recorder struct {
+// Capture is a Consumer that stores decoded events in memory, mainly
+// for tests. For recording real workloads use Recorder, which stores
+// the encoded form at a fraction of the memory.
+type Capture struct {
 	Events []Event
 }
 
 // Event implements Consumer.
-func (r *Recorder) Event(ev Event) { r.Events = append(r.Events, ev) }
+func (c *Capture) Event(ev Event) { c.Events = append(c.Events, ev) }

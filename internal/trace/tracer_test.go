@@ -37,13 +37,13 @@ func drive(tr *Tracer, ids map[string]program.FuncID) {
 
 func TestDeterminism(t *testing.T) {
 	img, ids := testImage()
-	var a, b Recorder
+	var a, b Capture
 	drive(NewTracer(img, &a, 7), ids)
 	drive(NewTracer(img, &b, 7), ids)
 	if !reflect.DeepEqual(a.Events, b.Events) {
 		t.Fatal("same seed and call sequence produced different traces")
 	}
-	var c Recorder
+	var c Capture
 	drive(NewTracer(img, &c, 8), ids)
 	if reflect.DeepEqual(a.Events, c.Events) {
 		t.Fatal("different seeds produced identical traces")
@@ -52,7 +52,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestAddressesWithinFunctionBounds(t *testing.T) {
 	img, ids := testImage()
-	var rec Recorder
+	var rec Capture
 	drive(NewTracer(img, &rec, 3), ids)
 	for _, ev := range rec.Events {
 		switch ev.Kind {
@@ -74,7 +74,7 @@ func TestAddressesWithinFunctionBounds(t *testing.T) {
 
 func TestCallReturnPairing(t *testing.T) {
 	img, ids := testImage()
-	var rec Recorder
+	var rec Capture
 	tr := NewTracer(img, &rec, 3)
 	drive(tr, ids)
 	if tr.Depth() != 0 {
@@ -103,7 +103,7 @@ func TestCallReturnPairing(t *testing.T) {
 
 func TestReturnCarriesCallerStart(t *testing.T) {
 	img, ids := testImage()
-	var rec Recorder
+	var rec Capture
 	drive(NewTracer(img, &rec, 3), ids)
 	for _, ev := range rec.Events {
 		if ev.Kind == KindReturn && ev.Caller != program.NoFunc {
@@ -175,7 +175,7 @@ func TestHelperCyclingIsStable(t *testing.T) {
 	}
 
 	sequence := func(seed int64) []program.FuncID {
-		var rec Recorder
+		var rec Capture
 		tr := NewTracer(img, &rec, seed)
 		tr.Enter(parent)
 		for i := 0; i < 12; i++ {
@@ -236,7 +236,7 @@ func TestWorkWithoutFramePanics(t *testing.T) {
 }
 
 func TestTeeAndDiscard(t *testing.T) {
-	var a, b Recorder
+	var a, b Capture
 	tee := Tee(&a, &b)
 	tee.Event(Event{Kind: KindRun, N: 5})
 	if len(a.Events) != 1 || len(b.Events) != 1 {

@@ -2,6 +2,8 @@ package cgp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cgp/internal/core"
 	"cgp/internal/cpu"
@@ -64,7 +66,17 @@ type RunnerOptions struct {
 	// Verbose enables progress lines on stderr.
 	Verbose bool
 	// Log receives progress lines when Verbose (defaults to a no-op).
+	// It may be called from multiple goroutines concurrently.
 	Log func(format string, args ...any)
+	// Workers caps the number of simulations RunAll keeps in flight.
+	// 0 means GOMAXPROCS; 1 forces sequential execution.
+	Workers int
+	// NoRecord disables trace record/replay: every Run re-executes the
+	// workload (engine build, data load, query execution) instead of
+	// replaying a captured event stream. Slower when several configs
+	// share a (workload, layout), but holds no trace memory. Used by
+	// one-shot CLI runs and by benchmarks isolating the replay layer.
+	NoRecord bool
 }
 
 // profiles bundles the two feedback artifacts a profile run produces:
@@ -75,14 +87,49 @@ type profiles struct {
 	seq   *trace.SequenceProfile
 }
 
-// Runner executes (workload, config) pairs, caching profiles and run
-// results so the figure generators can share work.
+// Runner executes (workload, config) pairs, caching profiles, laid-out
+// images, recorded traces and run results so the figure generators can
+// share work.
+//
+// All methods are safe for concurrent use. Every cacheable unit of
+// work is memoized singleflight-style: the first goroutine to request
+// a key performs the work while later requesters block and share the
+// result, so concurrent figure generators never record the same trace
+// or collect the same profile twice.
 type Runner struct {
 	opts RunnerOptions
+	// sem bounds the number of concurrently executing simulations
+	// across every RunAll call sharing this runner.
+	sem chan struct{}
 
-	dbProfiles  *profiles
-	cpuProfiles map[string]*profiles
-	cache       map[string]*Result
+	mu      sync.Mutex
+	flights map[string]*flight
+	hubs    map[string]*replayHub
+}
+
+// flight memoizes one unit of keyed work (a run, a trace recording, an
+// image layout or a profile collection). Completed flights double as
+// the result cache.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache-key namespaces. The work graph is acyclic: runs depend on
+// recordings, recordings on images, OM images on profiles, profiles on
+// O5 recordings — so nested once() calls cannot deadlock.
+const dbProfilesKey = "prof|db"
+
+func runKey(w *Workload, cfg Config) string { return "run|" + w.Name + "|" + cfg.fingerprint() }
+func recKey(w *Workload, l Layout) string   { return fmt.Sprintf("rec|%s|%d", w.Name, l) }
+func imgKey(w *Workload, l Layout) string   { return fmt.Sprintf("img|%s|%d", w.Name, l) }
+
+func profKey(w *Workload) string {
+	if w.Family == "db" {
+		return dbProfilesKey
+	}
+	return "prof|" + w.Name
 }
 
 // NewRunner builds a harness.
@@ -93,11 +140,63 @@ func NewRunner(opts RunnerOptions) *Runner {
 	if opts.Log == nil {
 		opts.Log = func(string, ...any) {}
 	}
-	return &Runner{
-		opts:        opts,
-		cpuProfiles: make(map[string]*profiles),
-		cache:       make(map[string]*Result),
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	return &Runner{
+		opts:    opts,
+		sem:     make(chan struct{}, opts.Workers),
+		flights: make(map[string]*flight),
+		hubs:    make(map[string]*replayHub),
+	}
+}
+
+// claim returns the flight for key and whether the caller became its
+// owner. An owner must resolve the flight exactly once; everyone else
+// waits on it.
+func (r *Runner) claim(key string) (*flight, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flights[key] = f
+	return f, true
+}
+
+func (f *flight) resolve(val any, err error) {
+	f.val, f.err = val, err
+	close(f.done)
+}
+
+func (f *flight) wait() (any, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// once returns the memoized result of the work keyed by key, computing
+// it via fn on first use. Concurrent requests for the same key share
+// one computation (and its error, if any).
+func (r *Runner) once(key string, fn func() (any, error)) (any, error) {
+	f, owner := r.claim(key)
+	if owner {
+		f.resolve(fn())
+	}
+	return f.wait()
+}
+
+// seed installs a precomputed value for key (used to share profiles
+// with sub-runners); it is a no-op if the key is already present.
+func (r *Runner) seed(key string, val any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.flights[key]; ok {
+		return
+	}
+	f := &flight{done: make(chan struct{}), val: val}
+	close(f.done)
+	r.flights[key] = f
 }
 
 // DBWorkloads returns the paper's four database workloads at the
@@ -117,33 +216,27 @@ func (r *Runner) CPU2000Workloads() []*Workload {
 // CPU2000 program profiles itself (the paper uses the SPEC "test"
 // input).
 func (r *Runner) profilesFor(w *Workload) (*profiles, error) {
-	if w.Family == "db" {
-		if r.dbProfiles != nil {
-			return r.dbProfiles, nil
-		}
-		r.opts.Log("collecting DB profile (wisc-prof + wisc+tpch)")
-		merged := &profiles{edges: program.NewProfile(), seq: trace.NewSequenceProfile(0)}
-		for _, pw := range []*Workload{workload.WiscProf(r.opts.DB), workload.WiscTPCH(r.opts.DB)} {
-			p, err := collectProfiles(pw)
-			if err != nil {
-				return nil, fmt.Errorf("profile run %s: %w", pw.Name, err)
+	v, err := r.once(profKey(w), func() (any, error) {
+		if w.Family == "db" {
+			r.opts.Log("collecting DB profile (wisc-prof + wisc+tpch)")
+			merged := &profiles{edges: program.NewProfile(), seq: trace.NewSequenceProfile(0)}
+			for _, pw := range []*Workload{workload.WiscProf(r.opts.DB), workload.WiscTPCH(r.opts.DB)} {
+				p, err := r.collectProfiles(pw)
+				if err != nil {
+					return nil, fmt.Errorf("profile run %s: %w", pw.Name, err)
+				}
+				merged.edges.Merge(p.edges)
+				mergeSequences(merged.seq, p.seq)
 			}
-			merged.edges.Merge(p.edges)
-			mergeSequences(merged.seq, p.seq)
+			return merged, nil
 		}
-		r.dbProfiles = merged
-		return merged, nil
-	}
-	if p, ok := r.cpuProfiles[w.Name]; ok {
-		return p, nil
-	}
-	r.opts.Log("collecting profile for %s", w.Name)
-	p, err := collectProfiles(w)
+		r.opts.Log("collecting profile for %s", w.Name)
+		return r.collectProfiles(w)
+	})
 	if err != nil {
 		return nil, err
 	}
-	r.cpuProfiles[w.Name] = p
-	return p, nil
+	return v.(*profiles), nil
 }
 
 // profileFor returns just the edge-weight profile (OM layout input).
@@ -155,14 +248,28 @@ func (r *Runner) profileFor(w *Workload) (*program.Profile, error) {
 	return p.edges, nil
 }
 
-// collectProfiles runs w once on its O5 image with both collectors.
-func collectProfiles(w *Workload) (*profiles, error) {
-	reg := w.NewRegistry()
-	img := program.LayoutO5(reg)
+// collectProfiles gathers w's feedback artifacts from its O5 event
+// stream. The stream comes from the shared recording, so a workload
+// that is both profiled and simulated on O5 executes exactly once.
+func (r *Runner) collectProfiles(w *Workload) (*profiles, error) {
 	pc := trace.NewProfileCollector()
 	sc := trace.NewSequenceCollector(0)
-	if err := w.Run(img, trace.Tee(pc, sc)); err != nil {
-		return nil, err
+	if r.opts.NoRecord {
+		img, err := r.imageFor(w, LayoutO5)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Run(img, trace.Tee(pc, sc)); err != nil {
+			return nil, err
+		}
+	} else {
+		rec, err := r.recordingFor(w, LayoutO5)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Replay(trace.Tee(pc, sc)); err != nil {
+			return nil, err
+		}
 	}
 	return &profiles{edges: pc.Profile, seq: sc.Profile}, nil
 }
@@ -176,29 +283,84 @@ func mergeSequences(dst, src *trace.SequenceProfile) {
 	}
 }
 
-// Run simulates one workload under one configuration. Results are
-// cached by (workload, label).
-func (r *Runner) Run(w *Workload, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	key := w.Name + "|" + cfg.Label() + "|" + cfg.describeExtra()
-	if res, ok := r.cache[key]; ok {
-		return res, nil
+// imageFor lays out w's registry once per layout. Registries are
+// deterministic and images are immutable after layout, so every
+// consumer of a (workload, layout) pair shares one image.
+func (r *Runner) imageFor(w *Workload, layout Layout) (*program.Image, error) {
+	v, err := r.once(imgKey(w, layout), func() (any, error) {
+		reg := w.NewRegistry()
+		switch layout {
+		case LayoutO5:
+			return program.LayoutO5(reg), nil
+		case LayoutOM:
+			prof, err := r.profileFor(w)
+			if err != nil {
+				return nil, err
+			}
+			return program.LayoutOM(reg, prof), nil
+		default:
+			return nil, fmt.Errorf("cgp: unknown layout %d", layout)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	reg := w.NewRegistry()
-	var img *program.Image
-	switch cfg.Layout {
-	case LayoutO5:
-		img = program.LayoutO5(reg)
-	case LayoutOM:
-		prof, err := r.profileFor(w)
+	return v.(*program.Image), nil
+}
+
+// recordingFor captures w's event stream on the given layout once and
+// memoizes the sealed recording. The stream for a (workload, layout)
+// pair is deterministic and independent of the CPU configuration, so
+// every config replays the same buffer instead of re-executing the
+// workload. The recording lives for the life of the Runner; its
+// encoded size is reported through Log.
+func (r *Runner) recordingFor(w *Workload, layout Layout) (*trace.Recording, error) {
+	v, err := r.once(recKey(w, layout), func() (any, error) {
+		img, err := r.imageFor(w, layout)
 		if err != nil {
 			return nil, err
 		}
-		img = program.LayoutOM(reg, prof)
-	default:
-		return nil, fmt.Errorf("cgp: unknown layout %d", cfg.Layout)
+		rec := trace.NewRecorder()
+		r.opts.Log("record %-12s %s", w.Name, layout)
+		if err := w.Run(img, rec); err != nil {
+			return nil, fmt.Errorf("cgp: record %s under %s: %w", w.Name, layout, err)
+		}
+		rg, err := rec.Finish()
+		if err != nil {
+			return nil, err
+		}
+		r.opts.Log("recorded %s/%s: %d events, %.1f MiB",
+			w.Name, layout, rg.Events(), float64(rg.Bytes())/(1<<20))
+		return rg, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return v.(*trace.Recording), nil
+}
 
+// Run simulates one workload under one configuration. Results are
+// cached by (workload, config fingerprint); concurrent calls for the
+// same pair share one simulation.
+func (r *Runner) Run(w *Workload, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	v, err := r.once(runKey(w, cfg), func() (any, error) { return r.simulate(w, cfg) })
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
+}
+
+// prepared is one configured simulation waiting for an event stream.
+type prepared struct {
+	c   *cpu.CPU
+	gp  *core.CGP
+	res *Result
+}
+
+// prepare builds the prefetcher and CPU for one (workload, config)
+// cell.
+func (r *Runner) prepare(w *Workload, cfg Config) (*prepared, error) {
 	pf, gp := cfg.buildPrefetcher()
 	if cfg.Prefetcher == PrefSoftwareCGP && !cfg.PerfectICache {
 		// The software variant needs the profiled call sequences bound
@@ -207,23 +369,286 @@ func (r *Runner) Run(w *Workload, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		img, err := r.imageFor(w, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
 		pf = buildSoftwareCGP(cfg, prof.seq, img)
 	}
-	c := cpu.New(cfg.cpuConfig(), pf)
-	res := &Result{Workload: w.Name, Config: cfg.Label()}
-	cons := trace.Tee(&res.Trace, c)
+	return &prepared{
+		c:   cpu.New(cfg.cpuConfig(), pf),
+		gp:  gp,
+		res: &Result{Workload: w.Name, Config: cfg.Label()},
+	}, nil
+}
 
+// finalize seals the simulation's statistics into its Result.
+func (p *prepared) finalize() *Result {
+	p.res.CPU = p.c.Finish()
+	if p.gp != nil {
+		s := p.gp.Stats()
+		p.res.CGPStats = &s
+	}
+	return p.res
+}
+
+// simulate performs one uncached simulation: build the prefetcher and
+// CPU for cfg, then feed them w's event stream — replayed from the
+// shared recording, or re-executed when NoRecord is set.
+func (r *Runner) simulate(w *Workload, cfg Config) (*Result, error) {
+	p, err := r.prepare(w, cfg)
+	if err != nil {
+		return nil, err
+	}
 	r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
-	if err := w.Run(img, cons); err != nil {
-		return nil, fmt.Errorf("cgp: %s under %s: %w", w.Name, cfg.Label(), err)
+
+	if r.opts.NoRecord {
+		img, err := r.imageFor(w, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
+		if err := w.Run(img, trace.Tee(&p.res.Trace, p.c)); err != nil {
+			return nil, fmt.Errorf("cgp: %s under %s: %w", w.Name, cfg.Label(), err)
+		}
+	} else {
+		rec, err := r.recordingFor(w, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
+		if err := rec.Replay(p.c); err != nil {
+			return nil, fmt.Errorf("cgp: replay %s under %s: %w", w.Name, cfg.Label(), err)
+		}
+		// The recorded stats are what a Tee'd Stats consumer would have
+		// counted; copying avoids recounting per replay.
+		p.res.Trace = rec.Stats
 	}
-	res.CPU = c.Finish()
-	if gp != nil {
-		s := gp.Stats()
-		res.CGPStats = &s
+	return p.finalize(), nil
+}
+
+// Job names one (workload, config) simulation for RunAll.
+type Job struct {
+	Workload *Workload
+	Config   Config
+}
+
+// RunAll executes jobs with up to Workers batches in flight and
+// returns results in input order regardless of completion order.
+// Duplicate jobs — and cells shared with earlier figures — are
+// deduplicated through the result cache, so overlapping grids never
+// repeat a simulation. The first error in input order is returned.
+//
+// In replay mode, jobs sharing a (workload, layout) recording are
+// batched: their configured CPUs consume a single decode pass over the
+// recording (trace.Recording.ReplayAll), so the decode cost is paid
+// once per batch instead of once per config. Batching only changes
+// scheduling — every consumer still sees the full event stream in
+// order, so results are identical to running each job alone.
+func (r *Runner) RunAll(jobs []Job) ([]*Result, error) {
+	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	if r.opts.NoRecord {
+		for i := range jobs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// The semaphore is acquired before Run, never inside it,
+				// so a singleflight leader always already owns a slot (or
+				// needs none) and followers cannot starve it.
+				r.sem <- struct{}{}
+				defer func() { <-r.sem }()
+				results[i], errs[i] = r.Run(jobs[i].Workload, jobs[i].Config)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for _, g := range groupJobs(jobs) {
+			wg.Add(1)
+			// runGroup acquires a worker slot itself, only around the
+			// drain phase: claiming and waiting hold no slot.
+			go func(g *jobGroup) {
+				defer wg.Done()
+				r.runGroup(g, results, errs)
+			}(g)
+		}
+		wg.Wait()
 	}
-	r.cache[key] = res
-	return res, nil
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// jobGroup collects the jobs of one RunAll call that replay the same
+// (workload, layout) recording.
+type jobGroup struct {
+	w      *Workload
+	hubKey string
+	keys   []string          // unique run cache keys, input order
+	cfgs   map[string]Config // run key -> config (defaults applied)
+	idx    map[string][]int  // run key -> job indices
+}
+
+func groupJobs(jobs []Job) []*jobGroup {
+	order := []*jobGroup{}
+	groups := map[string]*jobGroup{}
+	for i, j := range jobs {
+		cfg := j.Config.withDefaults()
+		gk := recKey(j.Workload, cfg.Layout)
+		g := groups[gk]
+		if g == nil {
+			g = &jobGroup{w: j.Workload, hubKey: gk, cfgs: map[string]Config{}, idx: map[string][]int{}}
+			groups[gk] = g
+			order = append(order, g)
+		}
+		rk := runKey(j.Workload, cfg)
+		if _, ok := g.cfgs[rk]; !ok {
+			g.keys = append(g.keys, rk)
+			g.cfgs[rk] = cfg
+		}
+		g.idx[rk] = append(g.idx[rk], i)
+	}
+	return order
+}
+
+// replayHub coalesces claimed cells that consume one recording. Group
+// tasks enqueue their cells before taking a worker slot, so whichever
+// task drains first serves every pending cell of the recording in one
+// wide replay pass — concurrent figure generators' grids merge into a
+// few decode passes instead of one per figure. Coalescing only affects
+// scheduling: each cell's CPU always consumes the full event stream,
+// so results are identical however cells are batched.
+type replayHub struct {
+	mu      sync.Mutex
+	active  bool
+	pending []hubCell
+}
+
+// hubCell is one claimed, unsimulated cell: its config and the flight
+// the drainer must resolve.
+type hubCell struct {
+	cfg Config
+	f   *flight
+}
+
+func (r *Runner) hubFor(key string) *replayHub {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hubs[key]
+	if h == nil {
+		h = &replayHub{}
+		r.hubs[key] = h
+	}
+	return h
+}
+
+// runGroup claims the group's uncomputed cells, enqueues them on the
+// recording's hub, competes to drain it, then collects results
+// (including cells another goroutine computed) into the RunAll output
+// slots. Claiming and enqueueing happen before the worker slot is
+// acquired — they do no simulation work — so even a single-worker pool
+// sees every concurrent figure's cells before the first drain begins.
+func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
+	type cellRef struct {
+		key string
+		f   *flight
+	}
+	cells := make([]cellRef, 0, len(g.keys))
+	var enq []hubCell
+	for _, rk := range g.keys {
+		f, owner := r.claim(rk)
+		cells = append(cells, cellRef{rk, f})
+		if owner {
+			enq = append(enq, hubCell{g.cfgs[rk], f})
+		}
+	}
+	h := r.hubFor(g.hubKey)
+	if len(enq) > 0 {
+		h.mu.Lock()
+		h.pending = append(h.pending, enq...)
+		h.mu.Unlock()
+	}
+	r.sem <- struct{}{}
+	r.pump(g.w, h)
+	<-r.sem
+	for _, c := range cells {
+		v, err := c.f.wait()
+		for _, i := range g.idx[c.key] {
+			if err != nil {
+				errs[i] = err
+			} else {
+				results[i] = v.(*Result)
+			}
+		}
+	}
+}
+
+// pump drains h: while cells are pending and no other drainer is
+// active, grab them all and simulate them in one shared replay pass.
+// Cells enqueued during a pass are picked up by the next loop
+// iteration; if another drainer is active it will do the same, so
+// every enqueued cell is eventually simulated.
+func (r *Runner) pump(w *Workload, h *replayHub) {
+	for {
+		h.mu.Lock()
+		if h.active || len(h.pending) == 0 {
+			h.mu.Unlock()
+			return
+		}
+		batch := h.pending
+		h.pending = nil
+		h.active = true
+		h.mu.Unlock()
+		r.runBatch(w, batch)
+		h.mu.Lock()
+		h.active = false
+		h.mu.Unlock()
+	}
+}
+
+// runBatch simulates a set of configs of one (workload, layout) pair
+// against a single decode pass of the shared recording, resolving each
+// cell's flight with its Result.
+func (r *Runner) runBatch(w *Workload, batch []hubCell) {
+	rec, err := r.recordingFor(w, batch[0].cfg.Layout)
+	if err != nil {
+		for _, c := range batch {
+			c.f.resolve(nil, err)
+		}
+		return
+	}
+	sims := make([]*prepared, 0, len(batch))
+	live := make([]hubCell, 0, len(batch))
+	for _, c := range batch {
+		p, err := r.prepare(w, c.cfg)
+		if err != nil {
+			c.f.resolve(nil, err)
+			continue
+		}
+		r.opts.Log("run %-12s %-14s", w.Name, c.cfg.Label())
+		sims = append(sims, p)
+		live = append(live, c)
+	}
+	if len(live) == 0 {
+		return
+	}
+	cs := make([]trace.Consumer, len(sims))
+	for i, p := range sims {
+		cs[i] = p.c
+	}
+	if err := rec.ReplayAll(cs...); err != nil {
+		err = fmt.Errorf("cgp: replay %s: %w", w.Name, err)
+		for _, c := range live {
+			c.f.resolve(nil, err)
+		}
+		return
+	}
+	for i, c := range live {
+		sims[i].res.Trace = rec.Stats
+		c.f.resolve(sims[i].finalize(), nil)
+	}
 }
 
 // buildSoftwareCGP binds a profiled sequence table to an image's
@@ -239,13 +664,4 @@ func buildSoftwareCGP(cfg Config, seq *trace.SequenceProfile, img *program.Image
 		table[img.Start(fn)] = addrs
 	}
 	return core.NewSoftware(cfg.Degree, table)
-}
-
-// describeExtra disambiguates cache keys for configs whose Label is
-// identical but whose internals differ (CGHC sweeps).
-func (c Config) describeExtra() string {
-	if c.Prefetcher == PrefCGP {
-		return c.CGHC.String()
-	}
-	return ""
 }
