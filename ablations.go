@@ -121,11 +121,11 @@ func (r *Runner) QuantumSweep() (*Figure, error) {
 			return nil, err
 		}
 		if i == 0 {
-			base = res.CPU.Cycles
+			base = int64(res.CPU.Cycles)
 		}
 		fig.Rows = append(fig.Rows, Row{
 			Workload: "wisc-large-2", Config: fmt.Sprintf("quantum-%d", q),
-			Cycles: res.CPU.Cycles, Misses: res.CPU.ICacheMisses,
+			Cycles: int64(res.CPU.Cycles), Misses: res.CPU.ICacheMisses,
 			Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
 		})
 	}

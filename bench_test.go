@@ -15,6 +15,7 @@ import (
 	"cgp/internal/prefetch"
 	"cgp/internal/program"
 	"cgp/internal/trace"
+	"cgp/internal/units"
 	"cgp/internal/workload"
 )
 
@@ -184,7 +185,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	reg := w.NewRegistry()
 	img := program.LayoutO5(reg)
 	b.ResetTimer()
-	var instrs int64
+	var instrs units.Instrs
 	for i := 0; i < b.N; i++ {
 		pf, _ := (Config{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4}).buildPrefetcher()
 		c := cpu.New(cpu.DefaultConfig(), pf)
@@ -193,7 +194,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 		instrs = c.Finish().Instructions
 	}
-	b.ReportMetric(float64(instrs*int64(b.N))/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // ---- microbenchmarks of the hot structures ----

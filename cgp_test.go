@@ -226,6 +226,29 @@ func TestFigureGeneration(t *testing.T) {
 	}
 }
 
+// TestFigureBytesReproducible asserts the full rendering pipeline —
+// simulation, table layout (report.go) and ASCII chart (chart.go) — is
+// byte-identical across two independent runners. Any map-iteration
+// order leaking into the output (the class of bug cgplint's maporder
+// pass guards against) shows up here as a byte diff.
+func TestFigureBytesReproducible(t *testing.T) {
+	render := func() (string, string) {
+		fig, err := smallRunner().Figure7()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Markdown(), fig.Chart()
+	}
+	md1, ch1 := render()
+	md2, ch2 := render()
+	if md1 != md2 {
+		t.Errorf("markdown not byte-identical across fresh runners:\n--- first ---\n%s\n--- second ---\n%s", md1, md2)
+	}
+	if ch1 != ch2 {
+		t.Errorf("chart not byte-identical across fresh runners:\n--- first ---\n%s\n--- second ---\n%s", ch1, ch2)
+	}
+}
+
 func TestFigure9PortionSplit(t *testing.T) {
 	r := smallRunner()
 	fig, err := r.Figure9()

@@ -1,0 +1,42 @@
+// Command cgplint statically enforces the simulator's determinism and
+// stats-unit contracts. Run it directly:
+//
+//	go run ./cmd/cgplint ./...
+//
+// or as a vet tool, which shares go vet's package loading and build
+// cache:
+//
+//	go build -o /tmp/cgplint ./cmd/cgplint
+//	go vet -vettool=/tmp/cgplint ./...
+//
+// Four analyzers run (see their package docs under internal/analysis):
+//
+//	detrand    no wall-clock reads or global math/rand in deterministic packages
+//	maporder   no map-iteration order leaking into ordered output
+//	cyclesafe  no narrowing or cross-unit conversion of internal/units types
+//	lockcheck  no by-value sync primitives; flight keys via fingerprint() only
+//
+// Exceptions are written in the source as
+//
+//	//cgplint:ignore <analyzer> <reason>
+//
+// covering the same line or the line below; the reason is mandatory
+// and directives with typos or missing reasons are themselves errors.
+package main
+
+import (
+	"cgp/internal/analysis/cyclesafe"
+	"cgp/internal/analysis/detrand"
+	"cgp/internal/analysis/driver"
+	"cgp/internal/analysis/lockcheck"
+	"cgp/internal/analysis/maporder"
+)
+
+func main() {
+	driver.Main(
+		detrand.Analyzer,
+		maporder.Analyzer,
+		cyclesafe.Analyzer,
+		lockcheck.Analyzer,
+	)
+}

@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"cgp"
+	"cgp/internal/units"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 	fmt.Fprintf(tw, "benchmark\tO5+OM\tOM+NL_4\tOM+CGP_4\tperf-Icache\tI-miss%%\n")
 	for _, w := range r.CPU2000Workloads() {
 		var cells []string
-		var base int64
+		var base units.Cycles
 		var missRate float64
 		for i, cfg := range configs {
 			res, err := r.Run(w, cfg)

@@ -13,6 +13,7 @@ import (
 	"text/tabwriter"
 
 	"cgp"
+	"cgp/internal/units"
 )
 
 func main() {
@@ -35,7 +36,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "workload\tconfig\tcycles\tspeedup\tI-miss/kinst\tuseful-pf%%\n")
 	for _, w := range r.DBWorkloads() {
-		var base int64
+		var base units.Cycles
 		for i, cfg := range configs {
 			res, err := r.Run(w, cfg)
 			if err != nil {

@@ -78,7 +78,7 @@ func (r *Runner) runGridLabeled(id, title string, workloads []*Workload, configs
 			fig.Rows = append(fig.Rows, Row{
 				Workload:    w.Name,
 				Config:      label(cfg),
-				Cycles:      res.CPU.Cycles,
+				Cycles:      int64(res.CPU.Cycles),
 				Misses:      res.CPU.ICacheMisses,
 				PrefHits:    tp.PrefHits,
 				DelayedHits: tp.DelayedHits,

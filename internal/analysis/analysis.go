@@ -1,0 +1,107 @@
+// Package analysis is a minimal, self-contained reimplementation of
+// the golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects
+// one type-checked package at a time and reports position-tagged
+// diagnostics.
+//
+// The repository cannot vendor x/tools (builds are offline), so this
+// package provides the same shape — Analyzer, Pass, Diagnostic — with
+// exactly the surface the cgplint suite needs. The driver
+// (internal/analysis/driver) speaks the `go vet -vettool` protocol, so
+// analyzers written against this package run under `go vet` like any
+// unitchecker-based tool.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name is the short identifier used on the command line and in
+	// `//cgplint:ignore <name> <reason>` suppression comments.
+	Name string
+	// Doc is a one-paragraph description of what the check enforces.
+	Doc string
+	// Run applies the check to one package, reporting findings through
+	// pass.Report. A non-nil error aborts the whole cgplint run (it
+	// means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives each diagnostic; the driver installs it.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// NewPass assembles a pass whose diagnostics are appended to out.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, out *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		report:    func(d Diagnostic) { *out = append(*out, d) },
+	}
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) { p.report(d) }
+
+// Reportf records a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Preorder walks every file of the pass in depth-first preorder,
+// invoking fn for each node. It is the inspector all four cgplint
+// analyzers are built on; filtering by node type happens in fn.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// TypeOf returns the static type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.TypesInfo.TypeOf(e) }
+
+// InTestFile reports whether pos lies in a _test.go file. Checks that
+// defend figure-generation determinism do not apply to test-only code.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// RunAnalyzer executes a over one loaded package and returns its
+// diagnostics with suppression comments (//cgplint:ignore) applied.
+// Malformed suppression comments are NOT reported here — the driver
+// reports them once per package, not once per analyzer.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := NewPass(a, fset, files, pkg, info, &diags)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return FilterSuppressed(a.Name, fset, files, diags), nil
+}

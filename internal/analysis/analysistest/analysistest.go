@@ -1,0 +1,242 @@
+// Package analysistest runs a cgplint analyzer over a tree of test
+// packages and checks its diagnostics against expectations written in
+// the source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	m := make(map[string]int)
+//	for k := range m {
+//		fmt.Println(k) // want `map iteration order`
+//	}
+//
+// A `// want` comment holds one or more quoted regular expressions;
+// each must match a diagnostic reported on that line, and every
+// diagnostic must be claimed by some expectation. Both back-quoted and
+// double-quoted forms are accepted.
+//
+// Test packages live under testdata/src/<import-path>/. The import
+// path is taken literally, so a test package can opt in or out of the
+// deterministic domain by choosing a path inside or outside the "cgp"
+// module, and a package whose path ends in a directory named "units"
+// stands in for internal/units in cyclesafe tests. Imports resolve
+// against testdata first and fall back to the real standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cgp/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run loads each package under dir/src and applies the analyzer,
+// comparing suppression-filtered diagnostics against // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgPaths {
+		res, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunAnalyzer(a, l.fset, res.files, res.pkg, res.info)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, path, res.files, diags)
+	}
+}
+
+// RunIgnores applies analysis.CheckIgnores (the driver's directive
+// audit) to one test package and checks it the same way.
+func RunIgnores(t *testing.T, dir string, known []string, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range pkgPaths {
+		res, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		check(t, l.fset, path, res.files, analysis.CheckIgnores(l.fset, res.files, known))
+	}
+}
+
+// ---- package loading ----
+
+type result struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	std    types.Importer
+	pkgs   map[string]*result
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		srcDir: filepath.Join(dir, "src"),
+		std:    importer.ForCompiler(fset, "gc", nil),
+		pkgs:   map[string]*result{},
+	}
+}
+
+// Import lets the loader serve as the importer for its own packages:
+// testdata packages shadow the real module, everything else falls
+// through to the standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcDir, path); isDir(dir) {
+		res, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return res.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*result, error) {
+	if res, ok := l.pkgs[path]; ok {
+		return res, nil
+	}
+	dir := filepath.Join(l.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking: %w", err)
+	}
+	res := &result{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = res
+	return res, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// ---- expectation matching ----
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// wantRe captures each back-quoted or double-quoted pattern after
+// "want".
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+					pattern := q
+					if q[0] == '"' {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					} else {
+						pattern = q[1 : len(q)-1]
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: pattern,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, fset *token.FileSet, pkgPath string, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+diags:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.used && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.used = true
+				continue diags
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic in %s: %s", pos, pkgPath, d.Message)
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package cyclesafe enforces the simulator's quantity types
+// (internal/units): cycle counters, latencies and instruction counts
+// may not be narrowed to 32-bit-or-smaller integers, and may not flow
+// from one unit into another without an explicit widening step.
+//
+// A unit type is any defined type with an integer underlying type
+// declared in a package named "units". Recognition is by package name
+// so the analyzer needs no cross-package facts: the types.Info of the
+// package under analysis already names the defining package of every
+// operand.
+//
+// Flagged:
+//
+//	int(cycles), int32(cycles), uint(cycles)   // narrowing; overflows in seconds of simulated time
+//	float32(cycles)                            // precision loss past 2^24
+//	units.Instrs(cycles)                       // cross-unit conversion
+//	units.Instrs(int64(cycles))                // laundering through int64
+//
+// Allowed:
+//
+//	int64(cycles), uint64(cycles), float64(cycles)  // sanctioned exits
+//	units.Cycles(cfg.L2Latency)                     // injection from plain integers
+//	cycles + 2                                      // untyped constants mix freely
+//
+// Cross-unit *arithmetic* (cycles + instrs) is rejected by the
+// compiler once the named types exist; this pass closes the conversion
+// loopholes that would let such an expression type-check.
+package cyclesafe
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cgp/internal/analysis"
+)
+
+// Analyzer is the cyclesafe pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "cyclesafe",
+	Doc: "flag narrowing and cross-unit conversions of simulator quantity types " +
+		"(cycle counters, instruction counts) defined in internal/units",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		// A conversion is a call whose Fun denotes a type.
+		tv, ok := pass.TypesInfo.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		if pass.InTestFile(call.Pos()) {
+			return true
+		}
+		dst := tv.Type
+		src := pass.TypeOf(call.Args[0])
+		if src == nil {
+			return true
+		}
+		checkConversion(pass, call, dst, src)
+		return true
+	})
+	return nil
+}
+
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Type) {
+	srcUnit := unitType(src)
+	dstUnit := unitType(dst)
+
+	switch {
+	case srcUnit != nil && dstUnit != nil:
+		if srcUnit != dstUnit {
+			pass.Reportf(call.Pos(),
+				"conversion between unit types %s and %s drops the dimension; convert through int64 or float64 and state the ratio",
+				typeName(srcUnit), typeName(dstUnit))
+		}
+	case srcUnit != nil:
+		checkExit(pass, call, srcUnit, dst)
+	case dstUnit != nil:
+		// Injection into a unit type from plain integers is the normal
+		// way values enter the system — except when the argument is
+		// itself int64(otherUnit): laundering a cross-unit conversion.
+		if inner, ok := unparen(call.Args[0]).(*ast.CallExpr); ok && len(inner.Args) == 1 {
+			if itv, ok := pass.TypesInfo.Types[inner.Fun]; ok && itv.IsType() {
+				if iu := unitType(pass.TypeOf(inner.Args[0])); iu != nil && iu != dstUnit {
+					pass.Reportf(call.Pos(),
+						"%s(%s(...)) launders %s into %s through a plain integer; cross-unit flows need an explicit, commented ratio",
+						typeName(dstUnit), itv.Type.String(), typeName(iu), typeName(dstUnit))
+				}
+			}
+		}
+	}
+}
+
+// checkExit validates a conversion out of a unit type into a plain
+// type: 64-bit integers and float64 are the sanctioned exits.
+func checkExit(pass *analysis.Pass, call *ast.CallExpr, src *types.Named, dst types.Type) {
+	b, ok := dst.Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64, types.Float64, types.String:
+		return // full-width exits (String only via explicit rune abuse; vet's own checks cover that)
+	case types.Int, types.Uint, types.Uintptr:
+		pass.Reportf(call.Pos(),
+			"%s(%s) narrows a 64-bit %s counter to a platform-dependent width; use int64",
+			b.Name(), typeName(src), typeName(src))
+	case types.Int8, types.Int16, types.Int32, types.Uint8, types.Uint16, types.Uint32:
+		pass.Reportf(call.Pos(),
+			"%s(%s) narrows a 64-bit %s counter; simulated runs overflow 32 bits within seconds",
+			b.Name(), typeName(src), typeName(src))
+	case types.Float32:
+		pass.Reportf(call.Pos(),
+			"float32(%s) loses integer precision past 2^24 cycles; use float64", typeName(src))
+	}
+}
+
+// unitType returns t's defined type when it is a simulator unit type:
+// a named integer type declared in a package named "units".
+func unitType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return nil
+	}
+	if b, ok := named.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		return named
+	}
+	return nil
+}
+
+func typeName(n *types.Named) string { return n.Obj().Name() }
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

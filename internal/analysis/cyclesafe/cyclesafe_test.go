@@ -1,0 +1,12 @@
+package cyclesafe_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/cyclesafe"
+)
+
+func TestCyclesafe(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), cyclesafe.Analyzer, "cgp/fake/cs")
+}

@@ -1,0 +1,42 @@
+// Package cs exercises cyclesafe's conversion rules.
+package cs
+
+import "units"
+
+func narrow(c units.Cycles) {
+	_ = int(c)     // want `int\(Cycles\) narrows a 64-bit Cycles counter to a platform-dependent width`
+	_ = uint(c)    // want `platform-dependent width`
+	_ = int32(c)   // want `overflow 32 bits`
+	_ = uint16(c)  // want `overflow 32 bits`
+	_ = float32(c) // want `float32\(Cycles\) loses integer precision`
+}
+
+func widen(c units.Cycles) (int64, uint64, float64) {
+	return int64(c), uint64(c), float64(c) // sanctioned exits
+}
+
+func cross(c units.Cycles) units.Instrs {
+	return units.Instrs(c) // want `conversion between unit types Cycles and Instrs drops the dimension`
+}
+
+func launder(c units.Cycles) units.Instrs {
+	return units.Instrs(int64(c)) // want `launders Cycles into Instrs through a plain integer`
+}
+
+func inject(n int, c units.Cycles) units.Cycles {
+	u := units.Cycles(n)        // injection from plain integers: allowed
+	u += units.Cycles(int64(c)) // same unit round-trip through int64: allowed
+	return u + 2                // untyped constants mix freely
+}
+
+func ratio(i units.Instrs, c units.Cycles) float64 {
+	if c == 0 {
+		return 0
+	}
+	return float64(i) / float64(c) // the explicit cross-dimension form
+}
+
+func suppressed(c units.Cycles) int {
+	//cgplint:ignore cyclesafe display column width, value bounded by config
+	return int(c)
+}

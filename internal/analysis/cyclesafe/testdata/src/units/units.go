@@ -1,0 +1,9 @@
+// Package units stands in for cgp/internal/units: cyclesafe
+// recognizes unit types by their defining package being named "units".
+package units
+
+// Cycles counts CPU clock cycles.
+type Cycles int64
+
+// Instrs counts dynamic instructions.
+type Instrs int64

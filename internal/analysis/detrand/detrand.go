@@ -1,0 +1,90 @@
+// Package detrand flags sources of run-to-run nondeterminism in the
+// deterministic domain: wall-clock reads and the globally-seeded
+// math/rand source.
+//
+// The simulator's guarantee is that a fixed seed plus an identical
+// call sequence yields identical figures. One time.Now() feeding a
+// stats line, or one rand.Intn() drawing from the process-global
+// source (whose sequence depends on what every other package consumed
+// before), silently breaks that. The sanctioned form is an explicit
+// per-component generator: rand.New(rand.NewSource(seed)), which is
+// what internal/trace.Tracer and every workload generator use.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cgp/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "flag wall-clock reads (time.Now/Since/Until) and global math/rand use " +
+		"in deterministic packages; use rand.New(rand.NewSource(seed)) instead",
+	Run: run,
+}
+
+// bannedTime are wall-clock reads. time.Duration arithmetic, parsing
+// and formatting stay legal — only reading the clock is flagged.
+var bannedTime = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedRand are the constructors of explicitly-seeded generators.
+// Everything else exported by math/rand (Int, Intn, Float64, Perm,
+// Shuffle, Seed, ...) draws from or mutates the global source.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if pass.InTestFile(n.Pos()) {
+			return true
+		}
+		// Only function references count: naming a type (rand.Zipf,
+		// time.Duration) neither reads the clock nor draws randomness.
+		if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+			return true
+		}
+		switch pkgName.Imported().Path() {
+		case "time":
+			if bannedTime[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock in deterministic package %s; timing output must be suppressed with a reason",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the global math/rand source in deterministic package %s; use rand.New(rand.NewSource(seed))",
+					sel.Sel.Name, pass.Pkg.Path())
+			}
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,13 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detrand.Analyzer,
+		"cgp/fake/det", "example.org/outside")
+}

@@ -1,0 +1,51 @@
+// Package det exercises detrand inside the deterministic domain
+// (import path cgp/fake/det).
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until reads the wall clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn uses the global math/rand source`
+}
+
+func reseed(seed int64) {
+	rand.Seed(seed) // want `rand\.Seed uses the global math/rand source`
+}
+
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // explicitly seeded: allowed
+	return rng.Intn(10)
+}
+
+func zipf(seed int64) *rand.Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(r, 1.1, 1, 100) // constructor: allowed
+}
+
+func durations(d time.Duration) time.Duration {
+	return d * 2 // duration arithmetic is not a clock read
+}
+
+func parse(s string) (time.Duration, error) {
+	return time.ParseDuration(s) // parsing is not a clock read
+}
+
+func suppressed() time.Time {
+	//cgplint:ignore detrand progress display only, never reaches a figure
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Package outside is not under the cgp module path, so the
+// determinism analyzers leave it alone.
+package outside
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallclock() (time.Time, int) {
+	return time.Now(), rand.Int() // out of domain: not flagged
+}

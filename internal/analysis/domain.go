@@ -1,0 +1,39 @@
+package analysis
+
+import "strings"
+
+// Deterministic domain.
+//
+// PR 1 made byte-identical reproduction a hard guarantee: parallel
+// RunAll equals sequential runs, replayed traces equal direct
+// execution, and regenerating any figure yields identical bytes. Every
+// package of this module participates in that guarantee — workload
+// synthesis, trace capture, the simulator, and the figure/report layer
+// all feed the published numbers — so the whole module is the
+// "deterministic domain" the order- and clock-sensitive analyzers
+// (detrand, maporder) police. Code that genuinely needs wall-clock
+// time (progress lines, run-duration footers) opts out per line with
+// //cgplint:ignore and a written reason.
+
+// ModulePath is the import-path prefix of the deterministic domain.
+const ModulePath = "cgp"
+
+// nonDeterministicPrefixes lists sub-trees exempt from the
+// determinism analyzers. Currently empty on purpose: examples/ and
+// cmd/ produce user-visible experiment output too, and their few
+// legitimate wall-clock uses carry per-line suppressions instead.
+var nonDeterministicPrefixes = []string{}
+
+// InDeterministicDomain reports whether the package at pkgPath must
+// be free of nondeterminism sources.
+func InDeterministicDomain(pkgPath string) bool {
+	if pkgPath != ModulePath && !strings.HasPrefix(pkgPath, ModulePath+"/") {
+		return false
+	}
+	for _, p := range nonDeterministicPrefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,268 @@
+// Package driver runs cgplint analyzers under two invocation styles:
+//
+//	go vet -vettool=/path/to/cgplint ./...   # the vet unit protocol
+//	cgplint ./...                            # standalone; re-execs go vet
+//
+// The vet protocol (reverse-engineered from cmd/go and mirrored from
+// x/tools' unitchecker, which this module cannot vendor because builds
+// are offline) has three entry points:
+//
+//	-V=full    print "<prog> version devel comments-go-here buildID=<sha256>"
+//	           so the build cache can fingerprint the tool;
+//	-flags     print the tool's flags as JSON so go vet knows what to
+//	           forward;
+//	unit.cfg   analyze one compilation unit described by a JSON config,
+//	           writing diagnostics to stderr and exiting nonzero when
+//	           there are findings.
+//
+// Types for imported packages come from the export data files the go
+// command already produced for the build (cfg.PackageFile), so no
+// network, module cache, or second type-check of dependencies is
+// needed.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"cgp/internal/analysis"
+)
+
+// Config mirrors the JSON compilation-unit description go vet writes
+// for -vettool invocations (unexported fields of no use here omitted).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for cmd/cgplint. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	log.SetFlags(0)
+	log.SetPrefix("cgplint: ")
+	args := os.Args[1:]
+
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			os.Exit(0)
+		case args[0] == "-flags":
+			printFlags()
+			os.Exit(0)
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runUnit(args[0], analyzers))
+		}
+	}
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		usage(analyzers)
+		os.Exit(2)
+	}
+	// Standalone mode: let go vet do package loading and drive this
+	// same binary through the unit protocol above.
+	os.Exit(standalone(args))
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "usage: cgplint <packages>   (e.g. cgplint ./...)\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=/path/to/cgplint <packages>\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+	}
+}
+
+// printVersion implements -V=full: the go command fingerprints the
+// tool by hashing the executable, and requires this exact shape
+// (see cmd/go/internal/work.(*Builder).toolID).
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+}
+
+// printFlags implements -flags: go vet asks which flags the tool
+// accepts before forwarding any. cgplint is deliberately
+// unconfigurable — exceptions live in the source as cgplint:ignore
+// comments, not in per-invocation flag soup — so the answer is empty.
+func printFlags() {
+	fmt.Print("[]")
+}
+
+// standalone re-execs go vet with this binary as the vettool, so both
+// invocation styles share one loading path (and one build cache).
+func standalone(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Fatal(err)
+	}
+	return 0
+}
+
+// runUnit analyzes one compilation unit and returns the process exit
+// code: 0 clean, 1 findings, 2 tool failure.
+func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Printf("cannot decode config %s: %v", cfgFile, err)
+		return 2
+	}
+
+	// go vet caches and re-reads the facts file unconditionally, so it
+	// must exist even when analysis is skipped. cgplint uses no
+	// cross-package facts; the file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Dependencies outside this module (including the standard
+	// library) are none of cgplint's business.
+	if cfg.ImportPath != analysis.ModulePath &&
+		!strings.HasPrefix(cfg.ImportPath, analysis.ModulePath+"/") {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, pkg, info, err := typecheck(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0 // the compiler will report it better
+		}
+		log.Print(err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	known := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		known[i] = a.Name
+		ds, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		for _, d := range ds {
+			d.Message += " (cgplint/" + a.Name + ")"
+			diags = append(diags, d)
+		}
+	}
+	for _, d := range analysis.CheckIgnores(fset, files, known) {
+		d.Message += " (cgplint/ignore)"
+		diags = append(diags, d)
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	return 1
+}
+
+// typecheck parses and type-checks the unit, resolving imports from
+// the export data files listed in the config.
+func typecheck(fset *token.FileSet, cfg *Config) ([]*ast.File, *types.Package, *types.Info, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

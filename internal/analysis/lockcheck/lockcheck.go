@@ -1,0 +1,312 @@
+// Package lockcheck flags concurrency bookkeeping that compiles but
+// breaks the runner's singleflight guarantees:
+//
+//   - sync primitives (Mutex, RWMutex, WaitGroup, Once, Cond) passed,
+//     received or copied by value — a copied lock guards nothing, and
+//     a WaitGroup copy deadlocks the waiter;
+//   - flight-cache keys built from a raw Config instead of its
+//     fingerprint. The runner memoizes simulations by key; a key
+//     built from a display label or a subset of fields makes two
+//     different configurations collide and silently share one result,
+//     which is exactly the class of bug byte-identical replay cannot
+//     catch (the bytes are identical — to the wrong run).
+//
+// The key rule recognizes "fingerprintable" types structurally: any
+// named struct type that has a fingerprint() method. Inside a
+// key-builder function (name ending in "Key", returning string) and
+// inside arguments to Runner.once/Runner.claim, such a value may only
+// be consumed through that fingerprint method.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cgp/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flag by-value sync primitives (copied mutexes, WaitGroups) and " +
+		"singleflight keys built from raw configs instead of fingerprints",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		if n == nil || pass.InTestFile(n.Pos()) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkFuncSig(pass, n.Recv, n.Type)
+			checkKeyBuilder(pass, n)
+		case *ast.FuncLit:
+			checkFuncSig(pass, nil, n.Type)
+		case *ast.AssignStmt:
+			checkLockCopy(pass, n)
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := pass.TypeOf(n.Value); lockPath(t) != "" {
+					pass.Reportf(n.Value.Pos(),
+						"range copies %s by value (contains %s); iterate by index or over pointers",
+						t.String(), lockPath(t))
+				}
+			}
+		case *ast.CallExpr:
+			checkFlightKeyArg(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// ---- by-value locks ----
+
+// checkFuncSig flags parameters and receivers whose type contains a
+// sync primitive by value.
+func checkFuncSig(pass *analysis.Pass, recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(f *ast.Field, kind string) {
+		t := pass.TypeOf(f.Type)
+		if p := lockPath(t); p != "" {
+			pass.Reportf(f.Pos(), "%s passes %s by value (contains %s); use a pointer",
+				kind, t.String(), p)
+		}
+	}
+	if recv != nil {
+		for _, f := range recv.List {
+			report(f, "receiver")
+		}
+	}
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			report(f, "parameter")
+		}
+	}
+}
+
+// checkLockCopy flags assignments that copy a lock-containing value:
+// x := *p, x = y. Fresh values (composite literals, function results)
+// are fine — they have never been locked.
+func checkLockCopy(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		// Discarding into _ locks nothing in the copy.
+		if len(as.Lhs) == len(as.Rhs) {
+			if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+		}
+		switch unparen(rhs).(type) {
+		case *ast.CompositeLit, *ast.CallExpr:
+			continue
+		}
+		t := pass.TypeOf(rhs)
+		if p := lockPath(t); p != "" {
+			pass.Reportf(rhs.Pos(), "assignment copies %s by value (contains %s); use a pointer",
+				t.String(), p)
+		}
+	}
+}
+
+// lockPath reports how t embeds a sync primitive by value ("" when it
+// does not): the primitive's name, or "field x: sync.Mutex" style for
+// nested cases.
+func lockPath(t types.Type) string {
+	return lockPathRec(t, map[types.Type]bool{})
+}
+
+var syncPrimitives = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncPrimitives[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+		return lockPathRec(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if p := lockPathRec(f.Type(), seen); p != "" {
+				if f.Embedded() {
+					return p
+				}
+				return "field " + f.Name() + ": " + p
+			}
+		}
+	case *types.Array:
+		return lockPathRec(t.Elem(), seen)
+	}
+	return ""
+}
+
+// ---- singleflight key hygiene ----
+
+// fingerprintable reports whether t (or *t) is a named struct with a
+// fingerprint() method — the runner's canonical cache-key source.
+func fingerprintable(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "fingerprint" {
+			return named
+		}
+	}
+	return nil
+}
+
+// checkKeyBuilder enforces fingerprint-only use of fingerprintable
+// parameters inside key-builder functions (func ...Key(...) string).
+func checkKeyBuilder(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !strings.HasSuffix(fn.Name.Name, "Key") || fn.Body == nil {
+		return
+	}
+	if fn.Type.Results == nil || len(fn.Type.Results.List) != 1 {
+		return
+	}
+	if rt := pass.TypeOf(fn.Type.Results.List[0].Type); rt == nil || !isString(rt) {
+		return
+	}
+	// Collect fingerprintable parameters.
+	params := map[types.Object]bool{}
+	for _, f := range fn.Type.Params.List {
+		if fingerprintable(pass.TypeOf(f.Type)) == nil {
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		return
+	}
+	reportRawUses(pass, fn.Body, params,
+		"key builder "+fn.Name.Name+" uses %s beyond its fingerprint; cache keys must come from fingerprint() so distinct configs cannot collide")
+}
+
+// checkFlightKeyArg enforces the same rule on direct key arguments to
+// Runner.once / Runner.claim.
+func checkFlightKeyArg(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "once" && sel.Sel.Name != "claim") || len(call.Args) == 0 {
+		return
+	}
+	recv := pass.TypeOf(sel.X)
+	if recv == nil || !isRunner(recv) {
+		return
+	}
+	vals := map[types.Object]bool{}
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar && fingerprintable(obj.Type()) != nil {
+			vals[obj] = true
+		}
+		return true
+	})
+	if len(vals) == 0 {
+		return
+	}
+	reportRawUses(pass, call.Args[0], vals,
+		"flight key for %s.once/claim uses a raw config; derive keys from fingerprint()")
+}
+
+// reportRawUses reports each use of the given objects inside root that
+// is not consumed through the fingerprint path: the receiver of a
+// fingerprint() call, or an argument to a key-builder (*Key) function,
+// whose own body is audited by checkKeyBuilder.
+func reportRawUses(pass *analysis.Pass, root ast.Node, objs map[types.Object]bool, format string) {
+	blessed := map[*ast.Ident]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "fingerprint" {
+				if id, ok := unparen(fun.X).(*ast.Ident); ok {
+					blessed[id] = true
+				}
+			} else if strings.HasSuffix(fun.Sel.Name, "Key") {
+				blessArgs(call, blessed)
+			}
+		case *ast.Ident:
+			if strings.HasSuffix(fun.Name, "Key") {
+				blessArgs(call, blessed)
+			}
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || blessed[id] || !objs[pass.TypesInfo.Uses[id]] {
+			return true
+		}
+		pass.Reportf(id.Pos(), format, id.Name)
+		return true
+	})
+}
+
+// blessArgs marks every identifier inside the call's arguments as
+// legitimately consumed.
+func blessArgs(call *ast.CallExpr, blessed map[*ast.Ident]bool) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				blessed[id] = true
+			}
+			return true
+		})
+	}
+}
+
+func isRunner(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Runner"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockcheck.Analyzer, "cgp/fake/lk")
+}

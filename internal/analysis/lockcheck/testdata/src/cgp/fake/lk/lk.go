@@ -1,0 +1,96 @@
+// Package lk exercises lockcheck: by-value sync primitives and
+// singleflight key hygiene.
+package lk
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValue(g guarded) int { // want `parameter passes cgp/fake/lk\.guarded by value \(contains field mu: sync\.Mutex\)`
+	return g.n
+}
+
+func (g guarded) Count() int { // want `receiver passes cgp/fake/lk\.guarded by value`
+	return g.n
+}
+
+func (g *guarded) Inc() { // pointer receiver: allowed
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func copies(p *guarded) {
+	local := *p // want `assignment copies cgp/fake/lk\.guarded by value`
+	_ = local
+	fresh := guarded{} // composite literal has never been locked: allowed
+	_ = fresh
+}
+
+func wgByValue(wg sync.WaitGroup) { // want `parameter passes sync\.WaitGroup by value`
+	wg.Wait()
+}
+
+func ranges(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range copies cgp/fake/lk\.guarded by value`
+		total += g.n
+	}
+	for i := range gs { // index iteration: allowed
+		total += gs[i].n
+	}
+	return total
+}
+
+func snapshot(p *guarded) int {
+	//cgplint:ignore lockcheck read-only snapshot for display; the copy's lock is never used
+	local := *p
+	return local.n
+}
+
+// ---- singleflight keys ----
+
+type Config struct {
+	Name string
+	Seed int64
+}
+
+func (c Config) fingerprint() string { return c.Name }
+
+type Runner struct {
+	mu      sync.Mutex
+	flights map[string]bool
+}
+
+func (r *Runner) once(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.flights[key] {
+		return false
+	}
+	r.flights[key] = true
+	return true
+}
+
+func goodKey(w string, c Config) string {
+	return "run|" + w + "|" + c.fingerprint() // canonical key: allowed
+}
+
+func badKey(w string, c Config) string {
+	return "run|" + w + "|" + c.Name // want `key builder badKey uses c beyond its fingerprint`
+}
+
+func launch(r *Runner, c Config) bool {
+	return r.once(c.fingerprint()) // allowed
+}
+
+func launchBad(r *Runner, c Config) bool {
+	return r.once("run|" + c.Name) // want `flight key for c\.once/claim uses a raw config`
+}
+
+func launchViaBuilder(r *Runner, c Config) bool {
+	return r.once(goodKey("w", c)) // key builders are audited at their definition: allowed
+}

@@ -1,0 +1,322 @@
+// Package maporder flags `range` loops over maps whose iteration
+// order can leak into observable output.
+//
+// Go randomizes map iteration order per run. That is harmless when the
+// loop body is commutative (building another map, integer
+// accumulation) and fatal when it feeds anything ordered: a slice that
+// is never sorted, a writer, a float accumulator (float addition is
+// not associative), or a last-writer-wins variable. The figure,
+// report and runner layers publish byte-identical artifacts, so an
+// order leak there breaks the reproduction silently — the numbers
+// stay plausible while the bytes stop being stable.
+//
+// Allowed patterns:
+//
+//   - append keys/values to a slice, then pass that slice to sort or
+//     slices later in the same function (the canonical sorted-keys
+//     idiom);
+//   - writes into another map, delete(...), and commutative integer
+//     accumulation (+=, -=, |=, &=, ^=, *=, ++, --);
+//   - assignments whose right-hand side does not depend on the
+//     iteration (setting a flag).
+//
+// Everything else is reported; genuinely order-independent bodies
+// (an arg-max with a total tiebreak, say) document themselves with
+// //cgplint:ignore maporder <reason>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cgp/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration whose order reaches slices, writers, float accumulators " +
+		"or outer variables without an intervening sort",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || pass.InTestFile(rng.Pos()) {
+				return true
+			}
+			if t := pass.TypeOf(rng.X); t == nil || !isMap(t) {
+				return true
+			}
+			// `for range m` binds nothing: every iteration is identical,
+			// so order cannot matter.
+			if rng.Key == nil && rng.Value == nil {
+				return true
+			}
+			checkMapRange(pass, rng, append([]ast.Node(nil), stack...))
+			return true
+		})
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange inspects one map-range body. stack is the node path
+// from the file down to (and including) rng.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sinkName := outputSink(pass, n); sinkName != "" {
+				pass.Reportf(n.Pos(),
+					"map iteration order reaches %s; iterate a sorted copy of the keys", sinkName)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, stack, n)
+		}
+		return true
+	})
+}
+
+// outputSink reports whether call writes to an ordered output: fmt
+// printing, Write*/Encode methods (strings.Builder, bytes.Buffer,
+// io.Writer, hash.Hash, encoders), or the print builtins.
+func outputSink(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "print" || fun.Name == "println" {
+			if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+				return "the " + fun.Name + " builtin"
+			}
+		}
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				name := fun.Sel.Name
+				if hasPrefix(name, "Print") || hasPrefix(name, "Fprint") {
+					return "fmt." + name
+				}
+				return ""
+			}
+		}
+		name := fun.Sel.Name
+		if hasPrefix(name, "Write") || name == "Encode" {
+			// Only method calls count: a selector on a package name was
+			// handled (or cleared) above.
+			if _, isMethod := pass.TypesInfo.Selections[fun]; isMethod {
+				return "method " + name
+			}
+		}
+	}
+	return ""
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// checkAssign polices assignments inside the loop body that target
+// variables declared outside the loop.
+func checkAssign(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		obj := outerTarget(pass, rng, lhs)
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		}
+
+		// x = append(x, ...): allowed iff a sort call on x follows the
+		// loop somewhere in the enclosing function.
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok && isAppend(pass, call) {
+			if !sortedAfter(pass, rng, stack, obj) {
+				pass.Reportf(as.Pos(),
+					"%s is appended to in map-iteration order and never sorted afterwards; sort it or collect sorted keys first", obj.Name())
+			}
+			continue
+		}
+
+		switch as.Tok {
+		case token.ASSIGN:
+			if dependsOnLoop(pass, rng, rhs) {
+				pass.Reportf(as.Pos(),
+					"assignment to %s selects a value in map-iteration order (last writer wins); iterate sorted keys or use a total tiebreak with a cgplint:ignore reason", obj.Name())
+			}
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			// Commutative on integers, order-sensitive on floats and
+			// strings (string += concatenates in iteration order).
+			if t := pass.TypeOf(lhs); t != nil {
+				info := basicInfo(t)
+				if info&types.IsFloat != 0 || info&types.IsComplex != 0 {
+					pass.Reportf(as.Pos(),
+						"float accumulation into %s in map-iteration order is not associative; accumulate over sorted keys", obj.Name())
+				} else if info&types.IsString != 0 {
+					pass.Reportf(as.Pos(),
+						"string concatenation into %s happens in map-iteration order; build from sorted keys", obj.Name())
+				}
+			}
+		default:
+			// /=, %=, <<=, >>=, &^=: order-dependent for integers too.
+			if dependsOnLoop(pass, rng, rhs) {
+				pass.Reportf(as.Pos(),
+					"%s is updated with a non-commutative operation in map-iteration order", obj.Name())
+			}
+		}
+	}
+}
+
+// outerTarget returns the variable object assigned through lhs when it
+// was declared outside the range statement; nil otherwise. Index
+// expressions (m[k] = v) are treated as commutative map/slice writes
+// and return nil for maps.
+func outerTarget(pass *analysis.Pass, rng *ast.RangeStmt, lhs ast.Expr) *types.Var {
+	switch lhs := unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[lhs].(*types.Var)
+		if !ok {
+			return nil
+		}
+		if v.Pos() >= rng.Pos() && v.Pos() <= rng.End() {
+			return nil // loop-local
+		}
+		return v
+	case *ast.IndexExpr:
+		// Writes into another map are commutative when keys are unique
+		// per iteration; slice/array indexed writes with a loop-derived
+		// index likewise land at key-determined positions.
+		return nil
+	}
+	return nil
+}
+
+// dependsOnLoop reports whether expr references any identifier
+// declared inside the range statement (the key/value variables or any
+// iteration-scoped local).
+func dependsOnLoop(pass *analysis.Pass, rng *ast.RangeStmt, expr ast.Expr) bool {
+	if expr == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj != nil && obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, after the range loop, some enclosing
+// block contains a call into package sort or slices that mentions obj.
+func sortedAfter(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node, obj *types.Var) bool {
+	for _, n := range stack {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, stmt := range block.List {
+			if stmt.Pos() < rng.End() {
+				continue
+			}
+			if stmtSorts(pass, stmt, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether stmt (or anything inside it) calls a
+// sort/slices function with obj among its arguments.
+func stmtSorts(pass *analysis.Pass, stmt ast.Stmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentions := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					mentions = true
+				}
+				return !mentions
+			})
+			if mentions {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func basicInfo(t types.Type) types.BasicInfo {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		return b.Info()
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maporder.Analyzer,
+		"cgp/fake/mo", "example.org/outside")
+}

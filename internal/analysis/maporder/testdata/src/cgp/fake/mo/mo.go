@@ -1,0 +1,118 @@
+// Package mo exercises maporder inside the deterministic domain.
+package mo
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+)
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sorted below: allowed
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedVals(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v) // sorted below via slices.Sort: allowed
+	}
+	slices.Sort(vals)
+	return vals
+}
+
+func unsortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // want `keys is appended to in map-iteration order and never sorted`
+	}
+	return keys
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order reaches fmt\.Println`
+	}
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `map iteration order reaches method WriteString`
+	}
+	return b.String()
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total in map-iteration order is not associative`
+	}
+	return total
+}
+
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `string concatenation into s happens in map-iteration order`
+	}
+	return s
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer accumulation commutes: allowed
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // map writes commute: allowed
+	}
+	return out
+}
+
+func lastWriter(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `last writer wins`
+	}
+	return last
+}
+
+func setFlag(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 0 {
+			found = true // rhs independent of iteration: allowed
+		}
+	}
+	return found
+}
+
+func size(m map[string]int) int {
+	n := 0
+	for range m { // binds nothing: allowed
+		n++
+	}
+	return n
+}
+
+func argmax(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m {
+		if n > bestN || (n == bestN && k < best) {
+			//cgplint:ignore maporder result is order-independent: count then key is a total order
+			best, bestN = k, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,11 @@
+// Package outside is not under the cgp module path; maporder leaves
+// it alone.
+package outside
+
+import "fmt"
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // out of domain: not flagged
+	}
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments.
+//
+// A diagnostic from analyzer NAME is suppressed by
+//
+//	//cgplint:ignore NAME reason for the exception
+//
+// either trailing the offending line or standing alone on the line
+// directly above it. Each form covers exactly one line: a trailing
+// directive covers its own line, a standalone one covers the next —
+// so an exception never silently swallows a finding on a neighboring
+// line. The reason is mandatory: an ignore without one is itself
+// reported by the driver, so every suppression in the tree documents
+// why the rule does not apply. There is deliberately no file- or
+// package-wide escape hatch.
+
+const ignorePrefix = "cgplint:ignore"
+
+// ignoreDirective is one parsed //cgplint:ignore comment.
+type ignoreDirective struct {
+	pos      token.Pos
+	line     int    // line the comment sits on
+	trailing bool   // code precedes the comment on its line
+	analyzer string // analyzer name, "" when missing
+	reason   string // justification, "" when missing
+}
+
+// covers returns the single source line the directive applies to: its
+// own line when trailing, the next line when standalone.
+func (d ignoreDirective) covers() int {
+	if d.trailing {
+		return d.line
+	}
+	return d.line + 1
+}
+
+// parseIgnores extracts every cgplint:ignore directive from the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		codeCols := firstCodeColumns(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				p := fset.Position(c.Pos())
+				d := ignoreDirective{
+					pos:      c.Pos(),
+					line:     p.Line,
+					trailing: codeCols[p.Line] > 0 && codeCols[p.Line] < p.Column,
+				}
+				if rest != "" {
+					parts := strings.SplitN(rest, " ", 2)
+					d.analyzer = parts[0]
+					if len(parts) == 2 {
+						d.reason = strings.TrimSpace(parts[1])
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// firstCodeColumns maps each line to the column of the first
+// non-comment token starting on it (0 when the line holds none).
+func firstCodeColumns(fset *token.FileSet, f *ast.File) map[int]int {
+	cols := map[int]int{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		p := fset.Position(n.Pos())
+		if cur, ok := cols[p.Line]; !ok || p.Column < cur {
+			cols[p.Line] = p.Column
+		}
+		return true
+	})
+	return cols
+}
+
+// FilterSuppressed removes diagnostics covered by a well-formed
+// ignore directive for the named analyzer.
+func FilterSuppressed(name string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	if len(diags) == 0 {
+		return diags
+	}
+	covered := map[string]map[int]bool{} // filename -> suppressed lines
+	for _, d := range parseIgnores(fset, files) {
+		if d.analyzer != name || d.reason == "" {
+			continue
+		}
+		file := fset.Position(d.pos).Filename
+		if covered[file] == nil {
+			covered[file] = map[int]bool{}
+		}
+		covered[file][d.covers()] = true
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		p := fset.Position(dg.Pos)
+		if covered[p.Filename][p.Line] {
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	return kept
+}
+
+// CheckIgnores reports malformed suppression directives: a missing
+// analyzer name, an unknown analyzer name (catches typos that would
+// silently suppress nothing), or a missing reason. The returned
+// diagnostics carry the pseudo-analyzer name "ignore".
+func CheckIgnores(fset *token.FileSet, files []*ast.File, known []string) []Diagnostic {
+	isKnown := map[string]bool{}
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	var out []Diagnostic
+	for _, d := range parseIgnores(fset, files) {
+		switch {
+		case d.analyzer == "":
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "cgplint:ignore needs an analyzer name and a reason: //cgplint:ignore <analyzer> <reason>"})
+		case !isKnown[d.analyzer]:
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "cgplint:ignore names unknown analyzer " + d.analyzer})
+		case d.reason == "":
+			out = append(out, Diagnostic{Pos: d.pos,
+				Message: "cgplint:ignore " + d.analyzer + " needs a written reason"})
+		}
+	}
+	return out
+}

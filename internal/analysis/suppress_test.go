@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCheckIgnores(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//cgplint:ignore
+var a = 1
+
+//cgplint:ignore nosuchpass some reason
+var b = 1
+
+//cgplint:ignore detrand
+var c = 1
+
+//cgplint:ignore detrand progress line only
+var d = 1
+`)
+	diags := CheckIgnores(fset, files, []string{"detrand", "maporder"})
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %v", len(diags), diags)
+	}
+	wants := []string{
+		"needs an analyzer name",
+		"unknown analyzer nosuchpass",
+		"needs a written reason",
+	}
+	for i, w := range wants {
+		if !strings.Contains(diags[i].Message, w) {
+			t.Errorf("diag %d = %q, want substring %q", i, diags[i].Message, w)
+		}
+	}
+}
+
+func TestFilterSuppressed(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//cgplint:ignore detrand covers the line below
+var a = 1
+var b = 1 //cgplint:ignore detrand covers its own line
+var c = 1
+
+//cgplint:ignore detrand wrong analyzer does not cover maporder
+var d = 1
+
+//cgplint:ignore detrand
+var e = 1
+`)
+	// One diagnostic per var line; only well-formed detrand directives
+	// may suppress detrand findings.
+	lineOf := func(name string) token.Pos {
+		var pos token.Pos
+		ast.Inspect(files[0], func(n ast.Node) bool {
+			if vs, ok := n.(*ast.ValueSpec); ok && vs.Names[0].Name == name {
+				pos = vs.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("no var %s", name)
+		}
+		return pos
+	}
+	mk := func(names ...string) []Diagnostic {
+		var out []Diagnostic
+		for _, n := range names {
+			out = append(out, Diagnostic{Pos: lineOf(n), Message: "finding at " + n})
+		}
+		return out
+	}
+
+	got := FilterSuppressed("detrand", fset, files, mk("a", "b", "c", "d", "e"))
+	var kept []string
+	for _, d := range got {
+		kept = append(kept, strings.TrimPrefix(d.Message, "finding at "))
+	}
+	// a: covered by comment above; b: covered by trailing comment;
+	// c: uncovered; d: covered (directive names detrand);
+	// e: directive has no reason, so it suppresses nothing.
+	want := "c,e"
+	if strings.Join(kept, ",") != want {
+		t.Errorf("kept %v, want %s", kept, want)
+	}
+
+	gotMap := FilterSuppressed("maporder", fset, files, mk("d"))
+	if len(gotMap) != 1 {
+		t.Errorf("maporder diagnostic at d suppressed by a detrand directive: %v", gotMap)
+	}
+}

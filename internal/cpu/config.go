@@ -11,6 +11,7 @@ package cpu
 import (
 	"cgp/internal/cache"
 	"cgp/internal/isa"
+	"cgp/internal/units"
 )
 
 // Config carries every microarchitectural parameter. DefaultConfig
@@ -24,34 +25,34 @@ type Config struct {
 	L1D cache.Config
 	L2  cache.Config
 
-	// L1Latency is the L1 hit latency in cycles.
-	L1Latency int
-	// L2Latency is the L2 hit latency in cycles.
-	L2Latency int
-	// MemLatency is the DRAM access latency in cycles (beyond L2).
-	MemLatency int
+	// L1Latency is the L1 hit latency.
+	L1Latency units.Cycles
+	// L2Latency is the L2 hit latency.
+	L2Latency units.Cycles
+	// MemLatency is the DRAM access latency (beyond L2).
+	MemLatency units.Cycles
 
 	// BranchEntries sizes the two-level predictor's pattern table.
 	BranchEntries int
 	// RASDepth is the return-address-stack depth.
 	RASDepth int
 	// MispredictPenalty is charged per branch or return mispredict.
-	MispredictPenalty int
+	MispredictPenalty units.Cycles
 	// TakenBranchBubble is the fetch-redirect cost of every taken
 	// control transfer (taken branch, call, return).
-	TakenBranchBubble int
+	TakenBranchBubble units.Cycles
 
 	// BusCyclesPerLine is how long one line transfer occupies the
 	// L1<->L2 interface; demand misses and prefetches queue behind each
 	// other FIFO with no priority (§3.3).
-	BusCyclesPerLine int
+	BusCyclesPerLine units.Cycles
 
 	// DataStallFactor is the fraction of a data-miss latency that
 	// actually stalls the core: the out-of-order window hides the rest.
 	DataStallFactor float64
 
 	// SwitchPenalty is charged per context switch between query threads.
-	SwitchPenalty int
+	SwitchPenalty units.Cycles
 
 	// PerfectICache makes every instruction access complete in one
 	// cycle (the perf-Icache bars of Figures 6 and 10).

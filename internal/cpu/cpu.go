@@ -6,6 +6,7 @@ import (
 	"cgp/internal/isa"
 	"cgp/internal/prefetch"
 	"cgp/internal/trace"
+	"cgp/internal/units"
 )
 
 // lineMeta is the per-L1I-line bookkeeping used for the prefetch
@@ -25,7 +26,7 @@ type dataMeta struct {
 // not yet filled L1I.
 type inflight struct {
 	line    isa.Addr // line-aligned address
-	readyAt int64
+	readyAt units.Cycles
 	portion prefetch.Portion
 	done    bool
 }
@@ -43,9 +44,9 @@ type CPU struct {
 	ras *branch.RAS
 	pf  prefetch.Prefetcher
 
-	cycle      int64
-	instrCarry int64
-	busFreeAt  int64
+	cycle      units.Cycles
+	instrCarry units.Instrs
+	busFreeAt  units.Cycles
 
 	// The prefetch FIFO: completion order equals issue order because the
 	// bus is FIFO, so a ring-ish slice plus a map suffices.
@@ -84,7 +85,7 @@ func New(cfg Config, pf prefetch.Prefetcher) *CPU {
 func (c *CPU) Prefetcher() prefetch.Prefetcher { return c.pf }
 
 // Cycle returns the current cycle count.
-func (c *CPU) Cycle() int64 { return c.cycle }
+func (c *CPU) Cycle() units.Cycles { return c.cycle }
 
 // Event implements trace.Consumer.
 func (c *CPU) Event(ev trace.Event) {
@@ -129,7 +130,7 @@ func (c *CPU) run(addr isa.Addr, n int) {
 	if n <= 0 {
 		return
 	}
-	c.stats.Instructions += int64(n)
+	c.stats.Instructions += units.Instrs(n)
 	c.addThroughput(n)
 	if c.cfg.PerfectICache {
 		return
@@ -147,14 +148,14 @@ func (c *CPU) loop(addr isa.Addr, bodyInstr, iters int) {
 	if bodyInstr <= 0 || iters <= 0 {
 		return
 	}
-	c.stats.Instructions += int64(bodyInstr) * int64(iters)
+	c.stats.Instructions += units.Instrs(int64(bodyInstr) * int64(iters))
 	c.addThroughput(bodyInstr * iters)
 	// One fetch redirect per iteration's back edge; the predictor locks
 	// onto the loop after warmup and mispredicts the exit.
-	c.cycle += int64(iters) * int64(c.cfg.TakenBranchBubble)
+	c.cycle += units.Cycles(iters) * c.cfg.TakenBranchBubble
 	c.loopBranches += int64(iters)
 	c.loopMispredicts++ // the loop-exit mispredict
-	c.cycle += int64(c.cfg.MispredictPenalty)
+	c.cycle += c.cfg.MispredictPenalty
 	if c.cfg.PerfectICache {
 		return
 	}
@@ -165,11 +166,13 @@ func (c *CPU) loop(addr isa.Addr, bodyInstr, iters int) {
 	}
 }
 
-// addThroughput charges fetch/issue bandwidth for n instructions.
+// addThroughput charges fetch/issue bandwidth for n instructions. The
+// fetch width is the instrs-per-cycle ratio that crosses instruction
+// counts into cycles, hence the explicit int64 step.
 func (c *CPU) addThroughput(n int) {
-	c.instrCarry += int64(n)
-	c.cycle += c.instrCarry / int64(c.cfg.FetchWidth)
-	c.instrCarry %= int64(c.cfg.FetchWidth)
+	c.instrCarry += units.Instrs(n)
+	c.cycle += units.Cycles(int64(c.instrCarry) / int64(c.cfg.FetchWidth))
+	c.instrCarry %= units.Instrs(c.cfg.FetchWidth)
 }
 
 // fetchLine performs one demand instruction fetch of a full line,
@@ -277,16 +280,16 @@ func (c *CPU) drainCompleted() {
 // l2DemandAccess is l2LineAccess for demand misses: identical unless
 // the DemandPriority ablation is on, in which case the demand request
 // bypasses queued prefetches (it still occupies the bus afterwards).
-func (c *CPU) l2DemandAccess(line isa.Addr) int64 {
+func (c *CPU) l2DemandAccess(line isa.Addr) units.Cycles {
 	if !c.cfg.DemandPriority {
 		return c.l2LineAccess(line)
 	}
 	c.stats.L2Accesses++
-	c.busFreeAt += int64(c.cfg.BusCyclesPerLine)
-	ready := c.cycle + int64(c.cfg.L2Latency)
+	c.busFreeAt += c.cfg.BusCyclesPerLine
+	ready := c.cycle + c.cfg.L2Latency
 	if _, hit := c.l2.Access(cache.Line(isa.Line(line))); !hit {
 		c.stats.L2Misses++
-		ready += int64(c.cfg.MemLatency)
+		ready += c.cfg.MemLatency
 		c.l2.Insert(cache.Line(isa.Line(line)), struct{}{})
 	}
 	return ready - c.cycle
@@ -295,17 +298,17 @@ func (c *CPU) l2DemandAccess(line isa.Addr) int64 {
 // l2LineAccess models one line transfer over the shared L1<->L2
 // interface, returning the latency from now until the line arrives.
 // Requests serialize on the bus in FIFO order with no demand priority.
-func (c *CPU) l2LineAccess(line isa.Addr) int64 {
+func (c *CPU) l2LineAccess(line isa.Addr) units.Cycles {
 	start := c.cycle
 	if c.busFreeAt > start {
 		start = c.busFreeAt
 	}
-	c.busFreeAt = start + int64(c.cfg.BusCyclesPerLine)
+	c.busFreeAt = start + c.cfg.BusCyclesPerLine
 	c.stats.L2Accesses++
-	ready := start + int64(c.cfg.L2Latency)
+	ready := start + c.cfg.L2Latency
 	if _, hit := c.l2.Access(cache.Line(isa.Line(line))); !hit {
 		c.stats.L2Misses++
-		ready += int64(c.cfg.MemLatency)
+		ready += c.cfg.MemLatency
 		c.l2.Insert(cache.Line(isa.Line(line)), struct{}{})
 	}
 	return ready - c.cycle
@@ -323,10 +326,10 @@ func (c *CPU) portionStats(p prefetch.Portion) *PrefetchStats {
 func (c *CPU) branch(ev trace.Event) {
 	correct := c.bp.Predict(ev.Addr, ev.Taken)
 	if !correct {
-		c.cycle += int64(c.cfg.MispredictPenalty)
+		c.cycle += c.cfg.MispredictPenalty
 	}
 	if ev.Taken {
-		c.cycle += int64(c.cfg.TakenBranchBubble)
+		c.cycle += c.cfg.TakenBranchBubble
 	}
 }
 
@@ -336,7 +339,7 @@ func (c *CPU) call(ev trace.Event) {
 		ReturnAddr:  ev.Addr + isa.InstrBytes,
 		CallerStart: ev.CallerStart,
 	})
-	c.cycle += int64(c.cfg.TakenBranchBubble)
+	c.cycle += c.cfg.TakenBranchBubble
 	if !c.cfg.PerfectICache {
 		c.pf.OnCall(ev.Target, ev.CallerStart, c.issue)
 	}
@@ -345,9 +348,9 @@ func (c *CPU) call(ev trace.Event) {
 func (c *CPU) ret(ev trace.Event) {
 	pred, ok := c.ras.Pop()
 	if !c.ras.RecordOutcome(pred, ok, ev.Target) {
-		c.cycle += int64(c.cfg.MispredictPenalty)
+		c.cycle += c.cfg.MispredictPenalty
 	}
-	c.cycle += int64(c.cfg.TakenBranchBubble)
+	c.cycle += c.cfg.TakenBranchBubble
 	if !c.cfg.PerfectICache {
 		// CGP sees the *predicted* caller start from the modified RAS:
 		// a wrong RAS entry sends the CGHC lookup to the wrong tag.
@@ -361,7 +364,7 @@ func (c *CPU) ret(ev trace.Event) {
 
 func (c *CPU) contextSwitch() {
 	c.stats.Switches++
-	c.cycle += int64(c.cfg.SwitchPenalty)
+	c.cycle += c.cfg.SwitchPenalty
 	if c.cfg.FlushRASOnSwitch {
 		c.ras.Flush()
 	}
@@ -380,12 +383,12 @@ func (c *CPU) data(ev trace.Event) {
 		} else {
 			c.stats.DCacheMisses++
 			lat := c.l2DemandAccess(line)
-			stall := int64(float64(lat) * c.cfg.DataStallFactor)
+			stall := units.Cycles(float64(lat) * c.cfg.DataStallFactor)
 			c.cycle += stall
 			evicted, had := c.l1d.Insert(cache.Line(isa.Line(line)), dataMeta{dirty: ev.Taken})
 			if had && evicted.Payload.dirty {
 				// Writeback occupies the bus but does not stall the core.
-				c.busFreeAt += int64(c.cfg.BusCyclesPerLine)
+				c.busFreeAt += c.cfg.BusCyclesPerLine
 				c.stats.L2Accesses++
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"cgp/internal/isa"
 	"cgp/internal/prefetch"
 	"cgp/internal/trace"
+	"cgp/internal/units"
 )
 
 func testConfig() Config {
@@ -30,7 +31,7 @@ func TestThroughputOnly(t *testing.T) {
 	if s.ICacheMisses != 8 { // 64 instr = 8 lines, all cold
 		t.Errorf("misses = %d, want 8", s.ICacheMisses)
 	}
-	wantMin := int64(16) // throughput floor
+	wantMin := units.Cycles(16) // throughput floor
 	if s.Cycles < wantMin {
 		t.Errorf("cycles = %d < %d", s.Cycles, wantMin)
 	}
@@ -55,7 +56,7 @@ func TestMissLatency(t *testing.T) {
 	c := New(cfg, nil)
 	c.Event(run(0x400000, 8)) // one line, cold: L2 miss -> memory
 	s := c.Finish()
-	wantStall := int64(cfg.L2Latency + cfg.MemLatency)
+	wantStall := cfg.L2Latency + cfg.MemLatency
 	if s.IMissStallCycles != wantStall {
 		t.Errorf("stall = %d, want %d", s.IMissStallCycles, wantStall)
 	}
@@ -85,8 +86,8 @@ func TestL2HitCheaperThanMemory(t *testing.T) {
 	s := c.Finish()
 	total := s.IMissStallCycles
 	// The refetch must cost ~L2Latency, far below the memory trip.
-	refetch := total - first - 2*int64(cfg.L2Latency+cfg.MemLatency)
-	if refetch > int64(cfg.L2Latency)+2 || refetch < int64(cfg.L2Latency)-2 {
+	refetch := total - first - 2*(cfg.L2Latency+cfg.MemLatency)
+	if refetch > cfg.L2Latency+2 || refetch < cfg.L2Latency-2 {
 		t.Errorf("L2-hit refetch stall = %d, want ~%d", refetch, cfg.L2Latency)
 	}
 }
@@ -231,8 +232,8 @@ func TestBranchPenalty(t *testing.T) {
 		c.Event(br)
 	}
 	steady := c.Cycle() - cyclesAfterWarmup
-	if steady != 10*int64(cfg.TakenBranchBubble) {
-		t.Errorf("steady-state taken-branch cost = %d, want %d", steady, 10*int64(cfg.TakenBranchBubble))
+	if steady != 10*cfg.TakenBranchBubble {
+		t.Errorf("steady-state taken-branch cost = %d, want %d", steady, 10*cfg.TakenBranchBubble)
 	}
 }
 
@@ -385,10 +386,10 @@ func TestPrefetchQueueCompaction(t *testing.T) {
 	const steps, lat = 4096, 1000
 	maxLen := 0
 	for i := 0; i < steps; i++ {
-		inf := &inflight{line: isa.Addr(0x400000 + i*isa.LineBytes), readyAt: int64(i + lat)}
+		inf := &inflight{line: isa.Addr(0x400000 + i*isa.LineBytes), readyAt: units.Cycles(i + lat)}
 		c.pending[inf.line] = inf
 		c.queue = append(c.queue, inf)
-		c.cycle = int64(i)
+		c.cycle = units.Cycles(i)
 		c.drainCompleted()
 		if len(c.queue) > maxLen {
 			maxLen = len(c.queue)

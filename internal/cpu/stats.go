@@ -1,6 +1,9 @@
 package cpu
 
-import "cgp/internal/cache"
+import (
+	"cgp/internal/cache"
+	"cgp/internal/units"
+)
 
 // PrefetchStats breaks prefetch traffic down the way Figures 8 and 9 do,
 // per issuing portion (NL vs CGHC).
@@ -43,17 +46,17 @@ func (p *PrefetchStats) add(o PrefetchStats) {
 // Stats is everything one simulation run measures.
 type Stats struct {
 	// Cycles is total execution time.
-	Cycles int64
+	Cycles units.Cycles
 	// Instructions is the dynamic instruction count.
-	Instructions int64
+	Instructions units.Instrs
 
 	// ICacheMisses counts demand fetches that had to go to L2 (delayed
 	// hits on in-flight prefetches are counted as DelayedHits instead).
 	ICacheMisses int64
 	// ILineAccesses counts demand line fetches.
 	ILineAccesses int64
-	// DelayedMissCycles is the total stall attributable to I-misses.
-	IMissStallCycles int64
+	// IMissStallCycles is the total stall attributable to I-misses.
+	IMissStallCycles units.Cycles
 
 	// DCacheMisses / DLineAccesses mirror the above for data.
 	DCacheMisses  int64
@@ -96,10 +99,7 @@ func (s *Stats) TotalPrefetch() PrefetchStats {
 
 // IPC returns instructions per cycle.
 func (s *Stats) IPC() float64 {
-	if s.Cycles == 0 {
-		return 0
-	}
-	return float64(s.Instructions) / float64(s.Cycles)
+	return units.IPC(s.Instructions, s.Cycles)
 }
 
 // IMissRate returns I-cache misses per demand line access.

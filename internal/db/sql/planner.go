@@ -166,6 +166,7 @@ func (pl *planner) resolve(c ColRef) (string, error) {
 			if found != "" && found != name {
 				return "", fmt.Errorf("sql: ambiguous column %q", c.Col)
 			}
+			//cgplint:ignore maporder all agreeing matches write the same value and a disagreement errors regardless of visit order
 			found = name
 		}
 	}

@@ -13,6 +13,7 @@ package trace
 import (
 	"cgp/internal/isa"
 	"cgp/internal/program"
+	"cgp/internal/units"
 )
 
 // Kind discriminates trace events.
@@ -81,12 +82,12 @@ type Event struct {
 // Instructions returns how many dynamic instructions the event accounts
 // for (calls, returns and branches are single instructions already
 // counted inside their surrounding runs).
-func (e Event) Instructions() int64 {
+func (e Event) Instructions() units.Instrs {
 	switch e.Kind {
 	case KindRun:
-		return int64(e.N)
+		return units.Instrs(e.N)
 	case KindLoop:
-		return int64(e.N) * int64(e.Iters)
+		return units.Instrs(int64(e.N) * int64(e.Iters))
 	}
 	return 0
 }

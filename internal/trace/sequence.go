@@ -1,6 +1,10 @@
 package trace
 
-import "cgp/internal/program"
+import (
+	"sort"
+
+	"cgp/internal/program"
+)
 
 // SequenceProfile records, for every function, the *modal* callee at
 // each call position: across invocations, which function is most often
@@ -49,6 +53,9 @@ func (p *SequenceProfile) Sequence(fn program.FuncID) []program.FuncID {
 		var bestN int64
 		for callee, n := range m {
 			if n > bestN || (n == bestN && callee < best) {
+				// The (count desc, callee asc) tiebreak is a total order, so
+				// the winner is independent of map-iteration order.
+				//cgplint:ignore maporder arg-max with a total (count, callee) tiebreak is order-independent
 				best, bestN = callee, n
 			}
 		}
@@ -60,13 +67,14 @@ func (p *SequenceProfile) Sequence(fn program.FuncID) []program.FuncID {
 	return out
 }
 
-// Functions returns every function with a recorded sequence, in ID
-// order is NOT guaranteed; callers sort if they need determinism.
+// Functions returns every function with a recorded sequence, in
+// ascending ID order.
 func (p *SequenceProfile) Functions() []program.FuncID {
 	out := make([]program.FuncID, 0, len(p.counts))
 	for fn := range p.counts {
 		out = append(out, fn)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,11 +1,14 @@
 package trace
 
-import "cgp/internal/program"
+import (
+	"cgp/internal/program"
+	"cgp/internal/units"
+)
 
 // Stats is a Consumer that accumulates aggregate statistics about a
 // trace: instruction, call, branch and data-reference counts.
 type Stats struct {
-	Instructions int64
+	Instructions units.Instrs
 	Calls        int64
 	Returns      int64
 	Branches     int64
@@ -22,9 +25,9 @@ func (s *Stats) Event(ev Event) {
 	s.Events++
 	switch ev.Kind {
 	case KindRun:
-		s.Instructions += int64(ev.N)
+		s.Instructions += ev.Instructions()
 	case KindLoop:
-		s.Instructions += int64(ev.N) * int64(ev.Iters)
+		s.Instructions += ev.Instructions()
 		s.Loops++
 		// One backward branch per iteration.
 		s.Branches += int64(ev.Iters)

@@ -5,6 +5,7 @@ import (
 
 	"cgp/internal/isa"
 	"cgp/internal/program"
+	"cgp/internal/units"
 )
 
 // Tracer converts the instrumented execution of one logical thread into
@@ -29,7 +30,7 @@ type Tracer struct {
 	inHelper bool
 
 	// emitted counts dynamic instructions for quick sanity checks.
-	emitted int64
+	emitted units.Instrs
 	calls   int64
 }
 
@@ -75,7 +76,7 @@ func NewTracer(img *program.Image, out Consumer, seed int64) *Tracer {
 func (t *Tracer) Image() *program.Image { return t.img }
 
 // Instructions returns the number of dynamic instructions emitted so far.
-func (t *Tracer) Instructions() int64 { return t.emitted }
+func (t *Tracer) Instructions() units.Instrs { return t.emitted }
 
 // Calls returns the number of call events emitted so far.
 func (t *Tracer) Calls() int64 { return t.calls }
@@ -234,7 +235,7 @@ func (t *Tracer) Work(n int) {
 			Iters: int32(iters),
 			Fn:    f.fn,
 		})
-		t.emitted += int64(body) * int64(iters)
+		t.emitted += units.Instrs(int64(body) * int64(iters))
 		f.pos += body
 		if rem > 0 {
 			t.advanceScaled(f, rem)
@@ -310,7 +311,7 @@ func (t *Tracer) advanceScaled(f *frame, budget int) {
 			N:    int32(run),
 			Fn:   f.fn,
 		})
-		t.emitted += int64(run)
+		t.emitted += units.Instrs(run)
 		f.pos += run
 		budget -= run
 		if budget <= 0 {

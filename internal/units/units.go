@@ -1,0 +1,38 @@
+// Package units defines the named quantity types the simulator's
+// accounting is written in. A cycle count and an instruction count are
+// both int64s, and before these types existed nothing stopped a stats
+// field from absorbing the wrong one — the resulting figures are
+// plausible numbers that reproduce nobody's paper. The cyclesafe
+// analyzer (internal/analysis/cyclesafe) recognizes every defined
+// integer type in a package named "units" and enforces two rules at
+// go vet time:
+//
+//   - no narrowing: converting a unit value to int/int32/etc. is
+//     flagged; cycle and instruction counters overflow 32 bits within
+//     seconds of simulated time. Widening to int64/uint64/float64 is
+//     the sanctioned way out of the type.
+//   - no unit mixing: arithmetic combining two different unit types
+//     (Cycles + Instrs) and direct conversions between them
+//     (Cycles(instrs)) are flagged; crossing dimensions must go
+//     through an explicit int64 or float64 conversion, which makes
+//     the intent visible at the call site.
+//
+// Untyped constants interact freely with unit types, so literals in
+// configs and arithmetic like `cycles += 2` stay unchanged.
+package units
+
+// Cycles counts CPU clock cycles. Latencies (an L2 hit, a DRAM trip,
+// a mispredict penalty) are also Cycles: they add onto the clock.
+type Cycles int64
+
+// Instrs counts dynamic instructions.
+type Instrs int64
+
+// IPC returns instructions per cycle, the only cross-unit ratio the
+// stats layer needs often enough to deserve a helper.
+func IPC(i Instrs, c Cycles) float64 {
+	if c == 0 {
+		return 0
+	}
+	return float64(i) / float64(c)
+}

@@ -52,7 +52,7 @@ type Result struct {
 }
 
 // Cycles is shorthand for CPU.Cycles.
-func (r *Result) Cycles() int64 { return r.CPU.Cycles }
+func (r *Result) Cycles() int64 { return int64(r.CPU.Cycles) }
 
 // ICacheMisses is shorthand for CPU.ICacheMisses.
 func (r *Result) ICacheMisses() int64 { return r.CPU.ICacheMisses }
