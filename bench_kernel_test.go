@@ -1,0 +1,245 @@
+package cgp
+
+// Kernel microbenchmarks: the steady-state simulation path from trace
+// replay through CPU.Event to the cache model, measured in isolation
+// from the DB engine. The baseline arm is internal/refsim — the frozen
+// pre-optimization kernel (map-indexed prefetch queue, AoS tick-LRU
+// caches, per-event replay dispatch) — so every benchmark run
+// re-measures the optimized kernel's speedup rather than trusting a
+// number recorded once. TestMain (bench_test.go) writes the results to
+// BENCH_kernel.json.
+//
+// Run with GOMAXPROCS=1 for the headline events/sec comparison:
+//
+//	GOMAXPROCS=1 go test -run 'TestMain' -bench 'BenchmarkKernel' -benchtime 2s .
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+	"cgp/internal/program"
+	"cgp/internal/refsim"
+	"cgp/internal/trace"
+)
+
+// kernelBench collects per-benchmark results for BENCH_kernel.json.
+var kernelBench = struct {
+	sync.Mutex
+	entries map[string]*kernelBenchEntry
+}{entries: map[string]*kernelBenchEntry{}}
+
+type kernelBenchEntry struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	Events         int64   `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+}
+
+func recordKernelBench(name string, wall time.Duration, events int64, allocs uint64) {
+	kernelBench.Lock()
+	defer kernelBench.Unlock()
+	kernelBench.entries[name] = &kernelBenchEntry{
+		WallSeconds:    wall.Seconds(),
+		Events:         events,
+		EventsPerSec:   float64(events) / wall.Seconds(),
+		NsPerEvent:     wall.Seconds() * 1e9 / float64(events),
+		AllocsPerEvent: float64(allocs) / float64(events),
+	}
+}
+
+// writeKernelBench dumps the collected kernel results (called from
+// TestMain in bench_test.go). The headline acceptance number is
+// kernel_replay_speedup: optimized events/sec over the frozen
+// pre-change kernel's, on the same recording in the same process.
+func writeKernelBench() {
+	kernelBench.Lock()
+	defer kernelBench.Unlock()
+	if len(kernelBench.entries) == 0 {
+		return
+	}
+	out := map[string]any{
+		"scale":      "wisc-large-1, WiscN=800 (harnessBenchOpts), layout O5, prefetcher NL_4",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"bench":      kernelBench.entries,
+	}
+	if base, ok := kernelBench.entries["replay_baseline"]; ok {
+		if opt, ok := kernelBench.entries["replay_optimized"]; ok {
+			out["kernel_replay_speedup"] = opt.EventsPerSec / base.EventsPerSec
+		}
+	}
+	if data, err := json.MarshalIndent(out, "", "  "); err == nil {
+		_ = os.WriteFile("BENCH_kernel.json", append(data, '\n'), 0o644)
+	}
+}
+
+// kernelRecording memoizes one recorded wisc-large-1 trace (O5 layout)
+// shared by every kernel benchmark, so the arms replay byte-identical
+// streams.
+var (
+	kernelRecordingOnce sync.Once
+	kernelRecordingVal  *trace.Recording
+	kernelRecordingErr  error
+)
+
+func kernelBenchRecording(b *testing.B) *trace.Recording {
+	b.Helper()
+	kernelRecordingOnce.Do(func() {
+		opts := harnessBenchOpts(1, true)
+		w := WiscLarge1(opts.DB)
+		img := program.LayoutO5(w.NewRegistry())
+		r := trace.NewRecorder()
+		if err := w.Run(img, r); err != nil {
+			kernelRecordingErr = err
+			return
+		}
+		kernelRecordingVal, kernelRecordingErr = r.Finish()
+	})
+	if kernelRecordingErr != nil {
+		b.Fatal(kernelRecordingErr)
+	}
+	return kernelRecordingVal
+}
+
+// mallocCount reads the cumulative heap-allocation counter, so a
+// benchmark can attribute allocations to the measured region only (the
+// per-iteration cpu.New / refsim.New setup is excluded by sampling
+// around the replay call).
+func mallocCount() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// benchKernelReplay measures full-trace replay into a fresh kernel per
+// iteration, attributing wall time and allocations to the replay alone.
+// BENCH_kernel.json records the fastest iteration, not the mean: on a
+// shared machine the mean absorbs scheduler preemptions that have
+// nothing to do with the kernel, while the minimum of many whole-trace
+// replays converges on the code's actual cost. Both arms are measured
+// the same way, so the speedup ratio is min/min.
+func benchKernelReplay(b *testing.B, name string, consume func(rec *trace.Recording) error) {
+	rec := kernelBenchRecording(b)
+	b.ResetTimer()
+	var wall, best time.Duration
+	var allocs uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		runtime.GC()
+		m0 := mallocCount()
+		t0 := time.Now()
+		b.StartTimer()
+		if err := consume(rec); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		d := time.Since(t0)
+		wall += d
+		if best == 0 || d < best {
+			best = d
+		}
+		allocs += mallocCount() - m0
+		b.StartTimer()
+	}
+	events := rec.Events()
+	recordKernelBench(name, best, events, allocs/uint64(b.N))
+	b.ReportMetric(float64(events)*float64(b.N)/wall.Seconds()/1e6, "Mevents/s")
+	b.ReportMetric(float64(events)/best.Seconds()/1e6, "Mevents/s-best")
+	b.ReportMetric(float64(allocs)/float64(b.N)/float64(events), "allocs/event")
+}
+
+// BenchmarkKernelReplay is the headline optimized path: batched decode
+// dispatching into the flat-cache, ring-FIFO CPU. NL_4 keeps the
+// prefetch engine cheap so the kernel itself dominates.
+func BenchmarkKernelReplay(b *testing.B) {
+	benchKernelReplay(b, "replay_optimized", func(rec *trace.Recording) error {
+		c := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+		if err := rec.Replay(c); err != nil {
+			return err
+		}
+		c.Finish()
+		return nil
+	})
+}
+
+// BenchmarkKernelReplayBaseline replays the same stream through the
+// frozen pre-optimization path end to end: refsim.Replay's per-event
+// dispatch and old decoder into refsim's map-indexed-queue, AoS-cache
+// CPU. Nothing in this arm touches code the PR optimized.
+func BenchmarkKernelReplayBaseline(b *testing.B) {
+	rec := kernelBenchRecording(b)
+	var raw bytes.Buffer
+	if _, err := rec.WriteTo(&raw); err != nil {
+		b.Fatal(err)
+	}
+	benchKernelReplay(b, "replay_baseline", func(rec *trace.Recording) error {
+		c := refsim.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+		if err := refsim.Replay(raw.Bytes(), c); err != nil {
+			return err
+		}
+		c.Finish()
+		return nil
+	})
+}
+
+// BenchmarkKernelDecode isolates the batched decoder: replay into a
+// no-op sink, so the number is pure varint decode + batch dispatch.
+func BenchmarkKernelDecode(b *testing.B) {
+	rec := kernelBenchRecording(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rec.ReplayBatch(func([]trace.Event) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rec.Events())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+// benchKernelEvents drives a warmed CPU with a synthetic event loop and
+// records ns/event and allocs/event for one hot path.
+func benchKernelEvents(b *testing.B, name string, next func(i int) trace.Event) {
+	c := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+	for i := 0; i < 4096; i++ { // warm caches, ring, and index
+		c.Event(next(i))
+	}
+	runtime.GC()
+	m0 := mallocCount()
+	t0 := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Event(next(i))
+	}
+	b.StopTimer()
+	wall := time.Since(t0)
+	allocs := mallocCount() - m0
+	recordKernelBench(name, wall, int64(b.N), allocs)
+	b.ReportMetric(float64(allocs)/float64(b.N), "allocs/event")
+}
+
+// BenchmarkKernelFetch exercises the instruction-fetch path: runs
+// sweeping a 32KB-footprint loop, so the mix of L1I hits, delayed hits
+// and misses (plus NL issue/squash) stays steady.
+func BenchmarkKernelFetch(b *testing.B) {
+	benchKernelEvents(b, "fetch", func(i int) trace.Event {
+		return trace.Event{Kind: trace.KindRun, Addr: 0x400000 + isa.Addr((i&1023)*32), N: 8}
+	})
+}
+
+// BenchmarkKernelData exercises the data-reference path over a 128KB
+// footprint (4× L1D), so every step mixes hits with miss+evict traffic.
+func BenchmarkKernelData(b *testing.B) {
+	benchKernelEvents(b, "data", func(i int) trace.Event {
+		return trace.Event{
+			Kind: trace.KindData, Addr: 0x800000 + isa.Addr((i&4095)*32),
+			N: 16, Taken: i&3 == 0,
+		}
+	})
+}

@@ -368,10 +368,12 @@ func BenchmarkFig4RowReplay(b *testing.B) {
 	benchFig4Workload(b, "fig4row_replay", false)
 }
 
-// TestMain writes BENCH_harness.json after a benchmark run so the
-// harness speedup is recorded alongside the repo (see ISSUE 1).
+// TestMain writes BENCH_harness.json after a harness benchmark run
+// (see ISSUE 1) and BENCH_kernel.json after a kernel microbenchmark
+// run (see ISSUE 3, bench_kernel_test.go).
 func TestMain(m *testing.M) {
 	code := m.Run()
+	writeKernelBench()
 	harnessBench.Lock()
 	defer harnessBench.Unlock()
 	if len(harnessBench.entries) > 0 {

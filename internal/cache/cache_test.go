@@ -146,6 +146,69 @@ func TestForEachDeterministic(t *testing.T) {
 	}
 }
 
+// TestInsertFillsFirstInvalidWay pins the victim-scan fix: while a set
+// has invalid ways, Insert must fill the lowest-numbered one, never an
+// invalid way found later in the scan. Physical placement is observable
+// through ForEach's set-then-way order.
+func TestInsertFillsFirstInvalidWay(t *testing.T) {
+	c := New[int](cfg(2048, 4)) // 16 sets x 4 ways
+	// Lines 0, 16, 32 share set 0; they must land in ways 0, 1, 2.
+	c.Insert(0, 10)
+	c.Insert(16, 11)
+	c.Insert(32, 12)
+	var got []Line
+	c.ForEach(func(l Line, _ *int) { got = append(got, l) })
+	want := []Line{0, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("resident lines = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("way order = %v, want %v (first invalid way must win)", got, want)
+		}
+	}
+}
+
+// TestInvalidWayPreferredOverEviction is the LRU tie-break between an
+// empty way and a stale valid way: as long as any way is invalid,
+// Insert must fill it and evict nothing, no matter how old the valid
+// ways are.
+func TestInvalidWayPreferredOverEviction(t *testing.T) {
+	c := New[int](cfg(2048, 4))
+	c.Insert(0, 0)
+	// Age line 0 far below any later activity.
+	for i := 0; i < 50; i++ {
+		c.Access(16)
+	}
+	if ev, had := c.Insert(16, 1); had {
+		t.Fatalf("Insert(16) evicted %+v with invalid ways free", ev)
+	}
+	if ev, had := c.Insert(32, 2); had {
+		t.Fatalf("Insert(32) evicted %+v with invalid ways free", ev)
+	}
+	if ev, had := c.Insert(48, 3); had {
+		t.Fatalf("Insert(48) evicted %+v with an invalid way free", ev)
+	}
+	// Set now full; the next insert must evict the true LRU (line 0).
+	ev, had := c.Insert(64, 4)
+	if !had || ev.Line != 0 {
+		t.Fatalf("evicted %+v (had=%v), want line 0", ev, had)
+	}
+}
+
+// TestRefillPromotesToMRU: re-inserting a resident line is a touch, so
+// it must move the line off the LRU position exactly as an Access does.
+func TestRefillPromotesToMRU(t *testing.T) {
+	c := New[int](cfg(1024, 2))
+	c.Insert(0, 0)  // way 0
+	c.Insert(16, 1) // way 1; LRU order now 0 < 16
+	c.Insert(0, 2)  // refill: 0 becomes MRU, 16 becomes LRU
+	ev, had := c.Insert(32, 3)
+	if !had || ev.Line != 16 {
+		t.Fatalf("evicted %+v (had=%v), want line 16 (refill must promote)", ev, had)
+	}
+}
+
 // Property: after any access/insert sequence, residency never exceeds
 // capacity, and a line reported resident by Probe hits on Access.
 func TestResidencyInvariant(t *testing.T) {

@@ -1,0 +1,190 @@
+package cache_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cgp/internal/cache"
+	"cgp/internal/refsim"
+)
+
+// mapRef is a simple map/slice per-set LRU reference cache: each set is
+// an MRU-ordered slice of resident lines with payloads in a map. It is
+// written for obviousness, not speed, and is the behavioural oracle the
+// optimized flat-array cache must match operation for operation.
+type mapRef struct {
+	assoc    int
+	sets     [][]cache.Line // per set, LRU first, MRU last
+	payloads map[cache.Line]int
+	stats    cache.Stats
+}
+
+func newMapRef(cfg cache.Config) *mapRef {
+	return &mapRef{
+		assoc:    cfg.Assoc,
+		sets:     make([][]cache.Line, cfg.Sets()),
+		payloads: make(map[cache.Line]int),
+	}
+}
+
+func (m *mapRef) setOf(line cache.Line) int { return int(line) % len(m.sets) }
+
+func (m *mapRef) find(line cache.Line) (set, pos int) {
+	set = m.setOf(line)
+	for i, l := range m.sets[set] {
+		if l == line {
+			return set, i
+		}
+	}
+	return set, -1
+}
+
+func (m *mapRef) Access(line cache.Line) (int, bool) {
+	m.stats.Accesses++
+	set, pos := m.find(line)
+	if pos < 0 {
+		m.stats.Misses++
+		return 0, false
+	}
+	s := m.sets[set]
+	m.sets[set] = append(append(s[:pos:pos], s[pos+1:]...), line)
+	return m.payloads[line], true
+}
+
+func (m *mapRef) Probe(line cache.Line) (int, bool) {
+	if _, pos := m.find(line); pos < 0 {
+		return 0, false
+	}
+	return m.payloads[line], true
+}
+
+func (m *mapRef) Insert(line cache.Line, payload int) (cache.Evicted[int], bool) {
+	m.stats.Inserts++
+	set, pos := m.find(line)
+	m.payloads[line] = payload
+	if pos >= 0 {
+		s := m.sets[set]
+		m.sets[set] = append(append(s[:pos:pos], s[pos+1:]...), line)
+		return cache.Evicted[int]{}, false
+	}
+	var ev cache.Evicted[int]
+	had := false
+	if len(m.sets[set]) == m.assoc {
+		victim := m.sets[set][0]
+		ev = cache.Evicted[int]{Line: victim, Payload: m.payloads[victim]}
+		had = true
+		m.stats.Evictions++
+		delete(m.payloads, victim)
+		m.sets[set] = m.sets[set][1:]
+	}
+	m.sets[set] = append(m.sets[set], line)
+	return ev, had
+}
+
+// diffConfig builds a geometry with the given associativity whose set
+// count is a power of two.
+func diffConfig(assoc, sets int) cache.Config {
+	return cache.Config{Name: "diff", SizeBytes: assoc * sets * 32, Assoc: assoc, LineBytes: 32}
+}
+
+// TestDifferentialAgainstReferences replays seeded random access /
+// probe / insert streams through the optimized cache, the map-based
+// oracle, and the frozen pre-optimization kernel (refsim), and demands
+// exact agreement on every hit, every payload, every eviction victim
+// and the full counter set — across the specialized 2/4-way scans, the
+// generic packed-order path and the wide timestamp fallback.
+func TestDifferentialAgainstReferences(t *testing.T) {
+	geometries := []struct {
+		assoc, sets int
+	}{
+		{1, 16}, {2, 8}, {2, 64}, {4, 4}, {4, 32}, {8, 8}, {16, 2}, {32, 2},
+	}
+	for _, g := range geometries {
+		cfg := diffConfig(g.assoc, g.sets)
+		opt := cache.New[int](cfg)
+		oracle := newMapRef(cfg)
+		ref := refsim.NewCache[int](cfg)
+		rng := rand.New(rand.NewSource(int64(g.assoc*1000 + g.sets)))
+		// Enough distinct lines to force heavy conflict in every set.
+		lineSpace := cache.Line(g.sets * (g.assoc*2 + 3))
+		for op := 0; op < 20000; op++ {
+			line := cache.Line(rng.Intn(int(lineSpace)))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // access
+				op1, hit1 := opt.Access(line)
+				op2, hit2 := oracle.Access(line)
+				op3, hit3 := ref.Access(line)
+				if hit1 != hit2 || hit1 != hit3 {
+					t.Fatalf("assoc=%d op %d: Access(%d) hit=%v oracle=%v refsim=%v",
+						g.assoc, op, line, hit1, hit2, hit3)
+				}
+				if hit1 && (*op1 != op2 || *op1 != *op3) {
+					t.Fatalf("assoc=%d op %d: Access(%d) payload=%d oracle=%d refsim=%d",
+						g.assoc, op, line, *op1, op2, *op3)
+				}
+			case 4, 5: // probe
+				op1, hit1 := opt.Probe(line)
+				op2, hit2 := oracle.Probe(line)
+				op3, hit3 := ref.Probe(line)
+				if hit1 != hit2 || hit1 != hit3 {
+					t.Fatalf("assoc=%d op %d: Probe(%d) hit=%v oracle=%v refsim=%v",
+						g.assoc, op, line, hit1, hit2, hit3)
+				}
+				if hit1 && (*op1 != op2 || *op1 != *op3) {
+					t.Fatalf("assoc=%d op %d: Probe(%d) payload mismatch", g.assoc, op, line)
+				}
+			default: // insert
+				ev1, had1 := opt.Insert(line, op)
+				ev2, had2 := oracle.Insert(line, op)
+				ev3, had3 := ref.Insert(line, op)
+				if had1 != had2 || had1 != had3 {
+					t.Fatalf("assoc=%d op %d: Insert(%d) evicted=%v oracle=%v refsim=%v",
+						g.assoc, op, line, had1, had2, had3)
+				}
+				if had1 && (ev1 != ev2 || ev1 != ev3) {
+					t.Fatalf("assoc=%d op %d: Insert(%d) victim=%+v oracle=%+v refsim=%+v",
+						g.assoc, op, line, ev1, ev2, ev3)
+				}
+			}
+		}
+		if opt.Stats() != oracle.stats || opt.Stats() != ref.Stats() {
+			t.Fatalf("assoc=%d: stats diverged: opt=%+v oracle=%+v refsim=%+v",
+				g.assoc, opt.Stats(), oracle.stats, ref.Stats())
+		}
+	}
+}
+
+// TestDifferentialSurvivesInvalidateAll checks the optimized cache
+// against the map oracle across InvalidateAll boundaries (refsim has no
+// InvalidateAll; the oracle simply starts over).
+func TestDifferentialSurvivesInvalidateAll(t *testing.T) {
+	cfg := diffConfig(4, 8)
+	opt := cache.New[int](cfg)
+	oracle := newMapRef(cfg)
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 5; round++ {
+		for op := 0; op < 3000; op++ {
+			line := cache.Line(rng.Intn(96))
+			if rng.Intn(2) == 0 {
+				_, hit1 := opt.Access(line)
+				_, hit2 := oracle.Access(line)
+				if hit1 != hit2 {
+					t.Fatalf("round %d op %d: Access(%d) hit=%v oracle=%v", round, op, line, hit1, hit2)
+				}
+			} else {
+				ev1, had1 := opt.Insert(line, op)
+				ev2, had2 := oracle.Insert(line, op)
+				if had1 != had2 || ev1 != ev2 {
+					t.Fatalf("round %d op %d: Insert(%d) mismatch", round, op, line)
+				}
+			}
+		}
+		opt.InvalidateAll()
+		if opt.Resident() != 0 {
+			t.Fatalf("round %d: %d lines survived InvalidateAll", round, opt.Resident())
+		}
+		oracle.sets = make([][]cache.Line, cfg.Sets())
+		oracle.payloads = make(map[cache.Line]int)
+		oracle.stats = opt.Stats() // stats survive invalidation on both sides
+	}
+}

@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"math/bits"
+
 	"cgp/internal/branch"
 	"cgp/internal/cache"
 	"cgp/internal/isa"
@@ -22,17 +24,8 @@ type dataMeta struct {
 	dirty bool
 }
 
-// inflight tracks a prefetch that has been issued to the L2 FIFO but has
-// not yet filled L1I.
-type inflight struct {
-	line    isa.Addr // line-aligned address
-	readyAt units.Cycles
-	portion prefetch.Portion
-	done    bool
-}
-
 // CPU consumes a trace and accounts execution cycles. It implements
-// trace.Consumer.
+// trace.Consumer and trace.BatchConsumer.
 type CPU struct {
 	cfg Config
 
@@ -44,15 +37,23 @@ type CPU struct {
 	ras *branch.RAS
 	pf  prefetch.Prefetcher
 
+	// issueFn is the prefetch sink handed to the prefetcher on every
+	// fetch/call/return. It is bound once here: creating the method
+	// value at each call site would heap-allocate a closure per event.
+	issueFn prefetch.Issue
+
 	cycle      units.Cycles
 	instrCarry units.Instrs
 	busFreeAt  units.Cycles
 
-	// The prefetch FIFO: completion order equals issue order because the
-	// bus is FIFO, so a ring-ish slice plus a map suffices.
-	queue   []*inflight
-	qHead   int
-	pending map[isa.Addr]*inflight
+	// fetchShift is log2(FetchWidth) when the width is a power of two
+	// (-1 otherwise), so addThroughput's per-event div/mod reduces to a
+	// shift and mask.
+	fetchShift int
+
+	// fifo is the prefetch queue: value-typed ring + line index (see
+	// inflight.go).
+	fifo inflightRing
 
 	// Loop events carry their own branch accounting (the predictor is
 	// not consulted per compressed iteration).
@@ -62,23 +63,32 @@ type CPU struct {
 	stats Stats
 }
 
-var _ trace.Consumer = (*CPU)(nil)
+var (
+	_ trace.Consumer      = (*CPU)(nil)
+	_ trace.BatchConsumer = (*CPU)(nil)
+)
 
 // New builds a CPU with the given prefetcher (nil means no prefetching).
 func New(cfg Config, pf prefetch.Prefetcher) *CPU {
 	if pf == nil {
 		pf = prefetch.None{}
 	}
-	return &CPU{
-		cfg:     cfg,
-		l1i:     cache.New[lineMeta](cfg.L1I),
-		l1d:     cache.New[dataMeta](cfg.L1D),
-		l2:      cache.New[struct{}](cfg.L2),
-		bp:      branch.NewPredictor(cfg.BranchEntries),
-		ras:     branch.NewRAS(cfg.RASDepth),
-		pf:      pf,
-		pending: make(map[isa.Addr]*inflight),
+	c := &CPU{
+		cfg: cfg,
+		l1i: cache.New[lineMeta](cfg.L1I),
+		l1d: cache.New[dataMeta](cfg.L1D),
+		l2:  cache.New[struct{}](cfg.L2),
+		bp:  branch.NewPredictor(cfg.BranchEntries),
+		ras: branch.NewRAS(cfg.RASDepth),
+		pf:  pf,
 	}
+	c.issueFn = c.issue
+	c.fifo.init()
+	c.fetchShift = -1
+	if w := cfg.FetchWidth; w > 0 && w&(w-1) == 0 {
+		c.fetchShift = bits.TrailingZeros(uint(w))
+	}
+	return c
 }
 
 // Prefetcher returns the attached prefetcher.
@@ -89,6 +99,19 @@ func (c *CPU) Cycle() units.Cycles { return c.cycle }
 
 // Event implements trace.Consumer.
 func (c *CPU) Event(ev trace.Event) {
+	c.event(ev)
+}
+
+// EventBatch implements trace.BatchConsumer: the batched replay path
+// hands over a decoded chunk at a time, so the per-event dynamic
+// dispatch of the Consumer interface is paid once per batch.
+func (c *CPU) EventBatch(evs []trace.Event) {
+	for i := range evs {
+		c.event(evs[i])
+	}
+}
+
+func (c *CPU) event(ev trace.Event) {
 	switch ev.Kind {
 	case trace.KindRun:
 		c.run(ev.Addr, int(ev.N))
@@ -168,9 +191,15 @@ func (c *CPU) loop(addr isa.Addr, bodyInstr, iters int) {
 
 // addThroughput charges fetch/issue bandwidth for n instructions. The
 // fetch width is the instrs-per-cycle ratio that crosses instruction
-// counts into cycles, hence the explicit int64 step.
+// counts into cycles, hence the explicit int64 step. The carry is never
+// negative, so the power-of-two shift/mask equals the div/mod exactly.
 func (c *CPU) addThroughput(n int) {
 	c.instrCarry += units.Instrs(n)
+	if s := c.fetchShift; s >= 0 {
+		c.cycle += units.Cycles(int64(c.instrCarry) >> s)
+		c.instrCarry &= units.Instrs(int64(1)<<s - 1)
+		return
+	}
 	c.cycle += units.Cycles(int64(c.instrCarry) / int64(c.cfg.FetchWidth))
 	c.instrCarry %= units.Instrs(c.cfg.FetchWidth)
 }
@@ -179,13 +208,19 @@ func (c *CPU) addThroughput(n int) {
 // charging any miss stall, and triggers the prefetcher.
 func (c *CPU) fetchLine(line isa.Addr) {
 	c.stats.ILineAccesses++
-	c.drainCompleted()
+	// drainCompleted's guard, hoisted by hand: the whole wrapper is past
+	// the inlining budget, and this runs on every fetched line.
+	if c.fifo.head != c.fifo.tail {
+		if inf := &c.fifo.buf[c.fifo.head&uint64(len(c.fifo.buf)-1)]; inf.done || inf.readyAt <= c.cycle {
+			c.drainLoop()
+		}
+	}
 	if meta, hit := c.l1i.Access(cache.Line(isa.Line(line))); hit {
 		if meta.prefetched && !meta.used {
 			meta.used = true
 			c.portionStats(meta.portion).PrefHits++
 		}
-	} else if inf, ok := c.pending[line]; ok {
+	} else if inf := c.fifo.lookup(line); inf != nil {
 		// The line is enroute from L2: a delayed hit (Figure 8).
 		wait := inf.readyAt - c.cycle
 		if wait < 0 {
@@ -194,8 +229,10 @@ func (c *CPU) fetchLine(line isa.Addr) {
 		c.cycle += wait
 		c.stats.IMissStallCycles += wait
 		c.portionStats(inf.portion).DelayedHits++
+		// The entry stays queued (the bus transfer already happened)
+		// but is marked consumed and unindexed so drain skips it.
 		inf.done = true
-		delete(c.pending, line)
+		c.fifo.remove(line)
 		c.insertL1I(line, lineMeta{prefetched: true, used: true, portion: inf.portion})
 	} else {
 		// Full miss: go to L2 through the shared FIFO.
@@ -205,7 +242,7 @@ func (c *CPU) fetchLine(line isa.Addr) {
 		c.stats.IMissStallCycles += lat
 		c.insertL1I(line, lineMeta{})
 	}
-	c.pf.OnFetch(line, c.issue)
+	c.pf.OnFetch(line, c.issueFn)
 }
 
 // insertL1I fills a line and settles the useless-prefetch accounting for
@@ -221,11 +258,11 @@ func (c *CPU) insertL1I(line isa.Addr, meta lineMeta) {
 func (c *CPU) issue(req prefetch.Request) {
 	line := isa.LineAddr(req.Addr)
 	ps := c.portionStats(req.Portion)
-	if _, hit := c.l1i.Probe(cache.Line(isa.Line(line))); hit {
+	if c.l1i.Contains(cache.Line(isa.Line(line))) {
 		ps.Squashed++
 		return
 	}
-	if _, inFlight := c.pending[line]; inFlight {
+	if c.fifo.lookup(line) != nil {
 		ps.Squashed++
 		return
 	}
@@ -238,42 +275,42 @@ func (c *CPU) issue(req prefetch.Request) {
 		return
 	}
 	lat := c.l2LineAccess(line)
-	inf := &inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion}
-	c.pending[line] = inf
-	c.queue = append(c.queue, inf)
+	c.fifo.push(inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion})
 }
 
-// drainCompleted fills L1I with prefetches whose data has arrived.
+// drainCompleted fills L1I with prefetches whose data has arrived. It
+// runs on every fetched line, so the nothing-to-do case — empty FIFO,
+// or an oldest entry still in transit — stays small enough to inline
+// into fetchLine; the actual drain loop is split out.
 func (c *CPU) drainCompleted() {
-	for c.qHead < len(c.queue) {
-		inf := c.queue[c.qHead]
+	if c.fifo.head == c.fifo.tail {
+		return
+	}
+	inf := &c.fifo.buf[c.fifo.head&uint64(len(c.fifo.buf)-1)]
+	if !inf.done && inf.readyAt > c.cycle {
+		return
+	}
+	c.drainLoop()
+}
+
+// drainLoop pops every front entry whose data has arrived. The ring
+// frees slots as entries drain, so — unlike the old slice queue, which
+// needed periodic compaction — a run whose queue never fully empties
+// still holds only the live window.
+func (c *CPU) drainLoop() {
+	for !c.fifo.empty() {
+		inf := c.fifo.front()
 		if !inf.done && inf.readyAt > c.cycle {
 			break
 		}
-		c.qHead++
-		if inf.done {
+		line, portion, done := inf.line, inf.portion, inf.done
+		c.fifo.popFront()
+		if done {
+			// Already consumed as a delayed hit (and unindexed then).
 			continue
 		}
-		delete(c.pending, inf.line)
-		c.insertL1I(inf.line, lineMeta{prefetched: true, portion: inf.portion})
-	}
-	switch {
-	case c.qHead > 0 && c.qHead == len(c.queue):
-		c.queue = c.queue[:0]
-		c.qHead = 0
-	case c.qHead > len(c.queue)/2:
-		// The drained prefix is dead but pins the whole issue history;
-		// a long run whose queue never fully drains would otherwise
-		// retain every inflight ever issued. Compacting once the prefix
-		// passes half the slice keeps the copy amortized O(1) per
-		// drained entry and clears the dead pointers.
-		n := copy(c.queue, c.queue[c.qHead:])
-		tail := c.queue[n:]
-		for i := range tail {
-			tail[i] = nil
-		}
-		c.queue = c.queue[:n]
-		c.qHead = 0
+		c.fifo.remove(line)
+		c.insertL1I(line, lineMeta{prefetched: true, portion: portion})
 	}
 }
 
@@ -341,7 +378,7 @@ func (c *CPU) call(ev trace.Event) {
 	})
 	c.cycle += c.cfg.TakenBranchBubble
 	if !c.cfg.PerfectICache {
-		c.pf.OnCall(ev.Target, ev.CallerStart, c.issue)
+		c.pf.OnCall(ev.Target, ev.CallerStart, c.issueFn)
 	}
 }
 
@@ -358,7 +395,7 @@ func (c *CPU) ret(ev trace.Event) {
 		if ok {
 			predCaller = pred.CallerStart
 		}
-		c.pf.OnReturn(predCaller, ev.Addr, c.issue)
+		c.pf.OnReturn(predCaller, ev.Addr, c.issueFn)
 	}
 }
 

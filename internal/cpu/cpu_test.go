@@ -377,35 +377,36 @@ func TestPrefetchIntoL2Only(t *testing.T) {
 	}
 }
 
-// TestPrefetchQueueCompaction drives a queue that never fully drains:
-// every step appends one inflight whose data arrives 1000 cycles later,
-// so the newest entries are always pending. Without compaction the
-// queue would retain the entire issue history.
+// TestPrefetchQueueCompaction drives a FIFO that never fully drains:
+// every step pushes one inflight whose data arrives 1000 cycles later,
+// so the newest entries are always pending. The ring must stabilize at
+// the steady-state depth (~lat entries, rounded up to a power of two)
+// instead of retaining the entire issue history.
 func TestPrefetchQueueCompaction(t *testing.T) {
 	c := New(testConfig(), prefetch.None{})
 	const steps, lat = 4096, 1000
 	maxLen := 0
 	for i := 0; i < steps; i++ {
-		inf := &inflight{line: isa.Addr(0x400000 + i*isa.LineBytes), readyAt: units.Cycles(i + lat)}
-		c.pending[inf.line] = inf
-		c.queue = append(c.queue, inf)
+		line := isa.Addr(0x400000 + i*isa.LineBytes)
+		c.fifo.push(inflight{line: line, readyAt: units.Cycles(i + lat)})
 		c.cycle = units.Cycles(i)
 		c.drainCompleted()
-		if len(c.queue) > maxLen {
-			maxLen = len(c.queue)
+		if len(c.fifo.buf) > maxLen {
+			maxLen = len(c.fifo.buf)
 		}
 	}
-	// Steady state keeps ~lat pending entries; compaction bounds the
-	// slice at roughly twice that instead of the full history.
-	if maxLen > 3*lat {
-		t.Errorf("queue grew to %d entries (pending ~%d); compaction not working", maxLen, lat)
+	// Steady state keeps ~lat pending entries; the power-of-two ring
+	// bounds the backing array at the next doubling instead of the full
+	// history.
+	if maxLen > 2*lat {
+		t.Errorf("ring grew to %d entries (pending ~%d); FIFO not bounded", maxLen, lat)
 	}
-	// Let everything complete: the queue must empty and every line must
-	// have been filled exactly once (no entries lost in compaction).
+	// Let everything complete: the FIFO must empty and every line must
+	// have been filled exactly once (no entries lost).
 	c.cycle = steps + lat
 	c.drainCompleted()
-	if len(c.queue) != 0 || c.qHead != 0 || len(c.pending) != 0 {
-		t.Errorf("queue not drained: len=%d qHead=%d pending=%d", len(c.queue), c.qHead, len(c.pending))
+	if !c.fifo.empty() || c.fifo.live != 0 {
+		t.Errorf("FIFO not drained: depth=%d live=%d", c.fifo.tail-c.fifo.head, c.fifo.live)
 	}
 	filled := c.l1i.Stats().Inserts
 	if filled != int64(steps) {

@@ -1,0 +1,213 @@
+package cpu_test
+
+// Differential tests for the optimized simulation kernel: the live
+// cpu.CPU (flat caches, inflight ring, batched dispatch) must produce
+// *cpu.Stats identical field-for-field to internal/refsim's frozen
+// pre-optimization kernel on the same event stream. The streams are
+// seeded-random mixes of every event kind, driven through call-stack
+// bookkeeping so calls and returns nest the way a real trace does.
+// These tests live in an external package because refsim imports cpu.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cgp/internal/core"
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+	"cgp/internal/program"
+	"cgp/internal/refsim"
+	"cgp/internal/trace"
+)
+
+const (
+	genFuncs     = 32
+	genFuncBytes = 0x400
+	genTextBase  = isa.Addr(0x400000)
+	genDataBase  = isa.Addr(0x800000)
+)
+
+func funcStart(fn int) isa.Addr {
+	return genTextBase + isa.Addr(fn)*genFuncBytes
+}
+
+// genEvents synthesizes n events from seed, maintaining a call stack so
+// KindCall/KindReturn carry consistent function identities — the CGP
+// prefetcher's CGHC is only exercised by plausible call structure.
+func genEvents(seed int64, n int) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	type frame struct {
+		fn  int
+		ret isa.Addr
+	}
+	stack := []frame{{fn: 0}}
+	pc := funcStart(0)
+	evs := make([]trace.Event, 0, n)
+	for len(evs) < n {
+		cur := stack[len(stack)-1].fn
+		curStart := funcStart(cur)
+		// Keep pc inside the current function's byte range.
+		if pc < curStart || pc >= curStart+genFuncBytes-64 {
+			pc = curStart + isa.Addr(rng.Intn(genFuncBytes/2))&^isa.Addr(isa.InstrBytes-1)
+		}
+		switch k := rng.Intn(100); {
+		case k < 30: // run
+			nInstr := int32(1 + rng.Intn(32))
+			evs = append(evs, trace.Event{Kind: trace.KindRun, Addr: pc, N: nInstr})
+			pc += isa.Addr(nInstr) * isa.InstrBytes
+		case k < 40: // loop
+			evs = append(evs, trace.Event{
+				Kind: trace.KindLoop, Addr: pc,
+				N: int32(1 + rng.Intn(16)), Iters: int32(1 + rng.Intn(20)),
+			})
+		case k < 55: // branch
+			evs = append(evs, trace.Event{
+				Kind: trace.KindBranch, Addr: pc,
+				Target: curStart + isa.Addr(rng.Intn(genFuncBytes/2)),
+				Taken:  rng.Intn(2) == 0,
+			})
+		case k < 70: // call
+			callee := rng.Intn(genFuncs)
+			evs = append(evs, trace.Event{
+				Kind: trace.KindCall, Addr: pc,
+				Target:      funcStart(callee),
+				CallerStart: curStart,
+				Fn:          program.FuncID(callee),
+				Caller:      program.FuncID(cur),
+			})
+			stack = append(stack, frame{fn: callee, ret: pc + isa.InstrBytes})
+			pc = funcStart(callee)
+		case k < 80: // return
+			if len(stack) < 2 {
+				continue
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			caller := stack[len(stack)-1].fn
+			evs = append(evs, trace.Event{
+				Kind: trace.KindReturn, Addr: funcStart(top.fn),
+				Target:      top.ret,
+				CallerStart: funcStart(caller),
+				Fn:          program.FuncID(top.fn),
+				Caller:      program.FuncID(caller),
+			})
+			pc = top.ret
+		case k < 95: // data
+			evs = append(evs, trace.Event{
+				Kind:  trace.KindData,
+				Addr:  genDataBase + isa.Addr(rng.Intn(1<<16)),
+				N:     int32(1 + rng.Intn(64)),
+				Taken: rng.Intn(4) == 0, // write
+			})
+		default: // context switch
+			evs = append(evs, trace.Event{Kind: trace.KindSwitch, N: int32(rng.Intn(4))})
+		}
+	}
+	return evs
+}
+
+// kernelVariant is one (config, prefetcher) point of the differential
+// sweep. Prefetchers are stateful, so each kernel gets its own instance
+// built by the factory.
+type kernelVariant struct {
+	name string
+	cfg  func() cpu.Config
+	pf   func() prefetch.Prefetcher
+}
+
+func variants() []kernelVariant {
+	base := func() cpu.Config {
+		cfg := cpu.DefaultConfig()
+		cfg.SwitchPenalty = 24
+		return cfg
+	}
+	return []kernelVariant{
+		{"none", base, func() prefetch.Prefetcher { return prefetch.None{} }},
+		{"nl4", base, func() prefetch.Prefetcher { return prefetch.NewNL(4) }},
+		{"nl8", base, func() prefetch.Prefetcher { return prefetch.NewNL(8) }},
+		{"ranl4-2", base, func() prefetch.Prefetcher { return prefetch.NewRunAheadNL(4, 2) }},
+		{"cgp4", base, func() prefetch.Prefetcher { return core.New(core.DefaultConfig()) }},
+		{"nl4-demand-priority", func() cpu.Config {
+			cfg := base()
+			cfg.DemandPriority = true
+			return cfg
+		}, func() prefetch.Prefetcher { return prefetch.NewNL(4) }},
+		{"nl4-l2only", func() cpu.Config {
+			cfg := base()
+			cfg.PrefetchIntoL2Only = true
+			return cfg
+		}, func() prefetch.Prefetcher { return prefetch.NewNL(4) }},
+		{"cgp4-flush-ras", func() cpu.Config {
+			cfg := base()
+			cfg.FlushRASOnSwitch = true
+			return cfg
+		}, func() prefetch.Prefetcher { return core.New(core.DefaultConfig()) }},
+	}
+}
+
+// TestDifferentialAgainstRefsim replays identical seeded streams through
+// the optimized kernel and the frozen reference kernel and requires the
+// full Stats structs to match exactly — cycles, every cache counter,
+// every prefetch portion counter. Any behavioral drift introduced by the
+// flat-cache or ring rewrites shows up here as a field diff.
+func TestDifferentialAgainstRefsim(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				evs := genEvents(seed, 20000)
+				opt := cpu.New(v.cfg(), v.pf())
+				ref := refsim.New(v.cfg(), v.pf())
+				for _, ev := range evs {
+					opt.Event(ev)
+					ref.Event(ev)
+				}
+				so, sr := opt.Finish(), ref.Finish()
+				if !reflect.DeepEqual(so, sr) {
+					t.Fatalf("seed %d: optimized and reference kernels diverged\noptimized: %+v\nreference: %+v", seed, so, sr)
+				}
+			}
+		})
+	}
+}
+
+// TestEventBatchMatchesPerEvent pins the batch entry point's contract:
+// EventBatch over arbitrary batch boundaries must equal per-event Event
+// calls exactly.
+func TestEventBatchMatchesPerEvent(t *testing.T) {
+	evs := genEvents(11, 20000)
+	for _, batch := range []int{1, 7, 512, 4096} {
+		perEvent := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+		batched := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+		for _, ev := range evs {
+			perEvent.Event(ev)
+		}
+		for i := 0; i < len(evs); i += batch {
+			end := i + batch
+			if end > len(evs) {
+				end = len(evs)
+			}
+			batched.EventBatch(evs[i:end])
+		}
+		if !reflect.DeepEqual(perEvent.Finish(), batched.Finish()) {
+			t.Fatalf("batch size %d: EventBatch diverged from per-event delivery", batch)
+		}
+	}
+}
+
+// TestEventLoopDoesNotAllocate is the steady-state allocation regression
+// gate: once the CPU is warmed (ring and index grown to their working
+// size), consuming events must not allocate at all. This is what the old
+// kernel's per-issue *inflight and per-fetch method-value closure cost.
+func TestEventLoopDoesNotAllocate(t *testing.T) {
+	evs := genEvents(5, 20000)
+	c := cpu.New(cpu.DefaultConfig(), prefetch.NewNL(4))
+	c.EventBatch(evs) // warm: caches filled, ring at steady-state size
+	allocs := testing.AllocsPerRun(10, func() {
+		c.EventBatch(evs[:2000])
+	})
+	if allocs != 0 {
+		t.Errorf("event loop allocates %.1f times per 2000-event batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,91 @@
+package refsim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cgp/internal/isa"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+// Replay is the frozen pre-optimization replay loop: per-event Consumer
+// dispatch and a decoder that calls binary.Varint for every signed
+// field (the live trace.Recording decoder batches dispatch and inlines
+// the common single-byte varint case). It reads the raw encoded trace
+// (header included) from a flat byte slice — obtain one with
+// Recording.WriteTo — which matches the old chunked fast path, since a
+// 1 MiB chunk kept virtually every record on the contiguous branch.
+//
+// Keeping the old decode loop here, next to the old CPU kernel, is what
+// makes the benchmark baseline honest: BENCH_kernel.json's speedup is
+// measured against the whole pre-change replay→CPU path, not against a
+// baseline that quietly inherits the new decoder.
+func Replay(raw []byte, c trace.Consumer) error {
+	var magic = [8]byte{'C', 'G', 'P', 'T', 'R', 'C', '0', '1'} // traceMagic
+	if len(raw) < len(magic) || [8]byte(raw[:8]) != magic {
+		return trace.ErrBadMagic
+	}
+	pos := len(magic)
+	for pos < len(raw) {
+		ev, n, err := decodeEvent(raw[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		c.Event(ev)
+	}
+	return nil
+}
+
+// decodeEvent is the frozen copy of the pre-optimization trace decoder.
+func decodeEvent(b []byte) (trace.Event, int, error) {
+	var ev trace.Event
+	flags := b[0]
+	ev.Kind = trace.Kind(flags >> 1)
+	ev.Taken = flags&1 != 0
+	pos := 1
+	u, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return ev, 0, decodeErr("addr")
+	}
+	pos += n
+	ev.Addr = isa.Addr(u)
+	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("target")
+	}
+	pos += n
+	ev.Target = isa.Addr(u)
+	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("callerStart")
+	}
+	pos += n
+	ev.CallerStart = isa.Addr(u)
+	v, n := binary.Varint(b[pos:])
+	if n <= 0 {
+		return ev, 0, decodeErr("n")
+	}
+	pos += n
+	ev.N = int32(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("iters")
+	}
+	pos += n
+	ev.Iters = int32(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("fn")
+	}
+	pos += n
+	ev.Fn = program.FuncID(v)
+	if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return ev, 0, decodeErr("caller")
+	}
+	pos += n
+	ev.Caller = program.FuncID(v)
+	return ev, pos, nil
+}
+
+func decodeErr(field string) error {
+	return fmt.Errorf("refsim: decode %s: %w", field, io.ErrUnexpectedEOF)
+}

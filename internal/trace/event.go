@@ -98,6 +98,19 @@ type Consumer interface {
 	Event(ev Event)
 }
 
+// BatchConsumer is optionally implemented by Consumers that can accept
+// a whole decoded batch at once. Replay detects it and hands over
+// events replayBatch at a time, so the dynamic dispatch (and, for a
+// fanout, the consumer loop) is paid once per batch instead of once
+// per event. Semantics are unchanged: EventBatch(evs) must be exactly
+// equivalent to calling Event on each element in order, and the
+// consumer must not retain the slice past the call — the replayer
+// reuses it for the next batch.
+type BatchConsumer interface {
+	Consumer
+	EventBatch(evs []Event)
+}
+
 // ConsumerFunc adapts a function to the Consumer interface.
 type ConsumerFunc func(Event)
 

@@ -140,65 +140,116 @@ func (r *Recording) Bytes() int64 { return r.buf.size }
 // varints.
 const maxEventRecord = 1 + 7*binary.MaxVarintLen64
 
+// replayBatch is how many decoded events one dispatch hands over. The
+// buffer (≈ 24 KiB) stays comfortably cache-resident while amortizing
+// the dynamic dispatch per batch to noise.
+const replayBatch = 512
+
 // ReplayAll feeds the recorded events to every consumer in one decode
-// pass: each event is decoded once and dispatched to cs in order. When
-// several simulator configurations consume the same (workload, layout)
-// stream, this amortizes the decode cost across all of them.
+// pass: each event is decoded once and dispatched to every consumer.
+// When several simulator configurations consume the same (workload,
+// layout) stream, this amortizes the decode cost across all of them.
+// Consumers are independent, so events are handed to them a batch at a
+// time (each consumer sees the full stream in order; only the
+// interleaving between consumers changes, which no consumer can
+// observe).
 func (r *Recording) ReplayAll(cs ...Consumer) error {
 	if len(cs) == 1 {
 		return r.Replay(cs[0])
 	}
-	return r.Replay(fanout(cs))
-}
-
-// fanout dispatches one event to every consumer in order.
-type fanout []Consumer
-
-func (f fanout) Event(ev Event) {
-	for _, c := range f {
-		c.Event(ev)
+	batched := make([]BatchConsumer, 0, len(cs))
+	plain := make([]Consumer, 0, len(cs))
+	for _, c := range cs {
+		if bc, ok := c.(BatchConsumer); ok {
+			batched = append(batched, bc)
+		} else {
+			plain = append(plain, c)
+		}
 	}
+	return r.ReplayBatch(func(evs []Event) {
+		for _, bc := range batched {
+			bc.EventBatch(evs)
+		}
+		for _, c := range plain {
+			for i := range evs {
+				c.Event(evs[i])
+			}
+		}
+	})
 }
 
-// Replay feeds the recorded events to c in recording order. It decodes
-// varints directly from the chunk slices — the generic Reader pays an
-// interface-dispatched ReadByte per varint byte, which costs as much as
-// the simulation consuming the events.
+// Replay feeds the recorded events to c in recording order. A consumer
+// implementing BatchConsumer (the CPU model does) receives the events
+// through its batch entry point; otherwise they are delivered one
+// Event call at a time.
 func (r *Recording) Replay(c Consumer) error {
+	if bc, ok := c.(BatchConsumer); ok {
+		return r.ReplayBatch(bc.EventBatch)
+	}
+	return r.ReplayBatch(func(evs []Event) {
+		for i := range evs {
+			c.Event(evs[i])
+		}
+	})
+}
+
+// ReplayBatch is the kernel of every replay: it decodes the stream into
+// a reusable buffer, replayBatch events at a time, and hands each
+// full batch (and the final partial one) to fn. The varints are decoded
+// directly from the chunk slices — the generic Reader pays an
+// interface-dispatched ReadByte per varint byte, which costs as much as
+// the simulation consuming the events — and the buffer is allocated
+// once per call, so steady-state replay does not allocate per batch.
+// fn must not retain the slice.
+func (r *Recording) ReplayBatch(fn func(evs []Event)) error {
 	d := chunkDecoder{b: r.buf}
 	hdr := d.window(len(traceMagic))
 	if len(hdr) < len(traceMagic) || [8]byte(hdr[:8]) != traceMagic {
 		return ErrBadMagic
 	}
 	d.advance(len(traceMagic))
+	buf := make([]Event, replayBatch)
+	n := 0
 	for {
 		// Fast path: decode records lying wholly inside the current
 		// chunk without per-event window/advance bookkeeping.
 		if d.ci < len(d.b.chunks) {
 			chunk := d.b.chunks[d.ci]
 			pos := d.off
-			for pos+maxEventRecord <= len(chunk) {
-				ev, n, err := decodeEvent(chunk[pos:])
+			for pos+maxEventRecord <= len(chunk) && n < len(buf) {
+				m, err := decodeEventInto(chunk[pos:], &buf[n])
 				if err != nil {
 					return err
 				}
-				pos += n
-				c.Event(ev)
+				pos += m
+				n++
 			}
 			d.off = pos
+			if n == len(buf) {
+				fn(buf)
+				n = 0
+				continue
+			}
 		}
 		// Slow path: a record straddling a chunk boundary, or the tail
 		// of the final chunk.
 		w := d.window(maxEventRecord)
 		if len(w) == 0 {
+			if n > 0 {
+				fn(buf[:n])
+			}
 			return nil
 		}
-		ev, n, err := decodeEvent(w)
+		m, err := decodeEventInto(w, &buf[n])
 		if err != nil {
 			return err
 		}
-		d.advance(n)
-		c.Event(ev)
+		d.advance(m)
+		n++
+		if n == len(buf) {
+			fn(buf)
+			n = 0
+		}
 	}
 }
 
@@ -249,52 +300,95 @@ func (d *chunkDecoder) advance(n int) {
 	}
 }
 
-// decodeEvent decodes one event from the front of b, returning the
-// encoded length. It is the slice-based twin of Reader.Next.
-func decodeEvent(b []byte) (Event, int, error) {
-	var ev Event
+// decodeEventInto decodes one event from the front of b into *ev,
+// returning the encoded length. It is the slice-based twin of
+// Reader.Next. On success every field of *ev is overwritten, so the
+// caller can reuse a dirty buffer slot without zeroing it; on error the
+// slot's contents are unspecified.
+//
+// This is the hottest loop body of the whole simulator (every replayed
+// event passes through it), so the seven varint reads are open-coded
+// straight-line: most fields are zero or tiny, and the one-byte case
+// runs without a function call or loop — a helper carrying the
+// binary.Uvarint fallback costs more than the inlining budget allows,
+// and a fields loop pays a dispatch switch per field. The multi-byte
+// fallback is the standard library decoder.
+func decodeEventInto(b []byte, ev *Event) (int, error) {
 	flags := b[0]
 	ev.Kind = Kind(flags >> 1)
 	ev.Taken = flags&1 != 0
 	pos := 1
-	u, n := binary.Uvarint(b[pos:])
-	if n <= 0 {
-		return ev, 0, decodeErr("addr")
+	var u uint64
+	var n int
+	if pos < len(b) && b[pos] < 0x80 {
+		u = uint64(b[pos])
+		pos++
+	} else if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return 0, decodeErr("addr")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.Addr = isa.Addr(u)
-	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
-		return ev, 0, decodeErr("target")
+	if pos < len(b) && b[pos] < 0x80 {
+		u = uint64(b[pos])
+		pos++
+	} else if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return 0, decodeErr("target")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.Target = isa.Addr(u)
-	if u, n = binary.Uvarint(b[pos:]); n <= 0 {
-		return ev, 0, decodeErr("callerStart")
+	if pos < len(b) && b[pos] < 0x80 {
+		u = uint64(b[pos])
+		pos++
+	} else if u, n = binary.Uvarint(b[pos:]); n <= 0 {
+		return 0, decodeErr("callerStart")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.CallerStart = isa.Addr(u)
-	v, n := binary.Varint(b[pos:])
-	if n <= 0 {
-		return ev, 0, decodeErr("n")
+	var v int64
+	if pos < len(b) && b[pos] < 0x80 {
+		x := b[pos]
+		v = int64(x>>1) ^ -int64(x&1)
+		pos++
+	} else if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return 0, decodeErr("n")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.N = int32(v)
-	if v, n = binary.Varint(b[pos:]); n <= 0 {
-		return ev, 0, decodeErr("iters")
+	if pos < len(b) && b[pos] < 0x80 {
+		x := b[pos]
+		v = int64(x>>1) ^ -int64(x&1)
+		pos++
+	} else if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return 0, decodeErr("iters")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.Iters = int32(v)
-	if v, n = binary.Varint(b[pos:]); n <= 0 {
-		return ev, 0, decodeErr("fn")
+	if pos < len(b) && b[pos] < 0x80 {
+		x := b[pos]
+		v = int64(x>>1) ^ -int64(x&1)
+		pos++
+	} else if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return 0, decodeErr("fn")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.Fn = program.FuncID(v)
-	if v, n = binary.Varint(b[pos:]); n <= 0 {
-		return ev, 0, decodeErr("caller")
+	if pos < len(b) && b[pos] < 0x80 {
+		x := b[pos]
+		v = int64(x>>1) ^ -int64(x&1)
+		pos++
+	} else if v, n = binary.Varint(b[pos:]); n <= 0 {
+		return 0, decodeErr("caller")
+	} else {
+		pos += n
 	}
-	pos += n
 	ev.Caller = program.FuncID(v)
-	return ev, pos, nil
+	return pos, nil
 }
 
 func decodeErr(field string) error {

@@ -129,6 +129,150 @@ func TestRecordingConcurrentReplay(t *testing.T) {
 	}
 }
 
+// batchCapture implements BatchConsumer, recording both the events and
+// the batch sizes the replayer delivered. It copies out of the batch
+// slice, per the interface contract.
+type batchCapture struct {
+	events  []Event
+	batches []int
+	perEv   int // events delivered through Event instead of EventBatch
+}
+
+func (b *batchCapture) Event(ev Event) {
+	b.events = append(b.events, ev)
+	b.perEv++
+}
+
+func (b *batchCapture) EventBatch(evs []Event) {
+	b.events = append(b.events, evs...)
+	b.batches = append(b.batches, len(evs))
+}
+
+// TestReplayBatchDelivery: a BatchConsumer must receive the exact
+// recorded stream through EventBatch alone, in full batches of
+// replayBatch plus one final partial batch.
+func TestReplayBatchDelivery(t *testing.T) {
+	const n = 3*replayBatch + 17
+	evs := recordTestEvents(n)
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Event(ev)
+	}
+	rec, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got batchCapture
+	if err := rec.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.perEv != 0 {
+		t.Errorf("%d events arrived via Event; batch consumer must get batches only", got.perEv)
+	}
+	if !reflect.DeepEqual(got.events, evs) {
+		t.Fatal("batched replay differs from recorded events")
+	}
+	want := []int{replayBatch, replayBatch, replayBatch, 17}
+	if !reflect.DeepEqual(got.batches, want) {
+		t.Errorf("batch sizes = %v, want %v", got.batches, want)
+	}
+}
+
+// TestReplayBatchChunkBoundaries drives the batched decoder through the
+// slow path: adversarially tiny chunks mean no record ever lies wholly
+// inside one chunk.
+func TestReplayBatchChunkBoundaries(t *testing.T) {
+	evs := recordTestEvents(2*replayBatch + 3)
+	buf := newChunkBuffer(13)
+	w, err := NewWriter(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Event(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rec := &Recording{buf: buf}
+	var got []Event
+	if err := rec.ReplayBatch(func(b []Event) { got = append(got, b...) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, evs) {
+		t.Fatal("chunk-straddling batched replay differs")
+	}
+}
+
+// TestReplayAllMixedConsumers fans one decode pass out to batch-capable
+// and plain consumers at once; each must see the full stream in order.
+func TestReplayAllMixedConsumers(t *testing.T) {
+	evs := recordTestEvents(replayBatch + 100)
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Event(ev)
+	}
+	rec, err := r.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batched batchCapture
+	var plain Capture
+	var stats Stats
+	if err := rec.ReplayAll(&batched, &plain, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched.events, evs) {
+		t.Error("batch consumer missed events")
+	}
+	if !reflect.DeepEqual(plain.Events, evs) {
+		t.Error("plain consumer missed events")
+	}
+	if stats.Events != int64(len(evs)) {
+		t.Errorf("stats consumer saw %d events, want %d", stats.Events, len(evs))
+	}
+}
+
+// TestReplayAllocsIndependentOfLength pins the reusable-buffer design:
+// a Replay call allocates a fixed setup cost (the batch buffer and the
+// dispatch closure), not per batch — so the count must not grow with
+// the recording length.
+func TestReplayAllocsIndependentOfLength(t *testing.T) {
+	record := func(n int) *Recording {
+		r := NewRecorder()
+		for _, ev := range recordTestEvents(n) {
+			r.Event(ev)
+		}
+		rec, err := r.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	small := record(replayBatch / 2)  // one partial batch
+	large := record(64 * replayBatch) // many batches
+	var sink batchCapture
+	sink.events = make([]Event, 0, 64*replayBatch+1)
+	sink.batches = make([]int, 0, 128)
+	measure := func(rec *Recording) float64 {
+		return testing.AllocsPerRun(10, func() {
+			sink.events = sink.events[:0]
+			sink.batches = sink.batches[:0]
+			if err := rec.Replay(&sink); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1, a2 := measure(small), measure(large)
+	if a1 != a2 {
+		t.Errorf("replay allocations scale with length: %v for %d events vs %v for %d",
+			a1, small.Events(), a2, large.Events())
+	}
+	if a2 > 8 {
+		t.Errorf("replay allocates %v times per call, want a small constant", a2)
+	}
+}
+
 // TestRecordingWriteTo checks that the raw bytes are codec-compatible.
 func TestRecordingWriteTo(t *testing.T) {
 	evs := recordTestEvents(200)
