@@ -1,6 +1,7 @@
 package cgp
 
 import (
+	"context"
 	"fmt"
 
 	"cgp/internal/workload"
@@ -20,57 +21,57 @@ func cghcLabel(c Config) string { return c.CGHC.String() }
 // 2K+32K configuration has so few conflicts that associativity is
 // irrelevant — itself a finding that supports the paper's
 // direct-mapped choice, §3.2).
-func (r *Runner) CGHCWaysAblation() (*Figure, error) {
+func (r *Runner) CGHCWaysAblation(ctx context.Context) (*Figure, error) {
 	var configs []Config
 	for _, ways := range []int{1, 2, 4} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
 			CGHC: CGHCConfig{L1Bytes: 1024, Ways: ways}})
 	}
-	return r.runGridLabeled("abl-ways", "CGHC associativity ablation (CGP_4, 1K single-level)",
+	return r.runGridLabeled(ctx, "abl-ways", "CGHC associativity ablation (CGP_4, 1K single-level)",
 		r.DBWorkloads(), configs, cghcLabel)
 }
 
 // CGHCSlotsAblation varies the callee slots per CGHC entry (the paper
 // picks 8 from the ATOM fanout measurement).
-func (r *Runner) CGHCSlotsAblation() (*Figure, error) {
+func (r *Runner) CGHCSlotsAblation(ctx context.Context) (*Figure, error) {
 	var configs []Config
 	for _, slots := range []int{2, 4, 8} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
 			CGHC: CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024, Slots: slots}})
 	}
-	return r.runGridLabeled("abl-slots", "CGHC entry-width ablation (CGP_4, 2K+32K)",
+	return r.runGridLabeled(ctx, "abl-slots", "CGHC entry-width ablation (CGP_4, 2K+32K)",
 		r.DBWorkloads(), configs, cghcLabel)
 }
 
 // FIFOPolicyAblation tests the §3.3 simplifications: giving demand
 // misses priority over prefetches, and staging prefetches in L2 instead
 // of filling L1I directly.
-func (r *Runner) FIFOPolicyAblation() (*Figure, error) {
+func (r *Runner) FIFOPolicyAblation(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, DemandPriority: true},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, PrefetchIntoL2Only: true},
 	}
-	return r.runGrid("abl-policy", "L2 interface policy ablation (§3.3 choices)",
+	return r.runGrid(ctx, "abl-policy", "L2 interface policy ablation (§3.3 choices)",
 		r.DBWorkloads(), configs)
 }
 
 // SoftwareCGPAblation compares hardware CGP against the §6 software
 // variant (static profile-derived tables, no CGHC) and NL.
-func (r *Runner) SoftwareCGPAblation() (*Figure, error) {
+func (r *Runner) SoftwareCGPAblation(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefSoftwareCGP, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid("abl-swcgp", "Software CGP (§6 variant) vs hardware CGP",
+	return r.runGrid(ctx, "abl-swcgp", "Software CGP (§6 variant) vs hardware CGP",
 		r.DBWorkloads(), configs)
 }
 
 // ExtensionFigures runs every ablation study. Like AllFigures, the
 // generators run concurrently with deterministic results.
-func (r *Runner) ExtensionFigures() ([]*Figure, error) {
-	return runFigureGens([]figureGen{
+func (r *Runner) ExtensionFigures(ctx context.Context) ([]*Figure, error) {
+	return runFigureGens(ctx, []figureGen{
 		{"abl-ways", r.CGHCWaysAblation},
 		{"abl-slots", r.CGHCSlotsAblation},
 		{"abl-policy", r.FIFOPolicyAblation},
@@ -83,12 +84,12 @@ func (r *Runner) ExtensionFigures() ([]*Figure, error) {
 // DegreeSweep extends Figures 4/6 along the N axis: the paper evaluates
 // CGP_2 and CGP_4; this sweeps N in {1, 2, 4, 8} to expose the
 // timeliness-vs-pollution trade-off.
-func (r *Runner) DegreeSweep() (*Figure, error) {
+func (r *Runner) DegreeSweep(ctx context.Context) (*Figure, error) {
 	var configs []Config
 	for _, n := range []int{1, 2, 4, 8} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: n})
 	}
-	return r.runGrid("abl-degree", "CGP_N degree sweep (OM binary)", r.DBWorkloads(), configs)
+	return r.runGrid(ctx, "abl-degree", "CGP_N degree sweep (OM binary)", r.DBWorkloads(), configs)
 }
 
 // QuantumSweep varies the scheduler's context-switch quantum on
@@ -96,13 +97,13 @@ func (r *Runner) DegreeSweep() (*Figure, error) {
 // citing Franklin et al.) is that frequent context switches inflate
 // database I-cache miss rates; the sweep makes that mechanism visible:
 // smaller quanta mean more switches and more misses per instruction.
-func (r *Runner) QuantumSweep() (*Figure, error) {
+func (r *Runner) QuantumSweep(ctx context.Context) (*Figure, error) {
 	// Each quantum is a distinct workload configuration, so fresh
 	// sub-runners keep the result cache honest while sharing this
 	// runner's feedback profile. The parent profile is forced first so
 	// the sweep sees the same OM layout whether it runs alone or
 	// concurrently with other figure generators.
-	parentProf, err := r.profilesFor(r.DBWorkloads()[0])
+	parentProf, err := r.profilesFor(ctx, r.DBWorkloads()[0])
 	if err != nil {
 		return nil, err
 	}
@@ -114,9 +115,9 @@ func (r *Runner) QuantumSweep() (*Figure, error) {
 		// Each sub-runner performs a single simulation, so recording a
 		// trace it would replay zero times is pure overhead: re-execute.
 		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log,
-			Workers: 1, NoRecord: true})
+			Workers: 1, NoRecord: true, CheckpointDir: r.opts.CheckpointDir})
 		sub.seed(dbProfilesKey, parentProf)
-		res, err := sub.Run(workload.WiscLarge2(opts), Config{Layout: LayoutOM})
+		res, err := sub.Run(ctx, workload.WiscLarge2(opts), Config{Layout: LayoutOM})
 		if err != nil {
 			return nil, err
 		}

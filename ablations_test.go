@@ -1,10 +1,13 @@
 package cgp
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestSoftwareCGPAblation(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.SoftwareCGPAblation()
+	fig, err := r.SoftwareCGPAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +30,7 @@ func TestSoftwareCGPAblation(t *testing.T) {
 
 func TestFIFOPolicyAblation(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.FIFOPolicyAblation()
+	fig, err := r.FIFOPolicyAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +50,7 @@ func TestFIFOPolicyAblation(t *testing.T) {
 
 func TestCGHCWaysAblation(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.CGHCWaysAblation()
+	fig, err := r.CGHCWaysAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +66,7 @@ func TestCGHCWaysAblation(t *testing.T) {
 
 func TestCGHCSlotsAblation(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.CGHCSlotsAblation()
+	fig, err := r.CGHCSlotsAblation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +83,7 @@ func TestExtensionFiguresRun(t *testing.T) {
 		t.Skip("short mode")
 	}
 	r := smallRunner()
-	figs, err := r.ExtensionFigures()
+	figs, err := r.ExtensionFigures(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +113,7 @@ func TestSWCGPLabel(t *testing.T) {
 
 func TestDegreeSweep(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.DegreeSweep()
+	fig, err := r.DegreeSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +140,7 @@ func TestDegreeSweep(t *testing.T) {
 
 func TestQuantumSweep(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.QuantumSweep()
+	fig, err := r.QuantumSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -196,7 +196,7 @@ func BenchmarkKernelDecode(b *testing.B) {
 	rec := kernelBenchRecording(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := rec.ReplayBatch(func([]trace.Event) {}); err != nil {
+		if err := rec.ReplayBatch(func([]trace.Event) error { return nil }); err != nil {
 			b.Fatal(err)
 		}
 	}

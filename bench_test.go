@@ -1,6 +1,7 @@
 package cgp
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
@@ -45,7 +46,7 @@ func reportFigure(b *testing.B, fig *Figure, metrics map[string]func(*Figure) fl
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure4()
+		fig, err := r.Figure4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure5()
+		fig, err := r.Figure5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func BenchmarkFigure5(b *testing.B) {
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure6()
+		fig, err := r.Figure6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func BenchmarkFigure6(b *testing.B) {
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure7()
+		fig, err := r.Figure7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func BenchmarkFigure7(b *testing.B) {
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure8()
+		fig, err := r.Figure8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFigure8(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure9()
+		fig, err := r.Figure9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.Figure10()
+		fig, err := r.Figure10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkFigure10(b *testing.B) {
 func BenchmarkRunAheadNL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := benchRunner()
-		fig, err := r.RunAheadAblation()
+		fig, err := r.RunAheadAblation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -306,7 +307,7 @@ func benchAllFigures(b *testing.B, name string, workers int, noRecord bool) {
 	var events int64
 	for i := 0; i < b.N; i++ {
 		r := NewRunner(harnessBenchOpts(workers, noRecord))
-		figs, err := r.AllFigures()
+		figs, err := r.AllFigures(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +344,7 @@ func benchFig4Workload(b *testing.B, name string, noRecord bool) {
 		for _, cfg := range fig4Configs() {
 			jobs = append(jobs, Job{Workload: w, Config: cfg})
 		}
-		results, err := r.RunAll(jobs)
+		results, err := r.RunAll(context.Background(), jobs)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package cgp
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestPaperOrderings(t *testing.T) {
 
 	get := func(cfg Config) *Result {
 		t.Helper()
-		res, err := r.Run(w, cfg)
+		res, err := r.Run(context.Background(), w, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,11 +131,11 @@ func TestPaperOrderings(t *testing.T) {
 func TestResultCaching(t *testing.T) {
 	r := smallRunner()
 	w := WiscProf(r.opts.DB)
-	a, err := r.Run(w, Config{Layout: LayoutO5})
+	a, err := r.Run(context.Background(), w, Config{Layout: LayoutO5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.Run(w, Config{Layout: LayoutO5})
+	b, err := r.Run(context.Background(), w, Config{Layout: LayoutO5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,11 +143,11 @@ func TestResultCaching(t *testing.T) {
 		t.Error("identical runs not cached")
 	}
 	// Different CGHC configs share a label prefix but must not collide.
-	c1, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{L1Bytes: 1024}})
+	c1, err := r.Run(context.Background(), w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{L1Bytes: 1024}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := r.Run(w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{Infinite: true}})
+	c2, err := r.Run(context.Background(), w, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: CGHCConfig{Infinite: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestResultCaching(t *testing.T) {
 }
 
 func TestDeterministicResults(t *testing.T) {
-	a, err := smallRunner().Run(WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
+	a, err := smallRunner().Run(context.Background(), WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := smallRunner().Run(WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
+	b, err := smallRunner().Run(context.Background(), WiscProf(smallRunner().opts.DB), Config{Layout: LayoutOM, Prefetcher: PrefCGP})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestDeterministicResults(t *testing.T) {
 
 func TestCallFanoutStats(t *testing.T) {
 	r := smallRunner()
-	fan, err := r.CallFanoutStats()
+	fan, err := r.CallFanoutStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestCPU2000Lookup(t *testing.T) {
 
 func TestFigureGeneration(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure7()
+	fig, err := r.Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestFigureGeneration(t *testing.T) {
 // pass guards against) shows up here as a byte diff.
 func TestFigureBytesReproducible(t *testing.T) {
 	render := func() (string, string) {
-		fig, err := smallRunner().Figure7()
+		fig, err := smallRunner().Figure7(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func TestFigureBytesReproducible(t *testing.T) {
 
 func TestFigure9PortionSplit(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure9()
+	fig, err := r.Figure9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +303,7 @@ func TestDefaultCPUConfigIsTable1(t *testing.T) {
 
 func TestFigure5CGHCOrdering(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure5()
+	fig, err := r.Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestFigure5CGHCOrdering(t *testing.T) {
 
 func TestFigure8UsefulFractions(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure8()
+	fig, err := r.Figure8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,7 +353,7 @@ func TestFigure8UsefulFractions(t *testing.T) {
 
 func TestFigure10Shapes(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure10()
+	fig, err := r.Figure10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +386,7 @@ func TestFigure10Shapes(t *testing.T) {
 
 func TestChartRenders(t *testing.T) {
 	r := smallRunner()
-	fig, err := r.Figure7()
+	fig, err := r.Figure7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,10 @@ func (f *Figure) Chart() string {
 		}
 		fmt.Fprintf(&b, "\n%s\n", w)
 		for _, r := range rows {
+			if r.Failed() {
+				fmt.Fprintf(&b, "  %-22s (failed: %s)\n", r.Config, r.Err)
+				continue
+			}
 			v := metric(r)
 			n := int(v / max * width)
 			if n < 1 && v > 0 {

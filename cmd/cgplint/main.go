@@ -9,12 +9,13 @@
 //	go build -o /tmp/cgplint ./cmd/cgplint
 //	go vet -vettool=/tmp/cgplint ./...
 //
-// Four analyzers run (see their package docs under internal/analysis):
+// Five analyzers run (see their package docs under internal/analysis):
 //
-//	detrand    no wall-clock reads or global math/rand in deterministic packages
-//	maporder   no map-iteration order leaking into ordered output
-//	cyclesafe  no narrowing or cross-unit conversion of internal/units types
-//	lockcheck  no by-value sync primitives; flight keys via fingerprint() only
+//	detrand     no wall-clock reads or global math/rand in deterministic packages
+//	maporder    no map-iteration order leaking into ordered output
+//	cyclesafe   no narrowing or cross-unit conversion of internal/units types
+//	lockcheck   no by-value sync primitives; flight keys via fingerprint() only
+//	paniccheck  no recover() that discards the recovered value instead of attributing it
 //
 // Exceptions are written in the source as
 //
@@ -30,6 +31,7 @@ import (
 	"cgp/internal/analysis/driver"
 	"cgp/internal/analysis/lockcheck"
 	"cgp/internal/analysis/maporder"
+	"cgp/internal/analysis/paniccheck"
 )
 
 func main() {
@@ -38,5 +40,6 @@ func main() {
 		maporder.Analyzer,
 		cyclesafe.Analyzer,
 		lockcheck.Analyzer,
+		paniccheck.Analyzer,
 	)
 }

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"cgp"
 )
@@ -51,7 +54,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := r.Run(w, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := r.Run(ctx, w, cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 		var base units.Cycles
 		var missRate float64
 		for i, cfg := range configs {
-			res, err := r.Run(w, cfg)
+			res, err := r.Run(context.Background(), w, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +21,12 @@ func main() {
 	})
 	w := cgp.WiscLarge2(cgp.DBOptions{WiscN: 2000})
 
-	baseline, err := r.Run(w, cgp.Config{Layout: cgp.LayoutO5})
+	ctx := context.Background()
+	baseline, err := r.Run(ctx, w, cgp.Config{Layout: cgp.LayoutO5})
 	if err != nil {
 		log.Fatal(err)
 	}
-	withCGP, err := r.Run(w, cgp.Config{
+	withCGP, err := r.Run(ctx, w, cgp.Config{
 		Layout:     cgp.LayoutOM,
 		Prefetcher: cgp.PrefCGP,
 		Degree:     4, // CGP_4: prefetch 4 lines per CGHC hit

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -72,7 +73,7 @@ func main() {
 		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefNL, Degree: 4},
 		{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefCGP, Degree: 4},
 	} {
-		res, err := r.Run(w, cfg)
+		res, err := r.Run(context.Background(), w, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

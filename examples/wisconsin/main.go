@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,7 +39,7 @@ func main() {
 	for _, w := range r.DBWorkloads() {
 		var base units.Cycles
 		for i, cfg := range configs {
-			res, err := r.Run(w, cfg)
+			res, err := r.Run(context.Background(), w, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

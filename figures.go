@@ -1,6 +1,8 @@
 package cgp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -19,11 +21,20 @@ type Row struct {
 	Useless     int64
 	// Portion marks Figure 9 rows ("nl" or "cghc").
 	Portion string
-	// Speedup is relative to the figure's per-workload baseline.
+	// Speedup is relative to the figure's per-workload baseline; 0 when
+	// this row or its baseline failed.
 	Speedup float64
-	// Result links the full measurement.
+	// Err marks a degraded row: the cell's simulation failed (panic,
+	// cancellation, corruption past the retry budget) and the numeric
+	// columns are absent. Degraded rows are rendered explicitly rather
+	// than omitted, so a partial report never silently looks complete.
+	Err string `json:",omitempty"`
+	// Result links the full measurement (nil for degraded rows).
 	Result *Result `json:"-"`
 }
+
+// Failed reports whether this row is degraded.
+func (r *Row) Failed() bool { return r.Err != "" }
 
 // Figure is one reproduced experiment.
 type Figure struct {
@@ -32,6 +43,28 @@ type Figure struct {
 	// Baseline names the config each workload's Speedup is relative to.
 	Baseline string
 	Rows     []Row
+}
+
+// Degraded returns how many of the figure's rows failed.
+func (f *Figure) Degraded() int {
+	n := 0
+	for i := range f.Rows {
+		if f.Rows[i].Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// rowErr renders a job failure for a degraded row's Err field.
+func rowErr(err *JobError) string {
+	if err == nil {
+		return "failed"
+	}
+	if err.Panic != nil {
+		return fmt.Sprintf("panic: %v", err.Panic)
+	}
+	return err.Err.Error()
 }
 
 // fig4Configs are the six bars of Figure 4 per workload.
@@ -48,32 +81,53 @@ func fig4Configs() []Config {
 
 // runGrid measures every workload under every config — fanned out
 // through RunAll — computing speedups against the first config.
-func (r *Runner) runGrid(id, title string, workloads []*Workload, configs []Config) (*Figure, error) {
-	return r.runGridLabeled(id, title, workloads, configs, Config.Label)
+func (r *Runner) runGrid(ctx context.Context, id, title string, workloads []*Workload, configs []Config) (*Figure, error) {
+	return r.runGridLabeled(ctx, id, title, workloads, configs, Config.Label)
 }
 
 // runGridLabeled is runGrid with a custom per-config display label
 // (the CGHC sweeps label rows by CGHC geometry, not config Label).
 // Rows appear in (workload, config) input order regardless of which
 // simulations finished first.
-func (r *Runner) runGridLabeled(id, title string, workloads []*Workload, configs []Config, label func(Config) string) (*Figure, error) {
+//
+// A partially failed campaign still yields a figure: failed cells
+// become degraded rows (Err set, numbers absent) and the campaign's
+// *CampaignError is returned alongside the figure so the caller can
+// report and exit non-zero. Only a total failure returns a nil figure.
+func (r *Runner) runGridLabeled(ctx context.Context, id, title string, workloads []*Workload, configs []Config, label func(Config) string) (*Figure, error) {
 	jobs := make([]Job, 0, len(workloads)*len(configs))
 	for _, w := range workloads {
 		for _, cfg := range configs {
 			jobs = append(jobs, Job{Workload: w, Config: cfg})
 		}
 	}
-	results, err := r.RunAll(jobs)
+	results, err := r.RunAll(ctx, jobs)
+	failed := map[int]*JobError{}
 	if err != nil {
-		return nil, err
+		var camp *CampaignError
+		if !errors.As(err, &camp) {
+			return nil, err
+		}
+		for _, je := range camp.Jobs {
+			failed[je.Index] = je
+		}
 	}
 	fig := &Figure{ID: id, Title: title, Baseline: label(configs[0])}
 	i := 0
 	for _, w := range workloads {
-		base := results[i].CPU.Cycles
+		base := results[i] // first config is the per-workload baseline
 		for _, cfg := range configs {
 			res := results[i]
+			je := failed[i]
 			i++
+			if res == nil {
+				fig.Rows = append(fig.Rows, Row{Workload: w.Name, Config: label(cfg), Err: rowErr(je)})
+				continue
+			}
+			speedup := 0.0
+			if base != nil {
+				speedup = float64(base.CPU.Cycles) / float64(res.CPU.Cycles)
+			}
 			tp := res.CPU.TotalPrefetch()
 			fig.Rows = append(fig.Rows, Row{
 				Workload:    w.Name,
@@ -83,24 +137,24 @@ func (r *Runner) runGridLabeled(id, title string, workloads []*Workload, configs
 				PrefHits:    tp.PrefHits,
 				DelayedHits: tp.DelayedHits,
 				Useless:     tp.Useless,
-				Speedup:     float64(base) / float64(res.CPU.Cycles),
+				Speedup:     speedup,
 				Result:      res,
 			})
 		}
 	}
-	return fig, nil
+	return fig, err
 }
 
 // Figure4 reproduces the O5 / OM / CGP_2 / CGP_4 cycle comparison on
 // the four database workloads.
-func (r *Runner) Figure4() (*Figure, error) {
-	return r.runGrid("fig4", "Performance comparison of O5, OM and CGP",
+func (r *Runner) Figure4(ctx context.Context) (*Figure, error) {
+	return r.runGrid(ctx, "fig4", "Performance comparison of O5, OM and CGP",
 		r.DBWorkloads(), fig4Configs())
 }
 
 // Figure5 reproduces the CGHC design-space sweep: CGP_4 on the OM
 // binary with five CGHC configurations.
-func (r *Runner) Figure5() (*Figure, error) {
+func (r *Runner) Figure5(ctx context.Context) (*Figure, error) {
 	cghcs := []CGHCConfig{
 		{L1Bytes: 1 * 1024},
 		{L1Bytes: 32 * 1024},
@@ -112,13 +166,13 @@ func (r *Runner) Figure5() (*Figure, error) {
 	for i, hc := range cghcs {
 		configs[i] = Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: hc}
 	}
-	return r.runGridLabeled("fig5", "Performance of five CGHC configurations",
+	return r.runGridLabeled(ctx, "fig5", "Performance of five CGHC configurations",
 		r.DBWorkloads(), configs, func(c Config) string { return c.CGHC.String() })
 }
 
 // Figure6 reproduces the NL-vs-CGP comparison: O5, OM, OM+NL_2/4,
 // OM+CGP_2/4 and the perfect I-cache.
-func (r *Runner) Figure6() (*Figure, error) {
+func (r *Runner) Figure6(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutO5},
 		{Layout: LayoutOM},
@@ -128,51 +182,65 @@ func (r *Runner) Figure6() (*Figure, error) {
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, PerfectICache: true},
 	}
-	return r.runGrid("fig6", "Performance comparison of O5, OM, NL and CGP",
+	return r.runGrid(ctx, "fig6", "Performance comparison of O5, OM, NL and CGP",
 		r.DBWorkloads(), configs)
 }
 
 // Figure7 reproduces the I-cache miss comparison of O5, OM, OM+NL_4 and
 // OM+CGP_4.
-func (r *Runner) Figure7() (*Figure, error) {
+func (r *Runner) Figure7(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutO5},
 		{Layout: LayoutOM},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid("fig7", "I-cache miss comparison of O5, OM, NL and CGP",
+	return r.runGrid(ctx, "fig7", "I-cache miss comparison of O5, OM, NL and CGP",
 		r.DBWorkloads(), configs)
 }
 
 // Figure8 reproduces the prefetch-effectiveness breakdown (pref hits /
 // delayed hits / useless) for NL_2, NL_4, CGP_2, CGP_4 on the OM binary.
-func (r *Runner) Figure8() (*Figure, error) {
+func (r *Runner) Figure8(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 2},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid("fig8", "Prefetch effectiveness of NL and CGP",
+	return r.runGrid(ctx, "fig8", "Prefetch effectiveness of NL and CGP",
 		r.DBWorkloads(), configs)
 }
 
 // Figure9 reproduces the CGP_4 prefetch split: the NL portion vs the
 // CGHC portion, each with useful (hits+delayed) and useless counts.
-func (r *Runner) Figure9() (*Figure, error) {
+func (r *Runner) Figure9(ctx context.Context) (*Figure, error) {
 	fig := &Figure{ID: "fig9", Title: "CGP_4 prefetches due to NL and CGHC", Baseline: "O5+OM+CGP_4"}
 	ws := r.DBWorkloads()
 	jobs := make([]Job, len(ws))
 	for i, w := range ws {
 		jobs[i] = Job{Workload: w, Config: Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4}}
 	}
-	results, err := r.RunAll(jobs)
+	results, err := r.RunAll(ctx, jobs)
+	failed := map[int]*JobError{}
 	if err != nil {
-		return nil, err
+		var camp *CampaignError
+		if !errors.As(err, &camp) {
+			return nil, err
+		}
+		for _, je := range camp.Jobs {
+			failed[je.Index] = je
+		}
 	}
 	for i, w := range ws {
 		res := results[i]
+		if res == nil {
+			e := rowErr(failed[i])
+			fig.Rows = append(fig.Rows,
+				Row{Workload: w.Name, Config: "CGP_4/NL-portion", Portion: "nl", Err: e},
+				Row{Workload: w.Name, Config: "CGP_4/CGHC-portion", Portion: "cghc", Err: e})
+			continue
+		}
 		s := res.CPU
 		fig.Rows = append(fig.Rows,
 			Row{
@@ -186,45 +254,51 @@ func (r *Runner) Figure9() (*Figure, error) {
 				Useless: s.CGHC.Useless, Result: res,
 			})
 	}
-	return fig, nil
+	return fig, err
 }
 
 // Figure10 reproduces the CPU2000 study: O5+OM, OM+NL_4, OM+CGP_4 and
 // perfect I-cache on the seven SPEC stand-ins.
-func (r *Runner) Figure10() (*Figure, error) {
+func (r *Runner) Figure10(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutOM},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, PerfectICache: true},
 	}
-	return r.runGrid("fig10", "Effectiveness of CGP on CPU2000 applications",
+	return r.runGrid(ctx, "fig10", "Effectiveness of CGP on CPU2000 applications",
 		r.CPU2000Workloads(), configs)
 }
 
 // RunAheadAblation reproduces the §5.6 experiment whose results the
 // paper describes but does not plot: run-ahead NL is much worse than
 // plain NL on the database workloads.
-func (r *Runner) RunAheadAblation() (*Figure, error) {
+func (r *Runner) RunAheadAblation(ctx context.Context) (*Figure, error) {
 	configs := []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4, RunAheadM: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid("sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), configs)
+	return r.runGrid(ctx, "sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), configs)
 }
 
 // figureGen names one figure generator.
 type figureGen struct {
 	name string
-	fn   func() (*Figure, error)
+	fn   func(context.Context) (*Figure, error)
 }
 
 // runFigureGens evaluates generators concurrently, preserving input
-// order in the returned slice. Figures sharing (workload, config)
-// cells share the cached simulations, so concurrent generation does
-// the same total work as sequential generation — just overlapped.
-func runFigureGens(gens []figureGen) ([]*Figure, error) {
+// order among the figures it returns. Figures sharing (workload,
+// config) cells share the cached simulations, so concurrent generation
+// does the same total work as sequential generation — just overlapped.
+//
+// Failures degrade rather than abort: a generator that produced a
+// partial figure contributes it (with degraded rows); only figures
+// that failed outright are dropped. The returned error joins every
+// generator failure, so callers get all completed work plus a full
+// account of what is missing.
+func runFigureGens(ctx context.Context, gens []figureGen) ([]*Figure, error) {
 	out := make([]*Figure, len(gens))
 	errs := make([]error, len(gens))
 	var wg sync.WaitGroup
@@ -232,23 +306,29 @@ func runFigureGens(gens []figureGen) ([]*Figure, error) {
 		wg.Add(1)
 		go func(i int, g figureGen) {
 			defer wg.Done()
-			out[i], errs[i] = g.fn()
+			out[i], errs[i] = g.fn(ctx)
 		}(i, g)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cgp: %s: %w", gens[i].name, err)
+	var figs []*Figure
+	var failures []error
+	for i := range gens {
+		if out[i] != nil {
+			figs = append(figs, out[i])
+		}
+		if errs[i] != nil {
+			failures = append(failures, fmt.Errorf("cgp: %s: %w", gens[i].name, errs[i]))
 		}
 	}
-	return out, nil
+	return figs, errors.Join(failures...)
 }
 
 // AllFigures runs every experiment in paper order. The generators run
 // concurrently; results are deterministic and identical to generating
-// each figure sequentially.
-func (r *Runner) AllFigures() ([]*Figure, error) {
-	return runFigureGens([]figureGen{
+// each figure sequentially. On partial failure the completed figures
+// are returned alongside the joined error.
+func (r *Runner) AllFigures(ctx context.Context) ([]*Figure, error) {
+	return runFigureGens(ctx, []figureGen{
 		{"fig4", r.Figure4}, {"fig5", r.Figure5}, {"fig6", r.Figure6},
 		{"fig7", r.Figure7}, {"fig8", r.Figure8}, {"fig9", r.Figure9},
 		{"fig10", r.Figure10}, {"sec5.6", r.RunAheadAblation},

@@ -2,6 +2,7 @@ package cgp
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -44,7 +45,7 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	seq := NewRunner(harnessOpts(1, true))
 	var want []*Result
 	for _, j := range fig4Jobs(seq) {
-		res, err := seq.Run(j.Workload, j.Config)
+		res, err := seq.Run(context.Background(), j.Workload, j.Config)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func TestRunAllParallelMatchesSequential(t *testing.T) {
 	// exercises the concurrent interleavings under -race).
 	par := NewRunner(harnessOpts(8, false))
 	jobs := fig4Jobs(par)
-	got, err := par.RunAll(jobs)
+	got, err := par.RunAll(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRunAllDeduplicates(t *testing.T) {
 	w := WiscProf(r.opts.DB)
 	cfg := Config{Layout: LayoutO5}
 	jobs := []Job{{w, cfg}, {w, cfg}, {w, cfg}, {w, cfg}}
-	results, err := r.RunAll(jobs)
+	results, err := r.RunAll(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,11 +118,11 @@ func TestConfigFingerprintDisambiguates(t *testing.T) {
 	if a.Label() != b.Label() {
 		t.Fatalf("labels differ: %q vs %q — test premise broken", a.Label(), b.Label())
 	}
-	ra, err := r.Run(w, a)
+	ra, err := r.Run(context.Background(), w, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := r.Run(w, b)
+	rb, err := r.Run(context.Background(), w, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestConcurrentFigureGenerators(t *testing.T) {
 		t.Skip("short mode")
 	}
 	conc := NewRunner(harnessOpts(8, false))
-	figs, err := runFigureGens([]figureGen{
+	figs, err := runFigureGens(context.Background(), []figureGen{
 		{"fig6", conc.Figure6},
 		{"fig7", conc.Figure7},
 		{"fig8", conc.Figure8},
@@ -152,7 +153,7 @@ func TestConcurrentFigureGenerators(t *testing.T) {
 	}
 
 	ref := NewRunner(harnessOpts(1, true))
-	want6, err := ref.Figure6()
+	want6, err := ref.Figure6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,117 @@
+// Package paniccheck flags recover() calls that throw away the
+// recovered value.
+//
+// The harness's failure model (DESIGN.md §11) promises that every
+// panic inside a simulation is attributed: converted to a *JobError
+// carrying the panic value and stack, resolved into its singleflight
+// flight, and reported per job in the campaign's *CampaignError. A
+// bare
+//
+//	defer func() { recover() }()
+//
+// silently swallows the crash instead — the job "succeeds" with
+// garbage state and the report can't say why a number is wrong. The
+// pattern is also a latent deadlock source here: a recover that
+// doesn't resolve the flight leaves every waiter blocked.
+//
+// Flagged in non-test files:
+//
+//   - recover() as a bare expression statement (value discarded);
+//   - _ = recover() (value explicitly discarded);
+//   - defer recover() (a no-op by the language spec: recover only
+//     works inside a deferred function's body).
+//
+// The fix is to capture the value and propagate it, as faults.go and
+// the runner's batch guard do:
+//
+//	if p := recover(); p != nil {
+//	    err = &JobError{Panic: p, Stack: debug.Stack()}
+//	}
+//
+// A recover that intentionally discards (a sentinel whose value is
+// known, say) documents itself with //cgplint:ignore paniccheck <reason>.
+package paniccheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cgp/internal/analysis"
+)
+
+// Analyzer is the paniccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "paniccheck",
+	Doc:  "flag recover() calls that discard the recovered value instead of converting it to an attributed error",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call := recoverCall(pass, n.X); call != nil && !pass.InTestFile(call.Pos()) {
+					pass.Reportf(call.Pos(),
+						"bare recover() discards the recovered value; capture it and convert it to an attributed error (see *JobError)")
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.DeferStmt:
+				if call := recoverCall(pass, n.Call); call != nil && !pass.InTestFile(call.Pos()) {
+					pass.Reportf(n.Pos(),
+						"defer recover() is a no-op (recover only works inside a deferred function) and discards the value; recover inside a deferred func and convert the value to an attributed error")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags assignments that bind a recover() result to the
+// blank identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call := recoverCall(pass, rhs)
+		if call == nil || pass.InTestFile(call.Pos()) {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"recover() result assigned to _ discards the recovered value; capture it and convert it to an attributed error (see *JobError)")
+		}
+	}
+}
+
+// recoverCall returns e as a call to the recover builtin, or nil.
+func recoverCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "recover" {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "recover" {
+		return nil
+	}
+	return call
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

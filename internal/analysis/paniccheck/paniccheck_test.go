@@ -1,0 +1,13 @@
+package paniccheck_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/paniccheck"
+)
+
+func TestPaniccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), paniccheck.Analyzer,
+		"cgp/fake/pc", "example.org/outside")
+}

@@ -1,0 +1,62 @@
+// Package pc exercises paniccheck inside the deterministic domain
+// (import path cgp/fake/pc).
+package pc
+
+import "fmt"
+
+type jobError struct {
+	panicValue any
+}
+
+func bareRecover() {
+	defer func() {
+		recover() // want `bare recover\(\) discards the recovered value`
+	}()
+}
+
+func blankRecover() {
+	defer func() {
+		_ = recover() // want `recover\(\) result assigned to _ discards the recovered value`
+	}()
+}
+
+func deferredRecover() {
+	defer recover() // want `defer recover\(\) is a no-op`
+}
+
+func parenRecover() {
+	defer func() {
+		(recover()) // want `bare recover\(\) discards the recovered value`
+	}()
+}
+
+func capturedRecover() (err error) {
+	defer func() {
+		if p := recover(); p != nil { // captured and converted: allowed
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	return nil
+}
+
+func convertedRecover() (je *jobError) {
+	defer func() {
+		if p := recover(); p != nil { // captured into a typed error: allowed
+			je = &jobError{panicValue: p}
+		}
+	}()
+	return nil
+}
+
+func suppressedRecover() {
+	defer func() {
+		//cgplint:ignore paniccheck sentinel abort value is re-panicked by the caller's guard
+		recover()
+	}()
+}
+
+// recover as a local identifier is not the builtin.
+func shadowedRecover() {
+	recover := func() int { return 1 }
+	recover() // a plain function call, not the builtin: allowed
+}

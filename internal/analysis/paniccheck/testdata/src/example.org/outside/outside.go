@@ -1,0 +1,9 @@
+// Package outside is not under the cgp module path, so the
+// determinism analyzers leave it alone.
+package outside
+
+func swallow() {
+	defer func() {
+		recover() // out of domain: not flagged
+	}()
+}

@@ -1,0 +1,82 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"cgp/internal/isa"
+	"cgp/internal/trace"
+)
+
+func events(n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		evs[i] = trace.Event{Kind: trace.KindRun, Addr: 0x1000 + isa.Addr(i)*4, N: 1}
+	}
+	return evs
+}
+
+func TestPanicAfterFiresAtExactEvent(t *testing.T) {
+	var st trace.Stats
+	c := PanicAfter(&st, 5, "boom")
+	fired := func() (v any) {
+		defer func() { v = recover() }()
+		for _, ev := range events(10) {
+			c.Event(ev)
+		}
+		return nil
+	}()
+	if fired != "boom" {
+		t.Fatalf("recovered %v, want boom", fired)
+	}
+	if st.Events != 4 {
+		t.Fatalf("forwarded %d events before panic, want 4", st.Events)
+	}
+}
+
+func TestCancelAfterInvokesOnce(t *testing.T) {
+	var st trace.Stats
+	calls := 0
+	c := CancelAfter(&st, 3, func() { calls++ })
+	for _, ev := range events(10) {
+		c.Event(ev)
+	}
+	if calls != 1 {
+		t.Fatalf("cancel invoked %d times, want 1", calls)
+	}
+	if st.Events != 10 {
+		t.Fatalf("forwarded %d events, want all 10 (cancel must not drop events)", st.Events)
+	}
+}
+
+func TestCorruptIsDeterministicAndDetected(t *testing.T) {
+	build := func() *trace.Recording {
+		r := trace.NewRecorder()
+		for _, ev := range events(5000) {
+			r.Event(ev)
+		}
+		rg, err := r.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rg
+	}
+	a, b := build(), build()
+	offsA := Corrupt(a, 7, 3)
+	offsB := Corrupt(b, 7, 3)
+	if len(offsA) == 0 {
+		t.Fatal("no bytes flipped")
+	}
+	if len(offsA) != len(offsB) {
+		t.Fatalf("same seed flipped %d vs %d bytes", len(offsA), len(offsB))
+	}
+	for i := range offsA {
+		if offsA[i] != offsB[i] {
+			t.Fatalf("same seed chose different offsets: %v vs %v", offsA, offsB)
+		}
+	}
+	var ce *trace.CorruptionError
+	if err := a.Verify(); !errors.As(err, &ce) {
+		t.Fatalf("Verify after Corrupt = %v, want *trace.CorruptionError", err)
+	}
+}

@@ -112,19 +112,30 @@ func (r *Recorder) Event(ev Event) {
 	r.w.Event(ev)
 }
 
-// Finish flushes buffered output and seals the recording. The Recorder
-// must not be used afterwards.
+// Finish flushes buffered output and seals the recording: the chunk
+// list is frozen and per-chunk CRC-32C checksums are computed, so every
+// later replay can verify integrity before decoding. The Recorder must
+// not be used afterwards.
 func (r *Recorder) Finish() (*Recording, error) {
 	if err := r.w.Flush(); err != nil {
 		return nil, fmt.Errorf("trace: record: %w", err)
 	}
-	return &Recording{buf: r.buf, Stats: r.stats}, nil
+	return &Recording{
+		buf:     r.buf,
+		Stats:   r.stats,
+		version: RecordingVersion,
+		sums:    sealChecksums(r.buf),
+	}, nil
 }
 
 // Recording is a sealed recorded trace. It is immutable and safe for
 // concurrent replay from multiple goroutines.
 type Recording struct {
 	buf *chunkBuffer
+	// version and sums are the integrity framing (see integrity.go):
+	// the format version and one CRC-32C per chunk, sealed by Finish.
+	version int
+	sums    []uint32
 	// Stats are the aggregate statistics of the recorded stream,
 	// identical to what a Stats consumer fed by Replay would count.
 	Stats Stats
@@ -166,7 +177,7 @@ func (r *Recording) ReplayAll(cs ...Consumer) error {
 			plain = append(plain, c)
 		}
 	}
-	return r.ReplayBatch(func(evs []Event) {
+	return r.ReplayBatch(func(evs []Event) error {
 		for _, bc := range batched {
 			bc.EventBatch(evs)
 		}
@@ -175,6 +186,7 @@ func (r *Recording) ReplayAll(cs ...Consumer) error {
 				c.Event(evs[i])
 			}
 		}
+		return nil
 	})
 }
 
@@ -184,12 +196,16 @@ func (r *Recording) ReplayAll(cs ...Consumer) error {
 // Event call at a time.
 func (r *Recording) Replay(c Consumer) error {
 	if bc, ok := c.(BatchConsumer); ok {
-		return r.ReplayBatch(bc.EventBatch)
+		return r.ReplayBatch(func(evs []Event) error {
+			bc.EventBatch(evs)
+			return nil
+		})
 	}
-	return r.ReplayBatch(func(evs []Event) {
+	return r.ReplayBatch(func(evs []Event) error {
 		for i := range evs {
 			c.Event(evs[i])
 		}
+		return nil
 	})
 }
 
@@ -200,8 +216,17 @@ func (r *Recording) Replay(c Consumer) error {
 // interface-dispatched ReadByte per varint byte, which costs as much as
 // the simulation consuming the events — and the buffer is allocated
 // once per call, so steady-state replay does not allocate per batch.
-// fn must not retain the slice.
-func (r *Recording) ReplayBatch(fn func(evs []Event)) error {
+// fn must not retain the slice. A non-nil error from fn aborts the
+// replay immediately and is returned as-is (the runner uses this for
+// prompt cancellation at batch granularity).
+//
+// Before decoding, the chunk checksums sealed at record time are
+// re-verified; a corrupted recording fails with *CorruptionError
+// instead of handing decoded garbage to the consumers.
+func (r *Recording) ReplayBatch(fn func(evs []Event) error) error {
+	if err := r.Verify(); err != nil {
+		return err
+	}
 	d := chunkDecoder{b: r.buf}
 	hdr := d.window(len(traceMagic))
 	if len(hdr) < len(traceMagic) || [8]byte(hdr[:8]) != traceMagic {
@@ -226,7 +251,9 @@ func (r *Recording) ReplayBatch(fn func(evs []Event)) error {
 			}
 			d.off = pos
 			if n == len(buf) {
-				fn(buf)
+				if err := fn(buf); err != nil {
+					return err
+				}
 				n = 0
 				continue
 			}
@@ -236,7 +263,7 @@ func (r *Recording) ReplayBatch(fn func(evs []Event)) error {
 		w := d.window(maxEventRecord)
 		if len(w) == 0 {
 			if n > 0 {
-				fn(buf[:n])
+				return fn(buf[:n])
 			}
 			return nil
 		}
@@ -247,7 +274,9 @@ func (r *Recording) ReplayBatch(fn func(evs []Event)) error {
 		d.advance(m)
 		n++
 		if n == len(buf) {
-			fn(buf)
+			if err := fn(buf); err != nil {
+				return err
+			}
 			n = 0
 		}
 	}

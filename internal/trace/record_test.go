@@ -196,7 +196,7 @@ func TestReplayBatchChunkBoundaries(t *testing.T) {
 	}
 	rec := &Recording{buf: buf}
 	var got []Event
-	if err := rec.ReplayBatch(func(b []Event) { got = append(got, b...) }); err != nil {
+	if err := rec.ReplayBatch(func(b []Event) error { got = append(got, b...); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, evs) {

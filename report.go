@@ -1,6 +1,7 @@
 package cgp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,24 +10,40 @@ import (
 	"cgp/internal/program"
 )
 
-// Markdown renders the figure as a GitHub-style table.
+// Markdown renders the figure as a GitHub-style table. Degraded rows
+// (failed simulations) are rendered explicitly with their failure,
+// never silently omitted, and a banner above the table counts them.
 func (f *Figure) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(f.ID[:1])+f.ID[1:], f.Title)
+	if n := f.Degraded(); n > 0 {
+		fmt.Fprintf(&b, "> **Degraded:** %d of %d rows failed; their cells are marked below.\n\n", n, len(f.Rows))
+	}
 	switch f.ID {
 	case "fig7":
 		b.WriteString("| workload | config | I-cache misses | vs O5 |\n|---|---|---:|---:|\n")
 		base := map[string]int64{}
 		for _, r := range f.Rows {
+			if r.Failed() {
+				fmt.Fprintf(&b, "| %s | %s | _failed: %s_ | — |\n", r.Workload, r.Config, r.Err)
+				continue
+			}
 			if r.Config == f.Baseline {
 				base[r.Workload] = r.Misses
 			}
-			frac := float64(r.Misses) / float64(base[r.Workload])
-			fmt.Fprintf(&b, "| %s | %s | %d | %.2f |\n", r.Workload, r.Config, r.Misses, frac)
+			frac := "—"
+			if base[r.Workload] > 0 {
+				frac = fmt.Sprintf("%.2f", float64(r.Misses)/float64(base[r.Workload]))
+			}
+			fmt.Fprintf(&b, "| %s | %s | %d | %s |\n", r.Workload, r.Config, r.Misses, frac)
 		}
 	case "fig8", "fig9":
 		b.WriteString("| workload | config | pref hits | delayed hits | useless | useful frac |\n|---|---|---:|---:|---:|---:|\n")
 		for _, r := range f.Rows {
+			if r.Failed() {
+				fmt.Fprintf(&b, "| %s | %s | _failed: %s_ | — | — | — |\n", r.Workload, r.Config, r.Err)
+				continue
+			}
 			total := r.PrefHits + r.DelayedHits + r.Useless
 			frac := 0.0
 			if total > 0 {
@@ -38,6 +55,10 @@ func (f *Figure) Markdown() string {
 	default:
 		b.WriteString("| workload | config | cycles | speedup vs " + f.Baseline + " |\n|---|---|---:|---:|\n")
 		for _, r := range f.Rows {
+			if r.Failed() {
+				fmt.Fprintf(&b, "| %s | %s | _failed: %s_ | — |\n", r.Workload, r.Config, r.Err)
+				continue
+			}
 			fmt.Fprintf(&b, "| %s | %s | %d | %.3f |\n", r.Workload, r.Config, r.Cycles, r.Speedup)
 		}
 	}
@@ -114,9 +135,9 @@ type FanoutStats struct {
 
 // CallFanoutStats computes the §3.2 / §5.4 trace statistics from the
 // runner's database profile.
-func (r *Runner) CallFanoutStats() (FanoutStats, error) {
+func (r *Runner) CallFanoutStats(ctx context.Context) (FanoutStats, error) {
 	w := r.DBWorkloads()[0]
-	prof, err := r.profileFor(w)
+	prof, err := r.profileFor(ctx, w)
 	if err != nil {
 		return FanoutStats{}, err
 	}
@@ -129,8 +150,8 @@ func (r *Runner) CallFanoutStats() (FanoutStats, error) {
 
 // DBProfile exposes the merged database feedback profile (wisc-prof +
 // wisc+tpch), for inspection and tests.
-func (r *Runner) DBProfile() (*program.Profile, error) {
-	return r.profileFor(r.DBWorkloads()[0])
+func (r *Runner) DBProfile(ctx context.Context) (*program.Profile, error) {
+	return r.profileFor(ctx, r.DBWorkloads()[0])
 }
 
 // SummarizeConfigs lists the distinct config labels of a figure in

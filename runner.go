@@ -1,9 +1,13 @@
 package cgp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"cgp/internal/core"
 	"cgp/internal/cpu"
@@ -77,6 +81,45 @@ type RunnerOptions struct {
 	// share a (workload, layout), but holds no trace memory. Used by
 	// one-shot CLI runs and by benchmarks isolating the replay layer.
 	NoRecord bool
+	// CheckpointDir, when set, persists each completed Result to disk
+	// (atomic temp-file + rename) keyed by the config fingerprint and
+	// campaign scope, and serves later runs from those files — a
+	// re-run after a crash or cancellation skips finished jobs. See
+	// checkpoint.go.
+	CheckpointDir string
+	// FailFast cancels the remainder of a RunAll campaign as soon as
+	// one job fails. Completed results are still returned.
+	FailFast bool
+	// RetryBudget is how many times a corrupted recording may be
+	// rebuilt from source before the affected jobs fail. 0 means the
+	// default (2); negative disables rebuilds.
+	RetryBudget int
+	// RetryBackoff is the base delay between rebuild attempts,
+	// doubling each retry. 0 means the default (5ms).
+	RetryBackoff time.Duration
+}
+
+// retryBudget resolves the RetryBudget default.
+func (o *RunnerOptions) retryBudget() int {
+	if o.RetryBudget == 0 {
+		return 2
+	}
+	if o.RetryBudget < 0 {
+		return 0
+	}
+	return o.RetryBudget
+}
+
+// runnerHooks are fault-injection points used by the chaos tests (see
+// robustness_test.go); the zero value is inert and production code
+// never sets them.
+type runnerHooks struct {
+	// afterRecord runs on each freshly sealed recording — chaos tests
+	// corrupt bytes here.
+	afterRecord func(w *Workload, layout Layout, rec *trace.Recording)
+	// wrapConsumer may wrap a cell's CPU consumer — chaos tests inject
+	// panics and forced cancellations here.
+	wrapConsumer func(w *Workload, cfg Config, c trace.Consumer) trace.Consumer
 }
 
 // profiles bundles the two feedback artifacts a profile run produces:
@@ -95,12 +138,16 @@ type profiles struct {
 // work is memoized singleflight-style: the first goroutine to request
 // a key performs the work while later requesters block and share the
 // result, so concurrent figure generators never record the same trace
-// or collect the same profile twice.
+// or collect the same profile twice. Transient failures (cancellation,
+// recording corruption) evict their entry so a later call can retry;
+// successes and deterministic failures stay cached.
 type Runner struct {
 	opts RunnerOptions
 	// sem bounds the number of concurrently executing simulations
 	// across every RunAll call sharing this runner.
 	sem chan struct{}
+
+	hooks runnerHooks
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -109,8 +156,11 @@ type Runner struct {
 
 // flight memoizes one unit of keyed work (a run, a trace recording, an
 // image layout or a profile collection). Completed flights double as
-// the result cache.
+// the result cache. Resolution is idempotent (first write wins), so
+// the batch-level panic guard can sweep a failed batch without
+// tracking which cells already resolved.
 type flight struct {
+	once sync.Once
 	done chan struct{}
 	val  any
 	err  error
@@ -143,6 +193,9 @@ func NewRunner(opts RunnerOptions) *Runner {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = 5 * time.Millisecond
+	}
 	return &Runner{
 		opts:    opts,
 		sem:     make(chan struct{}, opts.Workers),
@@ -165,25 +218,50 @@ func (r *Runner) claim(key string) (*flight, bool) {
 	return f, true
 }
 
-func (f *flight) resolve(val any, err error) {
-	f.val, f.err = val, err
-	close(f.done)
+// evict drops key's entry if it still holds f, so a later claim can
+// retry the work. Used for transient failures only: cached successes
+// are determinism-relevant and must never be recomputed.
+func (r *Runner) evict(key string, f *flight) {
+	r.mu.Lock()
+	if r.flights[key] == f {
+		delete(r.flights, key)
+	}
+	r.mu.Unlock()
 }
 
-func (f *flight) wait() (any, error) {
-	<-f.done
-	return f.val, f.err
+func (f *flight) resolve(val any, err error) {
+	f.once.Do(func() {
+		f.val, f.err = val, err
+		close(f.done)
+	})
+}
+
+// wait blocks until the flight resolves or ctx is done. Abandoning a
+// wait does not cancel the computation — the owner may be serving
+// other campaigns.
+func (f *flight) wait(ctx context.Context) (any, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // once returns the memoized result of the work keyed by key, computing
 // it via fn on first use. Concurrent requests for the same key share
-// one computation (and its error, if any).
-func (r *Runner) once(key string, fn func() (any, error)) (any, error) {
+// one computation (and its error, if any). A panicking fn resolves the
+// flight with a *JobError instead of deadlocking its waiters; a
+// transient failure evicts the entry so a later call retries.
+func (r *Runner) once(ctx context.Context, key string, fn func(context.Context) (any, error)) (any, error) {
 	f, owner := r.claim(key)
 	if owner {
-		f.resolve(fn())
+		f.resolve(guarded(ctx, fn))
+		if isTransient(f.err) {
+			r.evict(key, f)
+		}
 	}
-	return f.wait()
+	return f.wait(ctx)
 }
 
 // seed installs a precomputed value for key (used to share profiles
@@ -215,13 +293,13 @@ func (r *Runner) CPU2000Workloads() []*Workload {
 // from wisc-prof and wisc+tpch runs exactly as §5.1 describes; each
 // CPU2000 program profiles itself (the paper uses the SPEC "test"
 // input).
-func (r *Runner) profilesFor(w *Workload) (*profiles, error) {
-	v, err := r.once(profKey(w), func() (any, error) {
+func (r *Runner) profilesFor(ctx context.Context, w *Workload) (*profiles, error) {
+	v, err := r.once(ctx, profKey(w), func(ctx context.Context) (any, error) {
 		if w.Family == "db" {
 			r.opts.Log("collecting DB profile (wisc-prof + wisc+tpch)")
 			merged := &profiles{edges: program.NewProfile(), seq: trace.NewSequenceProfile(0)}
 			for _, pw := range []*Workload{workload.WiscProf(r.opts.DB), workload.WiscTPCH(r.opts.DB)} {
-				p, err := r.collectProfiles(pw)
+				p, err := r.collectProfiles(ctx, pw)
 				if err != nil {
 					return nil, fmt.Errorf("profile run %s: %w", pw.Name, err)
 				}
@@ -231,7 +309,7 @@ func (r *Runner) profilesFor(w *Workload) (*profiles, error) {
 			return merged, nil
 		}
 		r.opts.Log("collecting profile for %s", w.Name)
-		return r.collectProfiles(w)
+		return r.collectProfiles(ctx, w)
 	})
 	if err != nil {
 		return nil, err
@@ -240,8 +318,8 @@ func (r *Runner) profilesFor(w *Workload) (*profiles, error) {
 }
 
 // profileFor returns just the edge-weight profile (OM layout input).
-func (r *Runner) profileFor(w *Workload) (*program.Profile, error) {
-	p, err := r.profilesFor(w)
+func (r *Runner) profileFor(ctx context.Context, w *Workload) (*program.Profile, error) {
+	p, err := r.profilesFor(ctx, w)
 	if err != nil {
 		return nil, err
 	}
@@ -251,27 +329,37 @@ func (r *Runner) profileFor(w *Workload) (*program.Profile, error) {
 // collectProfiles gathers w's feedback artifacts from its O5 event
 // stream. The stream comes from the shared recording, so a workload
 // that is both profiled and simulated on O5 executes exactly once.
-func (r *Runner) collectProfiles(w *Workload) (*profiles, error) {
-	pc := trace.NewProfileCollector()
-	sc := trace.NewSequenceCollector(0)
+func (r *Runner) collectProfiles(ctx context.Context, w *Workload) (*profiles, error) {
 	if r.opts.NoRecord {
-		img, err := r.imageFor(w, LayoutO5)
+		pc := trace.NewProfileCollector()
+		sc := trace.NewSequenceCollector(0)
+		img, err := r.imageFor(ctx, w, LayoutO5)
 		if err != nil {
 			return nil, err
 		}
-		if err := w.Run(img, trace.Tee(pc, sc)); err != nil {
+		if err := runWorkload(ctx, w, img, trace.Tee(pc, sc)); err != nil {
 			return nil, err
 		}
-	} else {
-		rec, err := r.recordingFor(w, LayoutO5)
-		if err != nil {
-			return nil, err
-		}
-		if err := rec.Replay(trace.Tee(pc, sc)); err != nil {
-			return nil, err
-		}
+		return &profiles{edges: pc.Profile, seq: sc.Profile}, nil
 	}
-	return &profiles{edges: pc.Profile, seq: sc.Profile}, nil
+	var p *profiles
+	err := r.replayRetry(ctx, w, LayoutO5, func(ctx context.Context) (*trace.Recording, error) {
+		rec, err := r.recordingFor(ctx, w, LayoutO5)
+		if err != nil {
+			return nil, err
+		}
+		pc := trace.NewProfileCollector()
+		sc := trace.NewSequenceCollector(0)
+		if err := replayOne(ctx, rec, trace.Tee(pc, sc)); err != nil {
+			return rec, err
+		}
+		p = &profiles{edges: pc.Profile, seq: sc.Profile}
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // mergeSequences folds src's recorded call positions into dst.
@@ -286,14 +374,14 @@ func mergeSequences(dst, src *trace.SequenceProfile) {
 // imageFor lays out w's registry once per layout. Registries are
 // deterministic and images are immutable after layout, so every
 // consumer of a (workload, layout) pair shares one image.
-func (r *Runner) imageFor(w *Workload, layout Layout) (*program.Image, error) {
-	v, err := r.once(imgKey(w, layout), func() (any, error) {
+func (r *Runner) imageFor(ctx context.Context, w *Workload, layout Layout) (*program.Image, error) {
+	v, err := r.once(ctx, imgKey(w, layout), func(ctx context.Context) (any, error) {
 		reg := w.NewRegistry()
 		switch layout {
 		case LayoutO5:
 			return program.LayoutO5(reg), nil
 		case LayoutOM:
-			prof, err := r.profileFor(w)
+			prof, err := r.profileFor(ctx, w)
 			if err != nil {
 				return nil, err
 			}
@@ -312,22 +400,25 @@ func (r *Runner) imageFor(w *Workload, layout Layout) (*program.Image, error) {
 // memoizes the sealed recording. The stream for a (workload, layout)
 // pair is deterministic and independent of the CPU configuration, so
 // every config replays the same buffer instead of re-executing the
-// workload. The recording lives for the life of the Runner; its
-// encoded size is reported through Log.
-func (r *Runner) recordingFor(w *Workload, layout Layout) (*trace.Recording, error) {
-	v, err := r.once(recKey(w, layout), func() (any, error) {
-		img, err := r.imageFor(w, layout)
+// workload. The recording lives for the life of the Runner (unless
+// evicted after corruption); its encoded size is reported through Log.
+func (r *Runner) recordingFor(ctx context.Context, w *Workload, layout Layout) (*trace.Recording, error) {
+	v, err := r.once(ctx, recKey(w, layout), func(ctx context.Context) (any, error) {
+		img, err := r.imageFor(ctx, w, layout)
 		if err != nil {
 			return nil, err
 		}
 		rec := trace.NewRecorder()
 		r.opts.Log("record %-12s %s", w.Name, layout)
-		if err := w.Run(img, rec); err != nil {
+		if err := runWorkload(ctx, w, img, rec); err != nil {
 			return nil, fmt.Errorf("cgp: record %s under %s: %w", w.Name, layout, err)
 		}
 		rg, err := rec.Finish()
 		if err != nil {
 			return nil, err
+		}
+		if r.hooks.afterRecord != nil {
+			r.hooks.afterRecord(w, layout, rg)
 		}
 		r.opts.Log("recorded %s/%s: %d events, %.1f MiB",
 			w.Name, layout, rg.Events(), float64(rg.Bytes())/(1<<20))
@@ -339,16 +430,74 @@ func (r *Runner) recordingFor(w *Workload, layout Layout) (*trace.Recording, err
 	return v.(*trace.Recording), nil
 }
 
+// evictRecordingIf drops the cached recording for (w, layout) if it
+// still is rec — the one observed corrupt. The identity check keeps a
+// concurrent rebuild's fresh recording from being evicted by a racer
+// still failing on the old one.
+func (r *Runner) evictRecordingIf(w *Workload, layout Layout, rec *trace.Recording) {
+	key := recKey(w, layout)
+	r.mu.Lock()
+	if f, ok := r.flights[key]; ok && f.val == any(rec) {
+		delete(r.flights, key)
+	}
+	r.mu.Unlock()
+}
+
+// replayRetry runs attempt, which replays the (w, layout) recording it
+// obtains from recordingFor and returns it alongside any error. On a
+// *CorruptionError the recording is evicted and rebuilt from source —
+// the workload re-executes — under an exponential backoff, up to
+// RetryBudget rebuilds. Other errors (including cancellation) return
+// immediately.
+func (r *Runner) replayRetry(ctx context.Context, w *Workload, layout Layout, attempt func(context.Context) (*trace.Recording, error)) error {
+	budget := r.opts.retryBudget()
+	for try := 0; ; try++ {
+		rec, err := attempt(ctx)
+		var ce *trace.CorruptionError
+		if err == nil || !errors.As(err, &ce) || ctx.Err() != nil {
+			return err
+		}
+		if try >= budget {
+			return fmt.Errorf("cgp: %s/%s: retry budget exhausted after %d rebuilds: %w",
+				w.Name, layout, try, err)
+		}
+		r.opts.Log("corrupt recording %s/%s: %v; rebuilding from source (retry %d/%d)",
+			w.Name, layout, err, try+1, budget)
+		if rec != nil {
+			r.evictRecordingIf(w, layout, rec)
+		}
+		sleepCtx(ctx, r.opts.RetryBackoff<<try)
+	}
+}
+
 // Run simulates one workload under one configuration. Results are
 // cached by (workload, config fingerprint); concurrent calls for the
-// same pair share one simulation.
-func (r *Runner) Run(w *Workload, cfg Config) (*Result, error) {
+// same pair share one simulation. The context cancels the work: a
+// canceled run fails with ctx's error and is not cached.
+func (r *Runner) Run(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	v, err := r.once(runKey(w, cfg), func() (any, error) { return r.simulate(w, cfg) })
+	v, err := r.once(ctx, runKey(w, cfg), func(ctx context.Context) (any, error) {
+		return r.runCell(ctx, w, cfg)
+	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*Result), nil
+}
+
+// runCell is the uncached unit behind Run: serve the checkpoint if one
+// exists, otherwise simulate and checkpoint the result.
+func (r *Runner) runCell(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
+	if res, ok := r.loadCheckpoint(w, cfg); ok {
+		r.opts.Log("checkpoint %-12s %-14s", w.Name, cfg.Label())
+		return res, nil
+	}
+	res, err := r.simulate(ctx, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.storeCheckpoint(w, cfg, res)
+	return res, nil
 }
 
 // prepared is one configured simulation waiting for an event stream.
@@ -360,16 +509,16 @@ type prepared struct {
 
 // prepare builds the prefetcher and CPU for one (workload, config)
 // cell.
-func (r *Runner) prepare(w *Workload, cfg Config) (*prepared, error) {
+func (r *Runner) prepare(ctx context.Context, w *Workload, cfg Config) (*prepared, error) {
 	pf, gp := cfg.buildPrefetcher()
 	if cfg.Prefetcher == PrefSoftwareCGP && !cfg.PerfectICache {
 		// The software variant needs the profiled call sequences bound
 		// to this image's addresses.
-		prof, err := r.profilesFor(w)
+		prof, err := r.profilesFor(ctx, w)
 		if err != nil {
 			return nil, err
 		}
-		img, err := r.imageFor(w, cfg.Layout)
+		img, err := r.imageFor(ctx, w, cfg.Layout)
 		if err != nil {
 			return nil, err
 		}
@@ -382,6 +531,15 @@ func (r *Runner) prepare(w *Workload, cfg Config) (*prepared, error) {
 	}, nil
 }
 
+// consumerFor applies the fault-injection hook, when set, to a cell's
+// CPU consumer.
+func (r *Runner) consumerFor(w *Workload, cfg Config, c trace.Consumer) trace.Consumer {
+	if r.hooks.wrapConsumer != nil {
+		return r.hooks.wrapConsumer(w, cfg, c)
+	}
+	return c
+}
+
 // finalize seals the simulation's statistics into its Result.
 func (p *prepared) finalize() *Result {
 	p.res.CPU = p.c.Finish()
@@ -392,37 +550,70 @@ func (p *prepared) finalize() *Result {
 	return p.res
 }
 
+// replayOne replays rec into a single consumer with a context poll per
+// batch, so cancellation takes effect within replayBatch events.
+func replayOne(ctx context.Context, rec *trace.Recording, c trace.Consumer) error {
+	bc, batched := c.(trace.BatchConsumer)
+	return rec.ReplayBatch(func(evs []trace.Event) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if batched {
+			bc.EventBatch(evs)
+		} else {
+			for i := range evs {
+				c.Event(evs[i])
+			}
+		}
+		return nil
+	})
+}
+
 // simulate performs one uncached simulation: build the prefetcher and
 // CPU for cfg, then feed them w's event stream — replayed from the
-// shared recording, or re-executed when NoRecord is set.
-func (r *Runner) simulate(w *Workload, cfg Config) (*Result, error) {
-	p, err := r.prepare(w, cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
-
+// shared recording, or re-executed when NoRecord is set. A corrupt
+// recording is rebuilt from source under the retry budget.
+func (r *Runner) simulate(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
 	if r.opts.NoRecord {
-		img, err := r.imageFor(w, cfg.Layout)
+		p, err := r.prepare(ctx, w, cfg)
 		if err != nil {
 			return nil, err
 		}
-		if err := w.Run(img, trace.Tee(&p.res.Trace, p.c)); err != nil {
+		r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
+		img, err := r.imageFor(ctx, w, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
+		c := r.consumerFor(w, cfg, p.c)
+		if err := runWorkload(ctx, w, img, trace.Tee(&p.res.Trace, c)); err != nil {
 			return nil, fmt.Errorf("cgp: %s under %s: %w", w.Name, cfg.Label(), err)
 		}
-	} else {
-		rec, err := r.recordingFor(w, cfg.Layout)
+		return p.finalize(), nil
+	}
+	var res *Result
+	err := r.replayRetry(ctx, w, cfg.Layout, func(ctx context.Context) (*trace.Recording, error) {
+		rec, err := r.recordingFor(ctx, w, cfg.Layout)
 		if err != nil {
 			return nil, err
 		}
-		if err := rec.Replay(p.c); err != nil {
-			return nil, fmt.Errorf("cgp: replay %s under %s: %w", w.Name, cfg.Label(), err)
+		p, err := r.prepare(ctx, w, cfg)
+		if err != nil {
+			return rec, err
+		}
+		r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
+		if err := replayOne(ctx, rec, r.consumerFor(w, cfg, p.c)); err != nil {
+			return rec, fmt.Errorf("cgp: replay %s under %s: %w", w.Name, cfg.Label(), err)
 		}
 		// The recorded stats are what a Tee'd Stats consumer would have
 		// counted; copying avoids recounting per replay.
 		p.res.Trace = rec.Stats
+		res = p.finalize()
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return p.finalize(), nil
+	return res, nil
 }
 
 // Job names one (workload, config) simulation for RunAll.
@@ -435,17 +626,34 @@ type Job struct {
 // returns results in input order regardless of completion order.
 // Duplicate jobs — and cells shared with earlier figures — are
 // deduplicated through the result cache, so overlapping grids never
-// repeat a simulation. The first error in input order is returned.
+// repeat a simulation.
+//
+// RunAll degrades gracefully rather than all-or-nothing: a failed or
+// canceled job leaves a nil slot in the returned slice, and the error
+// is a *CampaignError carrying one input-ordered *JobError per failed
+// job (panic, cancellation, corruption past the retry budget, ...).
+// Every other slot still holds its completed Result. A panicking
+// simulation fails only its own job. With FailFast set, the first
+// failure cancels the jobs that have not finished yet.
 //
 // In replay mode, jobs sharing a (workload, layout) recording are
 // batched: their configured CPUs consume a single decode pass over the
-// recording (trace.Recording.ReplayAll), so the decode cost is paid
-// once per batch instead of once per config. Batching only changes
-// scheduling — every consumer still sees the full event stream in
-// order, so results are identical to running each job alone.
-func (r *Runner) RunAll(jobs []Job) ([]*Result, error) {
+// recording, so the decode cost is paid once per batch instead of once
+// per config. Batching only changes scheduling — every consumer still
+// sees the full event stream in order, so results are identical to
+// running each job alone.
+func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]*Result, error) {
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// fail trips the campaign breaker on the first failure in FailFast
+	// mode; jobs already running stop at their next cancellation poll.
+	fail := func(err error) {
+		if err != nil && r.opts.FailFast {
+			cancel()
+		}
+	}
 	var wg sync.WaitGroup
 	if r.opts.NoRecord {
 		for i := range jobs {
@@ -455,9 +663,15 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, error) {
 				// The semaphore is acquired before Run, never inside it,
 				// so a singleflight leader always already owns a slot (or
 				// needs none) and followers cannot starve it.
-				r.sem <- struct{}{}
+				select {
+				case r.sem <- struct{}{}:
+				case <-ctx.Done():
+					errs[i] = ctx.Err()
+					return
+				}
 				defer func() { <-r.sem }()
-				results[i], errs[i] = r.Run(jobs[i].Workload, jobs[i].Config)
+				results[i], errs[i] = r.Run(ctx, jobs[i].Workload, jobs[i].Config)
+				fail(errs[i])
 			}(i)
 		}
 		wg.Wait()
@@ -468,17 +682,22 @@ func (r *Runner) RunAll(jobs []Job) ([]*Result, error) {
 			// drain phase: claiming and waiting hold no slot.
 			go func(g *jobGroup) {
 				defer wg.Done()
-				r.runGroup(g, results, errs)
+				r.runGroup(ctx, g, results, errs, fail)
 			}(g)
 		}
 		wg.Wait()
 	}
-	for _, err := range errs {
+	var failed []*JobError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			results[i] = nil
+			failed = append(failed, jobError(jobs[i], i, err))
 		}
 	}
-	return results, nil
+	if len(failed) == 0 {
+		return results, nil
+	}
+	return results, &CampaignError{Jobs: failed}
 }
 
 // jobGroup collects the jobs of one RunAll call that replay the same
@@ -526,10 +745,12 @@ type replayHub struct {
 	pending []hubCell
 }
 
-// hubCell is one claimed, unsimulated cell: its config and the flight
-// the drainer must resolve.
+// hubCell is one claimed, unsimulated cell: its config, its run cache
+// key (for transient eviction) and the flight the drainer must
+// resolve.
 type hubCell struct {
 	cfg Config
+	key string
 	f   *flight
 }
 
@@ -544,13 +765,54 @@ func (r *Runner) hubFor(key string) *replayHub {
 	return h
 }
 
+// withdraw removes from the pending queue every cell whose flight is
+// in set, invoking fail for each. Cells a drainer already grabbed are
+// left to that drainer.
+func (h *replayHub) withdraw(set []hubCell, fail func(hubCell)) {
+	if len(set) == 0 {
+		return
+	}
+	member := make(map[*flight]bool, len(set))
+	for _, c := range set {
+		member[c.f] = true
+	}
+	var taken []hubCell
+	h.mu.Lock()
+	kept := h.pending[:0]
+	for _, c := range h.pending {
+		if member[c.f] {
+			taken = append(taken, c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	h.pending = kept
+	h.mu.Unlock()
+	for _, c := range taken {
+		fail(c)
+	}
+}
+
+// resolveCell resolves one hub cell, evicting its flight when the
+// failure is transient so a later campaign can retry the key.
+func (r *Runner) resolveCell(c hubCell, res *Result, err error) {
+	if err != nil {
+		c.f.resolve(nil, err)
+		if isTransient(err) {
+			r.evict(c.key, c.f)
+		}
+		return
+	}
+	c.f.resolve(res, nil)
+}
+
 // runGroup claims the group's uncomputed cells, enqueues them on the
 // recording's hub, competes to drain it, then collects results
 // (including cells another goroutine computed) into the RunAll output
 // slots. Claiming and enqueueing happen before the worker slot is
 // acquired — they do no simulation work — so even a single-worker pool
 // sees every concurrent figure's cells before the first drain begins.
-func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
+func (r *Runner) runGroup(ctx context.Context, g *jobGroup, results []*Result, errs []error, fail func(error)) {
 	type cellRef struct {
 		key string
 		f   *flight
@@ -561,7 +823,7 @@ func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
 		f, owner := r.claim(rk)
 		cells = append(cells, cellRef{rk, f})
 		if owner {
-			enq = append(enq, hubCell{g.cfgs[rk], f})
+			enq = append(enq, hubCell{g.cfgs[rk], rk, f})
 		}
 	}
 	h := r.hubFor(g.hubKey)
@@ -570,11 +832,32 @@ func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
 		h.pending = append(h.pending, enq...)
 		h.mu.Unlock()
 	}
-	r.sem <- struct{}{}
-	r.pump(g.w, h)
-	<-r.sem
+	select {
+	case r.sem <- struct{}{}:
+		r.pump(ctx, g.w, h)
+		<-r.sem
+	case <-ctx.Done():
+		// Canceled before a worker slot freed up. Withdraw our still-
+		// pending cells so their flights don't dangle unresolved; cells
+		// an active drainer already took will be resolved by it.
+		h.withdraw(enq, func(c hubCell) { r.resolveCell(c, nil, ctx.Err()) })
+	}
 	for _, c := range cells {
-		v, err := c.f.wait()
+		v, err := c.f.wait(ctx)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			// The cell was aborted by another campaign's cancellation
+			// (hubs are shared across concurrent RunAll calls). The
+			// entry was evicted as transient, so recompute it under
+			// this campaign's live context.
+			r.sem <- struct{}{}
+			res, rerr := r.Run(ctx, g.w, g.cfgs[c.key])
+			<-r.sem
+			if rerr != nil {
+				v, err = nil, rerr
+			} else {
+				v, err = res, nil
+			}
+		}
 		for _, i := range g.idx[c.key] {
 			if err != nil {
 				errs[i] = err
@@ -582,6 +865,7 @@ func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
 				results[i] = v.(*Result)
 			}
 		}
+		fail(err)
 	}
 }
 
@@ -590,7 +874,7 @@ func (r *Runner) runGroup(g *jobGroup, results []*Result, errs []error) {
 // Cells enqueued during a pass are picked up by the next loop
 // iteration; if another drainer is active it will do the same, so
 // every enqueued cell is eventually simulated.
-func (r *Runner) pump(w *Workload, h *replayHub) {
+func (r *Runner) pump(ctx context.Context, w *Workload, h *replayHub) {
 	for {
 		h.mu.Lock()
 		if h.active || len(h.pending) == 0 {
@@ -601,53 +885,167 @@ func (r *Runner) pump(w *Workload, h *replayHub) {
 		h.pending = nil
 		h.active = true
 		h.mu.Unlock()
-		r.runBatch(w, batch)
+		r.runBatchGuarded(ctx, w, batch)
 		h.mu.Lock()
 		h.active = false
 		h.mu.Unlock()
 	}
 }
 
+// runBatchGuarded is runBatch behind a panic guard: a panic escaping
+// the batch machinery itself (not a consumer — those are recovered
+// per-cell) fails the whole batch as JobErrors instead of killing the
+// drainer goroutine and deadlocking every waiter. Resolution is
+// idempotent, so cells runBatch already resolved keep their results.
+func (r *Runner) runBatchGuarded(ctx context.Context, w *Workload, batch []hubCell) {
+	defer func() {
+		if p := recover(); p != nil {
+			je := &JobError{Workload: w.Name, Index: -1, Panic: p, Stack: debug.Stack()}
+			for _, c := range batch {
+				r.resolveCell(c, nil, je)
+			}
+		}
+	}()
+	r.runBatch(ctx, w, batch)
+}
+
+// batchCell pairs one hub cell with its configured simulation and
+// per-consumer failure state during a shared replay pass.
+type batchCell struct {
+	cell hubCell
+	sim  *prepared
+	c    trace.Consumer      // possibly hook-wrapped
+	bc   trace.BatchConsumer // batch fast path when supported
+	err  *JobError           // set once the consumer panicked; no more events
+}
+
+// deliver hands one decoded batch to the cell's consumer, converting a
+// panic into the cell's JobError. Only this cell stops consuming — the
+// hub keeps serving its batch mates.
+func (b *batchCell) deliver(evs []trace.Event) {
+	defer func() {
+		if p := recover(); p != nil {
+			b.err = &JobError{Index: -1, Panic: p, Stack: debug.Stack()}
+		}
+	}()
+	if b.bc != nil {
+		b.bc.EventBatch(evs)
+	} else {
+		for i := range evs {
+			b.c.Event(evs[i])
+		}
+	}
+}
+
+// errNoLiveCells aborts a shared replay pass whose consumers have all
+// panicked: decoding the rest of the stream would feed no one.
+var errNoLiveCells = errors.New("cgp: every consumer of the replay pass failed")
+
+// fanout performs one shared decode pass over rec, dispatching each
+// batch to every live cell with a context poll per batch. A panic in
+// one cell marks only that cell failed; the stream keeps flowing to
+// the others. The returned error is stream-level (corruption,
+// cancellation) — per-cell panics are reported in each cell's err.
+func fanout(ctx context.Context, rec *trace.Recording, cells []*batchCell) error {
+	err := rec.ReplayBatch(func(evs []trace.Event) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		live := 0
+		for _, b := range cells {
+			if b.err != nil {
+				continue
+			}
+			b.deliver(evs)
+			if b.err == nil {
+				live++
+			}
+		}
+		if live == 0 {
+			return errNoLiveCells
+		}
+		return nil
+	})
+	if errors.Is(err, errNoLiveCells) {
+		return nil
+	}
+	return err
+}
+
 // runBatch simulates a set of configs of one (workload, layout) pair
 // against a single decode pass of the shared recording, resolving each
-// cell's flight with its Result.
-func (r *Runner) runBatch(w *Workload, batch []hubCell) {
-	rec, err := r.recordingFor(w, batch[0].cfg.Layout)
-	if err != nil {
-		for _, c := range batch {
-			c.f.resolve(nil, err)
-		}
-		return
-	}
-	sims := make([]*prepared, 0, len(batch))
-	live := make([]hubCell, 0, len(batch))
+// cell's flight with its Result or failure. Cells with a valid
+// checkpoint are served from disk without simulating; a corrupt
+// recording is rebuilt from source (fresh CPUs, full re-replay) under
+// the retry budget; a panicking consumer fails only its own cell.
+func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
+	todo := make([]hubCell, 0, len(batch))
 	for _, c := range batch {
-		p, err := r.prepare(w, c.cfg)
-		if err != nil {
-			c.f.resolve(nil, err)
+		if res, ok := r.loadCheckpoint(w, c.cfg); ok {
+			r.opts.Log("checkpoint %-12s %-14s", w.Name, c.cfg.Label())
+			c.f.resolve(res, nil)
 			continue
 		}
-		r.opts.Log("run %-12s %-14s", w.Name, c.cfg.Label())
-		sims = append(sims, p)
-		live = append(live, c)
+		todo = append(todo, c)
 	}
-	if len(live) == 0 {
+	if len(todo) == 0 {
 		return
 	}
-	cs := make([]trace.Consumer, len(sims))
-	for i, p := range sims {
-		cs[i] = p.c
-	}
-	if err := rec.ReplayAll(cs...); err != nil {
-		err = fmt.Errorf("cgp: replay %s: %w", w.Name, err)
-		for _, c := range live {
-			c.f.resolve(nil, err)
+	layout := todo[0].cfg.Layout
+	err := r.replayRetry(ctx, w, layout, func(ctx context.Context) (*trace.Recording, error) {
+		rec, err := r.recordingFor(ctx, w, layout)
+		if err != nil {
+			return nil, err
 		}
+		// Check integrity before building CPUs: a corrupt recording
+		// retries with no per-cell state to unwind.
+		if err := rec.Verify(); err != nil {
+			return rec, err
+		}
+		cells := make([]*batchCell, 0, len(todo))
+		left := todo[:0]
+		for _, c := range todo {
+			p, perr := r.prepare(ctx, w, c.cfg)
+			if perr != nil {
+				// Deterministic per-cell failure: resolve now and drop
+				// the cell from any later retry round.
+				r.resolveCell(c, nil, perr)
+				continue
+			}
+			r.opts.Log("run %-12s %-14s", w.Name, c.cfg.Label())
+			cc := r.consumerFor(w, c.cfg, p.c)
+			bc, _ := cc.(trace.BatchConsumer)
+			cells = append(cells, &batchCell{cell: c, sim: p, c: cc, bc: bc})
+			left = append(left, c)
+		}
+		todo = left
+		if len(cells) == 0 {
+			return rec, nil
+		}
+		if err := fanout(ctx, rec, cells); err != nil {
+			return rec, err
+		}
+		for _, b := range cells {
+			if b.err != nil {
+				b.err.Workload, b.err.Config = w.Name, b.cell.cfg.Label()
+				r.resolveCell(b.cell, nil, b.err)
+				continue
+			}
+			b.sim.res.Trace = rec.Stats
+			res := b.sim.finalize()
+			r.storeCheckpoint(w, b.cell.cfg, res)
+			r.resolveCell(b.cell, res, nil)
+		}
+		todo = nil
+		return rec, nil
+	})
+	if err == nil {
 		return
 	}
-	for i, c := range live {
-		sims[i].res.Trace = rec.Stats
-		c.f.resolve(sims[i].finalize(), nil)
+	// Stream-level failure (recording error, cancellation, exhausted
+	// retry budget): every still-unresolved cell fails with it.
+	for _, c := range todo {
+		r.resolveCell(c, nil, err)
 	}
 }
 
