@@ -1,0 +1,101 @@
+package cgp
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+)
+
+// Per-function attribution reporting: the table behind "which functions
+// does CGP actually help?". The rows come from Stats.Attribution (see
+// internal/cpu/attribution.go for the demand-side vs issue-side
+// semantics), resolved to function names through the workload's laid-out
+// image, ranked by prefetch-relevant demand traffic and cut to the
+// requested top N. Everything here is derived from deterministic
+// simulator counters, so the table is replay-stable and safe to embed
+// in report bodies.
+
+// AttrRow is one function's row of an attribution table.
+type AttrRow struct {
+	// Name is the registry name of the function ("(pre-main)" for the
+	// synthetic address-0 row that collects fetches before the first
+	// call event).
+	Name string
+	// Func is the function's start address in this image.
+	Func isa.Addr
+	// FuncAttribution carries the raw counters and derived metrics.
+	cpu.FuncAttribution
+}
+
+// AttributionTable is the per-function prefetch breakdown of one
+// (workload, config) cell.
+type AttributionTable struct {
+	Workload string
+	Config   string
+	// TotalFuncs is how many functions were attributed before the
+	// top-N cut.
+	TotalFuncs int
+	Rows       []AttrRow
+}
+
+// attrDemand ranks rows: the demand fetches that the prefetcher could
+// have served (misses it didn't, plus hits and delayed hits it did).
+func attrDemand(f *cpu.FuncAttribution) int64 {
+	return f.Misses + f.PrefHits + f.DelayedHits
+}
+
+// AttributionTable simulates (or serves from cache) one cell and
+// returns its top-n attribution rows, ranked by prefetch-relevant
+// demand traffic (descending, ties broken by start address so the
+// order is deterministic). n <= 0 means every function. The runner
+// must have been built with Attribution set; otherwise the result
+// carries no rows to tabulate and an error says so.
+func (r *Runner) AttributionTable(ctx context.Context, w *Workload, cfg Config, n int) (*AttributionTable, error) {
+	if !r.opts.Attribution {
+		return nil, fmt.Errorf("cgp: attribution table requires RunnerOptions.Attribution")
+	}
+	cfg = cfg.withDefaults()
+	res, err := r.Run(ctx, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	img, err := r.imageFor(ctx, w, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	t := &AttributionTable{
+		Workload:   w.Name,
+		Config:     cfg.Label(),
+		TotalFuncs: len(res.CPU.Attribution),
+	}
+	rows := make([]AttrRow, 0, len(res.CPU.Attribution))
+	for _, fa := range res.CPU.Attribution {
+		name := "(pre-main)"
+		if fa.Func != 0 {
+			if fn, ok := img.FuncAt(fa.Func); ok && img.Start(fn) == fa.Func {
+				name = img.Registry().Name(fn)
+			} else {
+				name = fmt.Sprintf("%#x", uint64(fa.Func))
+			}
+		}
+		rows = append(rows, AttrRow{Name: name, Func: fa.Func, FuncAttribution: fa})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		di, dj := attrDemand(&rows[i].FuncAttribution), attrDemand(&rows[j].FuncAttribution)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Func < rows[j].Func
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// Markdown rendering lives with the rest of the report layer in
+// report.go.

@@ -47,9 +47,12 @@ type checkpointRecord struct {
 // scopeFingerprint pins checkpoints to this runner's campaign: a
 // result recorded at one Wisconsin cardinality, TPC-H scale or seed
 // must never satisfy a run at another. The run key alone cannot
-// distinguish them — it fingerprints the config, not the data.
+// distinguish them — it fingerprints the config, not the data. The
+// attribution flag is scope, not config: enabling it adds the
+// Attribution rows to every Result, so plain and attributed campaigns
+// must not serve each other's checkpoints.
 func (r *Runner) scopeFingerprint() string {
-	return fmt.Sprintf("db{%+v} seed%d", r.opts.DB, r.opts.Seed)
+	return fmt.Sprintf("db{%+v} seed%d attr%t", r.opts.DB, r.opts.Seed, r.opts.Attribution)
 }
 
 // checkpointPath maps a run key to its file. The name is a hash: run
@@ -107,6 +110,9 @@ func (r *Runner) storeCheckpoint(w *Workload, cfg Config, res *Result) {
 	if r.opts.CheckpointDir == "" {
 		return
 	}
+	sp := r.obsSpan("checkpoint", "checkpoint").
+		Arg("workload", w.Name).Arg("config", cfg.Label())
+	defer sp.End()
 	key := runKey(w, cfg)
 	body, err := json.Marshal(res)
 	if err != nil {

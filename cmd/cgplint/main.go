@@ -11,9 +11,12 @@
 //
 // Five analyzers run (see their package docs under internal/analysis):
 //
-//	detrand     no wall-clock reads or global math/rand in deterministic packages
+//	detrand     no wall-clock reads, global math/rand, or cross-package imports
+//	            of wall-domain quantities (units.Wall* results) in deterministic packages
 //	maporder    no map-iteration order leaking into ordered output
-//	cyclesafe   no narrowing or cross-unit conversion of internal/units types
+//	cyclesafe   no narrowing or cross-unit conversion of internal/units types;
+//	            wall-domain values (units.Wall*) may not exit toward deterministic
+//	            output or be formatted outside their serialization boundary
 //	lockcheck   no by-value sync primitives; flight keys via fingerprint() only
 //	paniccheck  no recover() that discards the recovered value instead of attributing it
 //

@@ -6,13 +6,20 @@
 //	cgpsim -workload wisc-large-2 -layout om -prefetch cgp -n 4
 //	cgpsim -workload gcc -layout om -prefetch nl -n 4
 //	cgpsim -workload wisc-prof -perfect
+//	cgpsim -workload wisc-prof -prefetch cgp -attribution -stats-json stats.json
 //
 // Workloads: wisc-prof, wisc-large-1, wisc-large-2, wisc+tpch,
 // gzip, gcc, crafty, parser, gap, bzip2, twolf.
+//
+// -stats-json dumps the full measurement — cpu.Stats including the
+// per-function attribution rows when -attribution is set — as JSON
+// with stable key order (struct declaration order), so diffs between
+// runs are meaningful.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +41,9 @@ func main() {
 		perfect      = flag.Bool("perfect", false, "perfect I-cache")
 		wiscN        = flag.Int("wisc-n", 10000, "Wisconsin big-relation cardinality")
 		seed         = flag.Int64("seed", 42, "workload seed")
+		attribution  = flag.Bool("attribution", false, "collect per-function prefetch attribution")
+		statsJSON    = flag.String("stats-json", "", "dump the full statistics as stable-key-order JSON to this file ('-' for stdout)")
+		attrTop      = flag.Int("attr-top", 10, "attribution rows to print with -attribution")
 		verbose      = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -44,7 +54,10 @@ func main() {
 	}
 	// One workload under one config: a recorded trace would be replayed
 	// zero times, so re-execute directly.
-	opts := cgp.RunnerOptions{DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed, NoRecord: true}
+	opts := cgp.RunnerOptions{
+		DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed,
+		NoRecord: true, Attribution: *attribution,
+	}
 	if *verbose {
 		opts.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
 	}
@@ -60,7 +73,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *statsJSON != "" {
+		if err := dumpStatsJSON(*statsJSON, res); err != nil {
+			fatal(err)
+		}
+	}
 	printResult(res)
+	if *attribution {
+		tab, err := r.AttributionTable(ctx, w, cfg, *attrTop)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(tab.Markdown())
+	}
+}
+
+// dumpStatsJSON writes the full Result — cpu.Stats (with attribution
+// rows when enabled), trace stats and CGP stats — as indented JSON.
+// encoding/json emits struct fields in declaration order, so the key
+// order is stable across runs and diffs line up.
+func dumpStatsJSON(path string, res *cgp.Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func buildConfig(layout, pref string, n, m int, cghc string, perfect bool) (cgp.Config, error) {
@@ -162,6 +205,8 @@ func printResult(res *cgp.Result) {
 		h := res.CGPStats.History
 		fmt.Printf("CGHC            pf-hit=%d pf-miss=%d upd-hit=%d upd-miss=%d L2hit=%d swaps=%d\n",
 			h.PrefetchHits, h.PrefetchMisses, h.UpdateHits, h.UpdateMisses, h.LevelTwoHits, h.Swaps)
+		fmt.Printf("CGHC hit rates  prefetch=%.1f%% update=%.1f%%\n",
+			100*h.PrefetchHitRate(), 100*h.UpdateHitRate())
 	}
 }
 

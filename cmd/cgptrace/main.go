@@ -5,6 +5,13 @@
 //	cgptrace info wisc.cgptrc
 //	cgptrace dump -n 40 wisc.cgptrc
 //	cgptrace replay -prefetch cgp -n 4 wisc.cgptrc
+//	cgptrace replay -prefetch cgp -n 4 -attr 10 wisc.cgptrc
+//
+// replay -attr N appends a per-function attribution subreport: the N
+// functions with the most prefetch-relevant demand fetches, with each
+// function's coverage, accuracy and mean prefetch timeliness. Raw
+// traces carry no symbol registry, so functions are identified by
+// start address.
 package main
 
 import (
@@ -12,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"cgp/internal/cpu"
 	"cgp/internal/prefetch"
@@ -135,6 +143,7 @@ func info(args []string) error {
 	fmt.Printf("data refs       %d (%d bytes)\n", st.DataRefs, st.DataBytes)
 	fmt.Printf("ctx switches    %d\n", st.Switches)
 	fmt.Printf("instr/call      %.1f\n", st.InstructionsPerCall())
+	fmt.Printf("events/kinst    %.1f\n", st.EventsPerKInstr())
 	return nil
 }
 
@@ -191,6 +200,7 @@ func replay(args []string) error {
 	pref := fs.String("prefetch", "none", "none, nl, ranl, cgp")
 	degree := fs.Int("n", 4, "prefetch degree")
 	perfect := fs.Bool("perfect", false, "perfect I-cache")
+	attrTop := fs.Int("attr", 0, "print per-function attribution for the top N functions (0 = off)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs a trace file")
@@ -211,6 +221,9 @@ func replay(args []string) error {
 	cfg := cpu.DefaultConfig()
 	cfg.PerfectICache = *perfect
 	c := cpu.New(cfg, pf)
+	if *attrTop > 0 {
+		c.EnableAttribution()
+	}
 	r, f, err := openTrace(fs.Arg(0))
 	if err != nil {
 		return err
@@ -228,5 +241,37 @@ func replay(args []string) error {
 		fmt.Printf("prefetches      issued=%d hits=%d delayed=%d useless=%d\n",
 			tp.Issued, tp.PrefHits, tp.DelayedHits, tp.Useless)
 	}
+	if *attrTop > 0 {
+		printAttribution(s.Attribution, *attrTop)
+	}
 	return nil
+}
+
+// printAttribution renders the top-n per-function rows, ranked by the
+// demand fetches a prefetcher could have served (misses + prefetch
+// hits + delayed hits).
+func printAttribution(rows []cpu.FuncAttribution, n int) {
+	demand := func(f *cpu.FuncAttribution) int64 {
+		return f.Misses + f.PrefHits + f.DelayedHits
+	}
+	sorted := append([]cpu.FuncAttribution(nil), rows...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		di, dj := demand(&sorted[i]), demand(&sorted[j])
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i].Func < sorted[j].Func
+	})
+	if n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	fmt.Printf("\nper-function attribution (top %d of %d by prefetch-relevant demand):\n", len(sorted), len(rows))
+	fmt.Printf("%-12s %10s %8s %8s %8s %6s %8s %6s %10s\n",
+		"function", "fetches", "misses", "prfhits", "delayed", "cover", "issued", "accur", "timeliness")
+	for i := range sorted {
+		r := &sorted[i]
+		fmt.Printf("%#-12x %10d %8d %8d %8d %6.2f %8d %6.2f %10.1f\n",
+			uint64(r.Func), r.LineFetches, r.Misses, r.PrefHits, r.DelayedHits,
+			r.Coverage(), r.Issued, r.Accuracy(), r.MeanTimeliness())
+	}
 }

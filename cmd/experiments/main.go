@@ -8,15 +8,27 @@
 // and -checkpoint persists finished simulations so a re-run resumes
 // where the previous one stopped.
 //
+// The campaign is observable: -debug-addr serves /metrics, /progress
+// and net/http/pprof while it runs; -trace-out exports the harness
+// schedule as Chrome trace-event JSON (load it in Perfetto);
+// -log-json records every job lifecycle event as JSON Lines; and
+// -attribution appends a per-function prefetch attribution table per
+// database workload. None of these change the report body — wall-clock
+// observability is quarantined from deterministic output.
+//
 // Usage:
 //
 //	experiments -o EXPERIMENTS.md [-wisc-n 10000] [-checkpoint DIR] [-timeout 30m] [-v]
+//	experiments -debug-addr localhost:6060 -trace-out campaign.trace.json -log-json run.jsonl
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -24,6 +36,7 @@ import (
 	"time"
 
 	"cgp"
+	"cgp/internal/obs"
 )
 
 func main() {
@@ -38,13 +51,40 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "overall campaign deadline (0 = none)")
 		timing     = flag.Bool("timing", true, "include wall-clock run time in the report header (disable for byte-identical re-runs)")
 		verbose    = flag.Bool("v", true, "progress output")
+
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics, /progress and net/http/pprof on this address while the campaign runs")
+		traceOut    = flag.String("trace-out", "", "write harness spans as Chrome trace-event JSON (loadable in Perfetto)")
+		logJSON     = flag.String("log-json", "", "write job lifecycle events as JSON Lines to this file")
+		attribution = flag.Bool("attribution", false, "collect per-function prefetch attribution and append its table to the report")
 	)
 	flag.Parse()
+
+	o := obs.New()
+	var logFile *os.File
+	if *logJSON != "" {
+		f, err := os.Create(*logJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		logFile = f
+		o.AttachLog(f)
+	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics, /progress, /debug/pprof/)\n", ln.Addr())
+		go http.Serve(ln, obs.NewDebugMux(o))
+	}
 
 	opts := cgp.RunnerOptions{
 		DB: cgp.DBOptions{WiscN: *wiscN, Seed: *seed}, Seed: *seed,
 		Workers: *workers, NoRecord: *noReplay,
 		CheckpointDir: *checkpoint, FailFast: *failFast,
+		Obs: o, Attribution: *attribution,
 	}
 	if *verbose {
 		opts.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
@@ -99,6 +139,26 @@ prefetching, and the §6 software-CGP sketch.
 		b.WriteString(f.Markdown())
 		b.WriteString("\n")
 	}
+	if *attribution {
+		b.WriteString(`## Per-function prefetch attribution (OM + CGP_4)
+
+Which functions CGP actually helps: per-function coverage (fraction of
+would-be misses served), accuracy (useful fraction of issues launched
+on the function's behalf) and mean issue-to-use timeliness in cycles.
+Derived entirely from deterministic simulator counters.
+
+`)
+		for _, w := range r.DBWorkloads() {
+			tab, err := r.AttributionTable(ctx, w,
+				cgp.Config{Layout: cgp.LayoutOM, Prefetcher: cgp.PrefCGP, Degree: 4}, 10)
+			if err != nil {
+				failures = append(failures, fmt.Errorf("cgp: attribution %s: %w", w.Name, err))
+				continue
+			}
+			b.WriteString(tab.Markdown())
+			b.WriteString("\n")
+		}
+	}
 
 	if *out == "-" {
 		fmt.Print(b.String())
@@ -109,6 +169,8 @@ prefetching, and the §6 software-CGP sketch.
 		//cgplint:ignore detrand progress line on stderr; wall-clock timing never reaches the report body
 		fmt.Fprintf(os.Stderr, "wrote %s (%d figures) in %s\n", *out, len(figs)+len(exts), time.Since(start).Round(time.Millisecond))
 	}
+	writeObsArtifacts(o, logFile, *traceOut)
+	printJobSummary(o)
 	if len(failures) > 0 {
 		for _, err := range failures {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -116,6 +178,70 @@ prefetching, and the §6 software-CGP sketch.
 		fmt.Fprintln(os.Stderr, "experiments: campaign degraded; completed work was kept (resume with -checkpoint)")
 		os.Exit(1)
 	}
+}
+
+// writeObsArtifacts flushes the run log and exports the Chrome trace,
+// validating both against their schemas on the way out so a malformed
+// artifact fails loudly here instead of inside a downstream viewer.
+// Failures here never fail the campaign — observability is advisory.
+func writeObsArtifacts(o *obs.Observability, logFile *os.File, traceOut string) {
+	if logFile != nil {
+		if err := o.Log.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: run log:", err)
+		}
+		if err := logFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: run log:", err)
+		}
+		f, err := os.Open(logFile.Name())
+		if err == nil {
+			_, verr := obs.ValidateRunLog(f)
+			f.Close()
+			err = verr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: run log validation:", err)
+		}
+	}
+	if traceOut != "" {
+		var buf bytes.Buffer
+		if err := o.Spans.WriteChromeTrace(&buf); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			return
+		}
+		if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace validation:", err)
+		}
+		if err := os.WriteFile(traceOut, buf.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: trace:", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans; open in Perfetto or chrome://tracing)\n", traceOut, o.Spans.Len())
+	}
+}
+
+// printJobSummary reports how the campaign's cells were satisfied,
+// distinguishing checkpoint-resumed cells from freshly simulated ones
+// (and singleflight-coalesced and failed ones) so resume effectiveness
+// is visible at a glance.
+func printJobSummary(o *obs.Observability) {
+	snap := o.Progress.Snapshot()
+	if len(snap.Jobs) == 0 {
+		return
+	}
+	executed := snap.Counts[string(obs.JobExecuted)]
+	resumed := snap.Counts[string(obs.JobResumed)]
+	replayed := snap.Counts[string(obs.JobReplayed)]
+	failed := snap.Counts[string(obs.JobFailed)]
+	other := len(snap.Jobs) - executed - resumed - replayed - failed
+	line := fmt.Sprintf("cells: %d total — %d simulated, %d resumed from checkpoint, %d coalesced",
+		len(snap.Jobs), executed, resumed, replayed)
+	if failed > 0 {
+		line += fmt.Sprintf(", %d failed", failed)
+	}
+	if other > 0 {
+		line += fmt.Sprintf(", %d unsettled", other)
+	}
+	fmt.Fprintln(os.Stderr, line)
 }
 
 func writeHeader(b *strings.Builder, wiscN int, seed int64, took time.Duration, timing bool) {

@@ -95,6 +95,11 @@ func (r *Runner) runGrid(ctx context.Context, id, title string, workloads []*Wor
 // *CampaignError is returned alongside the figure so the caller can
 // report and exit non-zero. Only a total failure returns a nil figure.
 func (r *Runner) runGridLabeled(ctx context.Context, id, title string, workloads []*Workload, configs []Config, label func(Config) string) (*Figure, error) {
+	// A figure span groups the whole grid campaign in the Chrome trace,
+	// so the Perfetto timeline shows which figure each batch served.
+	sp := r.obsSpan("figure", "figure").Arg("id", id).
+		Arg("cells", fmt.Sprint(len(workloads)*len(configs)))
+	defer sp.End()
 	jobs := make([]Job, 0, len(workloads)*len(configs))
 	for _, w := range workloads {
 		for _, cfg := range configs {

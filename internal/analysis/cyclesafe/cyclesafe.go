@@ -22,6 +22,21 @@
 //	units.Cycles(cfg.L2Latency)                     // injection from plain integers
 //	cycles + 2                                      // untyped constants mix freely
 //
+// Wall-clock-domain units (name prefix "Wall", e.g. units.WallNanos)
+// are stricter still. Wall quantities differ run to run, so letting
+// one reach a deterministic counter or a report body breaks the
+// byte-identical-figures guarantee. For them even the sanctioned exits
+// are flagged, as is handing one straight to fmt:
+//
+//	int64(wall), float64(wall)     // exit only at a suppressed serialization boundary
+//	units.Cycles(wall)             // crosses the wall/deterministic boundary
+//	units.Cycles(int64(wall))      // laundering the boundary crossing
+//	fmt.Sprintf("%d", wall)        // host-dependent text; convert at the boundary first
+//
+// The one sanctioned exit lives in internal/obs (wallInt), under a
+// //cgplint:ignore with a written reason — every escape from the wall
+// domain stays grep-able.
+//
 // Cross-unit *arithmetic* (cycles + instrs) is rejected by the
 // compiler once the named types exist; this pass closes the conversion
 // loopholes that would let such an expression type-check.
@@ -38,46 +53,53 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "cyclesafe",
 	Doc: "flag narrowing and cross-unit conversions of simulator quantity types " +
-		"(cycle counters, instruction counts) defined in internal/units",
+		"(cycle counters, instruction counts) defined in internal/units, and " +
+		"wall-clock-domain values (units.Wall*) escaping toward deterministic output",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
 	pass.Preorder(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) != 1 {
-			return true
-		}
-		// A conversion is a call whose Fun denotes a type.
-		tv, ok := pass.TypesInfo.Types[call.Fun]
-		if !ok || !tv.IsType() {
+		if !ok {
 			return true
 		}
 		if pass.InTestFile(call.Pos()) {
 			return true
 		}
-		dst := tv.Type
-		src := pass.TypeOf(call.Args[0])
-		if src == nil {
-			return true
+		// A conversion is a call whose Fun denotes a type.
+		if len(call.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+				if src := pass.TypeOf(call.Args[0]); src != nil {
+					checkConversion(pass, call, tv.Type, src)
+				}
+				return true
+			}
 		}
-		checkConversion(pass, call, dst, src)
+		checkWallFormat(pass, call)
 		return true
 	})
 	return nil
 }
 
 func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Type) {
-	srcUnit := unitType(src)
-	dstUnit := unitType(dst)
+	srcUnit := analysis.UnitType(src)
+	dstUnit := analysis.UnitType(dst)
 
 	switch {
 	case srcUnit != nil && dstUnit != nil:
-		if srcUnit != dstUnit {
-			pass.Reportf(call.Pos(),
-				"conversion between unit types %s and %s drops the dimension; convert through int64 or float64 and state the ratio",
-				typeName(srcUnit), typeName(dstUnit))
+		if srcUnit == dstUnit {
+			return
 		}
+		if analysis.IsWallUnit(srcUnit) != analysis.IsWallUnit(dstUnit) {
+			pass.Reportf(call.Pos(),
+				"conversion between %s and %s crosses the wall-clock/deterministic boundary; wall facts must never enter deterministic metrics or report bodies",
+				typeName(srcUnit), typeName(dstUnit))
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"conversion between unit types %s and %s drops the dimension; convert through int64 or float64 and state the ratio",
+			typeName(srcUnit), typeName(dstUnit))
 	case srcUnit != nil:
 		checkExit(pass, call, srcUnit, dst)
 	case dstUnit != nil:
@@ -86,7 +108,13 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Typ
 		// itself int64(otherUnit): laundering a cross-unit conversion.
 		if inner, ok := unparen(call.Args[0]).(*ast.CallExpr); ok && len(inner.Args) == 1 {
 			if itv, ok := pass.TypesInfo.Types[inner.Fun]; ok && itv.IsType() {
-				if iu := unitType(pass.TypeOf(inner.Args[0])); iu != nil && iu != dstUnit {
+				if iu := analysis.UnitType(pass.TypeOf(inner.Args[0])); iu != nil && iu != dstUnit {
+					if analysis.IsWallUnit(iu) != analysis.IsWallUnit(dstUnit) {
+						pass.Reportf(call.Pos(),
+							"%s(%s(...)) launders wall-clock %s across the deterministic boundary; wall facts must never enter deterministic metrics or report bodies",
+							typeName(dstUnit), itv.Type.String(), typeName(iu))
+						return
+					}
 					pass.Reportf(call.Pos(),
 						"%s(%s(...)) launders %s into %s through a plain integer; cross-unit flows need an explicit, commented ratio",
 						typeName(dstUnit), itv.Type.String(), typeName(iu), typeName(dstUnit))
@@ -97,10 +125,19 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Typ
 }
 
 // checkExit validates a conversion out of a unit type into a plain
-// type: 64-bit integers and float64 are the sanctioned exits.
+// type: 64-bit integers and float64 are the sanctioned exits — except
+// for wall-domain units, which have no sanctioned exits at all. A wall
+// quantity leaves its type only at a serialization boundary that
+// carries a //cgplint:ignore with a reason (internal/obs.wallInt).
 func checkExit(pass *analysis.Pass, call *ast.CallExpr, src *types.Named, dst types.Type) {
 	b, ok := dst.Underlying().(*types.Basic)
 	if !ok {
+		return
+	}
+	if analysis.IsWallUnit(src) {
+		pass.Reportf(call.Pos(),
+			"%s(%s) exits the wall-clock domain; wall quantities convert to plain values only at a suppressed serialization boundary, never on the way to deterministic output",
+			b.Name(), typeName(src))
 		return
 	}
 	switch b.Kind() {
@@ -120,24 +157,27 @@ func checkExit(pass *analysis.Pass, call *ast.CallExpr, src *types.Named, dst ty
 	}
 }
 
-// unitType returns t's defined type when it is a simulator unit type:
-// a named integer type declared in a package named "units".
-func unitType(t types.Type) *types.Named {
-	if t == nil {
-		return nil
-	}
-	named, ok := t.(*types.Named)
+// checkWallFormat flags wall-clock quantities handed directly to fmt:
+// formatting a WallNanos produces host-dependent text that can reach a
+// report body unnoticed. Serialization code converts through the
+// suppressed boundary first (internal/obs.wallInt), which keeps every
+// escape from the wall domain visible at a single grep-able site.
+func checkWallFormat(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return nil
+		return
 	}
-	obj := named.Obj()
-	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
-		return nil
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
 	}
-	if b, ok := named.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
-		return named
+	for _, arg := range call.Args {
+		if w := analysis.WallUnitType(pass.TypeOf(arg)); w != nil {
+			pass.Reportf(arg.Pos(),
+				"wall-clock %s formatted by fmt.%s; host-dependent text must not be built outside the wall domain's serialization boundary",
+				typeName(w), fn.Name())
+		}
 	}
-	return nil
 }
 
 func typeName(n *types.Named) string { return n.Obj().Name() }

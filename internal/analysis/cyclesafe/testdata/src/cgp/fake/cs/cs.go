@@ -1,7 +1,11 @@
 // Package cs exercises cyclesafe's conversion rules.
 package cs
 
-import "units"
+import (
+	"fmt"
+
+	"units"
+)
 
 func narrow(c units.Cycles) {
 	_ = int(c)     // want `int\(Cycles\) narrows a 64-bit Cycles counter to a platform-dependent width`
@@ -39,4 +43,48 @@ func ratio(i units.Instrs, c units.Cycles) float64 {
 func suppressed(c units.Cycles) int {
 	//cgplint:ignore cyclesafe display column width, value bounded by config
 	return int(c)
+}
+
+func wallExit(w units.WallNanos) {
+	_ = int64(w)   // want `int64\(WallNanos\) exits the wall-clock domain`
+	_ = uint64(w)  // want `exits the wall-clock domain`
+	_ = float64(w) // want `exits the wall-clock domain`
+	_ = int(w)     // want `exits the wall-clock domain`
+}
+
+func wallCross(w units.WallNanos) units.Cycles {
+	return units.Cycles(w) // want `conversion between WallNanos and Cycles crosses the wall-clock/deterministic boundary`
+}
+
+func wallCrossBack(c units.Cycles) units.WallNanos {
+	return units.WallNanos(c) // want `crosses the wall-clock/deterministic boundary`
+}
+
+func wallLaunder(w units.WallNanos) units.Cycles {
+	return units.Cycles(int64(w)) // want `launders wall-clock WallNanos across the deterministic boundary` `exits the wall-clock domain`
+}
+
+func wallFormat(w units.WallNanos) string {
+	return fmt.Sprintf("elapsed %d ns", w) // want `wall-clock WallNanos formatted by fmt\.Sprintf`
+}
+
+func wallInject(n int64) units.WallNanos {
+	return units.WallNanos(n) // injection from plain integers: allowed
+}
+
+func wallSame(w units.WallNanos) units.WallNanos {
+	return units.WallNanos(int64(w)) // want `exits the wall-clock domain`
+}
+
+// wallBoundary is the shape of the one sanctioned exit
+// (internal/obs.wallInt): a serialization boundary under a written
+// suppression.
+func wallBoundary(w units.WallNanos) int64 {
+	//cgplint:ignore cyclesafe wall-domain serialization boundary for this fake
+	return int64(w)
+}
+
+func wallFormatted(w units.WallNanos) string {
+	//cgplint:ignore cyclesafe wall-domain artifact writer for this fake
+	return fmt.Sprintf("elapsed %d ns", w)
 }

@@ -7,3 +7,7 @@ type Cycles int64
 
 // Instrs counts dynamic instructions.
 type Instrs int64
+
+// WallNanos is a wall-clock-domain duration: the "Wall" name prefix
+// is how the analyzers recognize the quarantined domain.
+type WallNanos int64

@@ -9,6 +9,15 @@
 // before), silently breaks that. The sanctioned form is an explicit
 // per-component generator: rand.New(rand.NewSource(seed)), which is
 // what internal/trace.Tracer and every workload generator use.
+//
+// The pass also polices the wall-clock observability domain's border:
+// calling another package's function whose result is a Wall-prefixed
+// unit type (units.WallNanos) pulls a host-clock fact into the calling
+// package, where nothing stops it from feeding a figure. Wall facts
+// stay inside their producer (internal/obs), which serializes them to
+// /metrics, the Chrome trace and the run log; consumers read those
+// artifacts, not the live values. The single sanctioned clock read is
+// internal/obs.nowWall, suppressed with a reason.
 package detrand
 
 import (
@@ -21,8 +30,10 @@ import (
 // Analyzer is the detrand pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "flag wall-clock reads (time.Now/Since/Until) and global math/rand use " +
-		"in deterministic packages; use rand.New(rand.NewSource(seed)) instead",
+	Doc: "flag wall-clock reads (time.Now/Since/Until), global math/rand use, and " +
+		"cross-package imports of wall-domain quantities (units.Wall* results) " +
+		"in deterministic packages; use rand.New(rand.NewSource(seed)) and read " +
+		"wall facts from serialized artifacts instead",
 	Run: run,
 }
 
@@ -50,6 +61,10 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	pass.Preorder(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			checkWallImport(pass, call)
+			return true
+		}
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return true
@@ -87,4 +102,42 @@ func run(pass *analysis.Pass) error {
 		return true
 	})
 	return nil
+}
+
+// checkWallImport flags a call to another package's function whose
+// result is a wall-clock-domain unit. Inside the producing package the
+// wall plumbing is free to pass Wall values around; the moment one
+// crosses a package boundary it is loose in deterministic code, one
+// assignment away from a figure. Same-package calls and conversions
+// (units.WallNanos(n) injects, it does not read a clock) are exempt.
+func checkWallImport(pass *analysis.Pass, call *ast.CallExpr) {
+	if pass.InTestFile(call.Pos()) {
+		return
+	}
+	// A conversion is a call whose Fun denotes a type, not a function.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	var fn *types.Func
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[f].(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if w := analysis.WallUnitType(sig.Results().At(i).Type()); w != nil {
+			pass.Reportf(call.Pos(),
+				"%s.%s returns wall-clock %s into deterministic package %s; wall facts stay inside their producer — consume the serialized artifact instead",
+				fn.Pkg().Name(), fn.Name(), w.Obj().Name(), pass.Pkg.Path())
+			return
+		}
+	}
 }

@@ -5,6 +5,9 @@ package det
 import (
 	"math/rand"
 	"time"
+
+	"cgp/fake/wallsrc"
+	"units"
 )
 
 func clock() time.Time {
@@ -48,4 +51,31 @@ func parse(s string) (time.Duration, error) {
 func suppressed() time.Time {
 	//cgplint:ignore detrand progress display only, never reaches a figure
 	return time.Now()
+}
+
+func wallLeak() units.WallNanos {
+	return wallsrc.Now() // want `wallsrc\.Now returns wall-clock WallNanos into deterministic package cgp/fake/det`
+}
+
+func wallLeakMethod(t wallsrc.Timers) units.WallNanos {
+	return t.Total("replay") // want `wallsrc\.Total returns wall-clock WallNanos`
+}
+
+func wallCount() int64 {
+	return wallsrc.Count("retries") // plain counter result: allowed
+}
+
+func wallInject(n int64) units.WallNanos {
+	return units.WallNanos(n) // conversion, not a clock read: allowed
+}
+
+func wallSameFile(w units.WallNanos) units.WallNanos {
+	return double(w) // same-package plumbing: allowed
+}
+
+func double(w units.WallNanos) units.WallNanos { return w * 2 }
+
+func wallSuppressed() units.WallNanos {
+	//cgplint:ignore detrand serialization boundary for this fake
+	return wallsrc.Now()
 }

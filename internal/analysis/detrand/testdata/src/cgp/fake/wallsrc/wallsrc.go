@@ -1,0 +1,19 @@
+// Package wallsrc stands in for the wall-clock observability domain
+// (cgp/internal/obs): its exports hand out Wall-typed quantities.
+// Producing them here is fine — detrand flags the *consumers* that
+// pull the values across a package boundary into deterministic code.
+package wallsrc
+
+import "units"
+
+// Timers mimics a wall-domain registry.
+type Timers struct{}
+
+// Now mimics the domain's clock read.
+func Now() units.WallNanos { return units.WallNanos(1) }
+
+// Total mimics a timer accumulator readout.
+func (Timers) Total(name string) units.WallNanos { return units.WallNanos(2) }
+
+// Count returns a plain event counter: not a wall quantity.
+func Count(name string) int64 { return 3 }

@@ -1,0 +1,7 @@
+// Package units stands in for cgp/internal/units: detrand recognizes
+// wall-domain quantities as Wall-prefixed integer types defined in a
+// package named "units".
+package units
+
+// WallNanos is a wall-clock-domain duration.
+type WallNanos int64

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/types"
+	"strings"
+)
+
+// Unit-type recognition shared by the quantity-safety analyzers
+// (cyclesafe, detrand).
+//
+// A unit type is any defined type with an integer underlying type
+// declared in a package named "units". Recognition is by package name
+// so the analyzers need no cross-package facts: the types.Info of the
+// package under analysis already names the defining package of every
+// operand.
+//
+// Within the unit types, the "Wall" name prefix partitions the two
+// observability domains: units.WallNanos (and any future Wall* type)
+// carries host-clock facts that differ run to run, while every other
+// unit (Cycles, Instrs, ...) is simulation-derived and deterministic.
+// The prefix is load-bearing — it is how the analyzers tell the
+// domains apart without importing internal/obs.
+
+// UnitType returns t's defined type when it is a simulator unit type:
+// a named integer type declared in a package named "units".
+func UnitType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "units" {
+		return nil
+	}
+	if b, ok := named.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+		return named
+	}
+	return nil
+}
+
+// IsWallUnit reports whether the unit type carries wall-clock-domain
+// quantities (its name starts with "Wall", e.g. units.WallNanos).
+// Wall values are quarantined: they may not convert into deterministic
+// units, exit into plain integers outside a sanctioned serialization
+// boundary, or be formatted into text that could reach a report body.
+func IsWallUnit(n *types.Named) bool {
+	return n != nil && strings.HasPrefix(n.Obj().Name(), "Wall")
+}
+
+// WallUnitType combines the two: t's defined type when it is a
+// wall-clock-domain unit, else nil.
+func WallUnitType(t types.Type) *types.Named {
+	if n := UnitType(t); IsWallUnit(n) {
+		return n
+	}
+	return nil
+}

@@ -49,7 +49,10 @@ func (e *Entry) reset(fn isa.Addr) {
 // live reports whether the way holds a valid tag.
 func (e *Entry) live() bool { return e.Index > 0 }
 
-// HistoryStats counts CGHC traffic.
+// HistoryStats counts CGHC traffic. Like every simulator counter it is
+// deterministic-domain data: derived only from the replayed event
+// stream, identical across re-runs, and safe to surface in report
+// bodies and the metrics exposition.
 type HistoryStats struct {
 	PrefetchHits     int64
 	PrefetchMisses   int64
@@ -60,6 +63,26 @@ type HistoryStats struct {
 	Swaps            int64
 	Allocations      int64
 	PrefetchesIssued int64
+}
+
+// PrefetchHitRate returns the fraction of prefetch-access lookups that
+// found their tag (at any level).
+func (h HistoryStats) PrefetchHitRate() float64 {
+	total := h.PrefetchHits + h.PrefetchMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(h.PrefetchHits) / float64(total)
+}
+
+// UpdateHitRate returns the fraction of update-access lookups that
+// found their tag.
+func (h HistoryStats) UpdateHitRate() float64 {
+	total := h.UpdateHits + h.UpdateMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(h.UpdateHits) / float64(total)
 }
 
 // History is the storage abstraction behind CGP: one-level, two-level or

@@ -1,0 +1,155 @@
+package cpu
+
+import (
+	"math/bits"
+	"sort"
+
+	"cgp/internal/isa"
+	"cgp/internal/units"
+)
+
+// attrBuckets is the number of power-of-two timeliness buckets each
+// function keeps: bucket i counts issue-to-use distances d with
+// bits.Len64(d) == i (bucket 0 holds zero-distance uses), and the last
+// bucket absorbs everything from 2^(attrBuckets-2) cycles up.
+const attrBuckets = 24
+
+// FuncAttribution is one function's share of the prefetch accounting:
+// what the instruction stream demanded while the function was
+// executing, and how the prefetches launched on its behalf fared. It
+// is part of Stats, so it is deterministic and replay-stable like
+// every other counter.
+//
+// The two sides attribute differently, by design:
+//
+//   - Demand-side counters (LineFetches, Misses, PrefHits,
+//     DelayedHits, Timeliness) belong to the function that was
+//     executing when the fetch happened — they answer "how well is
+//     this function's code covered?".
+//   - Issue-side counters (Issued, Squashed, Useful, Useless) belong
+//     to the function whose entry or execution triggered the prefetch
+//     — for CGP's call/return prefetches that is the function being
+//     entered, so they answer "does prefetching on behalf of this
+//     function pay off?".
+type FuncAttribution struct {
+	// Func is the function's start address (0 collects fetches seen
+	// before the first call event identifies a function).
+	Func isa.Addr
+
+	// LineFetches counts demand instruction line fetches executed
+	// inside the function; Misses is the subset that went to L2 with
+	// no prefetch in sight.
+	LineFetches int64
+	Misses      int64
+	// PrefHits / DelayedHits are first touches of prefetched lines
+	// while the function was executing: fully resident vs still
+	// enroute (the paper's Figure 8 split, per function).
+	PrefHits    int64
+	DelayedHits int64
+
+	// Issued / Squashed count prefetch requests triggered on the
+	// function's behalf; Useful / Useless settle how those issues
+	// ended (first-touched vs evicted untouched).
+	Issued   int64
+	Squashed int64
+	Useful   int64
+	Useless  int64
+
+	// TimelinessSum is the total issue-to-first-use distance of the
+	// function's useful prefetches; Timeliness is the power-of-two
+	// histogram of those distances. A distance below the L2 latency
+	// means the prefetch was late (a delayed hit).
+	TimelinessSum units.Cycles
+	Timeliness    [attrBuckets]int64
+}
+
+// observeTimeliness records one issue-to-use distance.
+func (f *FuncAttribution) observeTimeliness(d units.Cycles) {
+	if d < 0 {
+		d = 0
+	}
+	f.TimelinessSum += d
+	b := bits.Len64(uint64(d))
+	if b >= attrBuckets {
+		b = attrBuckets - 1
+	}
+	f.Timeliness[b]++
+}
+
+// Coverage returns the fraction of would-be misses the prefetcher
+// served (fully or late) for this function's code.
+func (f *FuncAttribution) Coverage() float64 {
+	demand := f.Misses + f.PrefHits + f.DelayedHits
+	if demand == 0 {
+		return 0
+	}
+	return float64(f.PrefHits+f.DelayedHits) / float64(demand)
+}
+
+// Accuracy returns Useful / Issued for prefetches launched on the
+// function's behalf.
+func (f *FuncAttribution) Accuracy() float64 {
+	if f.Issued == 0 {
+		return 0
+	}
+	return float64(f.Useful) / float64(f.Issued)
+}
+
+// MeanTimeliness returns the mean issue-to-first-use distance of the
+// function's useful demand touches, in cycles.
+func (f *FuncAttribution) MeanTimeliness() float64 {
+	used := f.PrefHits + f.DelayedHits
+	if used == 0 {
+		return 0
+	}
+	return float64(f.TimelinessSum) / float64(used)
+}
+
+// attribution is the per-function collector. It is nil on a CPU
+// unless EnableAttribution was called; every hot-path hook is guarded
+// by that nil check. Rows are appended on first sight of a function
+// and reused forever after, so a warmed CPU attributes without
+// allocating — the same steady-state contract the inflight ring keeps.
+type attribution struct {
+	index  map[isa.Addr]int32
+	rows   []FuncAttribution
+	curIdx int32
+}
+
+func newAttribution() *attribution {
+	a := &attribution{index: make(map[isa.Addr]int32, 64)}
+	a.curIdx = a.rowFor(0)
+	return a
+}
+
+// rowFor returns the row index for the function starting at fn,
+// creating the row on first sight.
+func (a *attribution) rowFor(fn isa.Addr) int32 {
+	if i, ok := a.index[fn]; ok {
+		return i
+	}
+	i := int32(len(a.rows))
+	a.rows = append(a.rows, FuncAttribution{Func: fn})
+	a.index[fn] = i
+	return i
+}
+
+// enter switches the executing function (on call and return events).
+func (a *attribution) enter(fn isa.Addr) {
+	a.curIdx = a.rowFor(fn)
+}
+
+// cur returns the executing function's row. The pointer is valid only
+// until the next enter — rows may move when the slice grows.
+func (a *attribution) cur() *FuncAttribution { return &a.rows[a.curIdx] }
+
+// at returns the row at a previously captured index.
+func (a *attribution) at(i int32) *FuncAttribution { return &a.rows[i] }
+
+// sorted returns a copy of the rows ordered by function start address,
+// the deterministic order Stats exposes.
+func (a *attribution) sorted() []FuncAttribution {
+	rows := append([]FuncAttribution(nil), a.rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Func < rows[j].Func })
+	return rows
+}

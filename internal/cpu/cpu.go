@@ -17,6 +17,12 @@ type lineMeta struct {
 	prefetched bool
 	used       bool
 	portion    prefetch.Portion
+	// issuedAt / issuer record when the prefetch was launched and
+	// which attribution row triggered it. They are only meaningful for
+	// prefetched lines on a CPU with attribution enabled; otherwise
+	// both stay zero.
+	issuedAt units.Cycles
+	issuer   int32
 }
 
 // dataMeta is the per-L1D-line state.
@@ -60,6 +66,11 @@ type CPU struct {
 	loopBranches    int64
 	loopMispredicts int64
 
+	// attr is the per-function attribution collector, nil unless
+	// EnableAttribution was called. Every hook below is guarded by the
+	// nil check, so the disabled case costs one predictable branch.
+	attr *attribution
+
 	stats Stats
 }
 
@@ -93,6 +104,22 @@ func New(cfg Config, pf prefetch.Prefetcher) *CPU {
 
 // Prefetcher returns the attached prefetcher.
 func (c *CPU) Prefetcher() prefetch.Prefetcher { return c.pf }
+
+// EnableAttribution turns on per-function prefetch attribution. Call
+// it before consuming events; the extra accounting shows up as
+// Stats.Attribution and changes no other counter, so an
+// attribution-enabled run stays comparable (and, minus the table,
+// identical) to a plain one. Attribution is deliberately not part of
+// Config: enabling it must not change config fingerprints or cache
+// keys.
+func (c *CPU) EnableAttribution() {
+	if c.attr == nil {
+		c.attr = newAttribution()
+	}
+}
+
+// AttributionEnabled reports whether EnableAttribution was called.
+func (c *CPU) AttributionEnabled() bool { return c.attr != nil }
 
 // Cycle returns the current cycle count.
 func (c *CPU) Cycle() units.Cycles { return c.cycle }
@@ -143,6 +170,9 @@ func (c *CPU) Finish() *Stats {
 	s.BranchMispredicts = c.bp.Mispredicts() + c.loopMispredicts
 	s.Returns = c.ras.Pops()
 	s.RASMispredicts = c.ras.Mispredicts()
+	if c.attr != nil {
+		s.Attribution = c.attr.sorted()
+	}
 	return &s
 }
 
@@ -208,6 +238,9 @@ func (c *CPU) addThroughput(n int) {
 // charging any miss stall, and triggers the prefetcher.
 func (c *CPU) fetchLine(line isa.Addr) {
 	c.stats.ILineAccesses++
+	if c.attr != nil {
+		c.attr.cur().LineFetches++
+	}
 	// drainCompleted's guard, hoisted by hand: the whole wrapper is past
 	// the inlining budget, and this runs on every fetched line.
 	if c.fifo.head != c.fifo.tail {
@@ -219,6 +252,12 @@ func (c *CPU) fetchLine(line isa.Addr) {
 		if meta.prefetched && !meta.used {
 			meta.used = true
 			c.portionStats(meta.portion).PrefHits++
+			if c.attr != nil {
+				row := c.attr.cur()
+				row.PrefHits++
+				row.observeTimeliness(c.cycle - meta.issuedAt)
+				c.attr.at(meta.issuer).Useful++
+			}
 		}
 	} else if inf := c.fifo.lookup(line); inf != nil {
 		// The line is enroute from L2: a delayed hit (Figure 8).
@@ -229,14 +268,25 @@ func (c *CPU) fetchLine(line isa.Addr) {
 		c.cycle += wait
 		c.stats.IMissStallCycles += wait
 		c.portionStats(inf.portion).DelayedHits++
+		if c.attr != nil {
+			row := c.attr.cur()
+			row.DelayedHits++
+			row.observeTimeliness(c.cycle - inf.issuedAt)
+			c.attr.at(inf.issuer).Useful++
+		}
 		// The entry stays queued (the bus transfer already happened)
 		// but is marked consumed and unindexed so drain skips it.
+		done := lineMeta{prefetched: true, used: true, portion: inf.portion,
+			issuedAt: inf.issuedAt, issuer: inf.issuer}
 		inf.done = true
 		c.fifo.remove(line)
-		c.insertL1I(line, lineMeta{prefetched: true, used: true, portion: inf.portion})
+		c.insertL1I(line, done)
 	} else {
 		// Full miss: go to L2 through the shared FIFO.
 		c.stats.ICacheMisses++
+		if c.attr != nil {
+			c.attr.cur().Misses++
+		}
 		lat := c.l2DemandAccess(line)
 		c.cycle += lat
 		c.stats.IMissStallCycles += lat
@@ -251,6 +301,9 @@ func (c *CPU) insertL1I(line isa.Addr, meta lineMeta) {
 	ev, had := c.l1i.Insert(cache.Line(isa.Line(line)), meta)
 	if had && ev.Payload.prefetched && !ev.Payload.used {
 		c.portionStats(ev.Payload.portion).Useless++
+		if c.attr != nil {
+			c.attr.at(ev.Payload.issuer).Useless++
+		}
 	}
 }
 
@@ -260,13 +313,24 @@ func (c *CPU) issue(req prefetch.Request) {
 	ps := c.portionStats(req.Portion)
 	if c.l1i.Contains(cache.Line(isa.Line(line))) {
 		ps.Squashed++
+		if c.attr != nil {
+			c.attr.cur().Squashed++
+		}
 		return
 	}
 	if c.fifo.lookup(line) != nil {
 		ps.Squashed++
+		if c.attr != nil {
+			c.attr.cur().Squashed++
+		}
 		return
 	}
 	ps.Issued++
+	var issuer int32
+	if c.attr != nil {
+		c.attr.cur().Issued++
+		issuer = c.attr.curIdx
+	}
 	if c.cfg.PrefetchIntoL2Only {
 		// The line is staged in L2 only: warm the L2 (paying the memory
 		// trip if absent) but never fill L1I, so the later demand fetch
@@ -275,7 +339,8 @@ func (c *CPU) issue(req prefetch.Request) {
 		return
 	}
 	lat := c.l2LineAccess(line)
-	c.fifo.push(inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion})
+	c.fifo.push(inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion,
+		issuedAt: c.cycle, issuer: issuer})
 }
 
 // drainCompleted fills L1I with prefetches whose data has arrived. It
@@ -303,14 +368,16 @@ func (c *CPU) drainLoop() {
 		if !inf.done && inf.readyAt > c.cycle {
 			break
 		}
-		line, portion, done := inf.line, inf.portion, inf.done
+		line, done := inf.line, inf.done
+		meta := lineMeta{prefetched: true, portion: inf.portion,
+			issuedAt: inf.issuedAt, issuer: inf.issuer}
 		c.fifo.popFront()
 		if done {
 			// Already consumed as a delayed hit (and unindexed then).
 			continue
 		}
 		c.fifo.remove(line)
-		c.insertL1I(line, lineMeta{prefetched: true, portion: portion})
+		c.insertL1I(line, meta)
 	}
 }
 
@@ -372,6 +439,13 @@ func (c *CPU) branch(ev trace.Event) {
 
 func (c *CPU) call(ev trace.Event) {
 	c.stats.Calls++
+	if c.attr != nil {
+		// The callee becomes the executing function before the
+		// prefetcher runs, so prefetches triggered by this call (CGP's
+		// callee-entry prefetch) attribute to the function being
+		// entered — the function whose lines they fetch.
+		c.attr.enter(ev.Target)
+	}
 	c.ras.Push(branch.RASEntry{
 		ReturnAddr:  ev.Addr + isa.InstrBytes,
 		CallerStart: ev.CallerStart,
@@ -383,6 +457,12 @@ func (c *CPU) call(ev trace.Event) {
 }
 
 func (c *CPU) ret(ev trace.Event) {
+	if c.attr != nil {
+		// The *actual* caller from the trace, not the RAS prediction:
+		// attribution follows real control flow even when the RAS is
+		// wrong (the prediction only decides what CGP looks up).
+		c.attr.enter(ev.CallerStart)
+	}
 	pred, ok := c.ras.Pop()
 	if !c.ras.RecordOutcome(pred, ok, ev.Target) {
 		c.cycle += c.cfg.MispredictPenalty

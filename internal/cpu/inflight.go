@@ -14,6 +14,11 @@ type inflight struct {
 	readyAt units.Cycles
 	portion prefetch.Portion
 	done    bool
+	// issuedAt / issuer carry the attribution provenance of the
+	// prefetch (issue cycle and issuing function's row index); both
+	// stay zero when attribution is disabled.
+	issuedAt units.Cycles
+	issuer   int32
 }
 
 // inflightRing is the prefetch FIFO plus its lookup index. Completion

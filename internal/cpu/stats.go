@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"cgp/internal/cache"
+	"cgp/internal/prefetch"
 	"cgp/internal/units"
 )
 
@@ -88,6 +89,11 @@ type Stats struct {
 	L1IStats cache.Stats
 	L1DStats cache.Stats
 	L2Stats  cache.Stats
+
+	// Attribution is the per-function prefetch breakdown, sorted by
+	// function start address. It is nil unless the CPU ran with
+	// EnableAttribution; collecting it changes no other counter.
+	Attribution []FuncAttribution
 }
 
 // TotalPrefetch returns the combined prefetch stats.
@@ -95,6 +101,16 @@ func (s *Stats) TotalPrefetch() PrefetchStats {
 	t := s.NL
 	t.add(s.CGHC)
 	return t
+}
+
+// PortionStats returns the prefetch split for one issuing portion, so
+// per-portion consumers (metrics exposition, Figure 9) can iterate
+// prefetch.Portions() instead of naming the fields.
+func (s *Stats) PortionStats(p prefetch.Portion) PrefetchStats {
+	if p == prefetch.PortionCGHC {
+		return s.CGHC
+	}
+	return s.NL
 }
 
 // IPC returns instructions per cycle.

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the live-introspection handler cmd/experiments
+// serves on -debug-addr:
+//
+//	/metrics        text exposition of both metric domains (the
+//	                deterministic registry first, then wall_ metrics)
+//	/progress       JSON job states, including which jobs were
+//	                checkpoint-resumed
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// The handlers read whatever components of o exist; nil components
+// simply contribute nothing, so the mux is safe with a partially
+// enabled (or nil) Observability.
+func NewDebugMux(o *Observability) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if o == nil {
+			return
+		}
+		if err := o.Det.WriteText(w); err != nil {
+			return
+		}
+		_ = o.Wall.WriteText(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var p *Progress
+		if o != nil {
+			p = o.Progress
+		}
+		_ = p.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JobState is a job lifecycle state, emitted to the run log and
+// tracked by Progress. States are terminal or not: queued, started and
+// replaying jobs are in flight; executed, replayed, resumed and failed
+// jobs are settled.
+type JobState string
+
+const (
+	// JobQueued: the job entered the campaign and is waiting for a
+	// worker or for a singleflight leader to finish.
+	JobQueued JobState = "queued"
+	// JobStarted: a worker began simulating the job's cell.
+	JobStarted JobState = "started"
+	// JobExecuted: the cell was simulated to completion.
+	JobExecuted JobState = "executed"
+	// JobReplayed: the job's result came from replaying a recorded
+	// trace another job produced (singleflight coalescing).
+	JobReplayed JobState = "replayed"
+	// JobResumed: the job's result was loaded from a checkpoint written
+	// by an earlier campaign; nothing was simulated.
+	JobResumed JobState = "resumed"
+	// JobFailed: the job gave up after exhausting its retry budget (or
+	// was cancelled).
+	JobFailed JobState = "failed"
+)
+
+// knownJobStates is the validation whitelist for ValidateRunLog.
+var knownJobStates = map[JobState]bool{
+	JobQueued:   true,
+	JobStarted:  true,
+	JobExecuted: true,
+	JobReplayed: true,
+	JobResumed:  true,
+	JobFailed:   true,
+}
+
+// RunLogEntry is one JSONL record of the structured run log. The log
+// is a wall-clock-domain artifact: entry order and timestamps reflect
+// the host schedule and differ run to run, but the set of
+// (event, workload, config) tuples for a campaign is deterministic —
+// which is exactly what the chaos suite asserts against.
+type RunLogEntry struct {
+	Seq      int64  `json:"seq"`
+	Event    string `json:"event"`
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+	Detail   string `json:"detail,omitempty"`
+	WallNs   int64  `json:"wall_ns"`
+}
+
+// RunLog writes job lifecycle events as JSON Lines. It is safe for
+// concurrent use; sequence numbers are assigned under the same lock
+// that orders the writes, so seq is strictly increasing in file order.
+// A nil *RunLog absorbs all operations.
+type RunLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	seq int64
+	err error
+}
+
+// NewRunLog returns a run log writing to w.
+func NewRunLog(w io.Writer) *RunLog {
+	return &RunLog{w: w}
+}
+
+// Emit appends one lifecycle event. Write errors are sticky and
+// reported by Err; emission never fails the campaign.
+func (l *RunLog) Emit(state JobState, workload, config, detail string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	l.seq++
+	entry := RunLogEntry{
+		Seq:      l.seq,
+		Event:    string(state),
+		Workload: workload,
+		Config:   config,
+		Detail:   detail,
+		WallNs:   wallInt(nowWall()),
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		l.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := l.w.Write(data); err != nil {
+		l.err = err
+	}
+}
+
+// Err returns the first write or encode error, if any.
+func (l *RunLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// ValidateRunLog parses a JSONL run log and checks its schema: every
+// line is a valid entry, events come from the known lifecycle set,
+// workload and config are non-empty, and seq strictly increases in
+// file order. It returns the parsed entries for further assertions
+// (the chaos suite checks lifecycle ordering per job).
+func ValidateRunLog(r io.Reader) ([]RunLogEntry, error) {
+	var entries []RunLogEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	lastSeq := int64(0)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e RunLogEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("run log line %d: invalid JSON: %w", line, err)
+		}
+		if !knownJobStates[JobState(e.Event)] {
+			return nil, fmt.Errorf("run log line %d: unknown event %q", line, e.Event)
+		}
+		if e.Workload == "" || e.Config == "" {
+			return nil, fmt.Errorf("run log line %d: empty workload or config", line)
+		}
+		if e.Seq <= lastSeq {
+			return nil, fmt.Errorf("run log line %d: seq %d not greater than previous %d", line, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("run log: %w", err)
+	}
+	return entries, nil
+}

@@ -18,13 +18,20 @@ const (
 	PortionCGHC
 )
 
-// String returns the portion name.
+// String returns the portion name. It doubles as the stable key
+// suffix for per-portion observability counters
+// (sim_prefetch_issued_nl, sim_prefetch_useful_cghc, ...), so renaming
+// a portion is a metrics-schema change, not a cosmetic one.
 func (p Portion) String() string {
 	if p == PortionCGHC {
 		return "cghc"
 	}
 	return "nl"
 }
+
+// Portions lists every portion in stable declaration order, for
+// callers that emit per-portion metrics or table columns.
+func Portions() []Portion { return []Portion{PortionNL, PortionCGHC} }
 
 // Request is one line prefetch: the line-aligned address to fetch and
 // the component that asked for it.

@@ -6,7 +6,10 @@ import (
 )
 
 // Stats is a Consumer that accumulates aggregate statistics about a
-// trace: instruction, call, branch and data-reference counts.
+// trace: instruction, call, branch and data-reference counts. Like
+// every simulator counter it is deterministic-domain data — derived
+// only from the event stream, identical across replays, safe in
+// report bodies and the -stats-json dump.
 type Stats struct {
 	Instructions units.Instrs
 	Calls        int64
@@ -56,6 +59,17 @@ func (s *Stats) InstructionsPerCall() float64 {
 		return 0
 	}
 	return float64(s.Instructions) / float64(s.Calls)
+}
+
+// EventsPerKInstr reports trace density: encoded events per thousand
+// simulated instructions. It is the recorder's run-length-efficiency
+// diagnostic — a rising value means basic blocks are fragmenting into
+// more events for the same instruction work.
+func (s *Stats) EventsPerKInstr() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Events) / float64(s.Instructions)
 }
 
 // ProfileCollector is a Consumer that builds a program.Profile from a

@@ -28,6 +28,20 @@ type Cycles int64
 // Instrs counts dynamic instructions.
 type Instrs int64
 
+// WallNanos is a host wall-clock reading or duration in nanoseconds —
+// the wall-clock observability domain's quantity type. It is
+// deliberately a units type so the cyclesafe analyzer polices the
+// boundary between the two observability domains: converting WallNanos
+// into Cycles/Instrs (directly or laundered through int64) is flagged,
+// as is formatting a WallNanos value into deterministic report output.
+// Wall-clock values vary run to run; nothing derived from one may feed
+// a figure, a report body, or a deterministic-domain metric.
+//
+// The "Wall" name prefix is load-bearing: detrand and cyclesafe
+// recognize wall-domain unit types by it (any integer type in a
+// package named "units" whose name starts with "Wall").
+type WallNanos int64
+
 // IPC returns instructions per cycle, the only cross-unit ratio the
 // stats layer needs often enough to deserve a helper.
 func IPC(i Instrs, c Cycles) float64 {

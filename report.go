@@ -203,3 +203,27 @@ func sortRowsStable(rows []Row) {
 		return rows[i].Config < rows[j].Config
 	})
 }
+
+// Markdown renders the attribution table as a GitHub-style table:
+// per-function coverage (fraction of would-be misses the prefetcher
+// served), accuracy (useful fraction of issues launched on the
+// function's behalf) and mean timeliness (issue-to-first-use cycles).
+// Like the figures above, every cell is a deterministic simulator
+// quantity, so regenerating the table yields identical bytes.
+func (t *AttributionTable) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Per-function prefetch attribution — %s under %s\n\n", t.Workload, t.Config)
+	if len(t.Rows) < t.TotalFuncs {
+		fmt.Fprintf(&b, "Top %d of %d attributed functions, by prefetch-relevant demand fetches.\n\n",
+			len(t.Rows), t.TotalFuncs)
+	}
+	b.WriteString("| function | fetches | misses | pref hits | delayed | coverage | issued | useful | accuracy | timeliness (cyc) |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d | %.2f | %d | %d | %.2f | %.1f |\n",
+			r.Name, r.LineFetches, r.Misses, r.PrefHits, r.DelayedHits, r.Coverage(),
+			r.Issued, r.Useful, r.Accuracy(), r.MeanTimeliness())
+	}
+	return b.String()
+}

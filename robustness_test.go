@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"cgp/internal/faultinject"
+	"cgp/internal/obs"
 	"cgp/internal/trace"
 )
 
@@ -52,7 +53,10 @@ func o5Grid(ws []*Workload) []Job {
 // panic value, while its batch mates — fed by the same decode pass —
 // finish with results identical to an undisturbed runner's.
 func TestReplayHubPanicIsolation(t *testing.T) {
-	r := NewRunner(chaosOpts(4))
+	var logBuf bytes.Buffer
+	opts := chaosOpts(4)
+	opts.Obs = obs.New().AttachLog(&logBuf)
+	r := NewRunner(opts)
 	ws := r.DBWorkloads()[:2]
 	jobs := o5Grid(ws)
 	poisonW, poisonCfg := ws[0].Name, jobs[1].Config.withDefaults().Label()
@@ -101,6 +105,48 @@ func TestReplayHubPanicIsolation(t *testing.T) {
 		if !bytes.Equal(a, b) {
 			t.Errorf("job %d (%s, %s) diverged from clean run after batch-mate panic",
 				i, j.Workload.Name, j.Config.Label())
+		}
+	}
+
+	// The structured run log tells the same story: the poisoned cell
+	// was queued and failed, and never reported executed; its batch
+	// mates all settled.
+	entries, lerr := obs.ValidateRunLog(bytes.NewReader(logBuf.Bytes()))
+	if lerr != nil {
+		t.Fatalf("run log fails validation: %v", lerr)
+	}
+	var sawQueued, sawFailed, sawExecuted bool
+	settled := map[string]bool{}
+	for _, e := range entries {
+		if e.Workload == poisonW && e.Config == poisonCfg {
+			switch obs.JobState(e.Event) {
+			case obs.JobQueued:
+				sawQueued = true
+			case obs.JobFailed:
+				sawFailed = true
+			case obs.JobExecuted, obs.JobReplayed, obs.JobResumed:
+				sawExecuted = true
+			}
+			continue
+		}
+		switch obs.JobState(e.Event) {
+		case obs.JobExecuted, obs.JobReplayed, obs.JobResumed:
+			settled[e.Workload+"/"+e.Config] = true
+		}
+	}
+	if !sawQueued || !sawFailed {
+		t.Errorf("run log missing lifecycle for poisoned cell: queued=%v failed=%v", sawQueued, sawFailed)
+	}
+	if sawExecuted {
+		t.Error("run log reports the poisoned cell as settled")
+	}
+	for i, j := range jobs {
+		if i == 1 {
+			continue
+		}
+		key := j.Workload.Name + "/" + j.Config.withDefaults().Label()
+		if !settled[key] {
+			t.Errorf("run log never settled surviving cell %s", key)
 		}
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"cgp/internal/core"
 	"cgp/internal/cpu"
 	"cgp/internal/isa"
+	"cgp/internal/obs"
+	"cgp/internal/prefetch"
 	"cgp/internal/program"
 	"cgp/internal/trace"
 	"cgp/internal/workload"
@@ -97,6 +99,19 @@ type RunnerOptions struct {
 	// RetryBackoff is the base delay between rebuild attempts,
 	// doubling each retry. 0 means the default (5ms).
 	RetryBackoff time.Duration
+	// Obs, when set, receives the campaign's observability signals:
+	// harness spans (record/replay/run/checkpoint/verify), job
+	// lifecycle events, progress state and metrics in both domains.
+	// A nil Obs (the default) disables all of it; the hooks are
+	// nil-safe, so no path checks the field more than once.
+	Obs *obs.Observability
+	// Attribution enables per-function prefetch attribution on every
+	// simulated CPU (Stats.Attribution, the attribution table, the
+	// cgptrace subreport). It is deliberately not part of Config —
+	// enabling it must not change config fingerprints or run cache
+	// keys — but it is part of the checkpoint scope, so attributed and
+	// plain campaigns never serve each other's checkpoints.
+	Attribution bool
 }
 
 // retryBudget resolves the RetryBudget default.
@@ -277,6 +292,54 @@ func (r *Runner) seed(key string, val any) {
 	r.flights[key] = f
 }
 
+// obsSpan starts a harness span (nil-safe; a nil Obs yields a nil
+// span whose End is a no-op).
+func (r *Runner) obsSpan(name, cat string) *obs.Span {
+	return r.opts.Obs.Span(name, cat)
+}
+
+// obsJob emits one job lifecycle event to the run log and progress
+// tracker (nil-safe).
+func (r *Runner) obsJob(state obs.JobState, workload, config, detail string) {
+	r.opts.Obs.Job(state, workload, config, detail)
+}
+
+// obsWall returns the wall-clock registry, nil when disabled.
+func (r *Runner) obsWall() *obs.WallRegistry {
+	if r.opts.Obs == nil {
+		return nil
+	}
+	return r.opts.Obs.Wall
+}
+
+// noteResult folds one completed cell's simulated totals into the
+// deterministic-domain registry. The values come only from the Result,
+// so they are identical whether the cell was freshly simulated,
+// replayed, or resumed from a checkpoint — a campaign's deterministic
+// metrics depend on which cells it needed, never on how they were
+// satisfied.
+func (r *Runner) noteResult(res *Result) {
+	if r.opts.Obs == nil {
+		return
+	}
+	det := r.opts.Obs.Det
+	if det == nil {
+		return
+	}
+	det.Counter("sim_jobs").Add(1)
+	det.Counter("sim_cycles").Add(int64(res.CPU.Cycles))
+	det.Counter("sim_instructions").Add(int64(res.CPU.Instructions))
+	det.Counter("sim_icache_misses").Add(res.CPU.ICacheMisses)
+	tp := res.CPU.TotalPrefetch()
+	det.Counter("sim_prefetch_issued").Add(tp.Issued)
+	det.Counter("sim_prefetch_useful").Add(tp.Useful())
+	for _, p := range prefetch.Portions() {
+		ps := res.CPU.PortionStats(p)
+		det.Counter("sim_prefetch_issued_" + p.String()).Add(ps.Issued)
+		det.Counter("sim_prefetch_useful_" + p.String()).Add(ps.Useful())
+	}
+}
+
 // DBWorkloads returns the paper's four database workloads at the
 // runner's scale.
 func (r *Runner) DBWorkloads() []*Workload {
@@ -410,10 +473,14 @@ func (r *Runner) recordingFor(ctx context.Context, w *Workload, layout Layout) (
 		}
 		rec := trace.NewRecorder()
 		r.opts.Log("record %-12s %s", w.Name, layout)
+		sp := r.obsSpan("record", "record").
+			Arg("workload", w.Name).Arg("layout", layout.String())
 		if err := runWorkload(ctx, w, img, rec); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("cgp: record %s under %s: %w", w.Name, layout, err)
 		}
 		rg, err := rec.Finish()
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -463,10 +530,14 @@ func (r *Runner) replayRetry(ctx context.Context, w *Workload, layout Layout, at
 		}
 		r.opts.Log("corrupt recording %s/%s: %v; rebuilding from source (retry %d/%d)",
 			w.Name, layout, err, try+1, budget)
+		r.obsWall().Incr("trace_rebuilds", 1)
 		if rec != nil {
 			r.evictRecordingIf(w, layout, rec)
 		}
+		sp := r.obsSpan("backoff", "retry").
+			Arg("workload", w.Name).Arg("try", fmt.Sprint(try+1))
 		sleepCtx(ctx, r.opts.RetryBackoff<<try)
+		sp.End()
 	}
 }
 
@@ -490,13 +561,19 @@ func (r *Runner) Run(ctx context.Context, w *Workload, cfg Config) (*Result, err
 func (r *Runner) runCell(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
 	if res, ok := r.loadCheckpoint(w, cfg); ok {
 		r.opts.Log("checkpoint %-12s %-14s", w.Name, cfg.Label())
+		r.obsWall().Incr("checkpoint_hits", 1)
+		r.obsJob(obs.JobResumed, w.Name, cfg.Label(), "checkpoint")
+		r.noteResult(res)
 		return res, nil
 	}
+	r.obsJob(obs.JobStarted, w.Name, cfg.Label(), "")
 	res, err := r.simulate(ctx, w, cfg)
 	if err != nil {
 		return nil, err
 	}
 	r.storeCheckpoint(w, cfg, res)
+	r.obsJob(obs.JobExecuted, w.Name, cfg.Label(), "")
+	r.noteResult(res)
 	return res, nil
 }
 
@@ -524,8 +601,12 @@ func (r *Runner) prepare(ctx context.Context, w *Workload, cfg Config) (*prepare
 		}
 		pf = buildSoftwareCGP(cfg, prof.seq, img)
 	}
+	c := cpu.New(cfg.cpuConfig(), pf)
+	if r.opts.Attribution {
+		c.EnableAttribution()
+	}
 	return &prepared{
-		c:   cpu.New(cfg.cpuConfig(), pf),
+		c:   c,
 		gp:  gp,
 		res: &Result{Workload: w.Name, Config: cfg.Label()},
 	}, nil
@@ -585,7 +666,11 @@ func (r *Runner) simulate(ctx context.Context, w *Workload, cfg Config) (*Result
 			return nil, err
 		}
 		c := r.consumerFor(w, cfg, p.c)
-		if err := runWorkload(ctx, w, img, trace.Tee(&p.res.Trace, c)); err != nil {
+		sp := r.obsSpan("run", "run").
+			Arg("workload", w.Name).Arg("config", cfg.Label())
+		err = runWorkload(ctx, w, img, trace.Tee(&p.res.Trace, c))
+		sp.End()
+		if err != nil {
 			return nil, fmt.Errorf("cgp: %s under %s: %w", w.Name, cfg.Label(), err)
 		}
 		return p.finalize(), nil
@@ -601,7 +686,11 @@ func (r *Runner) simulate(ctx context.Context, w *Workload, cfg Config) (*Result
 			return rec, err
 		}
 		r.opts.Log("run %-12s %-14s", w.Name, cfg.Label())
-		if err := replayOne(ctx, rec, r.consumerFor(w, cfg, p.c)); err != nil {
+		sp := r.obsSpan("run", "run").
+			Arg("workload", w.Name).Arg("config", cfg.Label())
+		err = replayOne(ctx, rec, r.consumerFor(w, cfg, p.c))
+		sp.End()
+		if err != nil {
 			return rec, fmt.Errorf("cgp: replay %s under %s: %w", w.Name, cfg.Label(), err)
 		}
 		// The recorded stats are what a Tee'd Stats consumer would have
@@ -645,6 +734,9 @@ type Job struct {
 func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]*Result, error) {
 	results := make([]*Result, len(jobs))
 	errs := make([]error, len(jobs))
+	for _, j := range jobs {
+		r.obsJob(obs.JobQueued, j.Workload.Name, j.Config.withDefaults().Label(), "")
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// fail trips the campaign breaker on the first failure in FailFast
@@ -691,6 +783,8 @@ func (r *Runner) RunAll(ctx context.Context, jobs []Job) ([]*Result, error) {
 	for i, err := range errs {
 		if err != nil {
 			results[i] = nil
+			r.obsJob(obs.JobFailed, jobs[i].Workload.Name,
+				jobs[i].Config.withDefaults().Label(), err.Error())
 			failed = append(failed, jobError(jobs[i], i, err))
 		}
 	}
@@ -814,14 +908,15 @@ func (r *Runner) resolveCell(c hubCell, res *Result, err error) {
 // sees every concurrent figure's cells before the first drain begins.
 func (r *Runner) runGroup(ctx context.Context, g *jobGroup, results []*Result, errs []error, fail func(error)) {
 	type cellRef struct {
-		key string
-		f   *flight
+		key   string
+		f     *flight
+		owner bool
 	}
 	cells := make([]cellRef, 0, len(g.keys))
 	var enq []hubCell
 	for _, rk := range g.keys {
 		f, owner := r.claim(rk)
-		cells = append(cells, cellRef{rk, f})
+		cells = append(cells, cellRef{rk, f, owner})
 		if owner {
 			enq = append(enq, hubCell{g.cfgs[rk], rk, f})
 		}
@@ -857,6 +952,11 @@ func (r *Runner) runGroup(ctx context.Context, g *jobGroup, results []*Result, e
 			} else {
 				v, err = res, nil
 			}
+		}
+		if err == nil && !c.owner {
+			// The cell was claimed by another campaign or group task and
+			// served to this one through the singleflight cache.
+			r.obsJob(obs.JobReplayed, g.w.Name, g.cfgs[c.key].Label(), "coalesced")
 		}
 		for _, i := range g.idx[c.key] {
 			if err != nil {
@@ -983,6 +1083,9 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 	for _, c := range batch {
 		if res, ok := r.loadCheckpoint(w, c.cfg); ok {
 			r.opts.Log("checkpoint %-12s %-14s", w.Name, c.cfg.Label())
+			r.obsWall().Incr("checkpoint_hits", 1)
+			r.obsJob(obs.JobResumed, w.Name, c.cfg.Label(), "checkpoint")
+			r.noteResult(res)
 			c.f.resolve(res, nil)
 			continue
 		}
@@ -999,7 +1102,10 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 		}
 		// Check integrity before building CPUs: a corrupt recording
 		// retries with no per-cell state to unwind.
-		if err := rec.Verify(); err != nil {
+		vsp := r.obsSpan("verify", "verify").Arg("workload", w.Name)
+		err = rec.Verify()
+		vsp.End()
+		if err != nil {
 			return rec, err
 		}
 		cells := make([]*batchCell, 0, len(todo))
@@ -1013,6 +1119,7 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 				continue
 			}
 			r.opts.Log("run %-12s %-14s", w.Name, c.cfg.Label())
+			r.obsJob(obs.JobStarted, w.Name, c.cfg.Label(), "")
 			cc := r.consumerFor(w, c.cfg, p.c)
 			bc, _ := cc.(trace.BatchConsumer)
 			cells = append(cells, &batchCell{cell: c, sim: p, c: cc, bc: bc})
@@ -1022,7 +1129,13 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 		if len(cells) == 0 {
 			return rec, nil
 		}
-		if err := fanout(ctx, rec, cells); err != nil {
+		rsp := r.obsSpan("replay", "replay").
+			Arg("workload", w.Name).
+			Arg("layout", layout.String()).
+			Arg("cells", fmt.Sprint(len(cells)))
+		err = fanout(ctx, rec, cells)
+		rsp.End()
+		if err != nil {
 			return rec, err
 		}
 		for _, b := range cells {
@@ -1034,6 +1147,8 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 			b.sim.res.Trace = rec.Stats
 			res := b.sim.finalize()
 			r.storeCheckpoint(w, b.cell.cfg, res)
+			r.obsJob(obs.JobExecuted, w.Name, b.cell.cfg.Label(), "")
+			r.noteResult(res)
 			r.resolveCell(b.cell, res, nil)
 		}
 		todo = nil
