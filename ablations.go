@@ -108,26 +108,34 @@ func (r *Runner) QuantumSweep(ctx context.Context) (*Figure, error) {
 		return nil, err
 	}
 	fig := &Figure{ID: "abl-quantum", Title: "Context-switch quantum sensitivity (wisc-large-2, OM)", Baseline: "quantum-2"}
+	// abl-quantum is not in the default sampled set (each quantum is a
+	// one-off workload, so there is no campaign to amortize over), but
+	// an explicit SampledFigures entry is honored.
+	scfg := r.opts.samplingFor("abl-quantum")
 	var base int64
 	for i, q := range []int{2, 7, 28, 112} {
 		opts := r.opts.DB
 		opts.Quantum = q
 		// Each sub-runner performs a single simulation, so recording a
 		// trace it would replay zero times is pure overhead: re-execute.
+		// (A sampled cell records regardless — skipping needs a sealed
+		// recording.)
 		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log,
 			Workers: 1, NoRecord: true, CheckpointDir: r.opts.CheckpointDir})
 		sub.seed(dbProfilesKey, parentProf)
-		res, err := sub.Run(ctx, workload.WiscLarge2(opts), Config{Layout: LayoutOM})
+		res, err := sub.Run(ctx, workload.WiscLarge2(opts), Config{Layout: LayoutOM, Sampling: scfg})
 		if err != nil {
 			return nil, err
 		}
+		cycles, estimated, relCI := resultCycles(res)
 		if i == 0 {
-			base = int64(res.CPU.Cycles)
+			base = cycles
 		}
 		fig.Rows = append(fig.Rows, Row{
 			Workload: "wisc-large-2", Config: fmt.Sprintf("quantum-%d", q),
-			Cycles: int64(res.CPU.Cycles), Misses: res.CPU.ICacheMisses,
-			Speedup: float64(base) / float64(res.CPU.Cycles), Result: res,
+			Cycles: cycles, Misses: rowMisses(res),
+			Speedup:   float64(base) / float64(cycles),
+			Estimated: estimated, CyclesCI: relCI, Result: res,
 		})
 	}
 	return fig, nil

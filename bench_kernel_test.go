@@ -90,7 +90,7 @@ var (
 	kernelRecordingErr  error
 )
 
-func kernelBenchRecording(b *testing.B) *trace.Recording {
+func kernelBenchRecording(b testing.TB) *trace.Recording {
 	b.Helper()
 	kernelRecordingOnce.Do(func() {
 		opts := harnessBenchOpts(1, true)

@@ -375,6 +375,7 @@ func BenchmarkFig4RowReplay(b *testing.B) {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	writeKernelBench()
+	writeSamplingBench()
 	harnessBench.Lock()
 	defer harnessBench.Unlock()
 	if len(harnessBench.entries) > 0 {

@@ -7,6 +7,14 @@
 //	cgpsim -workload gcc -layout om -prefetch nl -n 4
 //	cgpsim -workload wisc-prof -perfect
 //	cgpsim -workload wisc-prof -prefetch cgp -attribution -stats-json stats.json
+//	cgpsim -workload wisc-large-1 -prefetch nl -sample
+//
+// -sample switches to sampled simulation: most of the event stream is
+// skipped or functionally warmed and only periodic windows run in
+// detail, printing estimated whole-run cycles and misses with 95%
+// confidence intervals instead of measured totals. The schedule knobs
+// are -sample-period, -sample-fwarm, -sample-warmup, -sample-window
+// (all in events) and -sample-random-offset.
 //
 // Workloads: wisc-prof, wisc-large-1, wisc-large-2, wisc+tpch,
 // gzip, gcc, crafty, parser, gap, bzip2, twolf.
@@ -28,6 +36,7 @@ import (
 	"syscall"
 
 	"cgp"
+	"cgp/internal/sample"
 )
 
 func main() {
@@ -45,12 +54,29 @@ func main() {
 		statsJSON    = flag.String("stats-json", "", "dump the full statistics as stable-key-order JSON to this file ('-' for stdout)")
 		attrTop      = flag.Int("attr-top", 10, "attribution rows to print with -attribution")
 		verbose      = flag.Bool("v", false, "progress output")
+
+		sampled      = flag.Bool("sample", false, "sampled simulation: estimate whole-run cycles/misses from periodic detailed windows")
+		samplePeriod = flag.Int64("sample-period", sample.Default().PeriodEvents, "events per sampling period")
+		sampleFWarm  = flag.Int64("sample-fwarm", sample.Default().FunctionalWarmEvents, "functionally warmed events before each window")
+		sampleWarm   = flag.Int64("sample-warmup", sample.Default().DetailWarmEvents, "detailed warm-up events before each window")
+		sampleWin    = flag.Int64("sample-window", sample.Default().WindowEvents, "measured events per window")
+		sampleRand   = flag.Bool("sample-random-offset", false, "place each period's window at a seeded random offset instead of a fixed one")
 	)
 	flag.Parse()
 
 	cfg, err := buildConfig(*layout, *pref, *degree, *runAheadM, *cghc, *perfect)
 	if err != nil {
 		fatal(err)
+	}
+	if *sampled {
+		cfg.Sampling = sample.Config{
+			PeriodEvents:         *samplePeriod,
+			FunctionalWarmEvents: *sampleFWarm,
+			DetailWarmEvents:     *sampleWarm,
+			WindowEvents:         *sampleWin,
+			RandomOffset:         *sampleRand,
+			Seed:                 uint64(*seed),
+		}
 	}
 	// One workload under one config: a recorded trace would be replayed
 	// zero times, so re-execute directly.
@@ -179,9 +205,26 @@ func printResult(res *cgp.Result) {
 	s := res.CPU
 	fmt.Printf("workload        %s\n", res.Workload)
 	fmt.Printf("config          %s\n", res.Config)
-	fmt.Printf("cycles          %d\n", s.Cycles)
-	fmt.Printf("instructions    %d\n", s.Instructions)
-	fmt.Printf("IPC             %.3f\n", s.IPC())
+	if sm := s.Sample; sm != nil {
+		// Sampled run: the headline numbers are estimates (±95% CI);
+		// the raw counters below them cover only the decoded spans.
+		fmt.Printf("est cycles      ~%d ±%.1f%% (95%% CI, %d windows)\n",
+			int64(sm.EstCycles), 100*sm.CycleRelCI, sm.Windows)
+		fmt.Printf("est I-misses    ~%d ±%.1f%%\n", sm.EstIMisses, 100*sm.MissRelCI)
+		fmt.Printf("est IPC         %.3f\n", sm.EstIPC(s.Instructions))
+		if sm.Degenerate {
+			fmt.Printf("                (degenerate: <2 windows, no confidence interval)\n")
+		}
+		fmt.Printf("events          skipped=%d fast-forwarded=%d detailed=%d (%d warm-up + %d measured)\n",
+			sm.SkippedEvents, sm.FastForwardedEvents, sm.DetailedEvents(),
+			sm.WarmupEvents, sm.MeasuredEvents)
+		fmt.Printf("instructions    %d (exact; %d skipped undecoded)\n", s.Instructions, sm.SkippedInstrs)
+		fmt.Printf("detailed cycles %d (measured spans only — diagnostics below cover decoded events)\n", s.Cycles)
+	} else {
+		fmt.Printf("cycles          %d\n", s.Cycles)
+		fmt.Printf("instructions    %d\n", s.Instructions)
+		fmt.Printf("IPC             %.3f\n", s.IPC())
+	}
 	fmt.Printf("instr/call      %.1f\n", res.Trace.InstructionsPerCall())
 	fmt.Printf("I-line fetches  %d\n", s.ILineAccesses)
 	fmt.Printf("I-cache misses  %d (%.3f%% of line fetches, %.2f/kinst)\n",

@@ -6,12 +6,20 @@
 //	cgptrace dump -n 40 wisc.cgptrc
 //	cgptrace replay -prefetch cgp -n 4 wisc.cgptrc
 //	cgptrace replay -prefetch cgp -n 4 -attr 10 wisc.cgptrc
+//	cgptrace replay -prefetch nl -sample wisc.cgptrc
 //
 // replay -attr N appends a per-function attribution subreport: the N
 // functions with the most prefetch-relevant demand fetches, with each
 // function's coverage, accuracy and mean prefetch timeliness. Raw
 // traces carry no symbol registry, so functions are identified by
 // start address.
+//
+// replay -sample runs a sampled replay: the trace is loaded into a
+// sealed in-memory recording (skipping needs its event index), most of
+// the stream is skipped undecoded or functionally warmed, and only
+// periodic windows are simulated in detail. The report shows estimated
+// cycles/misses ±95% CI plus the per-tier event accounting (skipped /
+// fast-forwarded / detailed).
 package main
 
 import (
@@ -21,13 +29,13 @@ import (
 	"os"
 	"sort"
 
+	"cgp/internal/core"
 	"cgp/internal/cpu"
 	"cgp/internal/prefetch"
 	"cgp/internal/program"
+	"cgp/internal/sample"
 	"cgp/internal/trace"
 	"cgp/internal/workload"
-
-	"cgp/internal/core"
 )
 
 func main() {
@@ -201,6 +209,13 @@ func replay(args []string) error {
 	degree := fs.Int("n", 4, "prefetch degree")
 	perfect := fs.Bool("perfect", false, "perfect I-cache")
 	attrTop := fs.Int("attr", 0, "print per-function attribution for the top N functions (0 = off)")
+	sampled := fs.Bool("sample", false, "sampled replay: estimate whole-run cycles/misses from periodic detailed windows")
+	samplePeriod := fs.Int64("sample-period", sample.Default().PeriodEvents, "events per sampling period")
+	sampleFWarm := fs.Int64("sample-fwarm", sample.Default().FunctionalWarmEvents, "functionally warmed events before each window")
+	sampleWarm := fs.Int64("sample-warmup", sample.Default().DetailWarmEvents, "detailed warm-up events before each window")
+	sampleWin := fs.Int64("sample-window", sample.Default().WindowEvents, "measured events per window")
+	sampleRand := fs.Bool("sample-random-offset", false, "place each period's window at a seeded random offset")
+	sampleSeed := fs.Int64("sample-seed", 42, "seed for -sample-random-offset")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs a trace file")
@@ -224,6 +239,17 @@ func replay(args []string) error {
 	if *attrTop > 0 {
 		c.EnableAttribution()
 	}
+	if *sampled {
+		scfg := sample.Config{
+			PeriodEvents:         *samplePeriod,
+			FunctionalWarmEvents: *sampleFWarm,
+			DetailWarmEvents:     *sampleWarm,
+			WindowEvents:         *sampleWin,
+			RandomOffset:         *sampleRand,
+			Seed:                 uint64(*sampleSeed),
+		}.WithDefaults()
+		return replaySampled(fs.Arg(0), c, pf, scfg)
+	}
 	r, f, err := openTrace(fs.Arg(0))
 	if err != nil {
 		return err
@@ -244,6 +270,43 @@ func replay(args []string) error {
 	if *attrTop > 0 {
 		printAttribution(s.Attribution, *attrTop)
 	}
+	return nil
+}
+
+// replaySampled loads the trace file into a sealed recording (the skip
+// tier jumps via the recording's event index, which a streaming reader
+// cannot provide) and drives the CPU through the three-tier sampled
+// replay.
+func replaySampled(path string, c *cpu.CPU, pf prefetch.Prefetcher, scfg sample.Config) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rec, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	c.EnableSampling()
+	if err := rec.ReplaySampledInto(scfg.Plan(rec.Events()), c); err != nil {
+		return err
+	}
+	s := c.Finish()
+	sm := s.Sample
+	fmt.Printf("prefetcher      %s\n", pf.Name())
+	fmt.Printf("sampling        %s\n", scfg)
+	fmt.Printf("est cycles      ~%d ±%.1f%% (95%% CI, %d windows)\n",
+		int64(sm.EstCycles), 100*sm.CycleRelCI, sm.Windows)
+	fmt.Printf("est I-misses    ~%d ±%.1f%%\n", sm.EstIMisses, 100*sm.MissRelCI)
+	fmt.Printf("est IPC         %.3f\n", sm.EstIPC(s.Instructions))
+	if sm.Degenerate {
+		fmt.Printf("                (degenerate: <2 windows, no confidence interval)\n")
+	}
+	fmt.Printf("events          skipped=%d fast-forwarded=%d detailed=%d (%d warm-up + %d measured)\n",
+		sm.SkippedEvents, sm.FastForwardedEvents, sm.DetailedEvents(),
+		sm.WarmupEvents, sm.MeasuredEvents)
+	fmt.Printf("instructions    %d (exact; %d skipped undecoded)\n", s.Instructions, sm.SkippedInstrs)
+	fmt.Printf("events/kinst    %.1f\n", rec.Stats.EventsPerKInstr())
 	return nil
 }
 

@@ -16,9 +16,18 @@
 // database workload. None of these change the report body — wall-clock
 // observability is quarantined from deterministic output.
 //
+// The campaign can be sampled: -sample runs the cycle-comparison
+// figures (fig4/5/6/10, sec5.6 and the cycle ablations) as sampled
+// simulations — periodic detailed windows over a mostly skipped or
+// functionally warmed stream — reporting estimated cycles with 95%
+// confidence intervals at a fraction of the cost. Figures whose
+// numbers are whole-run prefetch counters (fig7/8/9) stay full-detail.
+// Sampled rows are rendered as `~value ±CI` and bannered per figure.
+//
 // Usage:
 //
 //	experiments -o EXPERIMENTS.md [-wisc-n 10000] [-checkpoint DIR] [-timeout 30m] [-v]
+//	experiments -sample [-sample-period 1000000] [-sample-window 32000]
 //	experiments -debug-addr localhost:6060 -trace-out campaign.trace.json -log-json run.jsonl
 package main
 
@@ -37,6 +46,7 @@ import (
 
 	"cgp"
 	"cgp/internal/obs"
+	"cgp/internal/sample"
 )
 
 func main() {
@@ -56,6 +66,14 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write harness spans as Chrome trace-event JSON (loadable in Perfetto)")
 		logJSON     = flag.String("log-json", "", "write job lifecycle events as JSON Lines to this file")
 		attribution = flag.Bool("attribution", false, "collect per-function prefetch attribution and append its table to the report")
+
+		sampled       = flag.Bool("sample", false, "run the cycle-comparison figures as sampled simulations (estimated cycles ±CI, much faster); counter figures (fig7/8/9) stay full-detail")
+		samplePeriod  = flag.Int64("sample-period", sample.Default().PeriodEvents, "events per sampling period")
+		sampleFWarm   = flag.Int64("sample-fwarm", sample.Default().FunctionalWarmEvents, "functionally warmed events before each window")
+		sampleWarm    = flag.Int64("sample-warmup", sample.Default().DetailWarmEvents, "detailed warm-up events before each window")
+		sampleWin     = flag.Int64("sample-window", sample.Default().WindowEvents, "measured events per window")
+		sampleRand    = flag.Bool("sample-random-offset", false, "place each period's window at a seeded random offset instead of a fixed one")
+		sampleFigures = flag.String("sample-figures", "", "comma-separated figure IDs to sample (default: the cycle-comparison figures)")
 	)
 	flag.Parse()
 
@@ -85,6 +103,23 @@ func main() {
 		Workers: *workers, NoRecord: *noReplay,
 		CheckpointDir: *checkpoint, FailFast: *failFast,
 		Obs: o, Attribution: *attribution,
+	}
+	if *sampled {
+		opts.Sampling = sample.Config{
+			PeriodEvents:         *samplePeriod,
+			FunctionalWarmEvents: *sampleFWarm,
+			DetailWarmEvents:     *sampleWarm,
+			WindowEvents:         *sampleWin,
+			RandomOffset:         *sampleRand,
+			Seed:                 uint64(*seed),
+		}
+		if *sampleFigures != "" {
+			for _, id := range strings.Split(*sampleFigures, ",") {
+				if id = strings.TrimSpace(id); id != "" {
+					opts.SampledFigures = append(opts.SampledFigures, id)
+				}
+			}
+		}
 	}
 	if *verbose {
 		opts.Log = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }

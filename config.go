@@ -6,6 +6,7 @@ import (
 	"cgp/internal/core"
 	"cgp/internal/cpu"
 	"cgp/internal/prefetch"
+	"cgp/internal/sample"
 )
 
 // Layout selects the binary layout (the paper's two baselines).
@@ -103,6 +104,12 @@ type Config struct {
 	PrefetchIntoL2Only bool
 	// CPU overrides the Table-1 machine when non-nil.
 	CPU *cpu.Config
+	// Sampling, when enabled, runs this cell as a sampled simulation:
+	// most of the event stream is skipped or functionally warmed and
+	// only periodic windows are simulated in detail, yielding estimated
+	// cycle/miss totals (typed units.EstCycles, ±CI) at a fraction of
+	// the cost. The zero value means full detailed simulation.
+	Sampling sample.Config
 }
 
 // withDefaults fills zero fields.
@@ -116,6 +123,7 @@ func (c Config) withDefaults() Config {
 	if (c.Prefetcher == PrefCGP || c.Prefetcher == PrefSoftwareCGP) && c.CGHC == (CGHCConfig{}) {
 		c.CGHC = DefaultCGHC()
 	}
+	c.Sampling = c.Sampling.WithDefaults()
 	return c
 }
 
@@ -156,10 +164,17 @@ func (c Config) fingerprint() string {
 	if c.CPU != nil {
 		cpuDesc = fmt.Sprintf("%+v", *c.CPU)
 	}
-	return fmt.Sprintf("l%d p%d n%d m%d cghc{%d %d %t %d %d} perf%t prio%t l2o%t cpu{%s}",
+	fp := fmt.Sprintf("l%d p%d n%d m%d cghc{%d %d %t %d %d} perf%t prio%t l2o%t cpu{%s}",
 		c.Layout, c.Prefetcher, c.Degree, c.RunAheadM,
 		c.CGHC.L1Bytes, c.CGHC.L2Bytes, c.CGHC.Infinite, c.CGHC.Ways, c.CGHC.Slots,
 		c.PerfectICache, c.DemandPriority, c.PrefetchIntoL2Only, cpuDesc)
+	// The sampling suffix appears only when sampling is on, so every
+	// full-detail fingerprint — and the checkpoint key derived from it —
+	// is byte-identical to what pre-sampling campaigns wrote.
+	if c.Sampling.Enabled() {
+		fp += " smp{" + c.Sampling.String() + "}"
+	}
+	return fp
 }
 
 // cpuConfig resolves the machine model.

@@ -24,6 +24,14 @@ type Row struct {
 	// Speedup is relative to the figure's per-workload baseline; 0 when
 	// this row or its baseline failed.
 	Speedup float64
+	// Estimated marks a sampled row: Cycles (and the Speedup built on
+	// it) is a whole-run estimate from periodic measurement windows,
+	// not a measured count, and CyclesCI is the relative half-width of
+	// its 95% confidence interval (0.052 = ±5.2%). Renderers must keep
+	// the annotation visible — an estimate may never print as a
+	// measurement.
+	Estimated bool    `json:",omitempty"`
+	CyclesCI  float64 `json:",omitempty"`
 	// Err marks a degraded row: the cell's simulation failed (panic,
 	// cancellation, corruption past the retry budget) and the numeric
 	// columns are absent. Degraded rows are rendered explicitly rather
@@ -56,6 +64,18 @@ func (f *Figure) Degraded() int {
 	return n
 }
 
+// Sampled returns how many of the figure's rows carry sampled
+// estimates rather than measured counts.
+func (f *Figure) Sampled() int {
+	n := 0
+	for i := range f.Rows {
+		if f.Rows[i].Estimated {
+			n++
+		}
+	}
+	return n
+}
+
 // rowErr renders a job failure for a degraded row's Err field.
 func rowErr(err *JobError) string {
 	if err == nil {
@@ -65,6 +85,29 @@ func rowErr(err *JobError) string {
 		return fmt.Sprintf("panic: %v", err.Panic)
 	}
 	return err.Err.Error()
+}
+
+// resultCycles returns one result's run-length figure for reporting:
+// the measured cycle count for a full-detail run, or the estimated
+// whole-run cycles (marked estimated, with its relative 95% CI) for a
+// sampled run. The int64 conversion out of units.EstCycles is the
+// explicit, sanctioned exit from the typed estimate — downstream the
+// value travels with Estimated set, never as a bare measurement.
+func resultCycles(res *Result) (cycles int64, estimated bool, relCI float64) {
+	if sm := res.CPU.Sample; sm != nil {
+		return int64(sm.EstCycles), true, sm.CycleRelCI
+	}
+	return int64(res.CPU.Cycles), false, 0
+}
+
+// rowMisses returns the miss count a row reports: measured for full
+// runs, the whole-run estimate for sampled runs (whose raw counter
+// covers only the decoded spans).
+func rowMisses(res *Result) int64 {
+	if sm := res.CPU.Sample; sm != nil {
+		return sm.EstIMisses
+	}
+	return res.CPU.ICacheMisses
 }
 
 // fig4Configs are the six bars of Figure 4 per workload.
@@ -100,6 +143,19 @@ func (r *Runner) runGridLabeled(ctx context.Context, id, title string, workloads
 	sp := r.obsSpan("figure", "figure").Arg("id", id).
 		Arg("cells", fmt.Sprint(len(workloads)*len(configs)))
 	defer sp.End()
+	// Apply the campaign's sampling schedule when this figure is in the
+	// sampled set. Configs that already carry their own schedule keep
+	// it; the input slice is never mutated.
+	if scfg := r.opts.samplingFor(id); scfg.Enabled() {
+		sampled := make([]Config, len(configs))
+		for i, cfg := range configs {
+			if !cfg.Sampling.Enabled() {
+				cfg.Sampling = scfg
+			}
+			sampled[i] = cfg
+		}
+		configs = sampled
+	}
 	jobs := make([]Job, 0, len(workloads)*len(configs))
 	for _, w := range workloads {
 		for _, cfg := range configs {
@@ -129,20 +185,24 @@ func (r *Runner) runGridLabeled(ctx context.Context, id, title string, workloads
 				fig.Rows = append(fig.Rows, Row{Workload: w.Name, Config: label(cfg), Err: rowErr(je)})
 				continue
 			}
+			cycles, estimated, relCI := resultCycles(res)
 			speedup := 0.0
 			if base != nil {
-				speedup = float64(base.CPU.Cycles) / float64(res.CPU.Cycles)
+				bc, _, _ := resultCycles(base)
+				speedup = float64(bc) / float64(cycles)
 			}
 			tp := res.CPU.TotalPrefetch()
 			fig.Rows = append(fig.Rows, Row{
 				Workload:    w.Name,
 				Config:      label(cfg),
-				Cycles:      int64(res.CPU.Cycles),
-				Misses:      res.CPU.ICacheMisses,
+				Cycles:      cycles,
+				Misses:      rowMisses(res),
 				PrefHits:    tp.PrefHits,
 				DelayedHits: tp.DelayedHits,
 				Useless:     tp.Useless,
 				Speedup:     speedup,
+				Estimated:   estimated,
+				CyclesCI:    relCI,
 				Result:      res,
 			})
 		}

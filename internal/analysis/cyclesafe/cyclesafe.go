@@ -37,6 +37,22 @@
 // //cgplint:ignore with a written reason — every escape from the wall
 // domain stays grep-able.
 //
+// Estimated-domain units (name prefix "Est", e.g. units.EstCycles)
+// guard the opposite boundary: a sampled-simulation estimate carries a
+// confidence interval, and letting one flow into a measured unit would
+// turn a ±CI approximation into a fact. Conversions between an Est
+// unit and its measured counterpart are flagged in both directions,
+// as is the laundered form:
+//
+//	units.Cycles(est), units.EstCycles(cycles)  // estimate/measured boundary
+//	units.Cycles(int64(est))                    // laundering the estimate
+//
+// Unlike wall units, Est units keep the sanctioned int64/uint64/float64
+// exits (estimates are deterministic and reportable — they just must
+// stay labeled); a genuine need to compare an estimate against measured
+// cycles goes through those, or carries a //cgplint:ignore cyclesafe
+// with a written reason.
+//
 // Cross-unit *arithmetic* (cycles + instrs) is rejected by the
 // compiler once the named types exist; this pass closes the conversion
 // loopholes that would let such an expression type-check.
@@ -97,6 +113,12 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Typ
 				typeName(srcUnit), typeName(dstUnit))
 			return
 		}
+		if analysis.IsEstUnit(srcUnit) != analysis.IsEstUnit(dstUnit) {
+			pass.Reportf(call.Pos(),
+				"conversion between %s and %s crosses the estimated/measured boundary; a sampled estimate must stay typed (±CI) and may not masquerade as a measured count",
+				typeName(srcUnit), typeName(dstUnit))
+			return
+		}
 		pass.Reportf(call.Pos(),
 			"conversion between unit types %s and %s drops the dimension; convert through int64 or float64 and state the ratio",
 			typeName(srcUnit), typeName(dstUnit))
@@ -112,6 +134,12 @@ func checkConversion(pass *analysis.Pass, call *ast.CallExpr, dst, src types.Typ
 					if analysis.IsWallUnit(iu) != analysis.IsWallUnit(dstUnit) {
 						pass.Reportf(call.Pos(),
 							"%s(%s(...)) launders wall-clock %s across the deterministic boundary; wall facts must never enter deterministic metrics or report bodies",
+							typeName(dstUnit), itv.Type.String(), typeName(iu))
+						return
+					}
+					if analysis.IsEstUnit(iu) != analysis.IsEstUnit(dstUnit) {
+						pass.Reportf(call.Pos(),
+							"%s(%s(...)) launders %s across the estimated/measured boundary; a sampled estimate must stay typed (±CI) and may not masquerade as a measured count",
 							typeName(dstUnit), itv.Type.String(), typeName(iu))
 						return
 					}

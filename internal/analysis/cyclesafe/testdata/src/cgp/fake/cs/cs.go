@@ -84,6 +84,47 @@ func wallBoundary(w units.WallNanos) int64 {
 	return int64(w)
 }
 
+func estCross(e units.EstCycles) units.Cycles {
+	return units.Cycles(e) // want `conversion between EstCycles and Cycles crosses the estimated/measured boundary`
+}
+
+func estCrossBack(c units.Cycles) units.EstCycles {
+	return units.EstCycles(c) // want `crosses the estimated/measured boundary`
+}
+
+func estCrossDimension(e units.EstCycles) units.Instrs {
+	return units.Instrs(e) // want `crosses the estimated/measured boundary`
+}
+
+func estLaunder(e units.EstCycles) units.Cycles {
+	return units.Cycles(int64(e)) // want `launders EstCycles across the estimated/measured boundary`
+}
+
+func estLaunderIn(c units.Cycles) units.EstCycles {
+	return units.EstCycles(int64(c)) // want `launders Cycles across the estimated/measured boundary`
+}
+
+func estExit(e units.EstCycles) (int64, float64) {
+	return int64(e), float64(e) // sanctioned exits: estimates are reportable, just labeled
+}
+
+func estNarrow(e units.EstCycles) {
+	_ = int32(e) // want `overflow 32 bits`
+}
+
+func estInject(n int64) units.EstCycles {
+	u := units.EstCycles(n)        // injection from plain integers: allowed
+	u += units.EstCycles(int64(u)) // same unit round-trip through int64: allowed
+	return u + 2                   // untyped constants mix freely
+}
+
+// estBoundary is the shape of a deliberate estimate/measured crossing:
+// explicit, suppressed, with a written reason.
+func estBoundary(e units.EstCycles) units.Cycles {
+	//cgplint:ignore cyclesafe differential-validation comparator for this fake
+	return units.Cycles(e)
+}
+
 func wallFormatted(w units.WallNanos) string {
 	//cgplint:ignore cyclesafe wall-domain artifact writer for this fake
 	return fmt.Sprintf("elapsed %d ns", w)

@@ -11,3 +11,7 @@ type Instrs int64
 // WallNanos is a wall-clock-domain duration: the "Wall" name prefix
 // is how the analyzers recognize the quarantined domain.
 type WallNanos int64
+
+// EstCycles counts estimated (sampled) cycles: the "Est" name prefix
+// is how cyclesafe recognizes the estimated domain.
+type EstCycles int64

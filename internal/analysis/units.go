@@ -58,3 +58,15 @@ func WallUnitType(t types.Type) *types.Named {
 	}
 	return nil
 }
+
+// IsEstUnit reports whether the unit type carries estimated (sampled)
+// quantities rather than measured ones (its name starts with "Est",
+// e.g. units.EstCycles). Estimated values are extrapolations with a
+// confidence interval; converting one into its measured counterpart
+// (EstCycles -> Cycles) would let a ±CI approximation masquerade as a
+// directly observed count, so cyclesafe flags that crossing just like
+// any other cross-unit conversion — including the laundered form
+// Cycles(int64(est)).
+func IsEstUnit(n *types.Named) bool {
+	return n != nil && strings.HasPrefix(n.Obj().Name(), "Est")
+}

@@ -71,6 +71,11 @@ type CPU struct {
 	// nil check, so the disabled case costs one predictable branch.
 	attr *attribution
 
+	// smp is the sampled-simulation state (see sample.go), nil unless
+	// EnableSampling was called. Full-detail replay pays one predictable
+	// nil check per batch.
+	smp *sampler
+
 	stats Stats
 }
 
@@ -126,6 +131,10 @@ func (c *CPU) Cycle() units.Cycles { return c.cycle }
 
 // Event implements trace.Consumer.
 func (c *CPU) Event(ev trace.Event) {
+	if c.smp != nil {
+		c.sampledEvent(ev)
+		return
+	}
 	c.event(ev)
 }
 
@@ -133,6 +142,20 @@ func (c *CPU) Event(ev trace.Event) {
 // hands over a decoded chunk at a time, so the per-event dynamic
 // dispatch of the Consumer interface is paid once per batch.
 func (c *CPU) EventBatch(evs []trace.Event) {
+	if s := c.smp; s != nil {
+		switch s.mode {
+		case trace.SpanFunctionalWarm:
+			s.ffEvents += int64(len(evs))
+			for i := range evs {
+				c.ffEvent(&evs[i])
+			}
+			return
+		case trace.SpanMeasure:
+			s.measuredEvents += int64(len(evs))
+		default:
+			s.warmEvents += int64(len(evs))
+		}
+	}
 	for i := range evs {
 		c.event(evs[i])
 	}
@@ -172,6 +195,10 @@ func (c *CPU) Finish() *Stats {
 	s.RASMispredicts = c.ras.Mispredicts()
 	if c.attr != nil {
 		s.Attribution = c.attr.sorted()
+	}
+	if c.smp != nil {
+		c.closeWindow()
+		s.Sample = c.smp.finish(s.Instructions, c.cycle)
 	}
 	return &s
 }

@@ -1,0 +1,335 @@
+package cpu
+
+import (
+	"cgp/internal/branch"
+	"cgp/internal/cache"
+	"cgp/internal/isa"
+	"cgp/internal/prefetch"
+	"cgp/internal/sample"
+	"cgp/internal/trace"
+	"cgp/internal/units"
+)
+
+// Sampled simulation: the CPU implements trace.SampledConsumer, so a
+// sampled replay drives it through three tiers.
+//
+//   - Skipped spans (SkipSpan) deliver no events at all: only the
+//     exact instruction count is folded in, so whole-run instruction
+//     totals stay exact in every mode.
+//   - Functional-warming spans run ffEvent instead of event: caches,
+//     the prefetcher's call-graph history, branch predictor and RAS
+//     are updated — the state whose history depth decides how accurate
+//     the next window is — but nothing touches the cycle clock, the
+//     inflight ring or the bus model.
+//   - Detailed spans run the ordinary event loop; measurement windows
+//     additionally snapshot cycle/instruction/miss deltas into
+//     sample.Windows for the estimator.
+//
+// At every transition out of detailed mode the inflight prefetch ring
+// is flushed into L1I: those transfers would have completed during the
+// skipped simulated time, and leaving them queued would leak stale
+// ready-times into the next window.
+//
+// In sampled runs, Stats.Cycles covers only the detailed spans;
+// Stats.Sample carries the whole-run estimates (typed units.EstCycles,
+// with relative 95% CIs). Stats.Instructions remains the exact
+// whole-run count. All other raw counters (misses, branches, cache and
+// prefetcher stats) cover the decoded events — functional plus
+// detailed — and are diagnostics, not whole-run measurements.
+
+// sampler is the per-CPU sampling state, nil unless EnableSampling.
+type sampler struct {
+	// ffIssueFn is the functional-mode prefetch sink, bound once like
+	// issueFn to avoid a closure allocation per event.
+	ffIssueFn prefetch.Issue
+
+	mode      trace.SpanKind
+	measuring bool
+
+	// Window-open snapshots.
+	openCycles  units.Cycles
+	openInstrs  units.Instrs
+	openIMisses int64
+
+	windows []sample.Window
+
+	skippedEvents  int64
+	skippedInstrs  units.Instrs
+	ffEvents       int64
+	warmEvents     int64
+	measuredEvents int64
+}
+
+var _ trace.SampledConsumer = (*CPU)(nil)
+
+// EnableSampling prepares the CPU to be driven by a sampled replay
+// (trace.ReplaySampled). Call it before consuming events. Without a
+// sampled driver the CPU behaves exactly as before — events arriving
+// outside any span run in full detail — so enabling it never corrupts
+// a full replay.
+func (c *CPU) EnableSampling() {
+	if c.smp == nil {
+		c.smp = &sampler{mode: trace.SpanDetailWarm}
+		c.smp.ffIssueFn = c.ffIssue
+	}
+}
+
+// SamplingEnabled reports whether EnableSampling was called.
+func (c *CPU) SamplingEnabled() bool { return c.smp != nil }
+
+// BeginSpan implements trace.SampledConsumer: subsequent events belong
+// to a span of the given kind.
+func (c *CPU) BeginSpan(kind trace.SpanKind) {
+	s := c.smp
+	if s == nil {
+		return
+	}
+	c.closeWindow()
+	if kind == trace.SpanFunctionalWarm && s.mode != trace.SpanFunctionalWarm {
+		c.flushInflight()
+	}
+	if kind == trace.SpanMeasure {
+		s.measuring = true
+		s.openCycles = c.cycle
+		s.openInstrs = c.stats.Instructions
+		s.openIMisses = c.stats.ICacheMisses
+	}
+	s.mode = kind
+}
+
+// SkipSpan implements trace.SampledConsumer: events skipped events went
+// by undecoded, carrying instrs instructions. The exact instruction
+// count keeps Stats.Instructions whole-run-accurate, which is what the
+// estimator scales window rates by.
+func (c *CPU) SkipSpan(events int64, instrs units.Instrs) {
+	// Close any open window before folding in the skipped
+	// instructions, or the window's instruction delta would swallow
+	// the whole skipped span and crater its rate.
+	c.closeWindow()
+	c.stats.Instructions += instrs
+	s := c.smp
+	if s == nil {
+		return
+	}
+	c.flushInflight()
+	s.mode = trace.SpanSkip
+	s.skippedEvents += events
+	s.skippedInstrs += instrs
+}
+
+// closeWindow seals an open measurement window into the estimator's
+// window list.
+func (c *CPU) closeWindow() {
+	s := c.smp
+	if s == nil || !s.measuring {
+		return
+	}
+	s.measuring = false
+	s.windows = append(s.windows, sample.Window{
+		Cycles: c.cycle - s.openCycles,
+		Instrs: c.stats.Instructions - s.openInstrs,
+		Misses: c.stats.ICacheMisses - s.openIMisses,
+	})
+}
+
+// flushInflight retires every queued prefetch into L1I regardless of
+// ready time: the simulated time about to be skipped dwarfs any L2 or
+// memory latency, so all in-flight transfers complete before the next
+// detailed span. Entries already consumed as delayed hits just drop.
+func (c *CPU) flushInflight() {
+	for !c.fifo.empty() {
+		inf := c.fifo.front()
+		line, done := inf.line, inf.done
+		meta := lineMeta{prefetched: true, portion: inf.portion,
+			issuedAt: inf.issuedAt, issuer: inf.issuer}
+		c.fifo.popFront()
+		if done {
+			continue
+		}
+		c.fifo.remove(line)
+		c.insertL1I(line, meta)
+	}
+}
+
+// sampledEvent routes one event according to the current span mode.
+func (c *CPU) sampledEvent(ev trace.Event) {
+	s := c.smp
+	switch s.mode {
+	case trace.SpanFunctionalWarm:
+		s.ffEvents++
+		c.ffEvent(&ev)
+	case trace.SpanMeasure:
+		s.measuredEvents++
+		c.event(ev)
+	default:
+		s.warmEvents++
+		c.event(ev)
+	}
+}
+
+// ---- functional fast-forward ----
+
+// ffEvent is the functional twin of event: it performs every
+// architectural state update — cache contents, branch predictor, RAS,
+// prefetcher call-graph history, attribution scope — and every
+// decoded-stream counter, but never touches the cycle clock, stall
+// accounting, the bus or the inflight ring. Cost is dominated by the
+// cache probes, keeping functional warming several times cheaper than
+// detailed simulation.
+func (c *CPU) ffEvent(ev *trace.Event) {
+	switch ev.Kind {
+	case trace.KindRun:
+		if ev.N <= 0 {
+			return
+		}
+		c.stats.Instructions += units.Instrs(ev.N)
+		if !c.cfg.PerfectICache {
+			c.ffTouchI(ev.Addr, int(ev.N))
+		}
+	case trace.KindLoop:
+		if ev.N <= 0 || ev.Iters <= 0 {
+			return
+		}
+		c.stats.Instructions += units.Instrs(int64(ev.N) * int64(ev.Iters))
+		c.loopBranches += int64(ev.Iters)
+		c.loopMispredicts++
+		if !c.cfg.PerfectICache {
+			c.ffTouchI(ev.Addr, int(ev.N))
+		}
+	case trace.KindBranch:
+		c.bp.Predict(ev.Addr, ev.Taken)
+	case trace.KindCall:
+		c.stats.Calls++
+		if c.attr != nil {
+			c.attr.enter(ev.Target)
+		}
+		c.ras.Push(branch.RASEntry{
+			ReturnAddr:  ev.Addr + isa.InstrBytes,
+			CallerStart: ev.CallerStart,
+		})
+		if !c.cfg.PerfectICache {
+			c.pf.OnCall(ev.Target, ev.CallerStart, c.smp.ffIssueFn)
+		}
+	case trace.KindReturn:
+		if c.attr != nil {
+			c.attr.enter(ev.CallerStart)
+		}
+		pred, ok := c.ras.Pop()
+		c.ras.RecordOutcome(pred, ok, ev.Target)
+		if !c.cfg.PerfectICache {
+			var predCaller isa.Addr
+			if ok {
+				predCaller = pred.CallerStart
+			}
+			c.pf.OnReturn(predCaller, ev.Addr, c.smp.ffIssueFn)
+		}
+	case trace.KindData:
+		c.ffTouchD(ev)
+	case trace.KindSwitch:
+		c.stats.Switches++
+		if c.cfg.FlushRASOnSwitch {
+			c.ras.Flush()
+		}
+	}
+}
+
+// ffTouchI is fetchLine without timing: it keeps L1I/L2 contents and
+// the miss counters moving, charging no stalls and using no ring. The
+// per-fetch prefetcher hook (OnFetch — next-N-line issue in every
+// prefetcher here) is deliberately not run: it is stateless, it costs
+// several cache probes per fetched line, and its short reach is
+// re-established within the first handful of detailed warm-up events.
+// The stateful call-graph hooks (OnCall/OnReturn) do run, in ffEvent.
+func (c *CPU) ffTouchI(addr isa.Addr, n int) {
+	line := isa.LineAddr(addr)
+	for covered := isa.LinesCovered(addr, isa.InstrRangeBytes(n)); covered > 0; covered-- {
+		cl := cache.Line(isa.Line(line))
+		c.stats.ILineAccesses++
+		if _, hit := c.l1i.Access(cl); !hit {
+			c.stats.ICacheMisses++
+			if _, h2 := c.l2.Access(cl); !h2 {
+				c.stats.L2Misses++
+				c.l2.Insert(cl, struct{}{})
+			}
+			c.stats.L2Accesses++
+			c.insertL1I(line, lineMeta{})
+		}
+		line += isa.LineBytes
+	}
+}
+
+// ffTouchD is data without timing.
+func (c *CPU) ffTouchD(ev *trace.Event) {
+	line := isa.LineAddr(ev.Addr)
+	for covered := isa.LinesCovered(ev.Addr, int(ev.N)); covered > 0; covered-- {
+		cl := cache.Line(isa.Line(line))
+		c.stats.DLineAccesses++
+		if meta, hit := c.l1d.Access(cl); hit {
+			if ev.Taken { // write
+				meta.dirty = true
+			}
+		} else {
+			c.stats.DCacheMisses++
+			if _, h2 := c.l2.Access(cl); !h2 {
+				c.stats.L2Misses++
+				c.l2.Insert(cl, struct{}{})
+			}
+			c.stats.L2Accesses++
+			c.l1d.Insert(cl, dataMeta{dirty: ev.Taken})
+		}
+		line += isa.LineBytes
+	}
+}
+
+// ffIssue is the functional-mode prefetch sink: the line lands in the
+// caches immediately (the transfer would complete within the warmed
+// stretch) with no ring entry and no effectiveness accounting — the
+// fill is marked already-used so it can neither claim a PrefHit nor be
+// booked Useless, keeping the Figure 8/9 counters a detailed-span
+// measurement.
+func (c *CPU) ffIssue(req prefetch.Request) {
+	line := isa.LineAddr(req.Addr)
+	cl := cache.Line(isa.Line(line))
+	if c.l1i.Contains(cl) {
+		return
+	}
+	if _, hit := c.l2.Access(cl); !hit {
+		c.stats.L2Misses++
+		c.l2.Insert(cl, struct{}{})
+	}
+	c.stats.L2Accesses++
+	if c.cfg.PrefetchIntoL2Only {
+		return
+	}
+	c.l1i.Insert(cl, lineMeta{prefetched: true, used: true})
+}
+
+// finish derives the whole-run estimates from the closed windows.
+// total is the exact whole-run instruction count (counted in every
+// tier). cycles is the detailed-span cycle count, used verbatim when
+// the replay never opened a window — i.e. the stream was simulated in
+// full detail, so the "estimate" is the measurement itself.
+func (s *sampler) finish(total units.Instrs, cycles units.Cycles) *SampleStats {
+	ss := &SampleStats{
+		Windows:             len(s.windows),
+		SkippedEvents:       s.skippedEvents,
+		SkippedInstrs:       s.skippedInstrs,
+		FastForwardedEvents: s.ffEvents,
+		WarmupEvents:        s.warmEvents,
+		MeasuredEvents:      s.measuredEvents,
+	}
+	if len(s.windows) == 0 {
+		//cgplint:ignore cyclesafe zero-window fallback: the whole stream ran in full detail, so the estimate is the measurement
+		ss.EstCycles = units.EstCycles(int64(cycles))
+		ss.Degenerate = true
+		return ss
+	}
+	cyc := sample.EstimateRate(s.windows, func(w sample.Window) float64 { return float64(w.Cycles) })
+	miss := sample.EstimateRate(s.windows, func(w sample.Window) float64 { return float64(w.Misses) })
+	ss.EstCycles = units.EstCycles(cyc.Scale(total))
+	ss.CycleRelCI = cyc.RelCI
+	ss.EstIMisses = miss.Scale(total)
+	ss.MissRelCI = miss.RelCI
+	ss.Degenerate = cyc.Degenerate
+	return ss
+}

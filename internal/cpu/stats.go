@@ -94,6 +94,55 @@ type Stats struct {
 	// function start address. It is nil unless the CPU ran with
 	// EnableAttribution; collecting it changes no other counter.
 	Attribution []FuncAttribution
+
+	// Sample carries the whole-run estimates of a sampled run, nil for
+	// full-detail runs. When non-nil, Cycles covers only the detailed
+	// spans; the run-level cycle figure is Sample.EstCycles (±CI).
+	// Instructions remains the exact whole-run count in either mode.
+	Sample *SampleStats
+}
+
+// SampleStats is the estimator output of a sampled run, plus the
+// span-tier event accounting that makes a sampled replay inspectable.
+type SampleStats struct {
+	// EstCycles is the estimated whole-run cycle count: the
+	// instruction-weighted window CPI scaled by the exact whole-run
+	// instruction count. It is typed units.EstCycles — distinct from
+	// measured units.Cycles — so it cannot silently flow into measured
+	// accounting (enforced by the cyclesafe analyzer).
+	EstCycles units.EstCycles
+	// CycleRelCI is the relative half-width of the 95% confidence
+	// interval on EstCycles (paired-window variance).
+	CycleRelCI float64
+	// EstIMisses / MissRelCI are the same estimate for I-cache misses.
+	EstIMisses int64
+	MissRelCI  float64
+	// Windows is how many measurement windows closed; Degenerate marks
+	// estimates from fewer than two windows, whose RelCI of zero is
+	// absence of a CI, not a claim of zero error.
+	Windows    int
+	Degenerate bool
+
+	// Event accounting by replay tier.
+	SkippedEvents       int64
+	SkippedInstrs       units.Instrs
+	FastForwardedEvents int64
+	WarmupEvents        int64
+	MeasuredEvents      int64
+}
+
+// DetailedEvents returns the events simulated in full detail (warm-up
+// plus measured).
+func (s *SampleStats) DetailedEvents() int64 {
+	return s.WarmupEvents + s.MeasuredEvents
+}
+
+// EstIPC returns instructions per estimated cycle.
+func (s *SampleStats) EstIPC(instrs units.Instrs) float64 {
+	if s.EstCycles == 0 {
+		return 0
+	}
+	return float64(instrs) / float64(s.EstCycles)
 }
 
 // TotalPrefetch returns the combined prefetch stats.

@@ -1,0 +1,280 @@
+// Package sample implements SMARTS-style sampled simulation for the
+// trace replayer: a deterministic plan that partitions a recording
+// into skipped, functionally-warmed, detail-warmed and measured spans,
+// and a ratio estimator that scales window measurements into whole-run
+// estimates with per-metric confidence intervals.
+//
+// The methodology follows Wunderlich et al. (SMARTS, ISCA 2003)
+// adapted to this simulator's event-granular traces:
+//
+//   - Periodic (or seeded random-offset) systematic sampling: each
+//     period contributes one measurement window, preceded by a
+//     functional-warming stretch (caches, call-graph history and
+//     branch state are updated without timing) and a short detailed
+//     warm-up (timing state — inflight prefetches, bus contention —
+//     settles before measurement starts).
+//   - Per-instruction ratio estimation: window CPI (or miss rate) is
+//     accumulated as Σx/ΣI across windows, then scaled by the exact
+//     whole-run instruction count, which the replayer counts in every
+//     tier including skips.
+//   - Paired-window variance: the 95% CI uses the successive-difference
+//     variance estimator Σ(rᵢ₊₁−rᵢ)²/(2(n−1)), which discounts the
+//     slow drift between program phases that an ordinary sample
+//     variance would book as sampling error.
+//
+// Everything here is pure arithmetic on the sampling config and the
+// recording's event count — no clocks, no global randomness — so a
+// plan and its estimates are byte-identical across worker counts and
+// checkpoint/resume paths.
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"cgp/internal/trace"
+	"cgp/internal/units"
+)
+
+// Config holds the sampling knobs. The zero value disables sampling;
+// Enabled requires both a period and a window length.
+type Config struct {
+	// PeriodEvents is the sampling period: one measurement window per
+	// PeriodEvents trace events.
+	PeriodEvents int64
+	// FunctionalWarmEvents is how many events before each detailed
+	// warm-up are decoded for functional warming (cache contents,
+	// call-graph history, branch state; no timing). Everything earlier
+	// in the period is skipped without decoding.
+	FunctionalWarmEvents int64
+	// DetailWarmEvents is the detailed (timed but unmeasured) warm-up
+	// run immediately before each measurement window.
+	DetailWarmEvents int64
+	// WindowEvents is the length of each measurement window.
+	WindowEvents int64
+	// RandomOffset places each period's window at a seeded
+	// deterministic random offset within the period instead of at its
+	// end, decorrelating the schedule from any periodicity in the
+	// workload.
+	RandomOffset bool
+	// Seed drives the random offsets; ignored unless RandomOffset.
+	Seed uint64
+}
+
+// Default returns the recommended sampling configuration for
+// campaign-scale traces: 32k-event windows every 1M events, with 8k
+// events of detailed warm-up and 60k of functional warming — about 4%
+// of the stream simulated in detail and 6% functionally warmed.
+func Default() Config {
+	return Config{
+		PeriodEvents:         1_000_000,
+		FunctionalWarmEvents: 60_000,
+		DetailWarmEvents:     8_000,
+		WindowEvents:         32_000,
+	}
+}
+
+// Enabled reports whether the config describes an actual sampling
+// schedule.
+func (c Config) Enabled() bool {
+	return c.PeriodEvents > 0 && c.WindowEvents > 0
+}
+
+// WithDefaults fills the warm-up knobs of an enabled config that left
+// them zero: functional warming defaults to twice the detailed span
+// and detailed warm-up to a quarter of the window. A disabled config
+// is returned unchanged so its fingerprint stays stable.
+func (c Config) WithDefaults() Config {
+	if !c.Enabled() {
+		return c
+	}
+	if c.DetailWarmEvents == 0 {
+		c.DetailWarmEvents = c.WindowEvents / 4
+	}
+	if c.FunctionalWarmEvents == 0 {
+		c.FunctionalWarmEvents = 2 * (c.DetailWarmEvents + c.WindowEvents)
+	}
+	return c
+}
+
+// String renders the schedule compactly; it is part of config
+// fingerprints, so changing the format rescopes checkpoints.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "off"
+	}
+	s := fmt.Sprintf("P%d/F%d/W%d/M%d", c.PeriodEvents, c.FunctionalWarmEvents, c.DetailWarmEvents, c.WindowEvents)
+	if c.RandomOffset {
+		s += fmt.Sprintf("/r%d", c.Seed)
+	}
+	return s
+}
+
+// mix64 is the splitmix64 finalizer: a stateless bijective mixer that
+// turns (seed, period index) into a well-distributed offset without
+// any global RNG state.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Plan lays the sampling schedule over a stream of total events. Each
+// full period contributes skip → functional-warm → detail-warm →
+// measure (→ skip when the window is randomly offset); a stream or
+// tail too short to fit one full schedule is measured in detail
+// end-to-end, so tiny traces degrade to exact simulation instead of
+// returning garbage estimates. Spans always cover the stream exactly.
+func (c Config) Plan(total int64) []trace.Span {
+	c = c.WithDefaults()
+	if !c.Enabled() || total <= 0 {
+		return nil
+	}
+	winCost := c.FunctionalWarmEvents + c.DetailWarmEvents + c.WindowEvents
+	if total < winCost || c.PeriodEvents < winCost {
+		return []trace.Span{{Kind: trace.SpanMeasure, Events: total}}
+	}
+	var spans []trace.Span
+	add := func(k trace.SpanKind, n int64) {
+		if n <= 0 {
+			return
+		}
+		if k == trace.SpanSkip && len(spans) > 0 && spans[len(spans)-1].Kind == trace.SpanSkip {
+			spans[len(spans)-1].Events += n
+			return
+		}
+		spans = append(spans, trace.Span{Kind: k, Events: n})
+	}
+	var pos, period int64
+	for pos < total {
+		chunk := c.PeriodEvents
+		if rest := total - pos; rest < chunk {
+			chunk = rest
+		}
+		room := chunk - winCost
+		if room < 0 {
+			// Short tail: not enough left for a full schedule. Measure
+			// it in detail — it is already warmed by the preceding
+			// period, and dropping it would bias the estimate against
+			// the program's final phase.
+			add(trace.SpanFunctionalWarm, chunk-c.DetailWarmEvents-c.WindowEvents)
+			rest := chunk
+			if rest > c.DetailWarmEvents+c.WindowEvents {
+				rest = c.DetailWarmEvents + c.WindowEvents
+			}
+			warm := rest - c.WindowEvents
+			add(trace.SpanDetailWarm, warm)
+			add(trace.SpanMeasure, rest-max64(warm, 0))
+			pos += chunk
+			period++
+			continue
+		}
+		off := room
+		if c.RandomOffset {
+			off = int64(mix64(c.Seed+uint64(period)) % uint64(room+1))
+		}
+		add(trace.SpanSkip, off)
+		add(trace.SpanFunctionalWarm, c.FunctionalWarmEvents)
+		add(trace.SpanDetailWarm, c.DetailWarmEvents)
+		add(trace.SpanMeasure, c.WindowEvents)
+		add(trace.SpanSkip, room-off)
+		pos += chunk
+		period++
+	}
+	return spans
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Window is the measurement of one detailed window: the cycles and
+// instructions it spanned, plus the metric counters sampled over it.
+type Window struct {
+	Cycles units.Cycles
+	Instrs units.Instrs
+	Misses int64
+}
+
+// Estimate is a whole-run extrapolation of one per-instruction rate.
+type Estimate struct {
+	// Rate is the instruction-weighted ratio estimate Σx/ΣI across
+	// windows (e.g. CPI for the cycle metric).
+	Rate float64
+	// RelCI is the relative half-width of the 95% confidence interval
+	// (half-width / point estimate). Zero when Degenerate.
+	RelCI float64
+	// Windows is the number of usable (nonzero-instruction) windows.
+	Windows int
+	// Degenerate marks estimates from fewer than two windows, where no
+	// variance — and hence no CI — exists. A one-window estimate of a
+	// whole-stream measure span is exact, but callers must not treat
+	// RelCI == 0 from a degenerate estimate as a claim of zero error.
+	Degenerate bool
+}
+
+// tQuantile97_5 holds two-sided 95% Student-t quantiles by degrees of
+// freedom (1-based); beyond the table the normal quantile is close
+// enough.
+var tQuantile97_5 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tQuantile(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(tQuantile97_5) {
+		return tQuantile97_5[df-1]
+	}
+	return 1.960
+}
+
+// EstimateRate extrapolates the per-instruction rate of one metric
+// from the windows, with value extracting the metric's counter.
+func EstimateRate(ws []Window, value func(Window) float64) Estimate {
+	var sumV, sumI float64
+	rates := make([]float64, 0, len(ws))
+	for _, w := range ws {
+		if w.Instrs <= 0 {
+			continue
+		}
+		v := value(w)
+		sumV += v
+		sumI += float64(w.Instrs)
+		rates = append(rates, v/float64(w.Instrs))
+	}
+	est := Estimate{Windows: len(rates)}
+	if sumI == 0 {
+		est.Degenerate = true
+		return est
+	}
+	est.Rate = sumV / sumI
+	if len(rates) < 2 {
+		est.Degenerate = true
+		return est
+	}
+	var sd float64
+	for i := 1; i < len(rates); i++ {
+		d := rates[i] - rates[i-1]
+		sd += d * d
+	}
+	sigma2 := sd / (2 * float64(len(rates)-1))
+	half := tQuantile(len(rates)-1) * math.Sqrt(sigma2/float64(len(rates)))
+	if est.Rate > 0 {
+		est.RelCI = half / est.Rate
+	}
+	return est
+}
+
+// Scale turns the rate estimate into a whole-run estimated count for a
+// stream of total instructions (counted exactly in every replay tier).
+func (e Estimate) Scale(total units.Instrs) int64 {
+	return int64(math.Round(e.Rate * float64(total)))
+}

@@ -1,0 +1,258 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"cgp/internal/trace"
+	"cgp/internal/units"
+)
+
+func planTotals(spans []trace.Span) (total int64, byKind map[trace.SpanKind]int64) {
+	byKind = map[trace.SpanKind]int64{}
+	for _, sp := range spans {
+		total += sp.Events
+		byKind[sp.Kind] += sp.Events
+	}
+	return
+}
+
+func TestPlanCoversStreamExactly(t *testing.T) {
+	cfgs := []Config{
+		{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50},
+		{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50, RandomOffset: true, Seed: 7},
+		{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50, RandomOffset: true, Seed: 8},
+		Default(),
+		{PeriodEvents: 300, WindowEvents: 10}, // warm knobs defaulted
+	}
+	totals := []int64{1, 49, 999, 1000, 1001, 4096, 12345, 1 << 20, 3_333_333}
+	for _, cfg := range cfgs {
+		for _, total := range totals {
+			spans := cfg.Plan(total)
+			got, _ := planTotals(spans)
+			if got != total {
+				t.Errorf("Plan(%v, %d) covers %d events", cfg, total, got)
+			}
+			for _, sp := range spans {
+				if sp.Events <= 0 {
+					t.Errorf("Plan(%v, %d) emitted empty span %+v", cfg, total, sp)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanStructure(t *testing.T) {
+	cfg := Config{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50}
+	spans := cfg.Plan(10_000)
+	_, byKind := planTotals(spans)
+	if byKind[trace.SpanMeasure] != 10*50 {
+		t.Errorf("measured events = %d, want 500", byKind[trace.SpanMeasure])
+	}
+	if byKind[trace.SpanFunctionalWarm] != 10*100 {
+		t.Errorf("functional-warm events = %d, want 1000", byKind[trace.SpanFunctionalWarm])
+	}
+	if byKind[trace.SpanDetailWarm] != 10*20 {
+		t.Errorf("detail-warm events = %d, want 200", byKind[trace.SpanDetailWarm])
+	}
+	if byKind[trace.SpanSkip] != 10_000-500-1000-200 {
+		t.Errorf("skipped events = %d, want 8300", byKind[trace.SpanSkip])
+	}
+	// Fixed offset: every window sits at its period's end, so the kinds
+	// cycle skip, fwarm, warm, measure.
+	want := []trace.SpanKind{trace.SpanSkip, trace.SpanFunctionalWarm, trace.SpanDetailWarm, trace.SpanMeasure}
+	for i, sp := range spans {
+		if sp.Kind != want[i%4] {
+			t.Fatalf("span %d kind = %v, want %v", i, sp.Kind, want[i%4])
+		}
+	}
+}
+
+func TestPlanTinyStreamDegradesToFullMeasure(t *testing.T) {
+	cfg := Config{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50}
+	spans := cfg.Plan(99)
+	if len(spans) != 1 || spans[0].Kind != trace.SpanMeasure || spans[0].Events != 99 {
+		t.Fatalf("tiny-stream plan = %+v, want single 99-event measure span", spans)
+	}
+}
+
+func TestPlanDeterministicAndSeedSensitive(t *testing.T) {
+	cfg := Config{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50, RandomOffset: true, Seed: 42}
+	a := cfg.Plan(50_000)
+	b := cfg.Plan(50_000)
+	if len(a) != len(b) {
+		t.Fatalf("same config produced different plan lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same config produced different plans at span %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 43
+	c := cfg.Plan(50_000)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical random-offset plans")
+	}
+}
+
+func TestPlanDisabled(t *testing.T) {
+	if spans := (Config{}).Plan(1000); spans != nil {
+		t.Fatalf("disabled config produced a plan: %+v", spans)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if !Default().Enabled() {
+		t.Fatal("Default() reports disabled")
+	}
+}
+
+func cyclesOf(w Window) float64 { return float64(w.Cycles) }
+
+func TestEstimateKnownWindows(t *testing.T) {
+	// Hand-computed: rates 2.0, 2.2, 1.8 with equal 1000-instr weights.
+	// Ratio estimate = 6000/3000 = 2.0. Successive differences 0.2, -0.4
+	// → σ² = (0.04+0.16)/(2·2) = 0.05, SE = sqrt(0.05/3) ≈ 0.12910,
+	// t₂ = 4.303 → half ≈ 0.55549, RelCI ≈ 0.27775.
+	ws := []Window{
+		{Cycles: 2000, Instrs: 1000},
+		{Cycles: 2200, Instrs: 1000},
+		{Cycles: 1800, Instrs: 1000},
+	}
+	e := EstimateRate(ws, cyclesOf)
+	if e.Degenerate || e.Windows != 3 {
+		t.Fatalf("estimate = %+v, want 3 non-degenerate windows", e)
+	}
+	if math.Abs(e.Rate-2.0) > 1e-12 {
+		t.Errorf("rate = %v, want 2.0", e.Rate)
+	}
+	wantRel := 4.303 * math.Sqrt(0.05/3) / 2.0
+	if math.Abs(e.RelCI-wantRel) > 1e-9 {
+		t.Errorf("RelCI = %v, want %v", e.RelCI, wantRel)
+	}
+	if got := e.Scale(1_000_000); got != 2_000_000 {
+		t.Errorf("Scale(1M instrs) = %d, want 2000000", got)
+	}
+}
+
+func TestEstimateInstructionWeighting(t *testing.T) {
+	// The ratio estimator weights by instructions: a big accurate window
+	// dominates a small noisy one. Σx/ΣI = (9000+300)/(3000+100).
+	ws := []Window{
+		{Cycles: 9000, Instrs: 3000},
+		{Cycles: 300, Instrs: 100},
+	}
+	e := EstimateRate(ws, cyclesOf)
+	if math.Abs(e.Rate-9300.0/3100.0) > 1e-12 {
+		t.Errorf("rate = %v, want %v", e.Rate, 9300.0/3100.0)
+	}
+}
+
+func TestEstimateOneWindowDegenerate(t *testing.T) {
+	e := EstimateRate([]Window{{Cycles: 4200, Instrs: 2100}}, cyclesOf)
+	if !e.Degenerate {
+		t.Fatal("one-window estimate not marked degenerate")
+	}
+	if e.Windows != 1 || e.RelCI != 0 {
+		t.Fatalf("estimate = %+v, want Windows=1 RelCI=0", e)
+	}
+	if math.Abs(e.Rate-2.0) > 1e-12 {
+		t.Errorf("rate = %v, want 2.0", e.Rate)
+	}
+}
+
+func TestEstimateZeroVariance(t *testing.T) {
+	ws := []Window{
+		{Cycles: 1000, Instrs: 500},
+		{Cycles: 1000, Instrs: 500},
+		{Cycles: 1000, Instrs: 500},
+	}
+	e := EstimateRate(ws, cyclesOf)
+	if e.Degenerate {
+		t.Fatal("identical windows marked degenerate")
+	}
+	if e.RelCI != 0 {
+		t.Errorf("RelCI = %v, want exactly 0 for identical windows", e.RelCI)
+	}
+	if math.Abs(e.Rate-2.0) > 1e-12 {
+		t.Errorf("rate = %v, want 2.0", e.Rate)
+	}
+}
+
+func TestEstimateNoWindows(t *testing.T) {
+	e := EstimateRate(nil, cyclesOf)
+	if !e.Degenerate || e.Rate != 0 || e.RelCI != 0 || e.Windows != 0 {
+		t.Fatalf("empty estimate = %+v, want degenerate zero", e)
+	}
+	// Windows with no instructions are unusable and must be dropped.
+	e = EstimateRate([]Window{{Cycles: 10, Instrs: 0}}, cyclesOf)
+	if !e.Degenerate || e.Windows != 0 {
+		t.Fatalf("zero-instr windows not dropped: %+v", e)
+	}
+}
+
+func TestEstimateZeroRateMetric(t *testing.T) {
+	// A metric that never fires (e.g. misses under a perfect cache)
+	// must not divide by zero computing the relative CI.
+	ws := []Window{
+		{Misses: 0, Instrs: 500},
+		{Misses: 0, Instrs: 500},
+	}
+	e := EstimateRate(ws, func(w Window) float64 { return float64(w.Misses) })
+	if e.Rate != 0 || e.RelCI != 0 || e.Degenerate {
+		t.Fatalf("zero-rate estimate = %+v, want rate 0, RelCI 0, non-degenerate", e)
+	}
+	if e.Scale(1_000_000) != 0 {
+		t.Fatal("zero rate scaled to nonzero count")
+	}
+}
+
+func TestTQuantileTable(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{0, 0}, {1, 12.706}, {2, 4.303}, {30, 2.042}, {31, 1.960}, {1000, 1.960}}
+	for _, c := range cases {
+		if got := tQuantile(c.df); got != c.want {
+			t.Errorf("tQuantile(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if (Config{}).String() != "off" {
+		t.Errorf("zero config String = %q, want off", (Config{}).String())
+	}
+	c := Config{PeriodEvents: 1000, FunctionalWarmEvents: 100, DetailWarmEvents: 20, WindowEvents: 50}
+	if c.String() != "P1000/F100/W20/M50" {
+		t.Errorf("String = %q", c.String())
+	}
+	c.RandomOffset = true
+	c.Seed = 9
+	if c.String() != "P1000/F100/W20/M50/r9" {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{PeriodEvents: 1000, WindowEvents: 40}
+	d := c.WithDefaults()
+	if d.DetailWarmEvents != 10 || d.FunctionalWarmEvents != 100 {
+		t.Errorf("WithDefaults = %+v", d)
+	}
+	if z := (Config{}).WithDefaults(); z != (Config{}) {
+		t.Errorf("disabled WithDefaults mutated config: %+v", z)
+	}
+}
+
+// A compile-time check that estimated cycles carry their own unit.
+var _ units.EstCycles = units.EstCycles(0)

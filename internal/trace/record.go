@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"cgp/internal/isa"
 	"cgp/internal/program"
@@ -139,6 +140,11 @@ type Recording struct {
 	// Stats are the aggregate statistics of the recorded stream,
 	// identical to what a Stats consumer fed by Replay would count.
 	Stats Stats
+	// idxOnce/idx lazily build the skip index used by ReplaySampled
+	// (see sample.go). The index lives only in memory — the encoded
+	// stream stays byte-compatible with the on-disk format.
+	idxOnce sync.Once
+	idx     []skipPoint
 }
 
 // Events returns the number of recorded events.
@@ -422,6 +428,26 @@ func decodeEventInto(b []byte, ev *Event) (int, error) {
 
 func decodeErr(field string) error {
 	return fmt.Errorf("trace: decode %s: %w", field, io.ErrUnexpectedEOF)
+}
+
+// Load reads an entire encoded trace stream (the cgptrace on-disk
+// format, header included) into a sealed Recording, so file-backed
+// traces get the same replay machinery as in-memory ones — including
+// sampled replay, which needs random access the streaming Reader
+// cannot provide. The stream is decoded once to rebuild the aggregate
+// Stats a Recorder would have counted.
+func Load(src io.Reader) (*Recording, error) {
+	buf := newChunkBuffer(recordChunkBytes)
+	if _, err := io.Copy(buf, src); err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	rec := &Recording{buf: buf, version: RecordingVersion, sums: sealChecksums(buf)}
+	var st Stats
+	if err := rec.Replay(&st); err != nil {
+		return nil, err
+	}
+	rec.Stats = st
+	return rec, nil
 }
 
 // WriteTo copies the raw encoded trace (header included) to w, so a

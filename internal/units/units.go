@@ -42,6 +42,22 @@ type Instrs int64
 // package named "units" whose name starts with "Wall").
 type WallNanos int64
 
+// EstCycles counts *estimated* CPU clock cycles: a whole-run cycle
+// count extrapolated from sampled measurement windows rather than
+// observed directly. It is deliberately a distinct type from Cycles so
+// the cyclesafe analyzer polices the boundary between measured and
+// estimated quantities: converting EstCycles into Cycles (directly or
+// laundered through int64) is flagged, because an estimate that slips
+// into a measured-cycles field turns a ±CI approximation into a fact.
+// Code that genuinely needs to treat an estimate as cycles (a display
+// ratio, a tolerance check) exits through the sanctioned int64/float64
+// conversions, which keeps the intent visible at the call site.
+//
+// The "Est" name prefix is load-bearing: cyclesafe recognizes
+// estimated-domain unit types by it (any integer type in a package
+// named "units" whose name starts with "Est").
+type EstCycles int64
+
 // IPC returns instructions per cycle, the only cross-unit ratio the
 // stats layer needs often enough to deserve a helper.
 func IPC(i Instrs, c Cycles) float64 {

@@ -19,6 +19,9 @@ func (f *Figure) Markdown() string {
 	if n := f.Degraded(); n > 0 {
 		fmt.Fprintf(&b, "> **Degraded:** %d of %d rows failed; their cells are marked below.\n\n", n, len(f.Rows))
 	}
+	if n := f.Sampled(); n > 0 {
+		fmt.Fprintf(&b, "> **Sampled:** %d of %d rows are sampled estimates, marked `~value ±CI` (relative 95%% confidence half-width).\n\n", n, len(f.Rows))
+	}
 	switch f.ID {
 	case "fig7":
 		b.WriteString("| workload | config | I-cache misses | vs O5 |\n|---|---|---:|---:|\n")
@@ -35,7 +38,11 @@ func (f *Figure) Markdown() string {
 			if base[r.Workload] > 0 {
 				frac = fmt.Sprintf("%.2f", float64(r.Misses)/float64(base[r.Workload]))
 			}
-			fmt.Fprintf(&b, "| %s | %s | %d | %s |\n", r.Workload, r.Config, r.Misses, frac)
+			misses := fmt.Sprintf("%d", r.Misses)
+			if r.Estimated {
+				misses = "~" + misses
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", r.Workload, r.Config, misses, frac)
 		}
 	case "fig8", "fig9":
 		b.WriteString("| workload | config | pref hits | delayed hits | useless | useful frac |\n|---|---|---:|---:|---:|---:|\n")
@@ -57,6 +64,11 @@ func (f *Figure) Markdown() string {
 		for _, r := range f.Rows {
 			if r.Failed() {
 				fmt.Fprintf(&b, "| %s | %s | _failed: %s_ | — |\n", r.Workload, r.Config, r.Err)
+				continue
+			}
+			if r.Estimated {
+				fmt.Fprintf(&b, "| %s | %s | ~%d ±%.1f%% | ~%.3f |\n",
+					r.Workload, r.Config, r.Cycles, 100*r.CyclesCI, r.Speedup)
 				continue
 			}
 			fmt.Fprintf(&b, "| %s | %s | %d | %.3f |\n", r.Workload, r.Config, r.Cycles, r.Speedup)

@@ -15,7 +15,9 @@ import (
 	"cgp/internal/obs"
 	"cgp/internal/prefetch"
 	"cgp/internal/program"
+	"cgp/internal/sample"
 	"cgp/internal/trace"
+	"cgp/internal/units"
 	"cgp/internal/workload"
 )
 
@@ -57,7 +59,9 @@ type Result struct {
 	CGPStats *core.Stats
 }
 
-// Cycles is shorthand for CPU.Cycles.
+// Cycles is shorthand for CPU.Cycles — the measured cycle count. For a
+// sampled run this covers only the detailed spans; the whole-run
+// figure is the estimate in CPU.Sample.EstCycles.
 func (r *Result) Cycles() int64 { return int64(r.CPU.Cycles) }
 
 // ICacheMisses is shorthand for CPU.ICacheMisses.
@@ -112,6 +116,50 @@ type RunnerOptions struct {
 	// keys — but it is part of the checkpoint scope, so attributed and
 	// plain campaigns never serve each other's checkpoints.
 	Attribution bool
+	// Sampling, when enabled, is the sampled-simulation schedule the
+	// figure generators apply to the figures in SampledFigures: those
+	// figures' cells run as sampled simulations (estimated cycles ±CI)
+	// instead of full detailed ones. Unlike Attribution this IS part of
+	// each affected cell's Config — sampling changes the result — so
+	// sampled and full campaigns never share cached results or
+	// checkpoints. Jobs submitted directly through Run/RunAll are only
+	// sampled if their own Config.Sampling says so.
+	Sampling sample.Config
+	// SampledFigures lists the figure IDs Sampling applies to. Nil
+	// means DefaultSampledFigures — the cycle-comparison figures, whose
+	// headline numbers are run-length estimates. Figures whose numbers
+	// are prefetch-effectiveness counters (fig7, fig8, fig9) default to
+	// full detail: their counters are whole-run measurements a sampled
+	// run cannot provide.
+	SampledFigures []string
+}
+
+// DefaultSampledFigures is the figure set RunnerOptions.Sampling
+// applies to when SampledFigures is nil: every figure whose reported
+// quantity is total cycles (well-estimated from windows), none whose
+// quantity is a whole-run prefetch breakdown.
+func DefaultSampledFigures() []string {
+	return []string{"fig4", "fig5", "fig6", "fig10", "sec5.6",
+		"abl-ways", "abl-slots", "abl-policy", "abl-swcgp", "abl-degree"}
+}
+
+// samplingFor resolves the sampling schedule for one figure: the
+// campaign schedule when the figure is in the sampled set, the zero
+// (full detail) config otherwise.
+func (o *RunnerOptions) samplingFor(figID string) sample.Config {
+	if !o.Sampling.Enabled() {
+		return sample.Config{}
+	}
+	figs := o.SampledFigures
+	if figs == nil {
+		figs = DefaultSampledFigures()
+	}
+	for _, id := range figs {
+		if id == figID {
+			return o.Sampling
+		}
+	}
+	return sample.Config{}
 }
 
 // retryBudget resolves the RetryBudget default.
@@ -330,6 +378,19 @@ func (r *Runner) noteResult(res *Result) {
 	det.Counter("sim_cycles").Add(int64(res.CPU.Cycles))
 	det.Counter("sim_instructions").Add(int64(res.CPU.Instructions))
 	det.Counter("sim_icache_misses").Add(res.CPU.ICacheMisses)
+	// Event accounting by simulation tier: a full-detail cell's whole
+	// stream is detailed; a sampled cell splits it across the three
+	// tiers. All of it is Result-derived, so the counters stay identical
+	// across fresh, replayed and checkpoint-resumed cells.
+	if sm := res.CPU.Sample; sm != nil {
+		det.Counter("sim_jobs_sampled").Add(1)
+		det.Counter("sim_events_skipped").Add(sm.SkippedEvents)
+		det.Counter("sim_events_fastforwarded").Add(sm.FastForwardedEvents)
+		det.Counter("sim_events_detailed").Add(sm.DetailedEvents())
+		det.Counter("sim_sample_windows").Add(int64(sm.Windows))
+	} else {
+		det.Counter("sim_events_detailed").Add(res.Trace.Events)
+	}
 	tp := res.CPU.TotalPrefetch()
 	det.Counter("sim_prefetch_issued").Add(tp.Issued)
 	det.Counter("sim_prefetch_useful").Add(tp.Useful())
@@ -650,11 +711,85 @@ func replayOne(ctx context.Context, rec *trace.Recording, c trace.Consumer) erro
 	})
 }
 
+// replaySampledOne drives rec's sampled replay into one cell: span
+// boundaries and skip spans go to the CPU's sampling hooks, decoded
+// events go through the (possibly hook-wrapped) consumer, and both
+// decoded and skip paths poll ctx so cancellation takes effect within
+// replayBatch events even across long skips.
+func replaySampledOne(ctx context.Context, rec *trace.Recording, plan []trace.Span, c *cpu.CPU, wrapped trace.Consumer) error {
+	bc, batched := wrapped.(trace.BatchConsumer)
+	return rec.ReplaySampled(plan,
+		func(kind trace.SpanKind) error {
+			c.BeginSpan(kind)
+			return nil
+		},
+		func(evs []trace.Event) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if batched {
+				bc.EventBatch(evs)
+			} else {
+				for i := range evs {
+					wrapped.Event(evs[i])
+				}
+			}
+			return nil
+		},
+		func(events int64, instrs units.Instrs) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c.SkipSpan(events, instrs)
+			return nil
+		})
+}
+
+// simulateSampled performs one uncached sampled simulation. Sampling
+// is replay-only — skipping events without decoding needs a sealed
+// recording's skip index — so this path records the workload even
+// under NoRecord; the recording is then memoized like any other.
+func (r *Runner) simulateSampled(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
+	var res *Result
+	err := r.replayRetry(ctx, w, cfg.Layout, func(ctx context.Context) (*trace.Recording, error) {
+		rec, err := r.recordingFor(ctx, w, cfg.Layout)
+		if err != nil {
+			return nil, err
+		}
+		p, err := r.prepare(ctx, w, cfg)
+		if err != nil {
+			return rec, err
+		}
+		p.c.EnableSampling()
+		plan := cfg.Sampling.Plan(rec.Events())
+		r.opts.Log("run %-12s %-14s (sampled %s)", w.Name, cfg.Label(), cfg.Sampling)
+		sp := r.obsSpan("run", "run").
+			Arg("workload", w.Name).Arg("config", cfg.Label()).
+			Arg("sampling", cfg.Sampling.String())
+		err = replaySampledOne(ctx, rec, plan, p.c, r.consumerFor(w, cfg, p.c))
+		sp.End()
+		if err != nil {
+			return rec, fmt.Errorf("cgp: sampled replay %s under %s: %w", w.Name, cfg.Label(), err)
+		}
+		p.res.Trace = rec.Stats
+		res = p.finalize()
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
 // simulate performs one uncached simulation: build the prefetcher and
 // CPU for cfg, then feed them w's event stream — replayed from the
 // shared recording, or re-executed when NoRecord is set. A corrupt
-// recording is rebuilt from source under the retry budget.
+// recording is rebuilt from source under the retry budget. Cells with
+// sampling enabled take the sampled replay path.
 func (r *Runner) simulate(ctx context.Context, w *Workload, cfg Config) (*Result, error) {
+	if cfg.Sampling.Enabled() {
+		return r.simulateSampled(ctx, w, cfg)
+	}
 	if r.opts.NoRecord {
 		p, err := r.prepare(ctx, w, cfg)
 		if err != nil {
@@ -1081,6 +1216,26 @@ func fanout(ctx context.Context, rec *trace.Recording, cells []*batchCell) error
 func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 	todo := make([]hubCell, 0, len(batch))
 	for _, c := range batch {
+		if c.cfg.Sampling.Enabled() {
+			// Sampled cells use the sampled replay, not the shared
+			// detailed decode pass — and they are cheap enough (the
+			// point of sampling) that running them sequentially inside
+			// the drain costs little. runCell gives them the same
+			// checkpoint, observability and panic treatment as any
+			// other cell.
+			v, err := guarded(ctx, func(ctx context.Context) (any, error) {
+				return r.runCell(ctx, w, c.cfg)
+			})
+			if err != nil {
+				if je := (*JobError)(nil); errors.As(err, &je) && je.Workload == "" {
+					je.Workload, je.Config = w.Name, c.cfg.Label()
+				}
+				r.resolveCell(c, nil, err)
+				continue
+			}
+			r.resolveCell(c, v.(*Result), nil)
+			continue
+		}
 		if res, ok := r.loadCheckpoint(w, c.cfg); ok {
 			r.opts.Log("checkpoint %-12s %-14s", w.Name, c.cfg.Label())
 			r.obsWall().Incr("checkpoint_hits", 1)
