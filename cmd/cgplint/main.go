@@ -1,5 +1,5 @@
-// Command cgplint statically enforces the simulator's determinism and
-// stats-unit contracts. Run it directly:
+// Command cgplint statically enforces the simulator's determinism,
+// stats-unit, and hot-path contracts. Run it directly:
 //
 //	go run ./cmd/cgplint ./...
 //
@@ -9,7 +9,7 @@
 //	go build -o /tmp/cgplint ./cmd/cgplint
 //	go vet -vettool=/tmp/cgplint ./...
 //
-// Five analyzers run (see their package docs under internal/analysis):
+// Eight analyzers run (see their package docs under internal/analysis):
 //
 //	detrand     no wall-clock reads, global math/rand, or cross-package imports
 //	            of wall-domain quantities (units.Wall* results) in deterministic packages
@@ -19,6 +19,23 @@
 //	            output or be formatted outside their serialization boundary
 //	lockcheck   no by-value sync primitives; flight keys via fingerprint() only
 //	paniccheck  no recover() that discards the recovered value instead of attributing it
+//	allocfree   //cgplint:hotpath functions are transitively free of heap
+//	            allocation, boxing, map iteration, defer, and closure creation
+//	walltaint   no wall-clock-derived value flows into a deterministic sink
+//	            (obs registry, figure bytes, config fingerprints)
+//	ctxflow     context threading below campaign entry points: no
+//	            Background/TODO in library code, no dropped ctx parameters,
+//	            no ctx-blind blocking channel operations
+//
+// allocfree and walltaint reason across package boundaries through
+// function summaries carried in vet facts, so both invocation styles
+// above see whole-module results without whole-program loading.
+//
+// Useful flags (standalone form; under go vet use -cgplint.json and
+// -cgplint.unusedignores):
+//
+//	-json            emit diagnostics as one merged JSON document
+//	-unused-ignores  report cgplint:ignore directives that suppress nothing
 //
 // Exceptions are written in the source as
 //
@@ -29,12 +46,15 @@
 package main
 
 import (
+	"cgp/internal/analysis/allocfree"
+	"cgp/internal/analysis/ctxflow"
 	"cgp/internal/analysis/cyclesafe"
 	"cgp/internal/analysis/detrand"
 	"cgp/internal/analysis/driver"
 	"cgp/internal/analysis/lockcheck"
 	"cgp/internal/analysis/maporder"
 	"cgp/internal/analysis/paniccheck"
+	"cgp/internal/analysis/walltaint"
 )
 
 func main() {
@@ -44,5 +64,8 @@ func main() {
 		cyclesafe.Analyzer,
 		lockcheck.Analyzer,
 		paniccheck.Analyzer,
+		allocfree.Analyzer,
+		walltaint.Analyzer,
+		ctxflow.Analyzer,
 	)
 }

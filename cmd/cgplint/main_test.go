@@ -1,0 +1,174 @@
+package main_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles cgplint into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cgplint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building cgplint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// fixtureModule writes a throwaway module named cgp (the tool's domain
+// gate keys on the module path) with one violation per new pass, a
+// clean package, and a stale ignore.
+func fixtureModule(t *testing.T) string {
+	t.Helper()
+	files := map[string]string{
+		"go.mod": "module cgp\n\ngo 1.21\n",
+		"dirty/dirty.go": `package dirty
+
+//cgplint:hotpath
+func Hot(n int) []int {
+	return make([]int, n)
+}
+`,
+		"ctxpkg/ctx.go": `package ctxpkg
+
+import "context"
+
+func Mint() context.Context {
+	return context.Background()
+}
+`,
+		"clean/clean.go": `package clean
+
+//cgplint:hotpath
+func Add(a, b int) int { return a + b }
+`,
+		"stale/stale.go": `package stale
+
+//cgplint:ignore detrand nothing on the next line has ever tripped detrand
+var X = 1
+`,
+	}
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// run executes the command in dir, returning its exit code and
+// separated output streams.
+func run(t *testing.T, dir string, name string, args ...string) (int, string, string) {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s %v: %v", name, args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+func TestIntegration(t *testing.T) {
+	bin := buildTool(t)
+	dir := fixtureModule(t)
+
+	allocDiag := regexp.MustCompile(`dirty\.go:5:\d+: make allocates on the hot path \(cgplint/allocfree\)`)
+	ctxDiag := regexp.MustCompile(`ctx\.go:6:\d+: context\.Background in library code.*\(cgplint/ctxflow\)`)
+
+	t.Run("standalone", func(t *testing.T) {
+		code, _, stderr := run(t, dir, bin, "./...")
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1\n%s", code, stderr)
+		}
+		if !allocDiag.MatchString(stderr) {
+			t.Errorf("missing allocfree diagnostic with position:\n%s", stderr)
+		}
+		if !ctxDiag.MatchString(stderr) {
+			t.Errorf("missing ctxflow diagnostic with position:\n%s", stderr)
+		}
+		if !regexp.MustCompile(`cgplint: \d+ findings \(.*allocfree 1.*\)`).MatchString(stderr) {
+			t.Errorf("missing per-pass summary line:\n%s", stderr)
+		}
+	})
+
+	t.Run("standalone-clean", func(t *testing.T) {
+		code, _, stderr := run(t, dir, bin, "./clean")
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0\n%s", code, stderr)
+		}
+	})
+
+	t.Run("vettool", func(t *testing.T) {
+		code, stdout, stderr := run(t, dir, "go", "vet", "-vettool="+bin, "./...")
+		if code == 0 {
+			t.Errorf("exit code = 0, want nonzero\n%s%s", stdout, stderr)
+		}
+		if !allocDiag.MatchString(stderr) {
+			t.Errorf("missing allocfree diagnostic under go vet:\n%s%s", stdout, stderr)
+		}
+	})
+
+	t.Run("json", func(t *testing.T) {
+		code, stdout, stderr := run(t, dir, bin, "-json", "./...")
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1\n%s", code, stderr)
+		}
+		var merged map[string]map[string][]struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(stdout), &merged); err != nil {
+			t.Fatalf("stdout is not one JSON document: %v\n%s", err, stdout)
+		}
+		ds := merged["cgp/dirty"]["allocfree"]
+		if len(ds) != 1 {
+			t.Fatalf("cgp/dirty allocfree diagnostics = %v, want exactly one", ds)
+		}
+		if !strings.Contains(ds[0].Posn, "dirty.go:5:") {
+			t.Errorf("posn = %q, want dirty.go:5:<col>", ds[0].Posn)
+		}
+		if !strings.Contains(ds[0].Message, "make allocates") {
+			t.Errorf("message = %q", ds[0].Message)
+		}
+		if len(merged["cgp/ctxpkg"]["ctxflow"]) != 1 {
+			t.Errorf("cgp/ctxpkg ctxflow diagnostics missing: %v", merged)
+		}
+	})
+
+	t.Run("unused-ignores", func(t *testing.T) {
+		code, _, stderr := run(t, dir, bin, "-unused-ignores", "./stale/...")
+		if code != 1 {
+			t.Errorf("exit code = %d, want 1\n%s", code, stderr)
+		}
+		if !regexp.MustCompile(`stale\.go:3:\d+: cgplint:ignore detrand suppresses nothing.*\(cgplint/unusedignores\)`).MatchString(stderr) {
+			t.Errorf("missing unused-ignore diagnostic:\n%s", stderr)
+		}
+	})
+
+	t.Run("without-unused-ignores-flag", func(t *testing.T) {
+		code, _, stderr := run(t, dir, bin, "./stale/...")
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0 (stale ignores only matter under -unused-ignores)\n%s", code, stderr)
+		}
+	})
+}

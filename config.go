@@ -157,7 +157,12 @@ func (c Config) Label() string {
 // fingerprint serializes every field that can influence a simulation,
 // for use as a cache key. Label() is for display only: configs that
 // differ in non-Label fields (RunAheadM, CGHC geometry, a CPU
-// override) share a label but must not share a cached result.
+// override) share a label but must not share a cached result. It is a
+// deterministic sink: walltaint proves no wall-clock-derived value is
+// folded into a fingerprint, so cache keys and checkpoint identities
+// stay replay-stable.
+//
+//cgplint:detsink
 func (c Config) fingerprint() string {
 	c = c.withDefaults()
 	cpuDesc := "default"

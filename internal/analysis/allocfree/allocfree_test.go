@@ -1,0 +1,14 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/allocfree"
+	"cgp/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	// cgp/fake/hot imports cgp/fake/hotdep, so the harness primes the
+	// dependency's fn: facts before the checked package runs.
+	analysistest.Run(t, analysistest.TestData(), allocfree.Analyzer, "cgp/fake/hot")
+}

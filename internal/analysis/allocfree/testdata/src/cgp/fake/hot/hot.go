@@ -1,0 +1,313 @@
+// Package hot exercises every allocfree hazard class, the traversal
+// roots (annotation, hot interface method, hot func type), the
+// coldpath stop, suppression, and cross-package summaries.
+package hot
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"strings"
+
+	"cgp/fake/hotdep"
+)
+
+// ---- basic hazards ----
+
+//cgplint:hotpath
+func Clean(x int) int {
+	return x + 1
+}
+
+//cgplint:hotpath
+func Alloc(n int) []int {
+	return make([]int, n) // want `make allocates on the hot path`
+}
+
+//cgplint:hotpath
+func Outer(s []int) []int {
+	return inner(s)
+}
+
+func inner(s []int) []int {
+	return append(s, 1) // want `append may grow its backing array on the hot path`
+}
+
+//cgplint:hotpath
+func MapWrite(m map[int]int) {
+	m[1] = 2 // want `map write may grow the table on the hot path`
+}
+
+//cgplint:hotpath
+func MapIncr(m map[int]int) {
+	m[1]++ // want `map write may grow the table on the hot path`
+}
+
+//cgplint:hotpath
+func MapIter(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration allocates its iterator on the hot path`
+		total += v
+	}
+	return total
+}
+
+//cgplint:hotpath
+func Defers() {
+	defer noop() // want `defer allocates a frame on the hot path`
+}
+
+//cgplint:hotpath
+func Spawn() {
+	go noop() // want `go statement spawns a goroutine on the hot path`
+}
+
+func noop() {}
+
+//cgplint:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates on the hot path`
+}
+
+//cgplint:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `string conversion copies on the hot path`
+}
+
+type pair struct{ a, b int }
+
+type holder struct{ p *pair }
+
+func (h *holder) run() {}
+
+//cgplint:hotpath
+func Ptr(h *holder) {
+	h.p = &pair{1, 2} // want `&composite literal allocates on the hot path`
+}
+
+//cgplint:hotpath
+func MethodVal(h *holder) func() {
+	return h.run // want `method value allocates its binding on the hot path`
+}
+
+//cgplint:hotpath
+func Closure() func() int {
+	return func() int { return 1 } // want `function literal allocates its closure on the hot path`
+}
+
+// Value-typed composite literals stay on the stack.
+//
+//cgplint:hotpath
+func ValueLit(x int) pair {
+	return pair{x, x}
+}
+
+// ---- boxing ----
+
+func sink(v interface{}) {}
+
+func sinks(k string, vs ...interface{}) {}
+
+//cgplint:hotpath
+func BoxArg(x int) {
+	sink(x) // want `argument boxes int into an interface on the hot path`
+}
+
+//cgplint:hotpath
+func BoxVariadic(x int) {
+	sinks("k", x) // want `argument boxes int into an interface on the hot path`
+}
+
+//cgplint:hotpath
+func BoxAssign(x int) {
+	var i interface{}
+	i = x // want `assignment boxes int into an interface on the hot path`
+	_ = i
+}
+
+//cgplint:hotpath
+func BoxReturn(x int) interface{} {
+	return x // want `return boxes int into an interface on the hot path`
+}
+
+// ---- panic, coldpath, suppression ----
+
+//cgplint:hotpath
+func Panics(x int) int {
+	if x < 0 {
+		panic("negative index: " + string(rune(x))) // ok: a panicking hot path is already dead
+	}
+	return x
+}
+
+//cgplint:coldpath ring doubling is amortized growth, measured off the fast path
+func grow(s []int) []int {
+	return append(s, make([]int, len(s))...)
+}
+
+//cgplint:hotpath
+func UsesGrow(s []int) []int {
+	if cap(s) == len(s) {
+		return grow(s) // ok: coldpath stops the traversal
+	}
+	return s[:len(s)+1]
+}
+
+//cgplint:hotpath
+func Suppressed(s []int) []int {
+	return append(s, 1) //cgplint:ignore allocfree warmup fill runs before the measured region
+}
+
+//cgplint:hotpath
+//cgplint:coldpath a function cannot be both
+func Conflicted() {} // want `Conflicted is marked both hotpath and coldpath`
+
+// ---- external calls ----
+
+//cgplint:hotpath
+func Pop(x uint) int {
+	return bits.OnesCount(x) // ok: math/bits is allowlisted wholesale
+}
+
+//cgplint:hotpath
+func Varint(b []byte) (uint64, int) {
+	return binary.Uvarint(b) // ok: allowlisted decoder kernel
+}
+
+//cgplint:hotpath
+func Upper(s string) string {
+	return strings.ToUpper(s) // want `call to external strings.ToUpper: allocation behavior unknown`
+}
+
+// ---- hot interface methods ----
+
+// History answers call-graph lookups on the dispatch path.
+type History interface {
+	//cgplint:hotpath
+	Lookup(k uint64) uint64
+	Name() string
+}
+
+type table struct{ m map[uint64]uint64 }
+
+func (t *table) Lookup(k uint64) uint64 {
+	for kk, v := range t.m { // want `map iteration allocates its iterator on the hot path`
+		if kk == k {
+			return v
+		}
+	}
+	return 0
+}
+
+func (t *table) Name() string { return "table" }
+
+//cgplint:hotpath
+func UseHistory(h History, k uint64) uint64 {
+	return h.Lookup(k) // ok: hot interface method, implementations verified at their decls
+}
+
+//cgplint:hotpath
+func UseName(h History) int {
+	return len(h.Name()) // want `interface dispatch to Name is unresolvable on the hot path`
+}
+
+// ---- hot func types ----
+
+// Issue is the hot dispatch signature.
+//
+//cgplint:hotpath
+type Issue func(int) int
+
+func double(x int) int { return x * 2 }
+
+func allocs(x int) int {
+	return len(make([]int, x)) // want `make allocates on the hot path`
+}
+
+var okBind Issue = double
+
+var badBind Issue = allocs
+
+var litBind Issue = func(x int) int {
+	return cap(make([]int, x)) // want `make allocates on the hot path`
+}
+
+var opaqueBind Issue = pickPlain() // want `unverifiable function value bound to hot func type Issue`
+
+func pickPlain() func(int) int { return double }
+
+//cgplint:hotpath
+func CallIssue(f Issue, x int) int {
+	return f(x) // ok: hot func type values are verified where they are created
+}
+
+// ---- pcall contract ----
+
+func apply(f func() int) int { return f() }
+
+func one() int { return 1 }
+
+func oneAlloc() int {
+	s := make([]int, 1) // want `make allocates on the hot path`
+	return s[0]
+}
+
+var fv = pick()
+
+func pick() func() int { return one }
+
+//cgplint:hotpath
+func PcallRef() int {
+	return apply(one) // ok: verifiable reference, callee walked
+}
+
+//cgplint:hotpath
+func PcallDirty() int {
+	return apply(oneAlloc)
+}
+
+//cgplint:hotpath
+func PcallOpaque() int {
+	return apply(fv) // want `unverifiable func value passed to apply`
+}
+
+//cgplint:hotpath
+func CallsVar() int {
+	return fv() // want `call through unresolvable func value on the hot path`
+}
+
+// ---- cross-package summaries ----
+
+//cgplint:hotpath
+func CrossClean(x int) int {
+	return hotdep.Fast(x)
+}
+
+//cgplint:hotpath
+func CrossDirty(s []int) []int {
+	return hotdep.Grow(s) // want `hot path calls cgp/fake/hotdep.Grow`
+}
+
+//cgplint:hotpath
+func CrossPcall() int {
+	return hotdep.Apply(one) // ok: pcall=0 fact says Apply invokes its argument
+}
+
+//cgplint:hotpath
+func CrossOpaque() int {
+	return hotdep.Apply(fv) // want `unverifiable func value passed to Apply`
+}
+
+// ---- generics: type parameters are not interfaces ----
+
+// ring is a generic container: passing a concrete payload to Put must
+// not be misread as boxing into the type parameter's constraint.
+type ring[P any] struct{ buf [4]P }
+
+func (r *ring[P]) Put(i int, p P) { r.buf[i&3] = p }
+
+type payload struct{ a, b int }
+
+//cgplint:hotpath
+func GenericStore(r *ring[payload], p payload) {
+	r.Put(1, p) // instantiated with a concrete struct: no boxing, no diagnostic
+}

@@ -1,0 +1,14 @@
+// Package hotdep exercises allocfree's cross-package summaries: its
+// fn: facts are computed first and consulted by cgp/fake/hot.
+package hotdep
+
+// Fast is allocation-free; its summary is "clean".
+func Fast(x int) int { return x + 1 }
+
+// Grow allocates; its summary is "dirty:<witness>".
+func Grow(s []int) []int {
+	return append(s, 1)
+}
+
+// Apply calls its parameter; its summary carries "pcall=0".
+func Apply(f func() int) int { return f() }

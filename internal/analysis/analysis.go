@@ -39,8 +39,49 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// facts holds dependency facts and receives this package's exports
+	// (may be nil for fact-free analyzers).
+	facts *Facts
+	// ignores is the unit's shared suppression set (may be nil).
+	ignores *Ignores
+
 	// report receives each diagnostic; the driver installs it.
 	report func(Diagnostic)
+}
+
+// ExportFact records a fact under this analyzer and package for
+// dependent packages to read.
+func (p *Pass) ExportFact(key, value string) {
+	if p.facts != nil {
+		p.facts.set(p.Pkg.Path(), p.Analyzer.Name, key, value)
+	}
+}
+
+// Fact looks up a fact exported by pkgPath's run of this analyzer.
+// When pkgPath is this package, it sees facts exported so far.
+func (p *Pass) Fact(pkgPath, key string) (string, bool) {
+	if p.facts == nil {
+		return "", false
+	}
+	return p.facts.get(pkgPath, p.Analyzer.Name, key)
+}
+
+// PrefixFacts returns this analyzer's facts whose key starts with
+// prefix, across every package, in deterministic order.
+func (p *Pass) PrefixFacts(prefix string) []FactRef {
+	if p.facts == nil {
+		return nil
+	}
+	return p.facts.withPrefix(p.Analyzer.Name, prefix)
+}
+
+// Excused reports whether an ignore directive for this analyzer covers
+// pos, marking it used. Summary-building passes call this to keep
+// excused hazards out of exported facts (the excusal is the local
+// package's documented exception, so dependents should not see the
+// hazard either).
+func (p *Pass) Excused(pos token.Pos) bool {
+	return p.ignores.Covers(p.Analyzer.Name, pos)
 }
 
 // Diagnostic is one finding at a source position.
@@ -49,14 +90,40 @@ type Diagnostic struct {
 	Message string
 }
 
-// NewPass assembles a pass whose diagnostics are appended to out.
-func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, out *[]Diagnostic) *Pass {
-	return &Pass{
-		Analyzer:  a,
+// Unit bundles one type-checked compilation unit with the cross-
+// package fact store and suppression set every analyzer shares.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Facts     *Facts
+	Ignores   *Ignores
+}
+
+// NewUnit assembles a unit with a fresh fact store and the ignore
+// directives parsed from the files.
+func NewUnit(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) *Unit {
+	return &Unit{
 		Fset:      fset,
 		Files:     files,
 		Pkg:       pkg,
 		TypesInfo: info,
+		Facts:     NewFacts(),
+		Ignores:   ParseIgnores(fset, files),
+	}
+}
+
+// NewPass assembles a pass whose diagnostics are appended to out.
+func NewPass(a *Analyzer, u *Unit, out *[]Diagnostic) *Pass {
+	return &Pass{
+		Analyzer:  a,
+		Fset:      u.Fset,
+		Files:     u.Files,
+		Pkg:       u.Pkg,
+		TypesInfo: u.TypesInfo,
+		facts:     u.Facts,
+		ignores:   u.Ignores,
 		report:    func(d Diagnostic) { *out = append(*out, d) },
 	}
 }
@@ -93,15 +160,15 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
 }
 
-// RunAnalyzer executes a over one loaded package and returns its
+// RunAnalyzer executes a over one loaded unit and returns its
 // diagnostics with suppression comments (//cgplint:ignore) applied.
 // Malformed suppression comments are NOT reported here — the driver
 // reports them once per package, not once per analyzer.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+func RunAnalyzer(a *Analyzer, u *Unit) ([]Diagnostic, error) {
 	var diags []Diagnostic
-	pass := NewPass(a, fset, files, pkg, info, &diags)
+	pass := NewPass(a, u, &diags)
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %w", a.Name, err)
 	}
-	return FilterSuppressed(a.Name, fset, files, diags), nil
+	return u.Ignores.Filter(a.Name, diags), nil
 }

@@ -50,18 +50,38 @@ func TestData() string {
 
 // Run loads each package under dir/src and applies the analyzer,
 // comparing suppression-filtered diagnostics against // want comments.
+//
+// Facts flow between testdata packages the way they do under go vet:
+// the loader records load completion order (dependencies finish before
+// dependents), and before a package is checked the analyzer runs over
+// every not-yet-analyzed dependency with a shared fact store so
+// cross-package summaries are in place. Diagnostics from those
+// fact-priming runs are discarded; only the named packages' findings
+// are compared against // want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := newLoader(dir)
+	facts := analysis.NewFacts()
+	analyzed := map[string]bool{}
 	for _, path := range pkgPaths {
 		res, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		diags, err := analysis.RunAnalyzer(a, l.fset, res.files, res.pkg, res.info)
+		for _, dep := range l.order {
+			if dep == path || analyzed[dep] {
+				continue
+			}
+			analyzed[dep] = true
+			if _, err := analysis.RunAnalyzer(a, l.unit(l.pkgs[dep], facts)); err != nil {
+				t.Fatalf("running %s on dependency %s: %v", a.Name, dep, err)
+			}
+		}
+		diags, err := analysis.RunAnalyzer(a, l.unit(res, facts))
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
+		analyzed[path] = true
 		check(t, l.fset, path, res.files, diags)
 	}
 }
@@ -93,6 +113,21 @@ type loader struct {
 	srcDir string
 	std    types.Importer
 	pkgs   map[string]*result
+	// order records load completion, which is post-order over the
+	// import graph: a package's testdata dependencies appear before it.
+	order []string
+}
+
+// unit assembles an analysis unit over a shared fact store.
+func (l *loader) unit(res *result, facts *analysis.Facts) *analysis.Unit {
+	return &analysis.Unit{
+		Fset:      l.fset,
+		Files:     res.files,
+		Pkg:       res.pkg,
+		TypesInfo: res.info,
+		Facts:     facts,
+		Ignores:   analysis.ParseIgnores(l.fset, res.files),
+	}
 }
 
 func newLoader(dir string) *loader {
@@ -161,6 +196,7 @@ func (l *loader) load(path string) (*result, error) {
 	}
 	res := &result{pkg: pkg, files: files, info: info}
 	l.pkgs[path] = res
+	l.order = append(l.order, path)
 	return res, nil
 }
 

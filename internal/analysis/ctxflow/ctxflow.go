@@ -1,0 +1,254 @@
+// Package ctxflow closes the PR 4 cancellation guarantee statically:
+// every blocking operation reachable from the campaign entry points
+// (Runner.Run / Runner.RunAll) must answer to the campaign's
+// context.Context. The chaos suite proves cancellation works on the
+// paths it injects faults into; this pass proves nothing below the
+// entry points can opt out.
+//
+// Three rules:
+//
+//   - No context.Background() or context.TODO() below the entry
+//     points. Library packages receive their context; only package
+//     main (and tests) may mint a root context. Inside any function
+//     that already has a ctx parameter the call is flagged even in
+//     main — minting a second root there severs the cancellation
+//     chain.
+//
+//   - No dropped contexts: a parameter of type context.Context that
+//     is named (not "_") but never read means the function promises
+//     cancellation it does not deliver. Either thread it or declare
+//     the drop with "_ context.Context".
+//
+//   - No unescorted blocking channel operations in context-carrying
+//     functions: a send, receive, or range over a channel outside a
+//     select, or a select with neither a ctx.Done() case nor a
+//     default, can block forever after the campaign is canceled.
+//     Semaphore releases that provably cannot block carry a reasoned
+//     //cgplint:ignore. sync primitives (Mutex, WaitGroup.Wait) are
+//     deliberately not flagged: bounded critical sections are the
+//     locker's concern (lockcheck), not cancellation's.
+//
+// Function literals are independent functions here: a goroutine body
+// without a ctx parameter is not subject to the channel rule (its
+// lifetime is its spawner's concern), and deferred semaphore releases
+// in closures stay legal.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cgp/internal/analysis"
+	"cgp/internal/analysis/dataflow"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "require context threading below campaign entry points: no " +
+		"context.Background/TODO in library code, no dropped ctx parameters, " +
+		"no blocking channel operations outside ctx-aware selects",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.InDeterministicDomain(pass.Pkg.Path()) {
+		return nil
+	}
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			switch v := d.(type) {
+			case *ast.FuncDecl:
+				if v.Body != nil {
+					checkFunc(pass, v.Type, v.Body, isMain)
+					// Literals nested in the body are checked as their
+					// own functions by checkFunc's walk.
+				}
+			case *ast.GenDecl:
+				// Package-level var initializers may hold literals too.
+				ast.Inspect(v, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkFunc(pass, lit.Type, lit.Body, isMain)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// isCtxType reports whether t is context.Context.
+func isCtxType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxParam returns the declared context parameter of ft, or nil. A
+// blank "_ context.Context" declares an intentional drop and returns
+// nil with declared=true.
+func ctxParam(pass *analysis.Pass, ft *ast.FuncType) (v *types.Var, declared bool) {
+	if ft.Params == nil {
+		return nil, false
+	}
+	for _, f := range ft.Params.List {
+		if t := pass.TypeOf(f.Type); t == nil || !isCtxType(t) {
+			continue
+		}
+		declared = true
+		for _, n := range f.Names {
+			if n.Name == "_" {
+				continue
+			}
+			if pv, ok := pass.TypesInfo.Defs[n].(*types.Var); ok {
+				return pv, true
+			}
+		}
+	}
+	return nil, declared
+}
+
+// checkFunc applies the three rules to one function (declaration or
+// literal), recursing into nested literals as independent functions.
+func checkFunc(pass *analysis.Pass, ft *ast.FuncType, body *ast.BlockStmt, isMain bool) {
+	ctx, _ := ctxParam(pass, ft)
+	used := false
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, v.Type, v.Body, isMain)
+			// Still scan the literal for uses of the *enclosing* ctx:
+			// a closure reading ctx counts as the parameter being
+			// threaded.
+			if ctx != nil && !used {
+				ast.Inspect(v.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctx {
+						used = true
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.Ident:
+			if ctx != nil && pass.TypesInfo.Uses[v] == ctx {
+				used = true
+			}
+		case *ast.CallExpr:
+			if fn := callTarget(pass, v); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" {
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					switch {
+					case ctx != nil:
+						pass.Reportf(v.Pos(), "context.%s severs the cancellation chain: this function already has a ctx parameter", fn.Name())
+					case !isMain:
+						pass.Reportf(v.Pos(), "context.%s in library code: thread the campaign context instead of minting a root", fn.Name())
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if ctx != nil {
+				pass.Reportf(v.Pos(), "blocking channel send outside a ctx-aware select")
+			}
+		case *ast.UnaryExpr:
+			// A bare <-x.Done() is ctx-aware by definition: blocking
+			// until cancellation is the one thing it can do.
+			if v.Op == token.ARROW && ctx != nil && !isDoneRecv(v) {
+				pass.Reportf(v.Pos(), "blocking channel receive outside a ctx-aware select")
+			}
+		case *ast.RangeStmt:
+			if ctx != nil {
+				if t := pass.TypeOf(v.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(v.Pos(), "range over channel blocks without ctx awareness")
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			if ctx == nil {
+				return true // clause bodies may hold literals; keep walking
+			}
+			escapable := false
+			for _, cl := range v.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm == nil {
+					escapable = true // default case
+					continue
+				}
+				if commReadsDone(pass, cc.Comm) {
+					escapable = true
+				}
+			}
+			if !escapable {
+				pass.Reportf(v.Pos(), "select blocks without a ctx.Done() case or default")
+			}
+			// Walk clause BODIES only: the comm statements themselves
+			// are the select's alternatives, not naked operations.
+			for _, cl := range v.Body.List {
+				cc := cl.(*ast.CommClause)
+				if cc.Comm != nil {
+					// Mark ctx uses inside the comm (e.g. ctx.Done()).
+					ast.Inspect(cc.Comm, func(m ast.Node) bool {
+						if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == ctx {
+							used = true
+						}
+						return true
+					})
+				}
+				for _, st := range cc.Body {
+					ast.Inspect(st, walk)
+				}
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	if ctx != nil && !used {
+		pass.Reportf(ctx.Pos(), "ctx parameter is never used: thread it or declare the drop with _ context.Context")
+	}
+}
+
+// isDoneRecv reports whether u is a receive from a Done() channel
+// (<-x.Done()).
+func isDoneRecv(u *ast.UnaryExpr) bool {
+	if call, ok := dataflow.Unparen(u.X).(*ast.CallExpr); ok {
+		if sel, ok := dataflow.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	return false
+}
+
+// commReadsDone reports whether a select comm statement receives from
+// a Done() channel (any expression of the form <-x.Done()).
+func commReadsDone(pass *analysis.Pass, comm ast.Stmt) bool {
+	found := false
+	ast.Inspect(comm, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isDoneRecv(u) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// callTarget resolves a call's static target.
+func callTarget(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	kind, fn, _ := dataflow.Classify(pass.TypesInfo, call)
+	if kind == dataflow.KindCall {
+		return fn
+	}
+	return nil
+}

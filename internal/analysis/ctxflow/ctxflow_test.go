@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"cgp/fake/ctxlib", "cgp/fake/ctxmain")
+}

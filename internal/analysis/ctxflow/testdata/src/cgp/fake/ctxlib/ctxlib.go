@@ -1,0 +1,112 @@
+// Package ctxlib exercises ctxflow's three rules in library code: no
+// root contexts, no dropped ctx parameters, no ctx-blind blocking
+// channel operations.
+package ctxlib
+
+import "context"
+
+// Run is the well-behaved shape: every blocking operation answers to
+// ctx.
+func Run(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+func MintsRoot(ch chan int) {
+	ctx := context.Background() // want `context.Background in library code: thread the campaign context instead of minting a root`
+	_ = ctx
+	_ = ch
+}
+
+func Severs(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want `context.TODO severs the cancellation chain: this function already has a ctx parameter`
+}
+
+func Drops(ctx context.Context, n int) int { // want `ctx parameter is never used: thread it or declare the drop with _ context.Context`
+	return n + 1
+}
+
+// DeclaredDrop opts out explicitly: the blank name documents that this
+// function promises no cancellation.
+func DeclaredDrop(_ context.Context, n int) int {
+	return n + 1
+}
+
+func NakedSend(ctx context.Context, ch chan int) {
+	_ = ctx
+	ch <- 1 // want `blocking channel send outside a ctx-aware select`
+}
+
+func NakedRecv(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch // want `blocking channel receive outside a ctx-aware select`
+}
+
+// AwaitCancel blocks on Done itself, which is ctx-aware by definition.
+func AwaitCancel(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func Drains(ctx context.Context, ch chan int) int {
+	_ = ctx
+	total := 0
+	for v := range ch { // want `range over channel blocks without ctx awareness`
+		total += v
+	}
+	return total
+}
+
+func StuckSelect(ctx context.Context, a, b chan int) {
+	_ = ctx
+	select { // want `select blocks without a ctx.Done\(\) case or default`
+	case <-a:
+	case <-b:
+	}
+}
+
+// TryAcquire's default case makes the select non-blocking.
+func TryAcquire(ctx context.Context, sem chan struct{}) bool {
+	_ = ctx
+	select {
+	case sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Spawns shows literal independence: the goroutine body has no ctx
+// parameter, so its channel operations are its spawner's concern.
+func Spawns(ctx context.Context, ch chan int) {
+	_ = ctx
+	go func() {
+		ch <- 1
+	}()
+}
+
+// ClosureUse threads ctx through a closure: that counts as use, and
+// the literal itself (no ctx parameter) may block on Done.
+func ClosureUse(ctx context.Context, f func(func())) {
+	f(func() {
+		<-ctx.Done()
+	})
+}
+
+// LitWithCtx: a literal that declares its own ctx parameter is checked
+// as an independent function.
+var LitWithCtx = func(ctx context.Context, ch chan int) {
+	_ = ctx
+	ch <- 2 // want `blocking channel send outside a ctx-aware select`
+}
+
+// Release documents a provably non-blocking receive with a reasoned
+// ignore.
+func Release(ctx context.Context, sem chan struct{}) {
+	_ = ctx
+	<-sem //cgplint:ignore ctxflow held token guarantees a free slot, receive cannot block
+}

@@ -1,0 +1,15 @@
+// Package main may mint a root context — unless the function already
+// carries one, in which case a second root severs the chain.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	_ = ctx
+	_ = context.Background() // want `context.Background severs the cancellation chain: this function already has a ctx parameter`
+}

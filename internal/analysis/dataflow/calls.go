@@ -1,0 +1,92 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallKind classifies what a CallExpr actually does.
+type CallKind int
+
+const (
+	// KindCall is a resolvable function or concrete-method call.
+	KindCall CallKind = iota
+	// KindDynamic is a call whose target cannot be resolved
+	// statically: interface dispatch or a call through a func value.
+	KindDynamic
+	// KindConversion is a type conversion, not a call.
+	KindConversion
+	// KindBuiltin is a builtin (len, cap, make, append, ...).
+	KindBuiltin
+)
+
+// Classify resolves one call expression. For KindCall the returned
+// *types.Func is the static callee (origin form for generics); for
+// KindBuiltin the returned name is the builtin's; otherwise both are
+// zero.
+func Classify(info *types.Info, call *ast.CallExpr) (CallKind, *types.Func, string) {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return KindConversion, nil, ""
+	}
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			return KindBuiltin, nil, obj.Name()
+		case *types.Func:
+			return KindCall, obj.Origin(), ""
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if _, iface := sel.Recv().Underlying().(*types.Interface); iface {
+					return KindDynamic, fn.Origin(), "" // interface dispatch; fn names the method
+				}
+				return KindCall, fn.Origin(), ""
+			}
+		} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return KindCall, fn.Origin(), "" // pkg-qualified call
+		}
+	}
+	return KindDynamic, nil, ""
+}
+
+// MethodValue resolves e as a bound method value (`c.issue`) to its
+// concrete *types.Func, or nil when e is not one.
+func MethodValue(info *types.Info, e ast.Expr) *types.Func {
+	sel, ok := Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil
+	}
+	if _, iface := s.Recv().Underlying().(*types.Interface); iface {
+		return nil // bound interface method: dynamic
+	}
+	fn, _ := s.Obj().(*types.Func)
+	if fn != nil {
+		fn = fn.Origin()
+	}
+	return fn
+}
+
+// FuncValue resolves e as a plain function reference (`decodeEventInto`,
+// `pkg.Fn`) to its *types.Func, or nil.
+func FuncValue(info *types.Info, e ast.Expr) *types.Func {
+	switch v := Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[v].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if _, ok := info.Selections[v]; ok {
+			return MethodValue(info, v)
+		}
+		if fn, ok := info.Uses[v.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}

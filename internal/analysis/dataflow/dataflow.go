@@ -1,0 +1,95 @@
+// Package dataflow is the engine under cgplint's summary-based passes
+// (allocfree, walltaint, ctxflow): canonical function naming, static
+// call resolution, declaration indexing, and an intra-function taint
+// solver, all riding on go/types with no whole-program loader.
+//
+// The design is function-summary-based, the classic compromise for a
+// tool that sees one compilation unit at a time (the vet unit
+// protocol): each function is analyzed once in its own package, its
+// externally visible behavior is condensed into a small string —
+// "allocates nothing", "results 0 and 2 carry wall taint" — and the
+// summary travels to dependent packages through the vet facts channel
+// (analysis.Facts). Callers consult summaries instead of re-walking
+// bodies, so analysis cost stays linear in module size and the driver
+// never needs source for more than one package at a time.
+//
+// Resolution is deliberately static: direct calls, concrete method
+// calls, and method values resolve to a *types.Func; interface
+// dispatch and arbitrary func values do not, and each pass decides
+// what an unresolved edge means for its property (allocfree treats it
+// as a hazard unless the interface is itself annotated, walltaint
+// propagates conservatively, ctxflow ignores it).
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncKey returns the package-relative canonical name of fn, the form
+// used in fact keys and diagnostics: "New", "(*Cache).Access",
+// "Prefetcher.OnFetch". Generic instantiations collapse to their
+// origin so one summary covers every instantiation.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		if n, ok := p.Elem().(*types.Named); ok {
+			return "(*" + n.Obj().Name() + ")." + fn.Name()
+		}
+		return "(*?)." + fn.Name()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() + "." + fn.Name()
+	}
+	if _, ok := t.Underlying().(*types.Interface); ok {
+		// Unnamed interface receiver (rare: embedded anonymous iface).
+		return "interface." + fn.Name()
+	}
+	return "?." + fn.Name()
+}
+
+// QualifiedKey is FuncKey prefixed with the defining package path,
+// "cgp/internal/cache.(*Cache).Access", for cross-package diagnostics.
+func QualifiedKey(fn *types.Func) string {
+	fn = fn.Origin()
+	if fn.Pkg() == nil {
+		return FuncKey(fn) // builtins like error.Error
+	}
+	return fn.Pkg().Path() + "." + FuncKey(fn)
+}
+
+// DeclIndex maps each function object declared in the files to its
+// declaration, keyed by origin so instantiated methods find their
+// generic source. Function literals are not included; passes walk
+// them in place.
+func DeclIndex(info *types.Info, files []*ast.File) map[*types.Func]*ast.FuncDecl {
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn.Origin()] = fd
+			}
+		}
+	}
+	return idx
+}
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,247 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mask is a taint bit set. Bit 0 marks source-derived (wall-clock)
+// values; bit i+1 marks values derived from the function's i-th
+// parameter, which is how a function's propagation summary is
+// computed. Functions with more than 30 parameters saturate into
+// coarse propagation, which this module does not contain.
+type Mask uint32
+
+// WallBit marks a value derived from a taint source.
+const WallBit Mask = 1
+
+// ParamBit returns the bit tracking derivation from parameter i.
+func ParamBit(i int) Mask {
+	if i > 29 {
+		i = 29
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// AnyParam masks every parameter bit.
+const AnyParam = ^Mask(0) &^ WallBit
+
+// Solver runs a flow-insensitive, object-level taint fixpoint over one
+// function body. Taint is monotone — once an object is tainted it
+// stays tainted — so the fixpoint is a least solution and terminates.
+// Comparisons drop taint (a bool branched on a wall value is implicit
+// flow, out of scope); data flow through assignments, arithmetic,
+// conversions (the laundering catch: int64(wall) stays tainted),
+// composite literals, and calls is tracked.
+type Solver struct {
+	Info *types.Info
+	// IsSource reports whether values of this type are taint sources
+	// regardless of provenance (the Wall* unit types).
+	IsSource func(types.Type) bool
+	// CallMask maps one call and the OR of its argument masks to the
+	// mask of its results; the pass implements it with function
+	// summaries. It is never called for conversions or builtins.
+	CallMask func(call *ast.CallExpr, args Mask) Mask
+
+	taint map[types.Object]Mask
+}
+
+// Run solves the body to fixpoint. Each parameter starts carrying its
+// ParamBit so the caller can derive a propagation summary; pass nil
+// params to track only source taint.
+func (s *Solver) Run(body ast.Node, params []*types.Var) {
+	s.taint = map[types.Object]Mask{}
+	for i, p := range params {
+		if p != nil {
+			s.taint[p] = ParamBit(i)
+		}
+	}
+	for iter := 0; iter < 10; iter++ {
+		if !s.sweep(body) {
+			return
+		}
+	}
+}
+
+// ObjMask returns the solved mask of an object.
+func (s *Solver) ObjMask(o types.Object) Mask { return s.taint[o] }
+
+// sweep propagates through every statement once, reporting change.
+func (s *Solver) sweep(body ast.Node) bool {
+	changed := false
+	mark := func(o types.Object, m Mask) {
+		if o == nil || m == 0 {
+			return
+		}
+		if s.taint[o]|m != s.taint[o] {
+			s.taint[o] |= m
+			changed = true
+		}
+	}
+	lhsObj := func(e ast.Expr) types.Object {
+		switch v := Unparen(e).(type) {
+		case *ast.Ident:
+			if o := s.Info.Defs[v]; o != nil {
+				return o
+			}
+			return s.Info.Uses[v]
+		case *ast.SelectorExpr:
+			// Writing a tainted value into a field taints the whole
+			// base object (field-insensitive strong taint).
+			return s.baseObj(v.X)
+		case *ast.IndexExpr:
+			return s.baseObj(v.X)
+		case *ast.StarExpr:
+			return s.baseObj(v.X)
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					mark(lhsObj(st.Lhs[i]), s.ExprMask(st.Rhs[i]))
+				}
+			} else if len(st.Rhs) == 1 {
+				m := s.ExprMask(st.Rhs[0])
+				for _, l := range st.Lhs {
+					mark(lhsObj(l), m)
+				}
+			}
+			if st.Tok != token.ASSIGN && st.Tok != token.DEFINE && len(st.Lhs) == 1 {
+				// op= also keeps the lhs's own taint; monotone, nothing
+				// to do.
+				_ = st
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i, name := range st.Names {
+					mark(s.Info.Defs[name], s.ExprMask(st.Values[i]))
+				}
+			} else if len(st.Values) == 1 {
+				m := s.ExprMask(st.Values[0])
+				for _, name := range st.Names {
+					mark(s.Info.Defs[name], m)
+				}
+			}
+		case *ast.RangeStmt:
+			m := s.ExprMask(st.X)
+			if st.Key != nil {
+				mark(lhsObj(st.Key), m)
+			}
+			if st.Value != nil {
+				mark(lhsObj(st.Value), m)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// baseObj returns the root object of a selector/index chain.
+func (s *Solver) baseObj(e ast.Expr) types.Object {
+	for {
+		switch v := Unparen(e).(type) {
+		case *ast.Ident:
+			return s.Info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ExprMask computes the taint mask of an expression under the current
+// solution.
+func (s *Solver) ExprMask(e ast.Expr) Mask {
+	if e == nil {
+		return 0
+	}
+	var m Mask
+	if t := s.Info.TypeOf(e); t != nil && s.IsSource != nil && s.IsSource(t) {
+		m |= WallBit
+	}
+	switch v := Unparen(e).(type) {
+	case *ast.Ident:
+		m |= s.taint[s.Info.Uses[v]]
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ,
+			token.LAND, token.LOR:
+			// Comparisons and logic yield bools; implicit flow is out
+			// of scope.
+		default:
+			m |= s.ExprMask(v.X) | s.ExprMask(v.Y)
+		}
+	case *ast.UnaryExpr:
+		m |= s.ExprMask(v.X)
+	case *ast.StarExpr:
+		m |= s.ExprMask(v.X)
+	case *ast.SelectorExpr:
+		if _, isSel := s.Info.Selections[v]; isSel || s.Info.Uses[v.Sel] != nil {
+			m |= s.taint[s.Info.Uses[v.Sel]]
+		}
+		m |= s.ExprMask(v.X)
+	case *ast.IndexExpr:
+		m |= s.ExprMask(v.X)
+	case *ast.SliceExpr:
+		m |= s.ExprMask(v.X)
+	case *ast.TypeAssertExpr:
+		m |= s.ExprMask(v.X)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= s.ExprMask(kv.Value)
+			} else {
+				m |= s.ExprMask(el)
+			}
+		}
+	case *ast.CallExpr:
+		kind, _, builtin := Classify(s.Info, v)
+		switch kind {
+		case KindConversion:
+			// The laundering catch: converting away a wall unit type
+			// does not clear taint.
+			m |= s.ExprMask(v.Args[0])
+		case KindBuiltin:
+			switch builtin {
+			case "len", "cap", "make", "new":
+				// Sizes and fresh objects are clean.
+			case "append":
+				for _, a := range v.Args {
+					m |= s.ExprMask(a)
+				}
+			default:
+				for _, a := range v.Args {
+					m |= s.ExprMask(a)
+				}
+			}
+		default:
+			var args Mask
+			for _, a := range v.Args {
+				args |= s.ExprMask(a)
+			}
+			// A method call's receiver feeds its results too: without
+			// this, time.Since(t).Nanoseconds() would launder taint
+			// through the zero-argument method call.
+			if sel, ok := Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				if _, isSel := s.Info.Selections[sel]; isSel {
+					args |= s.ExprMask(sel.X)
+				}
+			}
+			if s.CallMask != nil {
+				m |= s.CallMask(v, args)
+			} else {
+				m |= args
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Declaration directives.
+//
+// Besides //cgplint:ignore (suppress.go), cgplint understands three
+// directives that attach to declarations rather than diagnostic lines:
+//
+//	//cgplint:hotpath
+//	    On a func/method decl: the function must be transitively free
+//	    of heap allocation (checked by the allocfree pass). On an
+//	    interface method: every in-module implementation is checked.
+//	    On a named func type: every function bound to it is checked.
+//	//cgplint:coldpath <reason>
+//	    On a func/method decl: stops the allocfree traversal at this
+//	    function. For amortized-growth helpers (ring doubling, table
+//	    rehash) whose allocations are deliberate and measured. The
+//	    reason is mandatory and checked.
+//	//cgplint:detsink
+//	    On a func/method decl: arguments must never carry wall-clock-
+//	    derived values (checked by the walltaint pass). Marks the
+//	    boundaries of the deterministic domain: obs Registry writes,
+//	    config fingerprints.
+//
+// A directive is any line of the declaration's doc comment (or, for
+// interface methods, its trailing comment). Like ignore reasons,
+// coldpath reasons are free text ending at the line.
+
+// Directive names understood on declarations.
+const (
+	DirHotpath  = "hotpath"
+	DirColdpath = "coldpath"
+	DirDetsink  = "detsink"
+)
+
+// Directive scans a comment group for //cgplint:<name> and returns
+// whether it was found and any argument text after the name.
+func Directive(cg *ast.CommentGroup, name string) (bool, string) {
+	if cg == nil {
+		return false, ""
+	}
+	want := "cgplint:" + name
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == want {
+			return true, ""
+		}
+		if strings.HasPrefix(text, want+" ") {
+			return true, strings.TrimSpace(text[len(want):])
+		}
+	}
+	return false, ""
+}
+
+// FieldDirective checks both the doc comment above an interface method
+// (or struct field) and the trailing comment on its line.
+func FieldDirective(f *ast.Field, name string) (bool, string) {
+	if ok, arg := Directive(f.Doc, name); ok {
+		return ok, arg
+	}
+	return Directive(f.Comment, name)
+}
+
+// declDirectiveNames lists the declaration directives for validation;
+// anything else after "cgplint:" (except ignore) is a typo worth
+// flagging rather than silently carrying no meaning.
+var declDirectiveNames = map[string]bool{
+	DirHotpath:  true,
+	DirColdpath: true,
+	DirDetsink:  true,
+}

@@ -19,11 +19,22 @@
 // command already produced for the build (cfg.PackageFile), so no
 // network, module cache, or second type-check of dependencies is
 // needed.
+//
+// Cross-package dataflow summaries ride the protocol's facts channel:
+// go vet runs the tool over every dependency first (VetxOnly units),
+// each run writes its exported facts to cfg.VetxOutput, and dependents
+// find them in cfg.PackageVetx. Because the flags below participate in
+// go vet's cache key, they use the dotted "cgplint." prefix the
+// unitchecker convention expects; standalone mode accepts the short
+// aliases -json and -unused-ignores and forwards the dotted forms.
 package driver
 
 import (
+	"bufio"
+	"bytes"
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -35,6 +46,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strings"
 
@@ -53,11 +65,22 @@ type Config struct {
 	ImportMap                 map[string]string // import path -> canonical package path
 	PackageFile               map[string]string // package path -> export data file
 	Standard                  map[string]bool
-	PackageVetx               map[string]string
-	VetxOnly                  bool
-	VetxOutput                string
+	PackageVetx               map[string]string // package path -> facts file from its run
+	VetxOnly                  bool              // facts wanted, diagnostics not
+	VetxOutput                string            // where to write this package's facts
 	SucceedOnTypecheckFailure bool
 }
+
+// Tool flags, shared by both invocation styles.
+var (
+	jsonOut       bool // -cgplint.json / -json
+	unusedIgnores bool // -cgplint.unusedignores / -unused-ignores
+)
+
+const (
+	jsonUsage   = "emit diagnostics as JSON instead of text"
+	unusedUsage = "report cgplint:ignore directives that suppress nothing"
+)
 
 // Main is the entry point for cmd/cgplint. It never returns.
 func Main(analyzers ...*analysis.Analyzer) {
@@ -66,29 +89,45 @@ func Main(analyzers ...*analysis.Analyzer) {
 	args := os.Args[1:]
 
 	if len(args) == 1 {
-		switch {
-		case args[0] == "-V=full":
+		switch args[0] {
+		case "-V=full":
 			printVersion()
 			os.Exit(0)
-		case args[0] == "-flags":
+		case "-flags":
 			printFlags()
 			os.Exit(0)
-		case strings.HasSuffix(args[0], ".cfg"):
-			os.Exit(runUnit(args[0], analyzers))
 		}
 	}
-	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+
+	fs := flag.NewFlagSet("cgplint", flag.ExitOnError)
+	fs.Usage = func() { usage(analyzers) }
+	fs.BoolVar(&jsonOut, "cgplint.json", false, jsonUsage)
+	fs.BoolVar(&unusedIgnores, "cgplint.unusedignores", false, unusedUsage)
+	var jsonAlias, unusedAlias bool
+	fs.BoolVar(&jsonAlias, "json", false, "alias for -cgplint.json")
+	fs.BoolVar(&unusedAlias, "unused-ignores", false, "alias for -cgplint.unusedignores")
+	fs.Parse(args)
+	jsonOut = jsonOut || jsonAlias
+	unusedIgnores = unusedIgnores || unusedAlias
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(runUnit(rest[0], analyzers))
+	}
+	if len(rest) == 0 {
 		usage(analyzers)
 		os.Exit(2)
 	}
 	// Standalone mode: let go vet do package loading and drive this
 	// same binary through the unit protocol above.
-	os.Exit(standalone(args))
+	os.Exit(standalone(rest))
 }
 
 func usage(analyzers []*analysis.Analyzer) {
-	fmt.Fprintf(os.Stderr, "usage: cgplint <packages>   (e.g. cgplint ./...)\n")
-	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=/path/to/cgplint <packages>\n\nanalyzers:\n")
+	fmt.Fprintf(os.Stderr, "usage: cgplint [-json] [-unused-ignores] <packages>   (e.g. cgplint ./...)\n")
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=/path/to/cgplint <packages>\n\nflags:\n")
+	fmt.Fprintf(os.Stderr, "  -json            %s\n", jsonUsage)
+	fmt.Fprintf(os.Stderr, "  -unused-ignores  %s\n\nanalyzers:\n", unusedUsage)
 	for _, a := range analyzers {
 		doc := a.Doc
 		if i := strings.IndexByte(doc, '\n'); i >= 0 {
@@ -119,32 +158,131 @@ func printVersion() {
 }
 
 // printFlags implements -flags: go vet asks which flags the tool
-// accepts before forwarding any. cgplint is deliberately
-// unconfigurable — exceptions live in the source as cgplint:ignore
-// comments, not in per-invocation flag soup — so the answer is empty.
+// accepts before forwarding any (cmd/go/internal/vet parses the JSON
+// as []struct{Name string; Bool bool; Usage string}). Only the dotted
+// forms are advertised — they participate in go vet's result cache
+// key, so toggling -cgplint.unusedignores re-analyzes rather than
+// replaying cached clean results.
 func printFlags() {
-	fmt.Print("[]")
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	data, err := json.Marshal([]jsonFlag{
+		{Name: "cgplint.json", Bool: true, Usage: jsonUsage},
+		{Name: "cgplint.unusedignores", Bool: true, Usage: unusedUsage},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(string(data))
 }
 
+// jsonDiagnostic is one finding in -json output, grouped as
+// {"<package>": {"<analyzer>": [ {posn, message}, ... ]}}.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// passSuffix extracts the "(cgplint/<pass>)" tag from a text-mode
+// diagnostic line when counting findings in standalone mode.
+var passSuffix = regexp.MustCompile(`\(cgplint/([a-z-]+)\)$`)
+
 // standalone re-execs go vet with this binary as the vettool, so both
-// invocation styles share one loading path (and one build cache).
+// invocation styles share one loading path (and one build cache). It
+// post-processes the combined vet output: text diagnostics stream
+// through to stderr, JSON unit objects merge into one document on
+// stdout, and a per-pass count summary lands on stderr. The exit code
+// is cgplint's own: 1 whenever any finding was seen — go vet's exit
+// status is advisory here, because on multi-package runs it reflects
+// only the final package's units — and 2 for tool failures.
 func standalone(patterns []string) int {
 	exe, err := os.Executable()
 	if err != nil {
 		log.Fatal(err)
 	}
-	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	args := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		args = append(args, "-cgplint.json")
+	}
+	if unusedIgnores {
+		args = append(args, "-cgplint.unusedignores")
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
 	cmd.Stdin = os.Stdin
+	vetExit := 0
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
-			return ee.ExitCode()
+			vetExit = ee.ExitCode()
+		} else {
+			log.Fatal(err)
 		}
-		log.Fatal(err)
 	}
-	return 0
+
+	counts := map[string]int{}
+	merged := map[string]map[string][]jsonDiagnostic{}
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "{") {
+			var obj map[string]map[string][]jsonDiagnostic
+			if json.Unmarshal([]byte(trimmed), &obj) == nil {
+				for pkg, byPass := range obj {
+					if merged[pkg] == nil {
+						merged[pkg] = map[string][]jsonDiagnostic{}
+					}
+					for pass, ds := range byPass {
+						merged[pkg][pass] = append(merged[pkg][pass], ds...)
+						counts[pass] += len(ds)
+					}
+				}
+				continue
+			}
+		}
+		if m := passSuffix.FindStringSubmatch(trimmed); m != nil {
+			counts[m[1]]++
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(merged); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+
+	total := 0
+	names := make([]string, 0, len(counts))
+	for name, n := range counts {
+		total += n
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if total > 0 {
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s %d", name, counts[name])
+		}
+		fmt.Fprintf(os.Stderr, "cgplint: %d findings (%s)\n", total, strings.Join(parts, ", "))
+	}
+	switch {
+	case vetExit > 1:
+		return vetExit // hard failure: bad flags, broken build, tool crash
+	case total > 0:
+		return 1
+	default:
+		return vetExit
+	}
 }
 
 // runUnit analyzes one compilation unit and returns the process exit
@@ -162,27 +300,35 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 
 	// go vet caches and re-reads the facts file unconditionally, so it
-	// must exist even when analysis is skipped. cgplint uses no
-	// cross-package facts; the file is always empty.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			log.Print(err)
-			return 2
+	// must exist even for units this run skips or fails on.
+	writeVetx := func(payload []byte) bool {
+		if cfg.VetxOutput == "" {
+			return true
 		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0o666); err != nil {
+			log.Print(err)
+			return false
+		}
+		return true
 	}
-	if cfg.VetxOnly {
-		return 0
-	}
+
 	// Dependencies outside this module (including the standard
-	// library) are none of cgplint's business.
+	// library) are none of cgplint's business and export no facts;
+	// passes use explicit allowlists for them.
 	if cfg.ImportPath != analysis.ModulePath &&
 		!strings.HasPrefix(cfg.ImportPath, analysis.ModulePath+"/") {
+		if !writeVetx(nil) {
+			return 2
+		}
 		return 0
 	}
 
 	fset := token.NewFileSet()
 	files, pkg, info, err := typecheck(fset, cfg)
 	if err != nil {
+		if !writeVetx(nil) {
+			return 2
+		}
 		if cfg.SucceedOnTypecheckFailure {
 			return 0 // the compiler will report it better
 		}
@@ -190,30 +336,94 @@ func runUnit(cfgFile string, analyzers []*analysis.Analyzer) int {
 		return 2
 	}
 
-	var diags []analysis.Diagnostic
+	// Seed the fact store with every dependency's exports. go vet
+	// analyzes packages in build-graph order, so these files exist by
+	// the time this unit runs.
+	facts := analysis.NewFacts()
+	for path, vetx := range cfg.PackageVetx {
+		payload, err := os.ReadFile(vetx)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		if err := facts.DecodeFacts(path, payload); err != nil {
+			log.Print(err)
+			return 2
+		}
+	}
+	unit := &analysis.Unit{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Facts:     facts,
+		Ignores:   analysis.ParseIgnores(fset, files),
+	}
+
+	type tagged struct {
+		analyzer string
+		d        analysis.Diagnostic
+	}
+	var diags []tagged
 	known := make([]string, len(analyzers))
 	for i, a := range analyzers {
 		known[i] = a.Name
-		ds, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		ds, err := analysis.RunAnalyzer(a, unit)
 		if err != nil {
 			log.Print(err)
 			return 2
 		}
 		for _, d := range ds {
-			d.Message += " (cgplint/" + a.Name + ")"
-			diags = append(diags, d)
+			diags = append(diags, tagged{a.Name, d})
 		}
 	}
+
+	// Facts are complete once every analyzer has run; export them even
+	// for fact-only units, which is the whole point of those units.
+	payload, err := facts.EncodeFacts(cfg.ImportPath)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if !writeVetx(payload) {
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
 	for _, d := range analysis.CheckIgnores(fset, files, known) {
-		d.Message += " (cgplint/ignore)"
-		diags = append(diags, d)
+		diags = append(diags, tagged{"ignore", d})
+	}
+	if unusedIgnores {
+		for _, d := range unit.Ignores.Unused(known) {
+			diags = append(diags, tagged{"unusedignores", d})
+		}
 	}
 	if len(diags) == 0 {
 		return 0
 	}
-	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].d.Pos < diags[j].d.Pos })
+	if jsonOut {
+		byPass := map[string][]jsonDiagnostic{}
+		for _, td := range diags {
+			byPass[td.analyzer] = append(byPass[td.analyzer], jsonDiagnostic{
+				Posn:    fset.Position(td.d.Pos).String(),
+				Message: td.d.Message,
+			})
+		}
+		line, err := json.Marshal(map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byPass})
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		// One object per line so standalone mode can pick JSON out of
+		// interleaved go vet output.
+		fmt.Fprintln(os.Stderr, string(line))
+	} else {
+		for _, td := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (cgplint/%s)\n", fset.Position(td.d.Pos), td.d.Message, td.analyzer)
+		}
 	}
 	return 1
 }

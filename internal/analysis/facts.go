@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Cross-package facts.
+//
+// The vet unit protocol hands every analyzer run a .vetx "facts" file
+// per dependency and asks for one in return (Config.PackageVetx /
+// Config.VetxOutput). go vet analyzes packages in build-graph order,
+// so by the time a package is checked, the facts its dependencies
+// exported are already on disk. cgplint uses this channel for the
+// dataflow summaries the allocfree and walltaint passes need to reason
+// across package boundaries without whole-program loading:
+//
+//	fn:<func>       allocfree transitive verdict for a function
+//	hot:<func>      function is a //cgplint:hotpath root
+//	hotiface:<T>    interface methods marked hotpath (comma list)
+//	hotfunc:<T>     named func type marked hotpath
+//	taint:<func>    walltaint result summary for a function
+//	detsink:<func>  function is a //cgplint:detsink
+//
+// Facts are JSON — map[analyzer]map[key]value — rather than gob or a
+// binary codec: the files are tiny (a few KiB for the whole module),
+// diffable when debugging a pass, and carry no type information that
+// could skew across builds. Out-of-module packages (the standard
+// library) export no facts; passes fall back to explicit allowlists or
+// conservative assumptions for them.
+
+// Facts holds every known fact, keyed by package path, then by
+// "analyzer/key". The driver seeds it from dependency vetx files and
+// collects the current package's exports for its own vetx output.
+type Facts struct {
+	byPkg map[string]map[string]string
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{byPkg: map[string]map[string]string{}}
+}
+
+// set records one fact exported by pkg's run of analyzer.
+func (f *Facts) set(pkg, analyzer, key, value string) {
+	m := f.byPkg[pkg]
+	if m == nil {
+		m = map[string]string{}
+		f.byPkg[pkg] = m
+	}
+	m[analyzer+"/"+key] = value
+}
+
+// get looks one fact up.
+func (f *Facts) get(pkg, analyzer, key string) (string, bool) {
+	v, ok := f.byPkg[pkg][analyzer+"/"+key]
+	return v, ok
+}
+
+// FactRef is one (package, key, value) triple from a prefix scan.
+type FactRef struct {
+	Pkg   string
+	Key   string // without the analyzer prefix
+	Value string
+}
+
+// withPrefix returns every fact of analyzer whose key starts with
+// prefix, across all packages, in deterministic order.
+func (f *Facts) withPrefix(analyzer, prefix string) []FactRef {
+	full := analyzer + "/" + prefix
+	var out []FactRef
+	for pkg, m := range f.byPkg {
+		for k, v := range m {
+			if len(k) >= len(full) && k[:len(full)] == full {
+				out = append(out, FactRef{Pkg: pkg, Key: k[len(analyzer)+1:], Value: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// DecodeFacts merges the vetx payload exported by pkg into f. Empty
+// payloads (out-of-module packages, pre-facts cgplint versions) are
+// valid and contribute nothing.
+func (f *Facts) DecodeFacts(pkg string, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var m map[string]map[string]string
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("facts for %s: %w", pkg, err)
+	}
+	for analyzer, kv := range m {
+		for k, v := range kv {
+			f.set(pkg, analyzer, k, v)
+		}
+	}
+	return nil
+}
+
+// EncodeFacts serializes the facts pkg exported, for its vetx output.
+// The encoding is deterministic (json.Marshal sorts map keys), so the
+// go vet result cache keys on content stay stable across runs.
+func (f *Facts) EncodeFacts(pkg string) ([]byte, error) {
+	m := f.byPkg[pkg]
+	if len(m) == 0 {
+		return nil, nil
+	}
+	nested := map[string]map[string]string{}
+	for k, v := range m {
+		for i := 0; i < len(k); i++ {
+			if k[i] == '/' {
+				a, key := k[:i], k[i+1:]
+				if nested[a] == nil {
+					nested[a] = map[string]string{}
+				}
+				nested[a][key] = v
+				break
+			}
+		}
+	}
+	return json.Marshal(nested)
+}

@@ -20,6 +20,11 @@ import (
 // reported by the driver, so every suppression in the tree documents
 // why the rule does not apply. There is deliberately no file- or
 // package-wide escape hatch.
+//
+// The set tracks which directives actually fired. A directive that
+// suppressed nothing in a whole run is stale — the code it excused was
+// fixed or deleted — and is reported by the driver's -unused-ignores
+// mode so the tree does not accrete dead exceptions.
 
 const ignorePrefix = "cgplint:ignore"
 
@@ -41,9 +46,22 @@ func (d ignoreDirective) covers() int {
 	return d.line + 1
 }
 
-// parseIgnores extracts every cgplint:ignore directive from the files.
-func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
-	var out []ignoreDirective
+// Ignores is the suppression set of one compilation unit, shared by
+// every analyzer run over it so used-directive tracking sees the whole
+// picture before -unused-ignores reports leftovers.
+type Ignores struct {
+	ds   []ignoreDirective
+	used []bool
+	// byLine indexes well-formed directives: filename -> covered line
+	// -> indices into ds.
+	byLine map[string]map[int][]int
+	fset   *token.FileSet
+}
+
+// ParseIgnores extracts every cgplint:ignore directive from the files
+// and indexes the well-formed ones for coverage lookups.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{byLine: map[string]map[int][]int{}, fset: fset}
 	for _, f := range files {
 		codeCols := firstCodeColumns(fset, f)
 		for _, cg := range f.Comments {
@@ -67,9 +85,70 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) []ignoreDirective {
 						d.reason = strings.TrimSpace(parts[1])
 					}
 				}
-				out = append(out, d)
+				idx := len(ig.ds)
+				ig.ds = append(ig.ds, d)
+				ig.used = append(ig.used, false)
+				if d.analyzer != "" && d.reason != "" {
+					if ig.byLine[p.Filename] == nil {
+						ig.byLine[p.Filename] = map[int][]int{}
+					}
+					cov := d.covers()
+					ig.byLine[p.Filename][cov] = append(ig.byLine[p.Filename][cov], idx)
+				}
 			}
 		}
+	}
+	return ig
+}
+
+// Covers reports whether a well-formed directive for the named
+// analyzer covers pos, marking any match as used.
+func (ig *Ignores) Covers(analyzer string, pos token.Pos) bool {
+	if ig == nil {
+		return false
+	}
+	p := ig.fset.Position(pos)
+	hit := false
+	for _, i := range ig.byLine[p.Filename][p.Line] {
+		if ig.ds[i].analyzer == analyzer {
+			ig.used[i] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Filter removes diagnostics covered by a directive for the named
+// analyzer, marking the directives that fire.
+func (ig *Ignores) Filter(analyzer string, diags []Diagnostic) []Diagnostic {
+	if ig == nil || len(diags) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, dg := range diags {
+		if !ig.Covers(analyzer, dg.Pos) {
+			kept = append(kept, dg)
+		}
+	}
+	return kept
+}
+
+// Unused reports well-formed directives naming a known analyzer that
+// suppressed nothing across every analyzer run sharing this set.
+// Malformed or unknown-name directives are excluded: CheckIgnores
+// already reports those as errors in their own right.
+func (ig *Ignores) Unused(known []string) []Diagnostic {
+	isKnown := map[string]bool{}
+	for _, n := range known {
+		isKnown[n] = true
+	}
+	var out []Diagnostic
+	for i, d := range ig.ds {
+		if ig.used[i] || d.analyzer == "" || d.reason == "" || !isKnown[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: d.pos,
+			Message: "cgplint:ignore " + d.analyzer + " suppresses nothing and can be deleted"})
 	}
 	return out
 }
@@ -92,55 +171,57 @@ func firstCodeColumns(fset *token.FileSet, f *ast.File) map[int]int {
 	return cols
 }
 
-// FilterSuppressed removes diagnostics covered by a well-formed
-// ignore directive for the named analyzer.
-func FilterSuppressed(name string, fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
-	if len(diags) == 0 {
-		return diags
-	}
-	covered := map[string]map[int]bool{} // filename -> suppressed lines
-	for _, d := range parseIgnores(fset, files) {
-		if d.analyzer != name || d.reason == "" {
-			continue
-		}
-		file := fset.Position(d.pos).Filename
-		if covered[file] == nil {
-			covered[file] = map[int]bool{}
-		}
-		covered[file][d.covers()] = true
-	}
-	kept := diags[:0]
-	for _, dg := range diags {
-		p := fset.Position(dg.Pos)
-		if covered[p.Filename][p.Line] {
-			continue
-		}
-		kept = append(kept, dg)
-	}
-	return kept
-}
-
-// CheckIgnores reports malformed suppression directives: a missing
+// CheckIgnores reports malformed directives: an ignore with a missing
 // analyzer name, an unknown analyzer name (catches typos that would
-// silently suppress nothing), or a missing reason. The returned
-// diagnostics carry the pseudo-analyzer name "ignore".
+// silently suppress nothing), or a missing reason; a coldpath without
+// its mandatory reason; and any //cgplint:<word> that names no known
+// directive at all. The returned diagnostics carry the pseudo-analyzer
+// name "ignore".
 func CheckIgnores(fset *token.FileSet, files []*ast.File, known []string) []Diagnostic {
 	isKnown := map[string]bool{}
 	for _, n := range known {
 		isKnown[n] = true
 	}
 	var out []Diagnostic
-	for _, d := range parseIgnores(fset, files) {
-		switch {
-		case d.analyzer == "":
-			out = append(out, Diagnostic{Pos: d.pos,
-				Message: "cgplint:ignore needs an analyzer name and a reason: //cgplint:ignore <analyzer> <reason>"})
-		case !isKnown[d.analyzer]:
-			out = append(out, Diagnostic{Pos: d.pos,
-				Message: "cgplint:ignore names unknown analyzer " + d.analyzer})
-		case d.reason == "":
-			out = append(out, Diagnostic{Pos: d.pos,
-				Message: "cgplint:ignore " + d.analyzer + " needs a written reason"})
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "cgplint:") {
+					continue
+				}
+				rest := text[len("cgplint:"):]
+				name := rest
+				arg := ""
+				if i := strings.IndexByte(rest, ' '); i >= 0 {
+					name, arg = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				switch {
+				case name == "ignore":
+					parts := strings.SplitN(arg, " ", 2)
+					switch {
+					case arg == "":
+						out = append(out, Diagnostic{Pos: c.Pos(),
+							Message: "cgplint:ignore needs an analyzer name and a reason: //cgplint:ignore <analyzer> <reason>"})
+					case !isKnown[parts[0]]:
+						out = append(out, Diagnostic{Pos: c.Pos(),
+							Message: "cgplint:ignore names unknown analyzer " + parts[0]})
+					case len(parts) < 2 || strings.TrimSpace(parts[1]) == "":
+						out = append(out, Diagnostic{Pos: c.Pos(),
+							Message: "cgplint:ignore " + parts[0] + " needs a written reason"})
+					}
+				case name == DirColdpath:
+					if arg == "" {
+						out = append(out, Diagnostic{Pos: c.Pos(),
+							Message: "cgplint:coldpath needs a written reason for the deliberate allocation"})
+					}
+				case declDirectiveNames[name]:
+					// hotpath/detsink: marker directives, no argument.
+				default:
+					out = append(out, Diagnostic{Pos: c.Pos(),
+						Message: "unknown directive cgplint:" + name})
+				}
+			}
 		}
 	}
 	return out

@@ -86,7 +86,8 @@ var e = 1
 		return out
 	}
 
-	got := FilterSuppressed("detrand", fset, files, mk("a", "b", "c", "d", "e"))
+	ig := ParseIgnores(fset, files)
+	got := ig.Filter("detrand", mk("a", "b", "c", "d", "e"))
 	var kept []string
 	for _, d := range got {
 		kept = append(kept, strings.TrimPrefix(d.Message, "finding at "))
@@ -99,8 +100,42 @@ var e = 1
 		t.Errorf("kept %v, want %s", kept, want)
 	}
 
-	gotMap := FilterSuppressed("maporder", fset, files, mk("d"))
+	gotMap := ig.Filter("maporder", mk("d"))
 	if len(gotMap) != 1 {
 		t.Errorf("maporder diagnostic at d suppressed by a detrand directive: %v", gotMap)
+	}
+}
+
+func TestUnusedIgnores(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//cgplint:ignore detrand fired below
+var a = 1
+
+//cgplint:ignore detrand never fires
+var b = 1
+
+//cgplint:ignore nosuchpass malformed, CheckIgnores' problem
+var c = 1
+`)
+	ig := ParseIgnores(fset, files)
+	var pos token.Pos
+	ast.Inspect(files[0], func(n ast.Node) bool {
+		if vs, ok := n.(*ast.ValueSpec); ok && vs.Names[0].Name == "a" {
+			pos = vs.Pos()
+		}
+		return true
+	})
+	ig.Filter("detrand", []Diagnostic{{Pos: pos, Message: "finding at a"}})
+
+	unused := ig.Unused([]string{"detrand", "maporder"})
+	if len(unused) != 1 {
+		t.Fatalf("got %d unused directives, want 1: %v", len(unused), unused)
+	}
+	if p := fset.Position(unused[0].Pos); p.Line != 6 {
+		t.Errorf("unused directive reported at line %d, want 6", p.Line)
+	}
+	if !strings.Contains(unused[0].Message, "suppresses nothing") {
+		t.Errorf("message = %q", unused[0].Message)
 	}
 }

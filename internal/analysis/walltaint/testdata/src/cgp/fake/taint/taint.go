@@ -1,0 +1,82 @@
+// Package taint exercises walltaint: sources (Wall* units, clock
+// reads), propagation through conversions and local summaries, sinks
+// (detsink calls, simulated-unit conversions), suppression, and
+// cross-package facts.
+package taint
+
+import (
+	"time"
+
+	"units"
+
+	"cgp/fake/taintdep"
+)
+
+// recordPoint is a deterministic sink (stands in for a Registry write).
+//
+//cgplint:detsink
+func recordPoint(name string, v int64) {}
+
+// Elapsed returns a wall-typed duration; its summary is W.
+func Elapsed(start time.Time) units.WallNanos {
+	return units.WallNanos(time.Since(start))
+}
+
+// Bad launders a wall duration through int64 before sinking it: the
+// conversion must not clear taint.
+func Bad(start time.Time) {
+	d := int64(Elapsed(start))
+	recordPoint("latency", d) // want `wall-clock-derived value flows into deterministic sink cgp/fake/taint.recordPoint`
+}
+
+// BadConversion masquerades wall time as a simulated estimate.
+func BadConversion(start time.Time) units.Cycles {
+	return units.Cycles(Elapsed(start)) // want `wall-clock-derived value laundered into simulated unit Cycles`
+}
+
+// BadMethod taints through a zero-argument method call on a wall
+// receiver.
+func BadMethod(start time.Time) {
+	recordPoint("ns", time.Since(start).Nanoseconds()) // want `wall-clock-derived value flows into deterministic sink cgp/fake/taint.recordPoint`
+}
+
+// Fine records simulated units: that is what the registry is for.
+func Fine(n units.Cycles) {
+	recordPoint("cycles", int64(n))
+}
+
+// Compared drops taint at the comparison: gating control flow on wall
+// time is legitimate (retry backoff, progress polling).
+func Compared(start time.Time, n units.Cycles) {
+	if Elapsed(start) > 1e9 {
+		recordPoint("slow_cycles", int64(n))
+	}
+}
+
+// Suppressed documents a sanctioned exit with a reasoned ignore.
+func Suppressed(start time.Time) {
+	//cgplint:ignore walltaint calibration figure intentionally reports wall time
+	recordPoint("calib_ns", int64(Elapsed(start)))
+}
+
+// transit forwards its second parameter into a sink; its summary is
+// S=1, making call sites with tainted arguments findings.
+func transit(name string, v int64) {
+	recordPoint(name, v)
+}
+
+// BadTransitive sinks through the local S-summary.
+func BadTransitive(start time.Time) {
+	transit("latency", int64(time.Since(start))) // want `wall-clock-derived value flows into deterministic sink cgp/fake/taint.transit`
+}
+
+// BadCrossSink sinks a cross-package W-summary result into a
+// cross-package detsink fact.
+func BadCrossSink(start time.Time) {
+	taintdep.Record("t_ms", taintdep.Millis(start)) // want `wall-clock-derived value flows into deterministic sink cgp/fake/taintdep.Record`
+}
+
+// FineCross records a plain computed value.
+func FineCross(n int64) {
+	taintdep.Record("count", n*2)
+}

@@ -1,0 +1,19 @@
+// Package taintdep exercises walltaint's cross-package facts: Record
+// exports a detsink: fact and Millis a taint: summary (W), both
+// consulted by cgp/fake/taint.
+package taintdep
+
+import (
+	"time"
+)
+
+// Record is a deterministic sink (an obs Registry write).
+//
+//cgplint:detsink
+func Record(name string, v int64) {}
+
+// Millis reads the wall clock and launders it into a plain int64; its
+// taint summary is W (results always wall-derived).
+func Millis(start time.Time) int64 {
+	return int64(time.Since(start)) / 1e6
+}

@@ -1,0 +1,13 @@
+// Package units stands in for cgp/internal/units: the analyzers
+// recognize unit types by their defining package being named "units".
+package units
+
+// Cycles counts simulated CPU clock cycles.
+type Cycles int64
+
+// EstCycles counts estimated (sampled) cycles.
+type EstCycles int64
+
+// WallNanos is a wall-clock-domain duration: the "Wall" name prefix
+// marks the quarantined domain.
+type WallNanos int64

@@ -1,0 +1,15 @@
+package walltaint_test
+
+import (
+	"testing"
+
+	"cgp/internal/analysis/analysistest"
+	"cgp/internal/analysis/walltaint"
+)
+
+func TestWalltaint(t *testing.T) {
+	// cgp/fake/taint imports cgp/fake/taintdep, so the harness primes
+	// the dependency's detsink:/taint: facts before the checked package
+	// runs.
+	analysistest.Run(t, analysistest.TestData(), walltaint.Analyzer, "cgp/fake/taint")
+}

@@ -51,6 +51,8 @@ func (p *Predictor) index(pc isa.Addr) uint32 {
 // Predict runs one conditional branch through the predictor: it returns
 // whether the prediction matched the actual outcome, then updates the
 // counter and history with the truth.
+//
+//cgplint:hotpath
 func (p *Predictor) Predict(pc isa.Addr, taken bool) bool {
 	p.lookups++
 	i := p.index(pc)
@@ -122,6 +124,8 @@ func NewRAS(n int) *RAS {
 }
 
 // Push records a call.
+//
+//cgplint:hotpath
 func (r *RAS) Push(e RASEntry) {
 	r.top = (r.top + 1) % len(r.entries)
 	r.entries[r.top] = e
@@ -133,6 +137,8 @@ func (r *RAS) Push(e RASEntry) {
 // Pop predicts the target of a return. The second result reports
 // whether the stack had a live entry; an empty stack returns a zero
 // prediction.
+//
+//cgplint:hotpath
 func (r *RAS) Pop() (RASEntry, bool) {
 	r.pops++
 	if r.depth == 0 {
@@ -146,6 +152,8 @@ func (r *RAS) Pop() (RASEntry, bool) {
 
 // RecordOutcome compares a popped prediction with the actual return
 // target and counts mispredicts.
+//
+//cgplint:hotpath
 func (r *RAS) RecordOutcome(predicted RASEntry, ok bool, actual isa.Addr) bool {
 	if !ok || predicted.ReturnAddr != actual {
 		r.mispredicts++
@@ -155,6 +163,8 @@ func (r *RAS) RecordOutcome(predicted RASEntry, ok bool, actual isa.Addr) bool {
 }
 
 // Flush empties the stack (on context switch).
+//
+//cgplint:hotpath
 func (r *RAS) Flush() { r.depth = 0 }
 
 // Depth returns the current number of live entries.

@@ -172,6 +172,8 @@ func (c *Cache[P]) Assoc() int { return c.assoc }
 // mutate in place; on a miss it returns nil. Access does not allocate
 // the line — the memory model decides when a fill completes and calls
 // Insert.
+//
+//cgplint:hotpath
 func (c *Cache[P]) Access(line Line) (*P, bool) {
 	c.stats.Accesses++
 	set := int(line & c.setMask)
@@ -238,6 +240,8 @@ func (c *Cache[P]) touch(set, base, w int) {
 // Probe reports whether line is resident without perturbing LRU state or
 // counters. Prefetchers probe before every issue, so like Access it gets
 // a specialized scan for the Table-1 associativities.
+//
+//cgplint:hotpath
 func (c *Cache[P]) Probe(line Line) (*P, bool) {
 	base := int(line&c.setMask) * c.assoc
 	switch c.assoc {
@@ -278,6 +282,8 @@ func (c *Cache[P]) Probe(line Line) (*P, bool) {
 // probes once per candidate line — several times per fetched line —
 // so this is a bare tag scan with no calls, small enough to inline
 // into the caller (Probe's specialized scans are not).
+//
+//cgplint:hotpath
 func (c *Cache[P]) Contains(line Line) bool {
 	base := int(line&c.setMask) * c.assoc
 	for w := 0; w < c.assoc; w++ {
@@ -300,6 +306,8 @@ type Evicted[P any] struct {
 // nothing. While a set still has invalid ways the lowest-numbered one
 // is filled — an invalid way found early is never passed over for a
 // later one — so physical placement is deterministic left to right.
+//
+//cgplint:hotpath
 func (c *Cache[P]) Insert(line Line, payload P) (Evicted[P], bool) {
 	if line == invalidTag {
 		panic("cache " + c.name + ": line index reserved as invalid-way sentinel")

@@ -91,7 +91,12 @@ func (h HistoryStats) UpdateHitRate() float64 {
 // is mutable in place.
 type History interface {
 	// Lookup finds (or allocates) the entry tagged fn. hit reports
-	// whether the tag was already present at any level.
+	// whether the tag was already present at any level. It runs twice
+	// per simulated call and return, so it is a hot interface method:
+	// allocfree verifies every implementation ("allocating" above means
+	// claiming a preallocated way, never heap allocation).
+	//
+	//cgplint:hotpath
 	Lookup(fn isa.Addr, alloc bool) (e *Entry, hit bool)
 	// Stats returns traffic counters.
 	Stats() HistoryStats
@@ -334,6 +339,82 @@ func (h *Infinite) LookupInf(fn isa.Addr, alloc bool) (*InfEntry, bool) {
 // configuration plumbing stays uniform.
 func (h *Infinite) Lookup(fn isa.Addr, alloc bool) (*Entry, bool) {
 	panic("core: Infinite.Lookup: use LookupInf")
+}
+
+// The four methods below are the unbounded CGHC's halves of CGP's
+// call/return accesses (see the matching finite paths in cgp.go). They
+// are deliberately coldpath: the infinite model exists to measure the
+// limit of call-graph history (Figure 5), not to be
+// hardware-implementable, and it allocates per newly seen function and
+// per callee-sequence growth by design.
+
+// callPrefetch is the call-instruction prefetch access: a tag hit
+// predicts the entry's first callee.
+//
+//cgplint:coldpath the unbounded CGHC is an idealized limit study that allocates per newly seen function by design
+func (h *Infinite) callPrefetch(target isa.Addr) (isa.Addr, bool) {
+	e, hit := h.LookupInf(target, true)
+	countPrefetch(hit, &h.stats)
+	if hit && len(e.Callees) > 0 && e.Callees[0] != 0 {
+		return e.Callees[0], true
+	}
+	return 0, false
+}
+
+// callUpdate is the call-instruction update access: record target at
+// the caller's index, growing the unbounded sequence as needed.
+//
+//cgplint:coldpath the unbounded CGHC is an idealized limit study that grows its callee sequences by design
+func (h *Infinite) callUpdate(caller, target isa.Addr) {
+	e, hit := h.LookupInf(caller, true)
+	countUpdate(hit, &h.stats)
+	idx := e.Index // 1-based write position; unbounded history
+	for len(e.Callees) < idx {
+		e.Callees = append(e.Callees, 0)
+	}
+	e.Callees[idx-1] = target
+	e.Index = idx + 1
+}
+
+// returnPrefetch is the return-instruction prefetch access: the
+// caller's index selects the next function it is predicted to call.
+//
+//cgplint:coldpath the unbounded CGHC is an idealized limit study that allocates per newly seen function by design
+func (h *Infinite) returnPrefetch(callerStart isa.Addr) (isa.Addr, bool) {
+	e, hit := h.LookupInf(callerStart, true)
+	countPrefetch(hit, &h.stats)
+	if hit && e.Index >= 1 && e.Index <= len(e.Callees) && e.Callees[e.Index-1] != 0 {
+		return e.Callees[e.Index-1], true
+	}
+	return 0, false
+}
+
+// returnUpdate is the return-instruction update access: the returning
+// function's index resets to 1.
+//
+//cgplint:coldpath the unbounded CGHC is an idealized limit study that allocates per newly seen function by design
+func (h *Infinite) returnUpdate(returning isa.Addr) {
+	e, hit := h.LookupInf(returning, true)
+	countUpdate(hit, &h.stats)
+	e.Index = 1
+}
+
+// countPrefetch books one prefetch-access lookup outcome.
+func countPrefetch(hit bool, s *HistoryStats) {
+	if hit {
+		s.PrefetchHits++
+	} else {
+		s.PrefetchMisses++
+	}
+}
+
+// countUpdate books one update-access lookup outcome.
+func countUpdate(hit bool, s *HistoryStats) {
+	if hit {
+		s.UpdateHits++
+	} else {
+		s.UpdateMisses++
+	}
 }
 
 // Stats implements History.

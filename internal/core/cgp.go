@@ -195,12 +195,7 @@ func (p *CGP) issueFunc(fn isa.Addr, issue prefetch.Issue) {
 
 func (p *CGP) callPrefetchLookup(target isa.Addr) (isa.Addr, bool) {
 	if p.infinite != nil {
-		e, hit := p.infinite.LookupInf(target, true)
-		p.countPrefetchAccess(hit, &p.infinite.stats)
-		if hit && len(e.Callees) > 0 && e.Callees[0] != 0 {
-			return e.Callees[0], true
-		}
-		return 0, false
+		return p.infinite.callPrefetch(target)
 	}
 	e, hit := p.lookupFinite(target)
 	p.countPrefetchAccessFinite(hit)
@@ -212,14 +207,7 @@ func (p *CGP) callPrefetchLookup(target isa.Addr) (isa.Addr, bool) {
 
 func (p *CGP) callUpdate(caller, target isa.Addr) {
 	if p.infinite != nil {
-		e, hit := p.infinite.LookupInf(caller, true)
-		p.countUpdateAccess(hit, &p.infinite.stats)
-		idx := e.Index // 1-based write position; unbounded history
-		for len(e.Callees) < idx {
-			e.Callees = append(e.Callees, 0)
-		}
-		e.Callees[idx-1] = target
-		e.Index = idx + 1
+		p.infinite.callUpdate(caller, target)
 		return
 	}
 	e, hit := p.lookupFinite(caller)
@@ -235,12 +223,7 @@ func (p *CGP) callUpdate(caller, target isa.Addr) {
 
 func (p *CGP) returnPrefetchLookup(callerStart isa.Addr) (isa.Addr, bool) {
 	if p.infinite != nil {
-		e, hit := p.infinite.LookupInf(callerStart, true)
-		p.countPrefetchAccess(hit, &p.infinite.stats)
-		if hit && e.Index >= 1 && e.Index <= len(e.Callees) && e.Callees[e.Index-1] != 0 {
-			return e.Callees[e.Index-1], true
-		}
-		return 0, false
+		return p.infinite.returnPrefetch(callerStart)
 	}
 	e, hit := p.lookupFinite(callerStart)
 	p.countPrefetchAccessFinite(hit)
@@ -252,9 +235,7 @@ func (p *CGP) returnPrefetchLookup(callerStart isa.Addr) (isa.Addr, bool) {
 
 func (p *CGP) returnUpdate(returning isa.Addr) {
 	if p.infinite != nil {
-		e, hit := p.infinite.LookupInf(returning, true)
-		p.countUpdateAccess(hit, &p.infinite.stats)
-		e.Index = 1
+		p.infinite.returnUpdate(returning)
 		return
 	}
 	e, hit := p.lookupFinite(returning)
@@ -269,33 +250,17 @@ func (p *CGP) lookupFinite(fn isa.Addr) (*Entry, bool) {
 func (p *CGP) countPrefetchAccessFinite(hit bool) {
 	switch h := p.finite.(type) {
 	case *OneLevel:
-		p.countPrefetchAccess(hit, &h.stats)
+		countPrefetch(hit, &h.stats)
 	case *TwoLevel:
-		p.countPrefetchAccess(hit, &h.stats)
+		countPrefetch(hit, &h.stats)
 	}
 }
 
 func (p *CGP) countUpdateAccessFinite(hit bool) {
 	switch h := p.finite.(type) {
 	case *OneLevel:
-		p.countUpdateAccess(hit, &h.stats)
+		countUpdate(hit, &h.stats)
 	case *TwoLevel:
-		p.countUpdateAccess(hit, &h.stats)
-	}
-}
-
-func (p *CGP) countPrefetchAccess(hit bool, s *HistoryStats) {
-	if hit {
-		s.PrefetchHits++
-	} else {
-		s.PrefetchMisses++
-	}
-}
-
-func (p *CGP) countUpdateAccess(hit bool, s *HistoryStats) {
-	if hit {
-		s.UpdateHits++
-	} else {
-		s.UpdateMisses++
+		countUpdate(hit, &h.stats)
 	}
 }

@@ -123,11 +123,21 @@ func newAttribution() *attribution {
 }
 
 // rowFor returns the row index for the function starting at fn,
-// creating the row on first sight.
+// creating the row on first sight. The lookup is the hot half; the
+// first-sight miss falls through to addRow.
 func (a *attribution) rowFor(fn isa.Addr) int32 {
 	if i, ok := a.index[fn]; ok {
 		return i
 	}
+	return a.addRow(fn)
+}
+
+// addRow appends a fresh row for fn. It runs once per distinct
+// function in the trace, so a warmed table only takes rowFor's
+// read-only fast path.
+//
+//cgplint:coldpath rows are created on first sight of a function; the steady-state loop only reads the index
+func (a *attribution) addRow(fn isa.Addr) int32 {
 	i := int32(len(a.rows))
 	a.rows = append(a.rows, FuncAttribution{Func: fn})
 	a.index[fn] = i

@@ -129,7 +129,13 @@ func (c *CPU) AttributionEnabled() bool { return c.attr != nil }
 // Cycle returns the current cycle count.
 func (c *CPU) Cycle() units.Cycles { return c.cycle }
 
-// Event implements trace.Consumer.
+// Event implements trace.Consumer. It is the simulator's per-event
+// entry point: the whole subtree below it (cache scans, predictor
+// updates, prefetcher hooks, ring bookkeeping) must stay free of heap
+// allocation, which allocfree verifies statically and
+// TestEventLoopDoesNotAllocate re-checks at runtime.
+//
+//cgplint:hotpath
 func (c *CPU) Event(ev trace.Event) {
 	if c.smp != nil {
 		c.sampledEvent(ev)
@@ -140,7 +146,10 @@ func (c *CPU) Event(ev trace.Event) {
 
 // EventBatch implements trace.BatchConsumer: the batched replay path
 // hands over a decoded chunk at a time, so the per-event dynamic
-// dispatch of the Consumer interface is paid once per batch.
+// dispatch of the Consumer interface is paid once per batch. Like
+// Event it anchors the zero-alloc hot path.
+//
+//cgplint:hotpath
 func (c *CPU) EventBatch(evs []trace.Event) {
 	if s := c.smp; s != nil {
 		switch s.mode {

@@ -155,6 +155,8 @@ func (r *inflightRing) remove(line isa.Addr) {
 
 // growRing doubles the ring, re-seating entries so seq&mask stays
 // correct under the new mask.
+//
+//cgplint:coldpath the ring reaches its steady-state size within the first memory-latency window; growth is a warmup-only event
 func (r *inflightRing) growRing() {
 	nb := make([]inflight, len(r.buf)*2)
 	oldMask := uint64(len(r.buf) - 1)
@@ -166,6 +168,8 @@ func (r *inflightRing) growRing() {
 }
 
 // growIndex doubles the hash table and reinserts the live keys.
+//
+//cgplint:coldpath the index reaches its steady-state size within the first memory-latency window; growth is a warmup-only event
 func (r *inflightRing) growIndex() {
 	oldKeys, oldVals := r.keys, r.vals
 	r.keys = make([]isa.Addr, len(oldKeys)*2)

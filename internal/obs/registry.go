@@ -17,7 +17,10 @@ type Counter struct {
 	v atomic.Int64
 }
 
-// Add increments the counter by n.
+// Add increments the counter by n. It is a deterministic sink: the
+// walltaint pass proves no wall-clock-derived value reaches n.
+//
+//cgplint:detsink
 func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
@@ -39,7 +42,10 @@ type Gauge struct {
 	v atomic.Int64
 }
 
-// Set replaces the gauge's value.
+// Set replaces the gauge's value. It is a deterministic sink: the
+// walltaint pass proves no wall-clock-derived value reaches n.
+//
+//cgplint:detsink
 func (g *Gauge) Set(n int64) {
 	if g == nil {
 		return
@@ -70,7 +76,11 @@ type Histogram struct {
 	buckets [histBuckets]atomic.Int64
 }
 
-// Observe records one value. Negative values are clamped to zero.
+// Observe records one value. Negative values are clamped to zero. It
+// is a deterministic sink: the walltaint pass proves no
+// wall-clock-derived value reaches v.
+//
+//cgplint:detsink
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return

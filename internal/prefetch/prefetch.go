@@ -42,17 +42,27 @@ type Request struct {
 
 // Issue is the sink prefetchers push requests into. The memory system
 // behind it squashes requests for lines already resident or in flight.
+// The type is a hot func type: every value bound to it is invoked once
+// or more per prefetch candidate, so allocfree verifies each binding.
+//
+//cgplint:hotpath
 type Issue func(Request)
 
 // Prefetcher is driven by the CPU front end.
 //
 // OnFetch is called once per demand-fetched cache line with the line
 // address. OnCall and OnReturn are called when the branch predictor
-// resolves a call or return; sequential prefetchers ignore them.
+// resolves a call or return; sequential prefetchers ignore them. The
+// three event hooks are hot interface methods: they run inside the
+// simulator's per-event loop, so allocfree verifies every
+// implementation. Name is configuration-time only and stays unmarked.
 type Prefetcher interface {
 	Name() string
+	//cgplint:hotpath
 	OnFetch(line isa.Addr, issue Issue)
+	//cgplint:hotpath
 	OnCall(target, callerStart isa.Addr, issue Issue)
+	//cgplint:hotpath
 	OnReturn(predictedCallerStart, returningStart isa.Addr, issue Issue)
 }
 

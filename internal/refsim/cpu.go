@@ -196,6 +196,13 @@ func (c *CPU) insertL1I(line isa.Addr, meta lineMeta) {
 	}
 }
 
+// issue is the reference model's prefetch sink. It is bound to the hot
+// prefetch.Issue type at the OnFetch/OnCall/OnReturn call sites, but
+// the reference kernel is deliberately outside the zero-alloc
+// contract: it exists as the differential-test oracle, and simplicity
+// beats allocation discipline here (see the package comment).
+//
+//cgplint:coldpath reference-model oracle favors simplicity; it heap-allocates one inflight per issue by documented design
 func (c *CPU) issue(req prefetch.Request) {
 	line := isa.LineAddr(req.Addr)
 	ps := c.portionStats(req.Portion)

@@ -59,6 +59,8 @@ func (r *Recording) Version() int { return r.version }
 // record time, returning a *CorruptionError for the first mismatch.
 // It allocates nothing and costs one CRC pass over the encoded bytes —
 // cheap next to the decode it guards.
+//
+//cgplint:coldpath one integrity scan per replay call, amortized across the whole stream; the CRC kernel is outside the per-event loop
 func (r *Recording) Verify() error {
 	if r.sums == nil {
 		return nil // pre-framing recording: nothing to check against

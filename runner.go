@@ -1065,7 +1065,7 @@ func (r *Runner) runGroup(ctx context.Context, g *jobGroup, results []*Result, e
 	select {
 	case r.sem <- struct{}{}:
 		r.pump(ctx, g.w, h)
-		<-r.sem
+		<-r.sem //cgplint:ignore ctxflow held worker token guarantees a free slot, the release cannot block
 	case <-ctx.Done():
 		// Canceled before a worker slot freed up. Withdraw our still-
 		// pending cells so their flights don't dangle unresolved; cells
@@ -1079,13 +1079,17 @@ func (r *Runner) runGroup(ctx context.Context, g *jobGroup, results []*Result, e
 			// (hubs are shared across concurrent RunAll calls). The
 			// entry was evicted as transient, so recompute it under
 			// this campaign's live context.
-			r.sem <- struct{}{}
-			res, rerr := r.Run(ctx, g.w, g.cfgs[c.key])
-			<-r.sem
-			if rerr != nil {
-				v, err = nil, rerr
-			} else {
-				v, err = res, nil
+			select {
+			case r.sem <- struct{}{}:
+				res, rerr := r.Run(ctx, g.w, g.cfgs[c.key])
+				<-r.sem //cgplint:ignore ctxflow held worker token guarantees a free slot, the release cannot block
+				if rerr != nil {
+					v, err = nil, rerr
+				} else {
+					v, err = res, nil
+				}
+			case <-ctx.Done():
+				v, err = nil, ctx.Err()
 			}
 		}
 		if err == nil && !c.owner {
