@@ -22,50 +22,68 @@ func cghcLabel(c Config) string { return c.CGHC.String() }
 // irrelevant — itself a finding that supports the paper's
 // direct-mapped choice, §3.2).
 func (r *Runner) CGHCWaysAblation(ctx context.Context) (*Figure, error) {
+	return r.runGridLabeled(ctx, "abl-ways", "CGHC associativity ablation (CGP_4, 1K single-level)",
+		r.DBWorkloads(), ablWaysConfigs(), cghcLabel)
+}
+
+// ablWaysConfigs are the associativity ablation's three design points.
+func ablWaysConfigs() []Config {
 	var configs []Config
 	for _, ways := range []int{1, 2, 4} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
 			CGHC: CGHCConfig{L1Bytes: 1024, Ways: ways}})
 	}
-	return r.runGridLabeled(ctx, "abl-ways", "CGHC associativity ablation (CGP_4, 1K single-level)",
-		r.DBWorkloads(), configs, cghcLabel)
+	return configs
 }
 
 // CGHCSlotsAblation varies the callee slots per CGHC entry (the paper
 // picks 8 from the ATOM fanout measurement).
 func (r *Runner) CGHCSlotsAblation(ctx context.Context) (*Figure, error) {
+	return r.runGridLabeled(ctx, "abl-slots", "CGHC entry-width ablation (CGP_4, 2K+32K)",
+		r.DBWorkloads(), ablSlotsConfigs(), cghcLabel)
+}
+
+// ablSlotsConfigs are the entry-width ablation's three design points.
+func ablSlotsConfigs() []Config {
 	var configs []Config
 	for _, slots := range []int{2, 4, 8} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4,
 			CGHC: CGHCConfig{L1Bytes: 2 * 1024, L2Bytes: 32 * 1024, Slots: slots}})
 	}
-	return r.runGridLabeled(ctx, "abl-slots", "CGHC entry-width ablation (CGP_4, 2K+32K)",
-		r.DBWorkloads(), configs, cghcLabel)
+	return configs
 }
 
 // FIFOPolicyAblation tests the §3.3 simplifications: giving demand
 // misses priority over prefetches, and staging prefetches in L2 instead
 // of filling L1I directly.
 func (r *Runner) FIFOPolicyAblation(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "abl-policy", "L2 interface policy ablation (§3.3 choices)",
+		r.DBWorkloads(), ablPolicyConfigs())
+}
+
+// ablPolicyConfigs are the §3.3 policy ablation's three design points.
+func ablPolicyConfigs() []Config {
+	return []Config{
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, DemandPriority: true},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, PrefetchIntoL2Only: true},
 	}
-	return r.runGrid(ctx, "abl-policy", "L2 interface policy ablation (§3.3 choices)",
-		r.DBWorkloads(), configs)
 }
 
 // SoftwareCGPAblation compares hardware CGP against the §6 software
 // variant (static profile-derived tables, no CGHC) and NL.
 func (r *Runner) SoftwareCGPAblation(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "abl-swcgp", "Software CGP (§6 variant) vs hardware CGP",
+		r.DBWorkloads(), ablSwcgpConfigs())
+}
+
+// ablSwcgpConfigs are the software-CGP ablation's three design points.
+func ablSwcgpConfigs() []Config {
+	return []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefSoftwareCGP, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid(ctx, "abl-swcgp", "Software CGP (§6 variant) vs hardware CGP",
-		r.DBWorkloads(), configs)
 }
 
 // ExtensionFigures runs every ablation study. Like AllFigures, the
@@ -85,11 +103,16 @@ func (r *Runner) ExtensionFigures(ctx context.Context) ([]*Figure, error) {
 // CGP_2 and CGP_4; this sweeps N in {1, 2, 4, 8} to expose the
 // timeliness-vs-pollution trade-off.
 func (r *Runner) DegreeSweep(ctx context.Context) (*Figure, error) {
+	return r.runGrid(ctx, "abl-degree", "CGP_N degree sweep (OM binary)", r.DBWorkloads(), ablDegreeConfigs())
+}
+
+// ablDegreeConfigs are the degree sweep's four design points.
+func ablDegreeConfigs() []Config {
 	var configs []Config
 	for _, n := range []int{1, 2, 4, 8} {
 		configs = append(configs, Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: n})
 	}
-	return r.runGrid(ctx, "abl-degree", "CGP_N degree sweep (OM binary)", r.DBWorkloads(), configs)
+	return configs
 }
 
 // QuantumSweep varies the scheduler's context-switch quantum on
@@ -98,32 +121,10 @@ func (r *Runner) DegreeSweep(ctx context.Context) (*Figure, error) {
 // database I-cache miss rates; the sweep makes that mechanism visible:
 // smaller quanta mean more switches and more misses per instruction.
 func (r *Runner) QuantumSweep(ctx context.Context) (*Figure, error) {
-	// Each quantum is a distinct workload configuration, so fresh
-	// sub-runners keep the result cache honest while sharing this
-	// runner's feedback profile. The parent profile is forced first so
-	// the sweep sees the same OM layout whether it runs alone or
-	// concurrently with other figure generators.
-	parentProf, err := r.profilesFor(ctx, r.DBWorkloads()[0])
-	if err != nil {
-		return nil, err
-	}
 	fig := &Figure{ID: "abl-quantum", Title: "Context-switch quantum sensitivity (wisc-large-2, OM)", Baseline: "quantum-2"}
-	// abl-quantum is not in the default sampled set (each quantum is a
-	// one-off workload, so there is no campaign to amortize over), but
-	// an explicit SampledFigures entry is honored.
-	scfg := r.opts.samplingFor("abl-quantum")
 	var base int64
-	for i, q := range []int{2, 7, 28, 112} {
-		opts := r.opts.DB
-		opts.Quantum = q
-		// Each sub-runner performs a single simulation, so recording a
-		// trace it would replay zero times is pure overhead: re-execute.
-		// (A sampled cell records regardless — skipping needs a sealed
-		// recording.)
-		sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log,
-			Workers: 1, NoRecord: true, CheckpointDir: r.opts.CheckpointDir})
-		sub.seed(dbProfilesKey, parentProf)
-		res, err := sub.Run(ctx, workload.WiscLarge2(opts), Config{Layout: LayoutOM, Sampling: scfg})
+	for i, q := range QuantumSweepQuanta() {
+		res, err := r.RunQuantumCell(ctx, q)
 		if err != nil {
 			return nil, err
 		}
@@ -139,4 +140,41 @@ func (r *Runner) QuantumSweep(ctx context.Context) (*Figure, error) {
 		})
 	}
 	return fig, nil
+}
+
+// QuantumSweepQuanta lists the scheduler quanta the sweep visits, in
+// figure order.
+func QuantumSweepQuanta() []int { return []int{2, 7, 28, 112} }
+
+// RunQuantumCell simulates one quantum-sweep cell: wisc-large-2 on the
+// OM binary with the scheduler quantum overridden to q. Each quantum
+// is a distinct workload configuration, so a fresh sub-runner keeps
+// the result cache honest while sharing this runner's feedback
+// profile, checkpoint directory and record stream. The parent profile
+// is forced first so the sweep sees the same OM layout whether it runs
+// alone or concurrently with other figure generators. It is exported
+// (separately from QuantumSweep) so a campaign worker can compute a
+// single quantum cell — the sub-runner's checkpoint scope embeds the
+// overridden quantum, which is how the cells of different quanta stay
+// distinct on disk even though they share a run key.
+func (r *Runner) RunQuantumCell(ctx context.Context, q int) (*Result, error) {
+	parentProf, err := r.profilesFor(ctx, r.DBWorkloads()[0])
+	if err != nil {
+		return nil, err
+	}
+	// abl-quantum is not in the default sampled set (each quantum is a
+	// one-off workload, so there is no campaign to amortize over), but
+	// an explicit SampledFigures entry is honored.
+	scfg := r.opts.samplingFor("abl-quantum")
+	opts := r.opts.DB
+	opts.Quantum = q
+	// Each sub-runner performs a single simulation, so recording a
+	// trace it would replay zero times is pure overhead: re-execute.
+	// (A sampled cell records regardless — skipping needs a sealed
+	// recording.)
+	sub := NewRunner(RunnerOptions{DB: opts, Seed: r.opts.Seed, Log: r.opts.Log,
+		Workers: 1, NoRecord: true, CheckpointDir: r.opts.CheckpointDir,
+		OnRecord: r.opts.OnRecord})
+	sub.seed(dbProfilesKey, parentProf)
+	return sub.Run(ctx, workload.WiscLarge2(opts), Config{Layout: LayoutOM, Sampling: scfg})
 }

@@ -1,0 +1,119 @@
+package cgp
+
+import "fmt"
+
+// Campaign cell enumeration (DESIGN.md §15).
+//
+// A distributed campaign needs the full set of (workload, config)
+// cells the figure generators will request, enumerated up front so a
+// coordinator can partition them across worker processes. The figure
+// generators themselves stay the source of truth for what each figure
+// renders; this file shares their config lists (fig4Configs,
+// ablWaysConfigs, ...) so the enumeration cannot drift from the grids.
+// The merge step closes the loop: it runs the ordinary generators over
+// a checkpoint directory populated from the enumerated cells, so a
+// cell missing here is recomputed in-process — merge output is correct
+// either way, distribution is purely a wall-clock optimization.
+
+// CampaignCell is one enumerated cell of the figure campaign: a
+// workload under a config on behalf of a figure. Quantum, when
+// nonzero, marks an abl-quantum cell instead: it runs on a sub-runner
+// whose DB options override the scheduler quantum (see RunQuantumCell)
+// and its Workload/Config describe that sub-scope's single cell.
+type CampaignCell struct {
+	Figure   string
+	Workload string
+	Config   Config
+	Quantum  int
+}
+
+// Key identifies the cell for deduplication and coordinator
+// bookkeeping: the run cache key, extended with the quantum for
+// sub-scope cells (whose run keys alone collide across quanta — the
+// quantum lives in the sub-runner's scope, not the config).
+func (c CampaignCell) Key() string {
+	k := CellKey(c.Workload, c.Config)
+	if c.Quantum != 0 {
+		k += fmt.Sprintf("|q%d", c.Quantum)
+	}
+	return k
+}
+
+// CellKey returns the run cache key for a (workload name, config)
+// pair — the key checkpoint records embed. Exported for the campaign
+// coordinator, which tracks streamed records by this key.
+func CellKey(workloadName string, cfg Config) string {
+	return "run|" + workloadName + "|" + cfg.fingerprint()
+}
+
+// WorkloadByName resolves one of the campaign's workloads at this
+// runner's scale: the four database workloads or the seven CPU2000
+// stand-ins. Campaign workers use it to reify wire-format job specs,
+// which carry workload names, back into runnable jobs.
+func (r *Runner) WorkloadByName(name string) (*Workload, error) {
+	for _, w := range r.DBWorkloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range r.CPU2000Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("cgp: unknown workload %q", name)
+}
+
+// CampaignCells enumerates every cell AllFigures and ExtensionFigures
+// will request, figure by figure in paper order, with the campaign's
+// sampling schedule applied exactly as runGridLabeled applies it (a
+// figure in the sampled set gets the schedule folded into each cell's
+// config, so its cells' fingerprints — and checkpoint keys — match
+// what the generator will look up). Cells shared between figures
+// appear once per figure; callers deduplicate by Key after filtering
+// to the figures they want, because a cell's first-owning figure is a
+// presentation detail, not an identity.
+func (r *Runner) CampaignCells() []CampaignCell {
+	db := r.DBWorkloads()
+	grids := []struct {
+		id        string
+		workloads []*Workload
+		configs   []Config
+	}{
+		{"fig4", db, fig4Configs()},
+		{"fig5", db, fig5Configs()},
+		{"fig6", db, fig6Configs()},
+		{"fig7", db, fig7Configs()},
+		{"fig8", db, fig8Configs()},
+		{"fig9", db, []Config{fig9Config()}},
+		{"fig10", r.CPU2000Workloads(), fig10Configs()},
+		{"sec5.6", db, sec56Configs()},
+		{"abl-ways", db, ablWaysConfigs()},
+		{"abl-slots", db, ablSlotsConfigs()},
+		{"abl-policy", db, ablPolicyConfigs()},
+		{"abl-swcgp", db, ablSwcgpConfigs()},
+		{"abl-degree", db, ablDegreeConfigs()},
+	}
+	var cells []CampaignCell
+	for _, g := range grids {
+		scfg := r.opts.samplingFor(g.id)
+		for _, w := range g.workloads {
+			for _, cfg := range g.configs {
+				if scfg.Enabled() && !cfg.Sampling.Enabled() {
+					cfg.Sampling = scfg
+				}
+				cells = append(cells, CampaignCell{Figure: g.id, Workload: w.Name, Config: cfg})
+			}
+		}
+	}
+	qscfg := r.opts.samplingFor("abl-quantum")
+	for _, q := range QuantumSweepQuanta() {
+		cells = append(cells, CampaignCell{
+			Figure:   "abl-quantum",
+			Workload: "wisc-large-2",
+			Config:   Config{Layout: LayoutOM, Sampling: qscfg},
+			Quantum:  q,
+		})
+	}
+	return cells
+}

@@ -217,9 +217,8 @@ func (r *Runner) Figure4(ctx context.Context) (*Figure, error) {
 		r.DBWorkloads(), fig4Configs())
 }
 
-// Figure5 reproduces the CGHC design-space sweep: CGP_4 on the OM
-// binary with five CGHC configurations.
-func (r *Runner) Figure5(ctx context.Context) (*Figure, error) {
+// fig5Configs are the five CGHC design points of Figure 5.
+func fig5Configs() []Config {
 	cghcs := []CGHCConfig{
 		{L1Bytes: 1 * 1024},
 		{L1Bytes: 32 * 1024},
@@ -231,14 +230,26 @@ func (r *Runner) Figure5(ctx context.Context) (*Figure, error) {
 	for i, hc := range cghcs {
 		configs[i] = Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4, CGHC: hc}
 	}
+	return configs
+}
+
+// Figure5 reproduces the CGHC design-space sweep: CGP_4 on the OM
+// binary with five CGHC configurations.
+func (r *Runner) Figure5(ctx context.Context) (*Figure, error) {
 	return r.runGridLabeled(ctx, "fig5", "Performance of five CGHC configurations",
-		r.DBWorkloads(), configs, func(c Config) string { return c.CGHC.String() })
+		r.DBWorkloads(), fig5Configs(), func(c Config) string { return c.CGHC.String() })
 }
 
 // Figure6 reproduces the NL-vs-CGP comparison: O5, OM, OM+NL_2/4,
 // OM+CGP_2/4 and the perfect I-cache.
 func (r *Runner) Figure6(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "fig6", "Performance comparison of O5, OM, NL and CGP",
+		r.DBWorkloads(), fig6Configs())
+}
+
+// fig6Configs are the seven bars of Figure 6 per workload.
+func fig6Configs() []Config {
+	return []Config{
 		{Layout: LayoutO5},
 		{Layout: LayoutOM},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2},
@@ -247,34 +258,40 @@ func (r *Runner) Figure6(ctx context.Context) (*Figure, error) {
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, PerfectICache: true},
 	}
-	return r.runGrid(ctx, "fig6", "Performance comparison of O5, OM, NL and CGP",
-		r.DBWorkloads(), configs)
 }
 
 // Figure7 reproduces the I-cache miss comparison of O5, OM, OM+NL_4 and
 // OM+CGP_4.
 func (r *Runner) Figure7(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "fig7", "I-cache miss comparison of O5, OM, NL and CGP",
+		r.DBWorkloads(), fig7Configs())
+}
+
+// fig7Configs are the four bars of Figure 7 per workload.
+func fig7Configs() []Config {
+	return []Config{
 		{Layout: LayoutO5},
 		{Layout: LayoutOM},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid(ctx, "fig7", "I-cache miss comparison of O5, OM, NL and CGP",
-		r.DBWorkloads(), configs)
 }
 
 // Figure8 reproduces the prefetch-effectiveness breakdown (pref hits /
 // delayed hits / useless) for NL_2, NL_4, CGP_2, CGP_4 on the OM binary.
 func (r *Runner) Figure8(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "fig8", "Prefetch effectiveness of NL and CGP",
+		r.DBWorkloads(), fig8Configs())
+}
+
+// fig8Configs are the four bars of Figure 8 per workload.
+func fig8Configs() []Config {
+	return []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 2},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 2},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid(ctx, "fig8", "Prefetch effectiveness of NL and CGP",
-		r.DBWorkloads(), configs)
 }
 
 // Figure9 reproduces the CGP_4 prefetch split: the NL portion vs the
@@ -284,7 +301,7 @@ func (r *Runner) Figure9(ctx context.Context) (*Figure, error) {
 	ws := r.DBWorkloads()
 	jobs := make([]Job, len(ws))
 	for i, w := range ws {
-		jobs[i] = Job{Workload: w, Config: Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4}}
+		jobs[i] = Job{Workload: w, Config: fig9Config()}
 	}
 	results, err := r.RunAll(ctx, jobs)
 	failed := map[int]*JobError{}
@@ -325,26 +342,40 @@ func (r *Runner) Figure9(ctx context.Context) (*Figure, error) {
 // Figure10 reproduces the CPU2000 study: O5+OM, OM+NL_4, OM+CGP_4 and
 // perfect I-cache on the seven SPEC stand-ins.
 func (r *Runner) Figure10(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "fig10", "Effectiveness of CGP on CPU2000 applications",
+		r.CPU2000Workloads(), fig10Configs())
+}
+
+// fig9Config is Figure 9's single configuration (full detail: its
+// portion counters are whole-run measurements).
+func fig9Config() Config {
+	return Config{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4}
+}
+
+// fig10Configs are the four bars of Figure 10 per CPU2000 program.
+func fig10Configs() []Config {
+	return []Config{
 		{Layout: LayoutOM},
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 		{Layout: LayoutOM, PerfectICache: true},
 	}
-	return r.runGrid(ctx, "fig10", "Effectiveness of CGP on CPU2000 applications",
-		r.CPU2000Workloads(), configs)
 }
 
 // RunAheadAblation reproduces the §5.6 experiment whose results the
 // paper describes but does not plot: run-ahead NL is much worse than
 // plain NL on the database workloads.
 func (r *Runner) RunAheadAblation(ctx context.Context) (*Figure, error) {
-	configs := []Config{
+	return r.runGrid(ctx, "sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), sec56Configs())
+}
+
+// sec56Configs are the three bars of the §5.6 run-ahead ablation.
+func sec56Configs() []Config {
+	return []Config{
 		{Layout: LayoutOM, Prefetcher: PrefNL, Degree: 4},
 		{Layout: LayoutOM, Prefetcher: PrefRunAheadNL, Degree: 4, RunAheadM: 4},
 		{Layout: LayoutOM, Prefetcher: PrefCGP, Degree: 4},
 	}
-	return r.runGrid(ctx, "sec5.6", "Run-ahead NL ablation", r.DBWorkloads(), configs)
 }
 
 // figureGen names one figure generator.

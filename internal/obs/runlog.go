@@ -54,23 +54,44 @@ type RunLogEntry struct {
 	Workload string `json:"workload"`
 	Config   string `json:"config"`
 	Detail   string `json:"detail,omitempty"`
-	WallNs   int64  `json:"wall_ns"`
+	// Worker names the process that observed the event: "main" for a
+	// single-process campaign, "w1".."wN" for sharded campaign workers.
+	// Forwarded entries (a coordinator folding worker logs into its
+	// own) keep the originating worker id.
+	Worker string `json:"worker"`
+	WallNs int64  `json:"wall_ns"`
 }
+
+// DefaultWorker is the worker id stamped on entries when none is set:
+// the single-process campaign's only "worker".
+const DefaultWorker = "main"
 
 // RunLog writes job lifecycle events as JSON Lines. It is safe for
 // concurrent use; sequence numbers are assigned under the same lock
 // that orders the writes, so seq is strictly increasing in file order.
 // A nil *RunLog absorbs all operations.
 type RunLog struct {
-	mu  sync.Mutex
-	w   io.Writer
-	seq int64
-	err error
+	mu     sync.Mutex
+	w      io.Writer
+	worker string
+	seq    int64
+	err    error
 }
 
 // NewRunLog returns a run log writing to w.
 func NewRunLog(w io.Writer) *RunLog {
 	return &RunLog{w: w}
+}
+
+// SetWorker sets the worker id stamped on subsequently emitted
+// entries (the default is DefaultWorker).
+func (l *RunLog) SetWorker(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.worker = id
+	l.mu.Unlock()
 }
 
 // Emit appends one lifecycle event. Write errors are sticky and
@@ -81,19 +102,47 @@ func (l *RunLog) Emit(state JobState, workload, config, detail string) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.err != nil {
-		return
+	worker := l.worker
+	if worker == "" {
+		worker = DefaultWorker
 	}
-	l.seq++
-	entry := RunLogEntry{
-		Seq:      l.seq,
+	l.emitLocked(RunLogEntry{
 		Event:    string(state),
 		Workload: workload,
 		Config:   config,
 		Detail:   detail,
-		WallNs:   wallInt(nowWall()),
+		Worker:   worker,
+	})
+}
+
+// EmitEntry appends a fully formed entry, preserving its worker id and
+// wall timestamp but restamping its sequence number under this log's
+// lock. A campaign coordinator uses it to fold entries forwarded from
+// worker processes into one file whose seq stays strictly increasing.
+func (l *RunLog) EmitEntry(e RunLogEntry) {
+	if l == nil {
+		return
 	}
-	data, err := json.Marshal(entry)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Worker == "" {
+		e.Worker = DefaultWorker
+	}
+	l.emitLocked(e)
+}
+
+// emitLocked assigns the next seq (and a wall timestamp when the entry
+// has none) and writes the entry; the caller holds l.mu.
+func (l *RunLog) emitLocked(e RunLogEntry) {
+	if l.err != nil {
+		return
+	}
+	l.seq++
+	e.Seq = l.seq
+	if e.WallNs == 0 {
+		e.WallNs = wallInt(nowWall())
+	}
+	data, err := json.Marshal(e)
 	if err != nil {
 		l.err = err
 		return
@@ -116,10 +165,19 @@ func (l *RunLog) Err() error {
 
 // ValidateRunLog parses a JSONL run log and checks its schema: every
 // line is a valid entry, events come from the known lifecycle set,
-// workload and config are non-empty, and seq strictly increases in
-// file order. It returns the parsed entries for further assertions
-// (the chaos suite checks lifecycle ordering per job).
-func ValidateRunLog(r io.Reader) ([]RunLogEntry, error) {
+// workload, config and worker are non-empty, and seq strictly
+// increases in file order. When workers are given, each entry's
+// worker id must additionally come from that set — the experiments
+// exit boundary passes the campaign's known ids ("main" plus
+// "w1".."wN" when sharded), so an entry from an unknown or missing
+// worker fails validation instead of slipping into the artifact. It
+// returns the parsed entries for further assertions (the chaos suite
+// checks lifecycle ordering per job).
+func ValidateRunLog(r io.Reader, workers ...string) ([]RunLogEntry, error) {
+	known := map[string]bool{}
+	for _, w := range workers {
+		known[w] = true
+	}
 	var entries []RunLogEntry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -139,6 +197,12 @@ func ValidateRunLog(r io.Reader) ([]RunLogEntry, error) {
 		}
 		if e.Workload == "" || e.Config == "" {
 			return nil, fmt.Errorf("run log line %d: empty workload or config", line)
+		}
+		if e.Worker == "" {
+			return nil, fmt.Errorf("run log line %d: missing worker id", line)
+		}
+		if len(known) > 0 && !known[e.Worker] {
+			return nil, fmt.Errorf("run log line %d: unknown worker %q", line, e.Worker)
 		}
 		if e.Seq <= lastSeq {
 			return nil, fmt.Errorf("run log line %d: seq %d not greater than previous %d", line, e.Seq, lastSeq)

@@ -59,8 +59,20 @@ type spanRecord struct {
 // trace-event JSON. It is safe for concurrent use from campaign
 // workers. A nil *SpanRecorder hands out nil spans.
 type SpanRecorder struct {
-	mu   sync.Mutex
-	done []spanRecord
+	mu     sync.Mutex
+	worker string
+	done   []spanRecord
+}
+
+// SetWorker sets the campaign worker id stamped as a "worker" arg on
+// every span this recorder exports (the default is DefaultWorker).
+func (r *SpanRecorder) SetWorker(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.worker = id
+	r.mu.Unlock()
 }
 
 // NewSpanRecorder returns an empty recorder.
@@ -131,7 +143,11 @@ func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
 	}
 	r.mu.Lock()
 	records := append([]spanRecord(nil), r.done...)
+	worker := r.worker
 	r.mu.Unlock()
+	if worker == "" {
+		worker = DefaultWorker
+	}
 
 	sort.SliceStable(records, func(i, j int) bool {
 		if records[i].start != records[j].start {
@@ -168,11 +184,14 @@ func (r *SpanRecorder) WriteChromeTrace(w io.Writer) error {
 			Pid:  1,
 			Tid:  lane + 1,
 		}
-		if len(rec.args) > 0 {
-			ev.Args = make(map[string]string, len(rec.args))
-			for _, kv := range rec.args {
-				ev.Args[kv[0]] = kv[1]
-			}
+		ev.Args = make(map[string]string, len(rec.args)+1)
+		for _, kv := range rec.args {
+			ev.Args[kv[0]] = kv[1]
+		}
+		// Default worker tag; a span that set its own (a coordinator
+		// span describing a specific worker's lifetime) keeps it.
+		if _, ok := ev.Args["worker"]; !ok {
+			ev.Args["worker"] = worker
 		}
 		events = append(events, ev)
 	}

@@ -103,6 +103,14 @@ type RunnerOptions struct {
 	// RetryBackoff is the base delay between rebuild attempts,
 	// doubling each retry. 0 means the default (5ms).
 	RetryBackoff time.Duration
+	// OnRecord, when set alongside CheckpointDir, receives every
+	// settled cell's checkpoint record in wire format (the exact bytes
+	// ImportRecord accepts): freshly simulated cells stream the bytes
+	// just written, checkpoint-hit cells re-encode (deterministically,
+	// so the bytes match the stored file). Campaign workers use it to
+	// stream results to their coordinator as the shard progresses. It
+	// may be called from multiple goroutines concurrently.
+	OnRecord func(key string, record []byte)
 	// Obs, when set, receives the campaign's observability signals:
 	// harness spans (record/replay/run/checkpoint/verify), job
 	// lifecycle events, progress state and metrics in both domains.
@@ -625,6 +633,7 @@ func (r *Runner) runCell(ctx context.Context, w *Workload, cfg Config) (*Result,
 		r.obsWall().Incr("checkpoint_hits", 1)
 		r.obsJob(obs.JobResumed, w.Name, cfg.Label(), "checkpoint")
 		r.noteResult(res)
+		r.emitRecord(w, cfg, res, nil)
 		return res, nil
 	}
 	r.obsJob(obs.JobStarted, w.Name, cfg.Label(), "")
@@ -1245,6 +1254,7 @@ func (r *Runner) runBatch(ctx context.Context, w *Workload, batch []hubCell) {
 			r.obsWall().Incr("checkpoint_hits", 1)
 			r.obsJob(obs.JobResumed, w.Name, c.cfg.Label(), "checkpoint")
 			r.noteResult(res)
+			r.emitRecord(w, c.cfg, res, nil)
 			c.f.resolve(res, nil)
 			continue
 		}
