@@ -1,0 +1,235 @@
+package cgp
+
+// Serving-throughput benchmark and capture-overhead regression guard.
+//
+// TestServerBench measures end-to-end queries/sec through the network
+// front-end with the probe-level live capture attached vs detached, at
+// 1, 4 and 16 client connections, and writes BENCH_server.json. Gated
+// behind CGP_SERVER_BENCH because it holds the machine for a few
+// seconds of saturated serving:
+//
+//	CGP_SERVER_BENCH=1 go test -run TestServerBench -count=1 .
+//
+// TestCaptureOverheadGuard (CGP_BENCH_GUARD, alongside the kernel
+// guard in bench_guard_test.go) enforces the capture contract from a
+// different angle than the chaos suite: attaching the recorder must
+// never make serving more than 15% slower, because the ring hand-off
+// is the only work added to the query path. Like the kernel guard it
+// compares two arms measured back-to-back in the same process, so the
+// ratio cancels host speed.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cgp/internal/db"
+	"cgp/internal/server"
+	"cgp/internal/workload"
+)
+
+// serverBenchQueries is the drive mix: point lookup, range scan,
+// aggregate, group-by — the Wisconsin selection mix cgpserve -drive
+// uses, so the numbers line up with CI's smoke run.
+var serverBenchQueries = []string{
+	"SELECT unique1, unique2 FROM big1 WHERE unique2 = 42",
+	"SELECT unique1 FROM big1 WHERE unique2 BETWEEN 100 AND 199",
+	"SELECT COUNT(*) AS n FROM big1 WHERE ten = 3",
+	"SELECT two, COUNT(*) AS n FROM big1 GROUP BY two",
+	"SELECT unique1 FROM small WHERE unique2 < 20",
+}
+
+// serveBenchQPS serves serverBenchTotal queries split across `clients`
+// connections and returns the measured throughput. sampleEvery 0 runs
+// detached; otherwise a live capture rides along at that sampling rate
+// and is sealed (into io.Discard) after the measurement window; the
+// seal must report zero ring drops, otherwise the attached arm
+// silently measured less work than the detached one.
+const serverBenchTotal = 960
+
+func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
+	t.Helper()
+	e := db.NewEngine(db.Options{BufferFrames: 4096})
+	if err := (workload.WisconsinDB{N: 1000}).Load(e, 42); err != nil {
+		t.Fatal(err)
+	}
+	var lc *server.LiveCapture
+	if sampleEvery > 0 {
+		lc = server.NewLiveCapture(server.CaptureOptions{SampleEvery: sampleEvery})
+	}
+	s := server.New(e, server.Options{
+		Addr:        "127.0.0.1:0",
+		MaxConns:    clients + 1,
+		MaxInflight: clients + 1,
+		Capture:     lc,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	// Tear down inside the measurement, not via t.Cleanup: a bench
+	// iteration's engine and sealed recording (tens of MB for the
+	// full-capture arm) must be garbage before the next iteration
+	// starts, or accumulated heap distorts every later cell.
+	defer func() {
+		cancel()
+		s.Wait()
+	}()
+	conns := make([]*server.Client, clients)
+	for i := range conns {
+		c, err := server.Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	// Warm up before timing: the first queries pay page-cache and
+	// buffer-pool misses plus allocator growth, which on a ~100ms
+	// measurement window would swamp the capture's cost.
+	for i := 0; i < 100; i++ {
+		if _, err := conns[i%clients].Query(serverBenchQueries[i%len(serverBenchQueries)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	perClient := serverBenchTotal / clients
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	start := time.Now()
+	for i, c := range conns {
+		wg.Add(1)
+		go func(id int, c *server.Client) {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				if _, err := c.Query(serverBenchQueries[(id+j)%len(serverBenchQueries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if lc != nil {
+		if _, err := lc.Seal(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if lc.Drops() != 0 || lc.Overflows() != 0 {
+			t.Fatalf("capture lost batches during bench: drops=%d overflows=%d",
+				lc.Drops(), lc.Overflows())
+		}
+		total := int64(100 + perClient*clients) // warmup queries sample too
+		want := (total + int64(sampleEvery) - 1) / int64(sampleEvery)
+		if lc.Committed() != want {
+			t.Fatalf("capture committed %d batches, want %d (every %d of %d)",
+				lc.Committed(), want, sampleEvery, total)
+		}
+	}
+	return float64(perClient*clients) / elapsed.Seconds()
+}
+
+// bestQPS is the best of 3 serveBenchQPS runs — the same
+// minimum-of-many estimator the kernel guard uses (max qps = min
+// time): the best run converges on what the code can sustain while
+// the mean absorbs scheduler preemptions from the shared runner.
+func bestQPS(t *testing.T, sampleEvery, clients int) float64 {
+	t.Helper()
+	var best float64
+	for i := 0; i < 3; i++ {
+		if q := serveBenchQPS(t, sampleEvery, clients); q > best {
+			best = q
+		}
+	}
+	return best
+}
+
+type serverBenchCell struct {
+	Clients int `json:"clients"`
+	// AttachedQPS is throughput with the capture attached in its
+	// default configuration (sampled, SampleEvery=64) — the number the
+	// overhead guard defends.
+	AttachedQPS float64 `json:"attached_qps"`
+	DetachedQPS float64 `json:"detached_qps"`
+	// FullCaptureQPS is throughput with every query recorded
+	// (SampleEvery=1) — the scripted-capture mode. Reported for
+	// transparency: recording every probe event costs a multiple of
+	// query execution, which is exactly why the attached default
+	// samples.
+	FullCaptureQPS float64 `json:"full_capture_qps"`
+	// Overhead is the fractional slowdown of the attached default:
+	// 0.05 means attached serving ran 5% slower. Negative values are
+	// measurement noise.
+	Overhead float64 `json:"capture_overhead"`
+}
+
+func TestServerBench(t *testing.T) {
+	if os.Getenv("CGP_SERVER_BENCH") == "" {
+		t.Skip("set CGP_SERVER_BENCH=1 to run the serving-throughput benchmark")
+	}
+	var cells []serverBenchCell
+	for _, clients := range []int{1, 4, 16} {
+		detached := bestQPS(t, 0, clients)
+		attached := bestQPS(t, captureDefaultSample, clients)
+		full := bestQPS(t, 1, clients)
+		cell := serverBenchCell{
+			Clients:        clients,
+			AttachedQPS:    attached,
+			DetachedQPS:    detached,
+			FullCaptureQPS: full,
+			Overhead:       detached/attached - 1,
+		}
+		t.Logf("%2d clients: detached %.0f qps, attached %.0f qps (overhead %+.1f%%), full capture %.0f qps",
+			clients, detached, attached, 100*cell.Overhead, full)
+		cells = append(cells, cell)
+	}
+	out := map[string]any{
+		"scale":      "WiscN=1000, 960 queries per cell, loopback TCP",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"bench":      cells,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_server.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// captureOverheadTolerance: the attached arm (default sampled capture)
+// must keep at least 85% of detached throughput — the "capture never
+// makes serving more than 15% slower" contract.
+const captureOverheadTolerance = 0.85
+
+// captureDefaultSample mirrors CaptureOptions' SampleEvery default —
+// the guard measures the configuration a long-lived server actually
+// attaches. Spelled out here so a silent default change trips the
+// committed-batch assertion in serveBenchQPS.
+const captureDefaultSample = 64
+
+func TestCaptureOverheadGuard(t *testing.T) {
+	if os.Getenv("CGP_BENCH_GUARD") == "" {
+		t.Skip("set CGP_BENCH_GUARD=1 to run the capture-overhead guard")
+	}
+	detached := bestQPS(t, 0, 4)
+	attached := bestQPS(t, captureDefaultSample, 4)
+	ratio := attached / detached
+	t.Logf("capture overhead: attached %.0f qps vs detached %.0f qps (ratio %.3f, floor %.2f)",
+		attached, detached, ratio, captureOverheadTolerance)
+	if ratio < captureOverheadTolerance {
+		t.Errorf("live capture costs too much: attached serving at %.1f%% of detached throughput, floor %.0f%%",
+			100*ratio, 100*captureOverheadTolerance)
+	}
+}

@@ -47,8 +47,9 @@ func CellKey(workloadName string, cfg Config) string {
 }
 
 // WorkloadByName resolves one of the campaign's workloads at this
-// runner's scale: the four database workloads or the seven CPU2000
-// stand-ins. Campaign workers use it to reify wire-format job specs,
+// runner's scale: the four database workloads, the seven CPU2000
+// stand-ins, or (when a capture is configured) the "captured" live
+// traffic. Campaign workers use it to reify wire-format job specs,
 // which carry workload names, back into runnable jobs.
 func (r *Runner) WorkloadByName(name string) (*Workload, error) {
 	for _, w := range r.DBWorkloads() {
@@ -60,6 +61,9 @@ func (r *Runner) WorkloadByName(name string) (*Workload, error) {
 		if w.Name == name {
 			return w, nil
 		}
+	}
+	if name == "captured" && r.opts.CapturePath != "" {
+		return r.CapturedWorkload()
 	}
 	return nil, fmt.Errorf("cgp: unknown workload %q", name)
 }

@@ -1,0 +1,156 @@
+package cgp
+
+// Round trip for the "captured" workload: live traffic served by the
+// network front-end, recorded at the probe level, sealed, and fed back
+// through the experiment harness as a first-class workload. The test
+// asserts the property the serving pipeline exists for — a capture
+// taken once from real clients replays deterministically, so a figure
+// row computed from it is byte-identical across independent runners.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/program"
+	"cgp/internal/server"
+	"cgp/internal/trace"
+	"cgp/internal/workload"
+)
+
+// sealScriptedCapture serves a fixed query script through a real
+// server with live capture attached and seals the recording to a temp
+// file, returning its path — the same artifact `cgpserve -capture`
+// writes on graceful shutdown.
+func sealScriptedCapture(t *testing.T) string {
+	t.Helper()
+	e := db.NewEngine(db.Options{BufferFrames: 2048})
+	if err := (workload.WisconsinDB{N: 300}).Load(e, 42); err != nil {
+		t.Fatal(err)
+	}
+	lc := server.NewLiveCapture(server.CaptureOptions{SampleEvery: 1})
+	s := server.New(e, server.Options{Addr: "127.0.0.1:0", Capture: lc})
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := s.Start(ctx); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	c, err := server.Dial(s.Addr())
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	script := []string{
+		"SELECT COUNT(*) AS n FROM big1",
+		"SELECT unique1, unique2 FROM big1 WHERE unique2 BETWEEN 10 AND 60",
+		"SELECT two, COUNT(*) AS n FROM big1 GROUP BY two",
+		"SELECT unique1 FROM small WHERE unique2 < 20",
+		"SELECT unique1 INTO TMP FROM big1 WHERE unique2 < 30",
+	}
+	for _, q := range script {
+		if _, err := c.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	c.Close()
+	cancel()
+	s.Wait()
+
+	path := filepath.Join(t.TempDir(), "live.cgptrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := lc.Seal(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Committed() != int64(len(script)) || lc.Drops() != 0 || lc.Overflows() != 0 {
+		t.Fatalf("capture lost queries: committed=%d drops=%d overflows=%d",
+			lc.Committed(), lc.Drops(), lc.Overflows())
+	}
+	if !trace.IsProbeRecording(rec) {
+		t.Fatalf("sealed capture is not a probe recording: %+v", rec.Stats)
+	}
+	return path
+}
+
+func capturedRunnerOpts(path string) RunnerOptions {
+	return RunnerOptions{
+		DB:          DBOptions{WiscN: 300, Seed: 11, BufferFrames: 2048},
+		Seed:        11,
+		CapturePath: path,
+	}
+}
+
+func TestCapturedWorkloadRoundTrip(t *testing.T) {
+	path := sealScriptedCapture(t)
+
+	// The capture registers by name alongside the synthetic workloads,
+	// and synthesizes a stable address-level stream.
+	r := NewRunner(capturedRunnerOpts(path))
+	w, err := r.WorkloadByName("captured")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Family != "captured" {
+		t.Fatalf("family = %q, want captured", w.Family)
+	}
+	img := program.LayoutO5(w.NewRegistry())
+	statsOnce := func() trace.Stats {
+		var st trace.Stats
+		if err := w.Run(img, &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := statsOnce()
+	if st.Instructions == 0 || st.Calls == 0 || st.DataRefs == 0 {
+		t.Fatalf("synthesized stream looks empty: %+v", st)
+	}
+	if again := statsOnce(); again != st {
+		t.Fatalf("trace stats unstable across replays:\n  %+v\n  %+v", st, again)
+	}
+
+	// A figure row over the capture is byte-identical across two
+	// independent runners (fresh caches, fresh recordings).
+	configs := []Config{
+		{Layout: LayoutO5},
+		{Layout: LayoutO5, Prefetcher: PrefCGP, Degree: 4},
+	}
+	row := func() string {
+		rr := NewRunner(capturedRunnerOpts(path))
+		cw, err := rr.CapturedWorkload()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig, err := rr.runGrid(context.Background(), "captured", "Live traffic replay", []*Workload{cw}, configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.Markdown()
+	}
+	first, second := row(), row()
+	if first != second {
+		t.Fatalf("captured figure row not byte-identical:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "captured") {
+		t.Fatalf("figure row missing workload name:\n%s", first)
+	}
+}
+
+func TestCapturedWorkloadRequiresPath(t *testing.T) {
+	r := NewRunner(RunnerOptions{DB: DBOptions{WiscN: 100, Seed: 11}})
+	if _, err := r.WorkloadByName("captured"); err == nil {
+		t.Fatal("captured resolved without a CapturePath")
+	}
+	if _, err := r.CapturedWorkload(); err == nil {
+		t.Fatal("CapturedWorkload succeeded without a CapturePath")
+	}
+}

@@ -20,6 +20,11 @@
 // periodic windows are simulated in detail. The report shows estimated
 // cycles/misses ±95% CI plus the per-tier event accounting (skipped /
 // fast-forwarded / detailed).
+//
+// Probe-level captures (live traffic sealed by cgpserve -capture) are
+// detected automatically: info and dump show the probe events as-is,
+// and replay synthesizes the address-level stream over the database
+// system's O5 layout (seeded by -seed) before simulating it.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"cgp/internal/core"
 	"cgp/internal/cpu"
+	"cgp/internal/db"
 	"cgp/internal/prefetch"
 	"cgp/internal/program"
 	"cgp/internal/sample"
@@ -150,6 +156,10 @@ func info(args []string) error {
 	fmt.Printf("loops           %d\n", st.Loops)
 	fmt.Printf("data refs       %d (%d bytes)\n", st.DataRefs, st.DataBytes)
 	fmt.Printf("ctx switches    %d\n", st.Switches)
+	if st.ProbeOps > 0 {
+		fmt.Printf("probe ops       %d (probe-level capture; replay synthesizes addresses)\n", st.ProbeOps)
+		return nil
+	}
 	fmt.Printf("instr/call      %.1f\n", st.InstructionsPerCall())
 	fmt.Printf("events/kinst    %.1f\n", st.EventsPerKInstr())
 	return nil
@@ -198,6 +208,18 @@ func dump(args []string) error {
 			fmt.Printf("%-6s %#x %dB %s\n", ev.Kind, ev.Addr, ev.N, rw)
 		case trace.KindSwitch:
 			fmt.Printf("%-6s thread %d\n", ev.Kind, ev.N)
+		case trace.KindProbeEnter:
+			fmt.Printf("%-6s fn%d\n", ev.Kind, ev.Fn)
+		case trace.KindProbeExit:
+			fmt.Printf("%-6s\n", ev.Kind)
+		case trace.KindProbeWork:
+			fmt.Printf("%-6s +%d\n", ev.Kind, ev.N)
+		case trace.KindProbeData:
+			rw := "r"
+			if ev.Taken {
+				rw = "w"
+			}
+			fmt.Printf("%-6s %#x %dB %s\n", ev.Kind, ev.Addr, ev.N, rw)
 		}
 	}
 	return nil
@@ -216,6 +238,7 @@ func replay(args []string) error {
 	sampleWin := fs.Int64("sample-window", sample.Default().WindowEvents, "measured events per window")
 	sampleRand := fs.Bool("sample-random-offset", false, "place each period's window at a seeded random offset")
 	sampleSeed := fs.Int64("sample-seed", 42, "seed for -sample-random-offset")
+	seed := fs.Int64("seed", 42, "synthesis seed for probe-level captures")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs a trace file")
@@ -239,7 +262,14 @@ func replay(args []string) error {
 	if *attrTop > 0 {
 		c.EnableAttribution()
 	}
+	probe, err := isProbeFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
 	if *sampled {
+		if probe {
+			return fmt.Errorf("-sample needs an address-level trace; %s is a probe-level capture (replay it unsampled, or record the synthesized stream first)", fs.Arg(0))
+		}
 		scfg := sample.Config{
 			PeriodEvents:         *samplePeriod,
 			FunctionalWarmEvents: *sampleFWarm,
@@ -250,13 +280,19 @@ func replay(args []string) error {
 		}.WithDefaults()
 		return replaySampled(fs.Arg(0), c, pf, scfg)
 	}
-	r, f, err := openTrace(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := r.Replay(c); err != nil {
-		return err
+	if probe {
+		if err := replayProbeInto(fs.Arg(0), c, *seed); err != nil {
+			return err
+		}
+	} else {
+		r, f, err := openTrace(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := r.Replay(c); err != nil {
+			return err
+		}
 	}
 	s := c.Finish()
 	fmt.Printf("prefetcher      %s\n", pf.Name())
@@ -271,6 +307,55 @@ func replay(args []string) error {
 		printAttribution(s.Attribution, *attrTop)
 	}
 	return nil
+}
+
+// isProbeFile sniffs whether path holds a probe-level capture by
+// reading its first few events: a probe capture's payload events are
+// all KindProbe*, so any probe kind among the first events (skipping
+// session-tag switches) identifies one, and any address-level kind
+// rules it out.
+func isProbeFile(path string) (bool, error) {
+	r, f, err := openTrace(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	for i := 0; i < 4; i++ {
+		ev, err := r.Next()
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		switch ev.Kind {
+		case trace.KindSwitch:
+			continue
+		case trace.KindProbeEnter, trace.KindProbeExit, trace.KindProbeWork, trace.KindProbeData:
+			return true, nil
+		default:
+			return false, nil
+		}
+	}
+	return false, nil
+}
+
+// replayProbeInto loads a probe-level capture and synthesizes its
+// address-level stream into c over the database system's O5 image —
+// probe captures carry the engine's own function IDs, so the engine's
+// registry is the only one that resolves them.
+func replayProbeInto(path string, c *cpu.CPU, seed int64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rec, err := trace.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	reg, _ := db.BuildRegistry()
+	return trace.ReplayProbe(rec, program.LayoutO5(reg), c, seed)
 }
 
 // replaySampled loads the trace file into a sealed recording (the skip

@@ -5,10 +5,16 @@
 //	sql> SELECT COUNT(*) FROM lineitem
 //	sql> SELECT unique1, unique2 FROM big1 WHERE unique2 BETWEEN 10 AND 20
 //	sql> SELECT c_mktsegment, COUNT(*) AS n FROM customer GROUP BY c_mktsegment ORDER BY n DESC
+//
+// With -connect, the shell speaks the wire protocol to a running
+// cgpserve process instead of embedding an engine:
+//
+//	go run ./examples/sqlshell -connect 127.0.0.1:7744
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,10 +23,19 @@ import (
 	"cgp/internal/db"
 	"cgp/internal/db/catalog"
 	"cgp/internal/db/sql"
+	"cgp/internal/server"
 	"cgp/internal/workload"
 )
 
 func main() {
+	connect := flag.String("connect", "", "connect to a cgpserve address instead of embedding an engine")
+	flag.Parse()
+	if *connect != "" {
+		if err := remoteShell(*connect); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	e := db.NewEngine(db.Options{BufferFrames: 8192})
 	if err := (workload.WisconsinDB{N: 2000}).Load(e, 42); err != nil {
 		log.Fatal(err)
@@ -53,6 +68,62 @@ func main() {
 			continue
 		}
 		printRows(rows)
+	}
+}
+
+// remoteShell is the network client loop: same prompt, queries served
+// by a cgpserve process over the wire protocol.
+func remoteShell(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s; one SELECT per line; Ctrl-D to exit\n", addr)
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<16), 1<<16)
+	for {
+		fmt.Print("sql> ")
+		if !in.Scan() {
+			fmt.Println()
+			return nil
+		}
+		src := strings.TrimSpace(in.Text())
+		if src == "" {
+			continue
+		}
+		if strings.EqualFold(src, "exit") || strings.EqualFold(src, "quit") {
+			return nil
+		}
+		res, err := c.Query(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+// printResult renders a wire-format result like printRows does tuples.
+func printResult(res *server.Result) {
+	if res.Materialized > 0 {
+		fmt.Printf("(%d rows materialized)\n", res.Materialized)
+		return
+	}
+	if len(res.Rows) == 0 {
+		fmt.Println("(0 rows)")
+		return
+	}
+	fmt.Println(strings.Join(res.Cols, " | "))
+	max := len(res.Rows)
+	if max > 25 {
+		max = 25
+	}
+	for _, row := range res.Rows[:max] {
+		fmt.Println(strings.Join(row, " | "))
+	}
+	if len(res.Rows) > max {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
 	}
 }
 

@@ -14,14 +14,28 @@ import (
 	"cgp/internal/trace"
 )
 
-// Probe forwards instrumentation calls to a tracer, if one is attached.
+// Sink receives the instrumentation call sequence. *trace.Tracer is
+// the classic sink (synthesizing an address-level event stream for
+// the simulator); the serving front-end attaches a probe-level
+// capture sink instead, which records the calls themselves so a live
+// session can later be replayed against any binary layout.
+type Sink interface {
+	Enter(fn program.FuncID)
+	Exit()
+	Work(n int)
+	Data(addr isa.Addr, n int, write bool)
+}
+
+// Probe forwards instrumentation calls to a sink, if one is attached.
 type Probe struct {
-	tr *trace.Tracer
+	sink Sink
 }
 
 // New returns a probe over tr. tr may be nil.
 func New(tr *trace.Tracer) *Probe {
-	return &Probe{tr: tr}
+	p := &Probe{}
+	p.SetTracer(tr)
+	return p
 }
 
 // SetTracer swaps the active tracer. The engine's scheduler points the
@@ -32,50 +46,65 @@ func (p *Probe) SetTracer(tr *trace.Tracer) {
 	if p == nil {
 		return
 	}
-	p.tr = tr
+	if tr == nil {
+		p.sink = nil // avoid a typed-nil interface, which would defeat Enabled
+		return
+	}
+	p.sink = tr
+}
+
+// SetSink attaches an arbitrary instrumentation sink (the live-capture
+// seam). nil silences instrumentation.
+func (p *Probe) SetSink(s Sink) {
+	if p == nil {
+		return
+	}
+	p.sink = s
 }
 
 // Enabled reports whether instrumentation is live.
-func (p *Probe) Enabled() bool { return p != nil && p.tr != nil }
+func (p *Probe) Enabled() bool { return p != nil && p.sink != nil }
 
 // Enter records a call to fn.
 func (p *Probe) Enter(fn program.FuncID) {
-	if p == nil || p.tr == nil {
+	if p == nil || p.sink == nil {
 		return
 	}
-	p.tr.Enter(fn)
+	p.sink.Enter(fn)
 }
 
 // Exit records the return from the current function.
 func (p *Probe) Exit() {
-	if p == nil || p.tr == nil {
+	if p == nil || p.sink == nil {
 		return
 	}
-	p.tr.Exit()
+	p.sink.Exit()
 }
 
 // Work records n instructions of local computation.
 func (p *Probe) Work(n int) {
-	if p == nil || p.tr == nil {
+	if p == nil || p.sink == nil {
 		return
 	}
-	p.tr.Work(n)
+	p.sink.Work(n)
 }
 
 // Data records an n-byte data reference at addr.
 func (p *Probe) Data(addr isa.Addr, n int, write bool) {
-	if p == nil || p.tr == nil {
+	if p == nil || p.sink == nil {
 		return
 	}
-	p.tr.Data(addr, n, write)
+	p.sink.Data(addr, n, write)
 }
 
-// Tracer exposes the underlying tracer (nil when inert) for stats.
+// Tracer exposes the underlying tracer (nil when the sink is absent or
+// not a tracer) for stats.
 func (p *Probe) Tracer() *trace.Tracer {
 	if p == nil {
 		return nil
 	}
-	return p.tr
+	tr, _ := p.sink.(*trace.Tracer)
+	return tr
 }
 
 // Arena hands out addresses for transient in-memory structures (hash

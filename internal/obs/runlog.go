@@ -33,14 +33,45 @@ const (
 	JobFailed JobState = "failed"
 )
 
+// Serving lifecycle states: the SQL server front-end logs its traffic
+// through the same run-log machinery (entries carry the server's
+// listen address as the workload and the client session as the
+// config), so a serving run's artifact validates with the same schema
+// as a campaign's.
+const (
+	// ServerStarted / ServerStopped bracket one serving process.
+	ServerStarted JobState = "server-start"
+	ServerStopped JobState = "server-stop"
+	// ConnOpened / ConnClosed bracket one client connection.
+	ConnOpened JobState = "conn-open"
+	ConnClosed JobState = "conn-close"
+	// QueryServed: a query completed and its response was written.
+	QueryServed JobState = "served"
+	// QueryShed: admission control rejected a query (ErrOverloaded).
+	QueryShed JobState = "shed"
+	// CaptureDropped: the live-capture ring dropped a query batch
+	// under backpressure (the query itself was still served).
+	CaptureDropped JobState = "capture-drop"
+	// CaptureSealed: the live capture was sealed and written out.
+	CaptureSealed JobState = "capture-seal"
+)
+
 // knownJobStates is the validation whitelist for ValidateRunLog.
 var knownJobStates = map[JobState]bool{
-	JobQueued:   true,
-	JobStarted:  true,
-	JobExecuted: true,
-	JobReplayed: true,
-	JobResumed:  true,
-	JobFailed:   true,
+	JobQueued:      true,
+	JobStarted:     true,
+	JobExecuted:    true,
+	JobReplayed:    true,
+	JobResumed:     true,
+	JobFailed:      true,
+	ServerStarted:  true,
+	ServerStopped:  true,
+	ConnOpened:     true,
+	ConnClosed:     true,
+	QueryServed:    true,
+	QueryShed:      true,
+	CaptureDropped: true,
+	CaptureSealed:  true,
 }
 
 // RunLogEntry is one JSONL record of the structured run log. The log

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cgp/internal/units"
+)
+
+// admission is the overload-control gate: a token bucket (sustained
+// rate) in front of an inflight counter (instantaneous concurrency).
+// Both checks are cheap and lock-light — shedding load must cost far
+// less than serving it, or the gate itself melts under the overload it
+// exists to survive. A query that fails either check is rejected with
+// ErrOverloaded before touching the engine.
+type admission struct {
+	clock       func() units.WallNanos
+	maxInflight int64
+	inflight    atomic.Int64
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64
+	tokens float64
+	last   units.WallNanos
+}
+
+// newAdmission builds a gate. rate <= 0 disables the token bucket
+// (concurrency is still bounded); burst <= 0 defaults to rate.
+func newAdmission(rate, burst float64, maxInflight int, clock func() units.WallNanos) *admission {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 && rate > 0 {
+		burst = 1
+	}
+	a := &admission{
+		clock:       clock,
+		maxInflight: int64(maxInflight),
+		rate:        rate,
+		burst:       burst,
+		tokens:      burst,
+	}
+	a.last = clock()
+	return a
+}
+
+// admit claims one execution slot, or reports ErrOverloaded. On
+// success the caller must release() when the query finishes.
+func (a *admission) admit() error {
+	if n := a.inflight.Add(1); n > a.maxInflight {
+		a.inflight.Add(-1)
+		return fmt.Errorf("%w: %d queries in flight", ErrOverloaded, a.maxInflight)
+	}
+	if a.rate > 0 && !a.takeToken() {
+		a.inflight.Add(-1)
+		return fmt.Errorf("%w: rate limit (%g qps)", ErrOverloaded, a.rate)
+	}
+	return nil
+}
+
+// release returns the slot claimed by admit.
+func (a *admission) release() { a.inflight.Add(-1) }
+
+// takeToken refills the bucket from elapsed wall time and consumes one
+// token if available.
+func (a *admission) takeToken() bool {
+	now := a.clock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if now > a.last {
+		a.tokens += a.rate * wallSecs(now-a.last)
+		if a.tokens > a.burst {
+			a.tokens = a.burst
+		}
+		a.last = now
+	}
+	if a.tokens < 1 {
+		return false
+	}
+	a.tokens--
+	return true
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"cgp/internal/db"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+func TestLiveCaptureRecordsServedQueries(t *testing.T) {
+	leakCheck(t)
+	lc := NewLiveCapture(CaptureOptions{SampleEvery: 1})
+	s := startServer(t, testEngine(t), Options{Capture: lc})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT COUNT(*) AS n FROM big1",
+		"SELECT unique1 FROM big1 WHERE unique2 BETWEEN 3 AND 40",
+		"SELECT two, COUNT(*) AS n FROM big1 GROUP BY two",
+		"SELECT unique1 INTO TMP FROM big1 WHERE unique2 < 20",
+	}
+	for _, q := range queries {
+		if _, err := c.Query(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	// A failed statement must NOT enter the capture.
+	if _, err := c.Query("SELECT x FROM nope"); err == nil {
+		t.Fatal("bad query succeeded")
+	}
+	c.Close()
+
+	var file bytes.Buffer
+	rec, err := lc.Seal(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lc.Committed(); got != int64(len(queries)) {
+		t.Fatalf("committed %d batches, want %d", got, len(queries))
+	}
+	if lc.Drops() != 0 || lc.Overflows() != 0 {
+		t.Fatalf("unexpected loss: drops=%d overflows=%d", lc.Drops(), lc.Overflows())
+	}
+	if !trace.IsProbeRecording(rec) {
+		t.Fatalf("capture is not a probe recording: %+v", rec.Stats)
+	}
+
+	// The sealed container loads back and replays byte-identically.
+	loaded, err := trace.Load(bytes.NewReader(file.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := db.BuildRegistry()
+	img := program.LayoutO5(reg)
+	replayOnce := func() []byte {
+		out := trace.NewRecorder()
+		if err := trace.ReplayProbe(loaded, img, out, 42); err != nil {
+			t.Fatal(err)
+		}
+		r, err := out.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := r.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := replayOnce(), replayOnce()
+	if len(first) == 0 {
+		t.Fatal("replay produced no events")
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("probe replay is not byte-identical across runs")
+	}
+}
+
+func TestCaptureOverflowDropsWholeBatch(t *testing.T) {
+	lc := NewLiveCapture(CaptureOptions{MaxBatchEvents: 8})
+	sink := lc.begin(1)
+	for i := 0; i < 20; i++ {
+		sink.Enter(program.FuncID(i % 3))
+		sink.Work(5)
+	}
+	lc.commit()
+	if lc.Overflows() != 1 {
+		t.Fatalf("overflows = %d, want 1", lc.Overflows())
+	}
+	rec, err := lc.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() != 0 {
+		t.Fatalf("overflowed batch leaked %d events into the recording", rec.Events())
+	}
+}
+
+func TestCaptureUnbalancedBatchDiscarded(t *testing.T) {
+	lc := NewLiveCapture(CaptureOptions{})
+	sink := lc.begin(0)
+	sink.Exit() // exit at depth zero: malformed
+	sink.Enter(1)
+	lc.commit()
+	if lc.Overflows() != 1 {
+		t.Fatalf("overflows = %d, want 1", lc.Overflows())
+	}
+	rec, err := lc.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Events() != 0 {
+		t.Fatalf("malformed batch leaked %d events", rec.Events())
+	}
+}
+
+func TestCaptureRingBackpressureDrops(t *testing.T) {
+	// Build the capture by hand with no drainer: the ring fills and the
+	// second commit must drop without blocking.
+	lc := &LiveCapture{
+		opts:    CaptureOptions{SampleEvery: 1, MaxBatchEvents: 1 << 10},
+		rec:     trace.NewRecorder(),
+		batches: make(chan []trace.Event, 1),
+		free:    make(chan []trace.Event, 2),
+		done:    make(chan struct{}),
+	}
+	lc.sink.max = 1 << 10
+	for i := 0; i < 3; i++ {
+		sink := lc.begin(0)
+		sink.Enter(1)
+		sink.Work(1)
+		sink.Exit()
+		lc.commit()
+	}
+	if lc.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2 (ring holds 1 of 3)", lc.Drops())
+	}
+	// Drain and seal manually (no drainer goroutine in this test).
+	go lc.drain()
+	rec, err := lc.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.Committed() != 1 {
+		t.Fatalf("committed = %d, want 1", lc.Committed())
+	}
+	if !trace.IsProbeRecording(rec) {
+		t.Fatal("recording with drops is no longer well-formed")
+	}
+}
+
+func TestCaptureSamplesQueries(t *testing.T) {
+	leakCheck(t)
+	lc := NewLiveCapture(CaptureOptions{SampleEvery: 4})
+	s := startServer(t, testEngine(t), Options{Capture: lc})
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query("SELECT COUNT(*) AS n FROM big1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	rec, err := lc.Seal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries 0 and 4 are recorded, the other six run detached.
+	if lc.Committed() != 2 || lc.Skipped() != 6 {
+		t.Fatalf("committed=%d skipped=%d, want 2/6", lc.Committed(), lc.Skipped())
+	}
+	if lc.Drops() != 0 || lc.Overflows() != 0 {
+		t.Fatalf("unexpected loss: drops=%d overflows=%d", lc.Drops(), lc.Overflows())
+	}
+	if !trace.IsProbeRecording(rec) || rec.Stats.Switches != 2 {
+		t.Fatalf("sampled recording malformed: %+v", rec.Stats)
+	}
+}
+
+func TestSealTwiceFails(t *testing.T) {
+	lc := NewLiveCapture(CaptureOptions{})
+	if _, err := lc.Seal(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lc.Seal(nil); err == nil {
+		t.Fatal("second Seal succeeded")
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// Client speaks the wire protocol. It is synchronous and not safe for
+// concurrent use — one Client per goroutine (connections are cheap;
+// the server pools them). Errors from the server come back typed:
+// errors.Is(err, ErrOverloaded) etc. work across the socket.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	timeout time.Duration
+	hdr     [frameHeaderLen]byte
+	out     []byte
+}
+
+// Dial connects to a server's TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (tests inject fault-
+// wrapped conns here).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 32<<10), timeout: 30 * time.Second}
+}
+
+// SetTimeout bounds each request round trip (default 30s).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Query runs one SQL statement.
+func (c *Client) Query(src string) (*Result, error) {
+	typ, payload, err := c.roundTrip(msgQuery, []byte(src))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgResult {
+		return nil, fmt.Errorf("%w: unexpected response type %q", ErrMalformed, typ)
+	}
+	return decodeResult(payload)
+}
+
+// Stmt is a prepared-statement handle.
+type Stmt struct {
+	c    *Client
+	text string
+	id   uint64
+}
+
+// Prepare caches src server-side and returns its handle.
+func (c *Client) Prepare(src string) (*Stmt, error) {
+	typ, payload, err := c.roundTrip(msgPrepare, []byte(src))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgPrepared {
+		return nil, fmt.Errorf("%w: unexpected response type %q", ErrMalformed, typ)
+	}
+	id, err := decodeStmtID(payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, text: src, id: id}, nil
+}
+
+// Exec runs the prepared statement. If the server evicted the handle
+// (ErrStaleStatement), Exec transparently re-prepares once and
+// retries — the client contract the LRU cache is designed around.
+func (st *Stmt) Exec() (*Result, error) {
+	res, err := st.execOnce()
+	if err == nil || !isStale(err) {
+		return res, err
+	}
+	fresh, err := st.c.Prepare(st.text)
+	if err != nil {
+		return nil, err
+	}
+	st.id = fresh.id
+	return st.execOnce()
+}
+
+func isStale(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrStaleStatement {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func (st *Stmt) execOnce() (*Result, error) {
+	typ, payload, err := st.c.roundTrip(msgExec, encodeStmtID(nil, st.id))
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgResult {
+		return nil, fmt.Errorf("%w: unexpected response type %q", ErrMalformed, typ)
+	}
+	return decodeResult(payload)
+}
+
+// roundTrip sends one frame and reads one response, surfacing wire
+// errors as typed Go errors.
+func (c *Client) roundTrip(typ byte, payload []byte) (byte, []byte, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(ioDeadline(c.timeout))
+	}
+	c.out = append(c.out[:0], 0, 0, 0, 0, 0)
+	c.out = append(c.out, payload...)
+	putFrameHeader(c.out[:frameHeaderLen], typ, len(payload))
+	if _, err := c.conn.Write(c.out); err != nil {
+		return 0, nil, fmt.Errorf("client: write: %w", err)
+	}
+	if _, err := io.ReadFull(c.br, c.hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("client: read header: %w", err)
+	}
+	rtyp, n, err := parseFrameHeader(c.hdr[:], maxResponseFrame)
+	if err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return 0, nil, fmt.Errorf("client: read payload: %w", err)
+	}
+	if rtyp == msgError {
+		return 0, nil, decodeError(buf)
+	}
+	return rtyp, buf, nil
+}
+
+// Close sends the goodbye frame (best-effort) and closes the
+// connection.
+func (c *Client) Close() error {
+	c.conn.SetDeadline(ioDeadline(time.Second))
+	var bye [frameHeaderLen]byte
+	putFrameHeader(bye[:], msgBye, 0)
+	c.conn.Write(bye[:])
+	return c.conn.Close()
+}

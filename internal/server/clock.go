@@ -1,0 +1,36 @@
+package server
+
+import (
+	"time"
+
+	"cgp/internal/units"
+)
+
+// The serving front-end is wall-clock-domain code: deadlines, token
+// refill and latency metrics are about real time by nature. All clock
+// reads and WallNanos conversions are concentrated here, mirroring
+// obs/wall.go, so these three suppressions are the package's entire
+// wall surface — everything downstream handles typed units.WallNanos
+// and stays inside the lint boundary (latencies flow only into
+// obs.WallRegistry, never into deterministic output).
+
+// nowWall reads the host clock as a typed wall reading.
+//
+//cgplint:ignore detrand the serving domain's clock source; results are typed units.WallNanos and flow only to deadlines and wall metrics
+func nowWall() units.WallNanos { return units.WallNanos(time.Now().UnixNano()) }
+
+// ioDeadline converts a timeout into the absolute net.Conn deadline
+// d from now. Socket deadlines are host-time by definition.
+//
+//cgplint:ignore detrand socket deadlines are wall-clock by definition; the value goes only into SetReadDeadline/SetWriteDeadline
+func ioDeadline(d time.Duration) time.Time { return time.Now().Add(d) }
+
+// wallSecs converts a wall duration to float seconds for token-bucket
+// refill arithmetic. The float never leaves the bucket.
+//
+//cgplint:ignore cyclesafe wall-domain arithmetic internal to the admission token bucket; the value never reaches deterministic output
+func wallSecs(d units.WallNanos) float64 { return float64(d) / 1e9 }
+
+// wallDur converts a time.Duration budget into the wall-domain type
+// used for deadline comparisons against nowWall readings.
+func wallDur(d time.Duration) units.WallNanos { return units.WallNanos(d.Nanoseconds()) }

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"cgp/internal/db"
+	"cgp/internal/db/catalog"
+	"cgp/internal/db/exec"
+	"cgp/internal/db/heap"
+	"cgp/internal/db/sql"
+	"cgp/internal/db/txn"
+	"cgp/internal/units"
+)
+
+// executor runs queries against the engine. The engine (probe, arena,
+// buffer pool) is not thread-safe, so a mutex serializes queries —
+// concurrency lives in the connection layer; the storage layer sees
+// one query at a time, exactly as the cooperative scheduler's threads
+// do. Each query runs in its own transaction with the same probe
+// bracketing sql.Run uses (parse / optimize / execute), so a captured
+// session reproduces the call-graph shape of Figure 1.
+//
+// Robustness properties, in order of importance:
+//   - a panic anywhere in parse/plan/execute is confined to the
+//     request: the transaction aborts, the capture batch is discarded,
+//     the connection gets a typed internal error, the process lives;
+//   - a query that exceeds its wall-clock budget is aborted mid-drain
+//     (checked every deadlinePollRows tuples) with ErrDeadline;
+//   - result sets are row-capped before encoding (ErrTooLarge).
+type executor struct {
+	mu       sync.Mutex
+	e        *db.Engine
+	prep     *prepCache
+	capture  *LiveCapture
+	clock    func() units.WallNanos
+	deadline units.WallNanos // per-query budget; <= 0 disables
+	maxRows  int
+}
+
+// deadlinePollRows is how many tuples flow between wall-clock and
+// cancellation checks during a drain: rare enough to stay off the
+// per-tuple cost, frequent enough to bound overshoot.
+const deadlinePollRows = 64
+
+// parseCachedWork is the probe Work cost booked for a parse that was
+// served from the prepared-statement cache (a hash lookup, not a full
+// parse).
+const parseCachedWork = 30
+
+// query parses (or looks up), plans and executes src.
+func (x *executor) query(ctx context.Context, session int32, src string) (*Result, error) {
+	return x.run(ctx, session, src, nil)
+}
+
+// execPrepared runs a statement by cache handle; a handle the LRU has
+// evicted gets ErrStaleStatement and the client re-prepares.
+func (x *executor) execPrepared(ctx context.Context, session int32, id uint64) (*Result, error) {
+	x.mu.Lock()
+	e, err := x.prep.lookupID(id)
+	x.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return x.run(ctx, session, e.text, e.stmt)
+}
+
+// prepare parses src and caches it, returning the handle id.
+func (x *executor) prepare(src string) (uint64, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if e, ok := x.prep.byText[src]; ok {
+		x.prep.lru.MoveToFront(e.elem)
+		return e.id, nil
+	}
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	return x.prep.insert(src, stmt), nil
+}
+
+// run executes one statement under the engine lock. stmt, when
+// non-nil, is a pre-parsed statement from the cache.
+func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql.SelectStmt) (res *Result, err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	// begin returns nil when the sampler skips this query; the probe
+	// then stays detached and the query runs at full speed.
+	var capturing bool
+	if x.capture != nil {
+		if sink := x.capture.begin(session); sink != nil {
+			capturing = true
+			x.e.Pr.SetSink(sink)
+			defer x.e.Pr.SetSink(nil)
+		}
+	}
+	var deadlineAt units.WallNanos
+	if x.deadline > 0 {
+		deadlineAt = x.clock() + x.deadline
+	}
+
+	var tx *txn.Txn
+	fail := func(cause error) (*Result, error) {
+		if tx != nil {
+			x.e.Txns.Abort(tx)
+		}
+		if capturing {
+			x.capture.abort()
+		}
+		return nil, cause
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			// One poisoned statement kills one request, never the
+			// process: abort the transaction, discard the capture
+			// batch, surface a typed internal error.
+			res, err = fail(fmt.Errorf("server: internal: query panicked: %v", p))
+		}
+	}()
+
+	pr, fns := x.e.Pr, x.e.Fns.Exec
+	pr.Enter(fns.QueryParse)
+	if stmt == nil {
+		if cached := x.prep.lookupText(src); cached != nil {
+			stmt = cached
+			pr.Work(parseCachedWork)
+		} else {
+			pr.Work(60 + 2*len(src))
+			parsed, perr := sql.Parse(src)
+			if perr != nil {
+				pr.Exit()
+				return fail(perr)
+			}
+			x.prep.insert(src, parsed)
+			stmt = parsed
+		}
+	} else {
+		pr.Work(parseCachedWork)
+	}
+	pr.Exit()
+
+	tx = x.e.Txns.Begin()
+	ectx := x.e.NewContext(tx)
+
+	pr.Enter(fns.QueryOptimize)
+	pr.Work(240 + 90*len(stmt.From) + 30*len(stmt.Where))
+	it, into, err := sql.Plan(x.e, ectx, stmt)
+	pr.Exit()
+	if err != nil {
+		return fail(err)
+	}
+
+	pr.Enter(fns.QueryExecute)
+	res, err = x.drain(ctx, ectx, it, into, deadlineAt)
+	pr.Exit()
+	if err != nil {
+		return fail(err)
+	}
+	if err := x.e.Txns.Commit(tx); err != nil {
+		tx = nil
+		return fail(err)
+	}
+	tx = nil
+	// Queries are strictly serial here, so the transient arena rewinds
+	// between them — a serving process must not grow simulated memory
+	// per request served.
+	x.e.Arena.Reset()
+	if capturing {
+		x.capture.commit()
+	}
+	return res, nil
+}
+
+// drain pulls the plan to exhaustion, enforcing the wall-clock budget
+// and cancellation every deadlinePollRows tuples. For SELECT INTO it
+// replicates exec.Materialize (same probe brackets) so the stream a
+// capture records matches the in-process engine's.
+func (x *executor) drain(ctx context.Context, ectx *exec.Context, it exec.Iterator, into *heap.File, deadlineAt units.WallNanos) (*Result, error) {
+	if into != nil {
+		ectx.Pr.Enter(ectx.Fns.MatNext)
+		defer ectx.Pr.Exit()
+		ectx.Pr.Work(20)
+	}
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	var n int64
+	for {
+		if n%deadlinePollRows == 0 {
+			if err := ctx.Err(); err != nil {
+				it.Close()
+				return nil, fmt.Errorf("%w: %v", ErrShutdown, err)
+			}
+			if deadlineAt > 0 && x.clock() > deadlineAt {
+				it.Close()
+				return nil, fmt.Errorf("%w after %d rows", ErrDeadline, n)
+			}
+		}
+		t, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if into != nil {
+			if _, err := into.CreateRec(ectx.Txn, t.Buf); err != nil {
+				it.Close()
+				return nil, err
+			}
+			continue
+		}
+		if len(res.Rows) >= x.maxRows {
+			it.Close()
+			return nil, fmt.Errorf("%w: result exceeds %d rows", ErrTooLarge, x.maxRows)
+		}
+		res.Rows = append(res.Rows, stringifyTuple(t))
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	if into != nil {
+		res.Materialized = n
+	} else {
+		res.Cols = colNames(it.Schema())
+	}
+	return res, nil
+}
+
+// colNames flattens a schema into its column-name list.
+func colNames(s *catalog.Schema) []string {
+	cols := make([]string, s.NumCols())
+	for i := range cols {
+		cols[i] = s.Col(i).Name
+	}
+	return cols
+}
+
+// stringifyTuple renders one row for the wire. Tuples may alias
+// operator state, so the cells are copied out here.
+func stringifyTuple(t catalog.Tuple) []string {
+	row := make([]string, t.Schema.NumCols())
+	for i := range row {
+		if t.Schema.Col(i).Type == catalog.Int {
+			row[i] = strconv.FormatInt(t.Int(i), 10)
+		} else {
+			row[i] = t.Str(i)
+		}
+	}
+	return row
+}

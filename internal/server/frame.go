@@ -1,0 +1,64 @@
+package server
+
+// The wire protocol's framing layer. Every message is one frame:
+//
+//	byte 0      message type
+//	bytes 1..4  payload length, big-endian
+//	bytes 5..   payload
+//
+// The header codec is on the per-request hot path of every connection
+// goroutine, so it is hand-rolled (no encoding/binary, no error
+// allocation) and pinned allocation-free by the hotpath directive.
+
+// frameHeaderLen is the fixed frame header size.
+const frameHeaderLen = 5
+
+// maxRequestFrame bounds client->server payloads. Requests carry SQL
+// text or a statement id; anything near this bound is an attack or a
+// corrupted length field, and is rejected before any allocation.
+const maxRequestFrame = 1 << 20
+
+// maxResponseFrame bounds server->client payloads (result sets are
+// also row-capped by Options.MaxResultRows before encoding).
+const maxResponseFrame = 64 << 20
+
+// Message types. Client->server types are uppercase, server->client
+// lowercase, so a frame's direction is evident in a hex dump.
+const (
+	msgQuery    byte = 'Q' // payload: SQL text
+	msgPrepare  byte = 'P' // payload: SQL text; response: msgPrepared
+	msgExec     byte = 'E' // payload: uvarint statement id
+	msgBye      byte = 'X' // empty payload; server closes cleanly
+	msgResult   byte = 'r' // payload: encoded Result
+	msgPrepared byte = 'p' // payload: uvarint statement id
+	msgError    byte = 'e' // payload: code byte + message text
+)
+
+// putFrameHeader writes a frame header for a payload of n bytes into
+// dst, which must have room for frameHeaderLen bytes.
+//
+//cgplint:hotpath
+func putFrameHeader(dst []byte, typ byte, n int) {
+	_ = dst[frameHeaderLen-1]
+	dst[0] = typ
+	dst[1] = byte(n >> 24)
+	dst[2] = byte(n >> 16)
+	dst[3] = byte(n >> 8)
+	dst[4] = byte(n)
+}
+
+// parseFrameHeader decodes a frame header, bounding the payload length
+// by limit. Errors are pre-allocated sentinels: a flood of malformed
+// frames must not allocate per frame.
+//
+//cgplint:hotpath
+func parseFrameHeader(src []byte, limit int) (typ byte, n int, err error) {
+	if len(src) < frameHeaderLen {
+		return 0, 0, ErrMalformed
+	}
+	n = int(src[1])<<24 | int(src[2])<<16 | int(src[3])<<8 | int(src[4])
+	if n < 0 || n > limit {
+		return 0, 0, ErrTooLarge
+	}
+	return src[0], n, nil
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	for _, n := range []int{0, 1, 255, 256, 1 << 16, maxRequestFrame} {
+		putFrameHeader(hdr[:], msgQuery, n)
+		typ, got, err := parseFrameHeader(hdr[:], maxRequestFrame)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if typ != msgQuery || got != n {
+			t.Fatalf("n=%d: decoded (%q, %d)", n, typ, got)
+		}
+	}
+}
+
+func TestFrameHeaderRejectsOversize(t *testing.T) {
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(hdr[:], msgQuery, maxRequestFrame+1)
+	if _, _, err := parseFrameHeader(hdr[:], maxRequestFrame); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize frame: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFrameHeaderRejectsShort(t *testing.T) {
+	if _, _, err := parseFrameHeader([]byte{1, 2}, maxRequestFrame); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short header: err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := &Result{
+		Cols:         []string{"unique1", "stringu1"},
+		Rows:         [][]string{{"1", "abc"}, {"2", ""}, {"-7", "x y z"}},
+		Materialized: 0,
+	}
+	buf := encodeResult(nil, in)
+	out, err := decodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Cols) != 2 || out.Cols[1] != "stringu1" {
+		t.Fatalf("cols = %v", out.Cols)
+	}
+	if len(out.Rows) != 3 || out.Rows[2][0] != "-7" || out.Rows[1][1] != "" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func TestResultRoundTripMaterialized(t *testing.T) {
+	buf := encodeResult(nil, &Result{Materialized: 12345})
+	out, err := decodeResult(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Materialized != 12345 || len(out.Cols) != 0 || len(out.Rows) != 0 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestDecodeResultRejectsGarbage(t *testing.T) {
+	for _, p := range [][]byte{
+		{},                  // empty
+		{0xff},              // truncated uvarint
+		{0, 2, 1, 'a'},      // promises 2 cols, delivers 1
+		{0, 1, 5, 'a', 'b'}, // string length beyond payload
+	} {
+		if _, err := decodeResult(p); err == nil {
+			t.Fatalf("decodeResult(%v) accepted garbage", p)
+		}
+	}
+}
+
+func TestErrorCodesRoundTrip(t *testing.T) {
+	for _, sentinel := range []error{
+		ErrOverloaded, ErrDeadline, ErrStaleStatement, ErrShutdown, ErrTooLarge, ErrMalformed,
+	} {
+		payload := encodeError(nil, codeFor(sentinel), sentinel.Error())
+		back := decodeError(payload)
+		if !errors.Is(back, sentinel) {
+			t.Fatalf("round-tripped %v came back as %v", sentinel, back)
+		}
+	}
+}

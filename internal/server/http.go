@@ -1,0 +1,113 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+)
+
+// The HTTP fallback: the same executor and admission gate behind
+// POST /query, for clients without the binary protocol (curl, load
+// generators, dashboards). /metrics serves the wall-domain registry
+// and /healthz is a liveness probe.
+
+// httpQueryResponse is the JSON shape of a /query answer.
+type httpQueryResponse struct {
+	Cols         []string   `json:"cols,omitempty"`
+	Rows         [][]string `json:"rows,omitempty"`
+	Materialized int64      `json:"materialized,omitempty"`
+	Error        string     `json:"error,omitempty"`
+}
+
+// httpSession is the capture session slot HTTP queries record under:
+// one shared slot past the TCP range, since HTTP requests carry no
+// connection identity worth preserving.
+const httpSession = maxSessionSlots
+
+func (s *Server) startHTTP(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.opts.HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("server: http listen: %w", err)
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.httpQuery)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		s.opts.Wall.WriteText(w)
+	})
+	srv := &http.Server{
+		Handler:           mux,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+		ReadHeaderTimeout: s.opts.FrameTimeout,
+		ReadTimeout:       s.opts.IdleTimeout,
+		WriteTimeout:      s.opts.WriteTimeout,
+	}
+	context.AfterFunc(ctx, func() { srv.Close() })
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		srv.Serve(ln)
+	}()
+	return nil
+}
+
+// httpQuery serves one SQL statement from the request body.
+func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestFrame+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(body) > maxRequestFrame {
+		httpError(w, http.StatusRequestEntityTooLarge, ErrTooLarge)
+		return
+	}
+	if err := s.adm.admit(); err != nil {
+		s.opts.Wall.Incr("queries_shed", 1)
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.adm.release()
+	start := s.opts.Clock()
+	res, err := s.exec.query(r.Context(), httpSession, string(body))
+	s.opts.Wall.Observe("query_latency", s.opts.Clock()-start)
+	if err != nil {
+		s.opts.Wall.Incr("queries_failed", 1)
+		httpError(w, httpStatusFor(err), err)
+		return
+	}
+	s.opts.Wall.Incr("queries_served", 1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(httpQueryResponse{
+		Cols:         res.Cols,
+		Rows:         res.Rows,
+		Materialized: res.Materialized,
+	})
+}
+
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrShutdown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(httpQueryResponse{Error: err.Error()})
+}

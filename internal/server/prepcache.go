@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+
+	"cgp/internal/db/sql"
+)
+
+// prepCache is the prepared-statement cache: a bounded LRU of parsed
+// statements keyed both by id (explicit Prepare/Exec) and by SQL text
+// (so repeated plain queries skip the parser too). Eviction
+// invalidates ids; an Exec against an evicted id gets the typed
+// ErrStaleStatement and the client re-prepares — the cache never grows
+// without bound no matter how many distinct statements clients send.
+type prepCache struct {
+	max    int
+	byID   map[uint64]*prepEntry
+	byText map[string]*prepEntry
+	lru    *list.List // front = most recently used; values are *prepEntry
+	nextID uint64
+}
+
+type prepEntry struct {
+	id   uint64
+	text string
+	stmt *sql.SelectStmt
+	elem *list.Element
+}
+
+func newPrepCache(max int) *prepCache {
+	return &prepCache{
+		max:    max,
+		byID:   make(map[uint64]*prepEntry),
+		byText: make(map[string]*prepEntry),
+		lru:    list.New(),
+	}
+}
+
+// lookupText returns the cached parse of src, if any, refreshing its
+// LRU position. The caller holds the executor lock.
+func (c *prepCache) lookupText(src string) *sql.SelectStmt {
+	e, ok := c.byText[src]
+	if !ok {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.stmt
+}
+
+// lookupID returns the statement for an explicit handle, or the typed
+// stale error after eviction.
+func (c *prepCache) lookupID(id uint64) (*prepEntry, error) {
+	e, ok := c.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrStaleStatement, id)
+	}
+	c.lru.MoveToFront(e.elem)
+	return e, nil
+}
+
+// insert caches a parsed statement, evicting the least recently used
+// entry when full, and returns its handle id. If the text is already
+// cached, the existing entry is reused (Prepare is idempotent).
+func (c *prepCache) insert(src string, stmt *sql.SelectStmt) uint64 {
+	if e, ok := c.byText[src]; ok {
+		c.lru.MoveToFront(e.elem)
+		return e.id
+	}
+	c.nextID++
+	e := &prepEntry{id: c.nextID, text: src, stmt: stmt}
+	e.elem = c.lru.PushFront(e)
+	c.byID[e.id] = e
+	c.byText[src] = e
+	for c.lru.Len() > c.max {
+		old := c.lru.Remove(c.lru.Back()).(*prepEntry)
+		delete(c.byID, old.id)
+		delete(c.byText, old.text)
+	}
+	return e.id
+}
+
+// len reports the number of cached statements.
+func (c *prepCache) len() int { return c.lru.Len() }

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Payload codecs for the typed messages. Strings and rows are
+// uvarint-length-prefixed; the layouts are versionless because the
+// frame type byte discriminates them and the protocol ships with the
+// binary on both sides.
+
+// Result is one query's answer. A plain SELECT carries Cols/Rows; a
+// SELECT INTO carries only Materialized (the rows written to the
+// target file stay server-side, as in the in-process engine).
+type Result struct {
+	Cols         []string
+	Rows         [][]string
+	Materialized int64
+}
+
+// appendString appends one uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// takeString decodes one length-prefixed string, returning the rest.
+func takeString(p []byte, bound int) (string, []byte, error) {
+	n, used := binary.Uvarint(p)
+	if used <= 0 || n > uint64(bound) || n > uint64(len(p)-used) {
+		return "", nil, ErrMalformed
+	}
+	return string(p[used : used+int(n)]), p[used+int(n):], nil
+}
+
+// encodeResult appends the wire form of res to buf.
+func encodeResult(buf []byte, res *Result) []byte {
+	buf = binary.AppendUvarint(buf, uint64(res.Materialized))
+	buf = binary.AppendUvarint(buf, uint64(len(res.Cols)))
+	for _, c := range res.Cols {
+		buf = appendString(buf, c)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(res.Rows)))
+	for _, row := range res.Rows {
+		for _, cell := range row {
+			buf = appendString(buf, cell)
+		}
+	}
+	return buf
+}
+
+// decodeResult parses a msgResult payload.
+func decodeResult(p []byte) (*Result, error) {
+	mat, used := binary.Uvarint(p)
+	if used <= 0 {
+		return nil, ErrMalformed
+	}
+	p = p[used:]
+	ncols, used := binary.Uvarint(p)
+	if used <= 0 || ncols > 1<<16 {
+		return nil, ErrMalformed
+	}
+	p = p[used:]
+	res := &Result{Materialized: int64(mat)}
+	for i := uint64(0); i < ncols; i++ {
+		var (
+			c   string
+			err error
+		)
+		if c, p, err = takeString(p, maxResponseFrame); err != nil {
+			return nil, err
+		}
+		res.Cols = append(res.Cols, c)
+	}
+	nrows, used := binary.Uvarint(p)
+	if used <= 0 || nrows > maxResponseFrame {
+		return nil, ErrMalformed
+	}
+	p = p[used:]
+	for i := uint64(0); i < nrows; i++ {
+		row := make([]string, ncols)
+		for j := range row {
+			var err error
+			if row[j], p, err = takeString(p, maxResponseFrame); err != nil {
+				return nil, err
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if len(p) != 0 {
+		return nil, ErrMalformed
+	}
+	return res, nil
+}
+
+// encodeError appends a wire error payload: one code byte + message.
+func encodeError(buf []byte, code byte, msg string) []byte {
+	buf = append(buf, code)
+	return append(buf, msg...)
+}
+
+// decodeError parses a msgError payload into a typed error.
+func decodeError(p []byte) error {
+	if len(p) < 1 {
+		return ErrMalformed
+	}
+	return errFromWire(p[0], string(p[1:]))
+}
+
+// encodeStmtID appends a uvarint statement id (msgExec, msgPrepared).
+func encodeStmtID(buf []byte, id uint64) []byte {
+	return binary.AppendUvarint(buf, id)
+}
+
+// decodeStmtID parses a uvarint statement id payload.
+func decodeStmtID(p []byte) (uint64, error) {
+	id, used := binary.Uvarint(p)
+	if used <= 0 || used != len(p) {
+		return 0, fmt.Errorf("%w: bad statement id", ErrMalformed)
+	}
+	return id, nil
+}

@@ -42,6 +42,25 @@ const (
 	// KindSwitch marks a context switch between query threads. Thread
 	// is carried in N.
 	KindSwitch
+
+	// Probe-level kinds record the instrumentation seam itself (the
+	// probe.Probe call sequence) instead of the synthesized
+	// instruction stream. A live server captures at this level so the
+	// recording stays layout-independent: replaying it through a
+	// Tracer over any image (ReplayProbe) regenerates the exact
+	// address-level stream that image's layout implies. Function IDs
+	// and data addresses are layout-invariant; everything else is
+	// synthesized at replay time.
+
+	// KindProbeEnter records probe.Enter(Fn).
+	KindProbeEnter
+	// KindProbeExit records probe.Exit().
+	KindProbeExit
+	// KindProbeWork records probe.Work(N).
+	KindProbeWork
+	// KindProbeData records probe.Data(Addr, N, write); Taken doubles
+	// as the "is write" flag, as in KindData.
+	KindProbeData
 )
 
 // String returns a short mnemonic for k.
@@ -61,6 +80,14 @@ func (k Kind) String() string {
 		return "data"
 	case KindSwitch:
 		return "switch"
+	case KindProbeEnter:
+		return "penter"
+	case KindProbeExit:
+		return "pexit"
+	case KindProbeWork:
+		return "pwork"
+	case KindProbeData:
+		return "pdata"
 	}
 	return "?"
 }

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+
+	"cgp/internal/program"
+)
+
+// Probe-level recordings (live capture).
+//
+// A serving database process cannot be re-executed to regenerate its
+// trace: its inputs are whatever clients happened to send. The live
+// capture path therefore records the instrumentation seam itself —
+// the probe Enter/Exit/Work/Data call sequence, tagged with session
+// switches — instead of a synthesized instruction stream. That keeps
+// the recording layout-independent: ReplayProbe drives a Tracer over
+// any program.Image, so one captured session replays under O5, OM, or
+// any future layout, exactly like the synthetic workloads.
+//
+// The encoded form is the ordinary trace codec carrying KindProbe*
+// events, so sealed captures get the same CRC framing, chunked
+// storage, and file format as every other recording.
+
+// probeReplaySeedStride spaces per-session tracer seeds, mirroring
+// the stride the cooperative scheduler uses for its query threads.
+const probeReplaySeedStride = 7919
+
+// ErrNotProbeRecording reports a recording that holds no probe-level
+// events where one was required.
+var ErrNotProbeRecording = fmt.Errorf("trace: recording holds no probe-level events")
+
+// IsProbeRecording reports whether rec is a probe-level capture (all
+// payload events are KindProbe*, session-tagged by KindSwitch).
+func IsProbeRecording(rec *Recording) bool {
+	return rec.Stats.ProbeOps > 0 && rec.Stats.ProbeOps+rec.Stats.Switches == rec.Stats.Events
+}
+
+// ReplayProbe replays a probe-level recording through per-session
+// tracers over img, emitting the synthesized address-level stream into
+// out. Session s gets a tracer seeded seed+s*7919 (the scheduler's
+// stride), so the synthesis is deterministic: the same recording, img
+// and seed yield a byte-identical event stream on every call.
+//
+// The stream is validated as it replays: a malformed capture (probe
+// ops at stack depth zero, an unknown kind, a negative session) fails
+// with an error instead of panicking the tracer — captures come from
+// live network traffic and are not trusted.
+func ReplayProbe(rec *Recording, img *program.Image, out Consumer, seed int64) error {
+	if !IsProbeRecording(rec) {
+		return ErrNotProbeRecording
+	}
+	var (
+		tracers []*Tracer
+		cur     *Tracer
+		n       int64
+	)
+	tracerFor := func(slot int32) *Tracer {
+		for int(slot) >= len(tracers) {
+			tracers = append(tracers, nil)
+		}
+		if tracers[slot] == nil {
+			tracers[slot] = NewTracer(img, out, seed+int64(slot)*probeReplaySeedStride)
+		}
+		return tracers[slot]
+	}
+	return rec.ReplayBatch(func(evs []Event) error {
+		for i := range evs {
+			ev := &evs[i]
+			n++
+			switch ev.Kind {
+			case KindSwitch:
+				if ev.N < 0 {
+					return probeStreamErr(n, "negative session slot")
+				}
+				cur = tracerFor(ev.N)
+				out.Event(Event{Kind: KindSwitch, N: ev.N})
+			case KindProbeEnter:
+				if cur == nil {
+					return probeStreamErr(n, "probe op before first session switch")
+				}
+				cur.Enter(ev.Fn)
+			case KindProbeExit:
+				if cur == nil || cur.Depth() == 0 {
+					return probeStreamErr(n, "probe exit at stack depth zero")
+				}
+				cur.Exit()
+			case KindProbeWork:
+				if cur == nil || cur.Depth() == 0 {
+					return probeStreamErr(n, "probe work at stack depth zero")
+				}
+				cur.Work(int(ev.N))
+			case KindProbeData:
+				if cur == nil || cur.Depth() == 0 {
+					return probeStreamErr(n, "probe data at stack depth zero")
+				}
+				cur.Data(ev.Addr, int(ev.N), ev.Taken)
+			default:
+				return probeStreamErr(n, "non-probe event kind "+ev.Kind.String())
+			}
+		}
+		return nil
+	})
+}
+
+// probeStreamErr reports a malformed probe capture at 1-based event n.
+func probeStreamErr(n int64, msg string) error {
+	return fmt.Errorf("trace: probe replay: event %d: %s", n, msg)
+}

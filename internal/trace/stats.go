@@ -21,6 +21,10 @@ type Stats struct {
 	DataBytes    int64
 	Switches     int64
 	Events       int64
+	// ProbeOps counts probe-level events (KindProbe*): nonzero only
+	// for live-capture recordings, which store the instrumentation
+	// seam instead of a synthesized instruction stream.
+	ProbeOps int64
 }
 
 // Event implements Consumer.
@@ -49,6 +53,8 @@ func (s *Stats) Event(ev Event) {
 		s.DataBytes += int64(ev.N)
 	case KindSwitch:
 		s.Switches++
+	case KindProbeEnter, KindProbeExit, KindProbeWork, KindProbeData:
+		s.ProbeOps++
 	}
 }
 

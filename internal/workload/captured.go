@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+
+	"cgp/internal/db"
+	"cgp/internal/program"
+	"cgp/internal/trace"
+)
+
+// Captured wraps a sealed probe-level recording (live traffic captured
+// from a serving database process) as a Workload, registered alongside
+// the synthetic wisconsin/tpch/cpu2000 workloads. Run replays the
+// probe call sequence through per-session tracers over the requested
+// image, so a capture taken once from real clients feeds every layout
+// and configuration the harness asks for — deterministically, because
+// the sealed recording plus the image and seed fully determine the
+// synthesized stream.
+//
+// The registry is the database system's own (the capture came from the
+// same engine build), so function IDs recorded at capture time resolve
+// to the same functions at replay time.
+func Captured(name string, rec *trace.Recording, seed int64) (*Workload, error) {
+	if !trace.IsProbeRecording(rec) {
+		return nil, fmt.Errorf("workload %s: %w", name, trace.ErrNotProbeRecording)
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	return &Workload{
+		Name:   name,
+		Family: "captured",
+		NewRegistry: func() *program.Registry {
+			reg, _ := db.BuildRegistry()
+			return reg
+		},
+		Run: func(img *program.Image, out trace.Consumer) error {
+			return trace.ReplayProbe(rec, img, out, seed)
+		},
+	}, nil
+}
+
+// CapturedFromFile loads a sealed capture file (the cgptrc container
+// carrying probe-level events) and registers it under the standard
+// "captured" workload name.
+func CapturedFromFile(path string, seed int64) (*Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload captured: %w", err)
+	}
+	defer f.Close()
+	rec, err := trace.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("workload captured: %s: %w", path, err)
+	}
+	return Captured("captured", rec, seed)
+}

@@ -140,6 +140,17 @@ type RunnerOptions struct {
 	// full detail: their counters are whole-run measurements a sampled
 	// run cannot provide.
 	SampledFigures []string
+	// CapturePath, when set, registers the "captured" workload: a
+	// sealed probe-level recording of live served traffic (written by
+	// cgpserve -capture, or server.LiveCapture.Seal). The capture
+	// replays through per-session tracers over whatever layout a
+	// config asks for, so real traffic runs through the same grids as
+	// the synthetic workloads. See CapturedWorkload.
+	CapturePath string
+	// CaptureSeed seeds the capture replay tracers (0 means 42). Part
+	// of the replay's determinism contract: same capture, same seed,
+	// same synthesized stream.
+	CaptureSeed int64
 }
 
 // DefaultSampledFigures is the figure set RunnerOptions.Sampling
@@ -418,6 +429,33 @@ func (r *Runner) DBWorkloads() []*Workload {
 // CPU2000Workloads returns the seven Figure-10 programs.
 func (r *Runner) CPU2000Workloads() []*Workload {
 	return workload.CPU2000Workloads(r.opts.Seed)
+}
+
+// capturedKey memoizes the capture file load.
+const capturedKey = "wl|captured"
+
+// CapturedWorkload loads RunnerOptions.CapturePath as the "captured"
+// workload. The load (file read, CRC verification) is memoized like
+// every other cacheable unit, so campaign workers resolving the name
+// repeatedly share one recording in memory.
+func (r *Runner) CapturedWorkload() (*Workload, error) {
+	if r.opts.CapturePath == "" {
+		return nil, fmt.Errorf("cgp: no capture configured (RunnerOptions.CapturePath)")
+	}
+	f, owner := r.claim(capturedKey)
+	if owner {
+		w, err := workload.CapturedFromFile(r.opts.CapturePath, r.opts.CaptureSeed)
+		if err != nil {
+			f.resolve(nil, fmt.Errorf("cgp: loading capture %s: %w", r.opts.CapturePath, err))
+		} else {
+			f.resolve(w, nil)
+		}
+	}
+	<-f.done
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.val.(*Workload), nil
 }
 
 // profilesFor returns (collecting on first use) the feedback artifacts
