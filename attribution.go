@@ -97,5 +97,41 @@ func (r *Runner) AttributionTable(ctx context.Context, w *Workload, cfg Config, 
 	return t, nil
 }
 
+// QueryAttributionTable is the per-trace-ID prefetch breakdown of one
+// (workload, config) cell — the library-level form of `cgptrace replay
+// -by-query`. Rows exist only for workloads whose trace carries query
+// tags (live captures of trace-tagged traffic); they arrive from the
+// simulator already sorted by trace ID, so the table is replay-stable.
+type QueryAttributionTable struct {
+	Workload string
+	Config   string
+	Rows     []cpu.QueryAttribution
+}
+
+// QueryAttributionTable simulates (or serves from cache) one cell and
+// returns its per-query attribution rows. The runner must have been
+// built with Attribution set, and the workload's trace must carry
+// query tags (a capture of cgpserve traffic driven by -traced
+// clients); both absences are errors, not empty tables, because a
+// silently empty join defeats the attribution linkage's whole point.
+func (r *Runner) QueryAttributionTable(ctx context.Context, w *Workload, cfg Config) (*QueryAttributionTable, error) {
+	if !r.opts.Attribution {
+		return nil, fmt.Errorf("cgp: query attribution table requires RunnerOptions.Attribution")
+	}
+	cfg = cfg.withDefaults()
+	res, err := r.Run(ctx, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.CPU.QueryAttr) == 0 {
+		return nil, fmt.Errorf("cgp: workload %q carries no query trace tags (capture trace-tagged traffic: cgpserve drive -traced)", w.Name)
+	}
+	return &QueryAttributionTable{
+		Workload: w.Name,
+		Config:   cfg.Label(),
+		Rows:     res.CPU.QueryAttr,
+	}, nil
+}
+
 // Markdown rendering lives with the rest of the report layer in
 // report.go.

@@ -17,6 +17,13 @@ package cgp
 // is the only work added to the query path. Like the kernel guard it
 // compares two arms measured back-to-back in the same process, so the
 // ratio cancels host speed.
+//
+// TestTracingOverheadGuard does the same for query tracing: clients
+// minting trace IDs plus the server recording per-stage spans must
+// keep at least 95% of untraced throughput. Tracing is cheaper than
+// capture by construction — a handful of clock reads and one span
+// hand-off per query, no per-probe-event work — so its floor is
+// tighter.
 
 import (
 	"context"
@@ -29,6 +36,7 @@ import (
 	"time"
 
 	"cgp/internal/db"
+	"cgp/internal/obs"
 	"cgp/internal/server"
 	"cgp/internal/workload"
 )
@@ -52,7 +60,7 @@ var serverBenchQueries = []string{
 // silently measured less work than the detached one.
 const serverBenchTotal = 960
 
-func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
+func serveBenchQPS(t *testing.T, sampleEvery, clients int, traced bool) float64 {
 	t.Helper()
 	e := db.NewEngine(db.Options{BufferFrames: 4096})
 	if err := (workload.WisconsinDB{N: 1000}).Load(e, 42); err != nil {
@@ -62,11 +70,16 @@ func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
 	if sampleEvery > 0 {
 		lc = server.NewLiveCapture(server.CaptureOptions{SampleEvery: sampleEvery})
 	}
+	var tracer *obs.QueryTracer
+	if traced {
+		tracer = obs.NewQueryTracer(obs.QueryTraceOptions{})
+	}
 	s := server.New(e, server.Options{
 		Addr:        "127.0.0.1:0",
 		MaxConns:    clients + 1,
 		MaxInflight: clients + 1,
 		Capture:     lc,
+		Trace:       tracer,
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	if err := s.Start(ctx); err != nil {
@@ -88,6 +101,9 @@ func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
 			t.Fatal(err)
 		}
 		defer c.Close()
+		if traced {
+			c.SetTraceBase(uint64(i+1) << 32)
+		}
 		conns[i] = c
 	}
 
@@ -137,6 +153,17 @@ func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
 				lc.Committed(), want, sampleEvery, total)
 		}
 	}
+	if tracer != nil {
+		// The traced arm must have actually traced: a span per query,
+		// warmup included, or the measurement compared tracing-off to
+		// tracing-off.
+		if want := int64(100 + perClient*clients); tracer.Traced() != want {
+			t.Fatalf("tracer saw %d queries, want %d", tracer.Traced(), want)
+		}
+		if err := tracer.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
 	return float64(perClient*clients) / elapsed.Seconds()
 }
 
@@ -144,11 +171,11 @@ func serveBenchQPS(t *testing.T, sampleEvery, clients int) float64 {
 // minimum-of-many estimator the kernel guard uses (max qps = min
 // time): the best run converges on what the code can sustain while
 // the mean absorbs scheduler preemptions from the shared runner.
-func bestQPS(t *testing.T, sampleEvery, clients int) float64 {
+func bestQPS(t *testing.T, sampleEvery, clients int, traced bool) float64 {
 	t.Helper()
 	var best float64
 	for i := 0; i < 3; i++ {
-		if q := serveBenchQPS(t, sampleEvery, clients); q > best {
+		if q := serveBenchQPS(t, sampleEvery, clients, traced); q > best {
 			best = q
 		}
 	}
@@ -172,6 +199,13 @@ type serverBenchCell struct {
 	// 0.05 means attached serving ran 5% slower. Negative values are
 	// measurement noise.
 	Overhead float64 `json:"capture_overhead"`
+	// TracedQPS is throughput with query tracing on (trace-ID-minting
+	// clients, per-stage spans and histograms server-side) and the
+	// capture detached — the arm TestTracingOverheadGuard defends.
+	TracedQPS float64 `json:"traced_qps"`
+	// TracingOverhead is the fractional slowdown of tracing relative to
+	// the detached/untraced baseline.
+	TracingOverhead float64 `json:"tracing_overhead"`
 }
 
 func TestServerBench(t *testing.T) {
@@ -180,18 +214,21 @@ func TestServerBench(t *testing.T) {
 	}
 	var cells []serverBenchCell
 	for _, clients := range []int{1, 4, 16} {
-		detached := bestQPS(t, 0, clients)
-		attached := bestQPS(t, captureDefaultSample, clients)
-		full := bestQPS(t, 1, clients)
+		detached := bestQPS(t, 0, clients, false)
+		attached := bestQPS(t, captureDefaultSample, clients, false)
+		full := bestQPS(t, 1, clients, false)
+		traced := bestQPS(t, 0, clients, true)
 		cell := serverBenchCell{
-			Clients:        clients,
-			AttachedQPS:    attached,
-			DetachedQPS:    detached,
-			FullCaptureQPS: full,
-			Overhead:       detached/attached - 1,
+			Clients:         clients,
+			AttachedQPS:     attached,
+			DetachedQPS:     detached,
+			FullCaptureQPS:  full,
+			Overhead:        detached/attached - 1,
+			TracedQPS:       traced,
+			TracingOverhead: detached/traced - 1,
 		}
-		t.Logf("%2d clients: detached %.0f qps, attached %.0f qps (overhead %+.1f%%), full capture %.0f qps",
-			clients, detached, attached, 100*cell.Overhead, full)
+		t.Logf("%2d clients: detached %.0f qps, attached %.0f qps (overhead %+.1f%%), full capture %.0f qps, traced %.0f qps (overhead %+.1f%%)",
+			clients, detached, attached, 100*cell.Overhead, full, traced, 100*cell.TracingOverhead)
 		cells = append(cells, cell)
 	}
 	out := map[string]any{
@@ -223,13 +260,33 @@ func TestCaptureOverheadGuard(t *testing.T) {
 	if os.Getenv("CGP_BENCH_GUARD") == "" {
 		t.Skip("set CGP_BENCH_GUARD=1 to run the capture-overhead guard")
 	}
-	detached := bestQPS(t, 0, 4)
-	attached := bestQPS(t, captureDefaultSample, 4)
+	detached := bestQPS(t, 0, 4, false)
+	attached := bestQPS(t, captureDefaultSample, 4, false)
 	ratio := attached / detached
 	t.Logf("capture overhead: attached %.0f qps vs detached %.0f qps (ratio %.3f, floor %.2f)",
 		attached, detached, ratio, captureOverheadTolerance)
 	if ratio < captureOverheadTolerance {
 		t.Errorf("live capture costs too much: attached serving at %.1f%% of detached throughput, floor %.0f%%",
 			100*ratio, 100*captureOverheadTolerance)
+	}
+}
+
+// tracingOverheadTolerance: the traced arm must keep at least 95% of
+// untraced throughput. See the file comment for why this floor is
+// tighter than the capture guard's.
+const tracingOverheadTolerance = 0.95
+
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("CGP_BENCH_GUARD") == "" {
+		t.Skip("set CGP_BENCH_GUARD=1 to run the tracing-overhead guard")
+	}
+	untraced := bestQPS(t, 0, 4, false)
+	traced := bestQPS(t, 0, 4, true)
+	ratio := traced / untraced
+	t.Logf("tracing overhead: traced %.0f qps vs untraced %.0f qps (ratio %.3f, floor %.2f)",
+		traced, untraced, ratio, tracingOverheadTolerance)
+	if ratio < tracingOverheadTolerance {
+		t.Errorf("query tracing costs too much: traced serving at %.1f%% of untraced throughput, floor %.0f%%",
+			100*ratio, 100*tracingOverheadTolerance)
 	}
 }

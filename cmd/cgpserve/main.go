@@ -11,7 +11,18 @@
 //
 // Drive (hammer a serving process, report queries/sec):
 //
-//	cgpserve -drive 127.0.0.1:7744 -clients 4 -queries 200
+//	cgpserve -drive 127.0.0.1:7744 -clients 4 -queries 200 -traced
+//
+// -traced tags every driven query with a client-minted trace ID
+// (client i uses IDs (i+1)<<32 + seq), which the server threads
+// through its spans, the slow-query log and — when capturing — the
+// sealed capture, so `cgptrace replay -by-query` can join wall-clock
+// latency to simulated CGP attribution per query.
+//
+// CI check modes (exit nonzero on violation):
+//
+//	cgpserve -check-metrics http://127.0.0.1:7745/metrics
+//	cgpserve -check-querylog slow.jsonl
 package main
 
 import (
@@ -19,9 +30,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -47,31 +61,64 @@ func main() {
 		burst    = flag.Float64("burst", 0, "token-bucket burst (0 = rate)")
 		deadline = flag.Duration("deadline", 5*time.Second, "per-query execution budget")
 
+		querylog  = flag.String("querylog", "", "write the structured slow-query log (JSONL) to this file")
+		slow      = flag.Duration("slow", 50*time.Millisecond, "slow-query threshold for -querylog (0 logs every query)")
+		tracejson = flag.String("tracejson", "", "write retained query spans as Perfetto-loadable JSON to this file on shutdown")
+
 		drive   = flag.String("drive", "", "drive load against this address instead of serving")
 		clients = flag.Int("clients", 4, "drive: concurrent client connections")
 		queries = flag.Int("queries", 100, "drive: queries per client")
+		traced  = flag.Bool("traced", false, "drive: tag every query with a client-minted trace ID")
+
+		checkMetrics  = flag.String("check-metrics", "", "fetch this /metrics URL, lint the Prometheus exposition, exit")
+		checkQuerylog = flag.String("check-querylog", "", "validate this slow-query log's schema, exit")
 	)
 	flag.Parse()
 
-	if *drive != "" {
-		if err := driveLoad(*drive, *clients, *queries); err != nil {
+	switch {
+	case *checkMetrics != "":
+		if err := lintMetrics(*checkMetrics); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *checkQuerylog != "":
+		if err := lintQuerylog(*checkQuerylog); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case *drive != "":
+		if err := driveLoad(*drive, *clients, *queries, *traced); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
-	if err := serve(*addr, *httpAddr, *capture, *runlog, *wiscN, *tpch,
-		*maxConns, *inflight, *capEvery, *rate, *burst, *deadline); err != nil {
+	if err := serve(serveConfig{
+		addr: *addr, httpAddr: *httpAddr, capture: *capture, runlog: *runlog,
+		querylog: *querylog, slow: *slow, tracejson: *tracejson,
+		wiscN: *wiscN, tpch: *tpch, maxConns: *maxConns, inflight: *inflight,
+		capEvery: *capEvery, rate: *rate, burst: *burst, deadline: *deadline,
+	}); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
-	maxConns, inflight, capEvery int, rate, burst float64, deadline time.Duration) error {
+type serveConfig struct {
+	addr, httpAddr, capture, runlog string
+	querylog, tracejson             string
+	slow                            time.Duration
+	wiscN                           int
+	tpch                            bool
+	maxConns, inflight, capEvery    int
+	rate, burst                     float64
+	deadline                        time.Duration
+}
+
+func serve(cfg serveConfig) error {
 	e := db.NewEngine(db.Options{BufferFrames: 8192})
-	if err := (workload.WisconsinDB{N: wiscN}).Load(e, 42); err != nil {
+	if err := (workload.WisconsinDB{N: cfg.wiscN}).Load(e, 42); err != nil {
 		return err
 	}
-	if tpch {
+	if cfg.tpch {
 		if err := workload.LoadTPCH(e, workload.DefaultTPCHScale(), 42); err != nil {
 			return err
 		}
@@ -79,8 +126,8 @@ func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
 
 	wall := obs.NewWallRegistry()
 	var rl *obs.RunLog
-	if runlog != "" {
-		f, err := os.Create(runlog)
+	if cfg.runlog != "" {
+		f, err := os.Create(cfg.runlog)
 		if err != nil {
 			return err
 		}
@@ -88,21 +135,38 @@ func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
 		rl = obs.NewRunLog(f)
 	}
 	var lc *server.LiveCapture
-	if capture != "" {
-		lc = server.NewLiveCapture(server.CaptureOptions{SampleEvery: capEvery, Wall: wall, Log: rl})
+	if cfg.capture != "" {
+		lc = server.NewLiveCapture(server.CaptureOptions{SampleEvery: cfg.capEvery, Wall: wall, Log: rl})
 	}
 
+	// The tracer is always on while serving: the untagged per-query cost
+	// is a handful of clock reads and atomic adds, and it is what makes
+	// /metrics stage percentiles and the trace-ID echo available without
+	// a restart. The slow-query log and the Perfetto export stay opt-in.
+	topts := obs.QueryTraceOptions{SlowThreshold: cfg.slow}
+	var qlf *os.File
+	if cfg.querylog != "" {
+		f, err := os.Create(cfg.querylog)
+		if err != nil {
+			return err
+		}
+		qlf = f
+		topts.LogW = f
+	}
+	tracer := obs.NewQueryTracer(topts)
+
 	s := server.New(e, server.Options{
-		Addr:          addr,
-		HTTPAddr:      httpAddr,
-		MaxConns:      maxConns,
-		MaxInflight:   inflight,
-		RatePerSec:    rate,
-		Burst:         burst,
-		QueryDeadline: deadline,
+		Addr:          cfg.addr,
+		HTTPAddr:      cfg.httpAddr,
+		MaxConns:      cfg.maxConns,
+		MaxInflight:   cfg.inflight,
+		RatePerSec:    cfg.rate,
+		Burst:         cfg.burst,
+		QueryDeadline: cfg.deadline,
 		Capture:       lc,
 		Wall:          wall,
 		Log:           rl,
+		Trace:         tracer,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -110,7 +174,7 @@ func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
 		return err
 	}
 	fmt.Printf("cgpserve: listening on %s", s.Addr())
-	if httpAddr != "" {
+	if cfg.httpAddr != "" {
 		fmt.Printf(" (http %s)", s.HTTPAddr())
 	}
 	fmt.Println()
@@ -118,7 +182,7 @@ func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
 	fmt.Fprintln(os.Stderr, "cgpserve: draining...")
 	s.Wait()
 	if lc != nil {
-		f, err := os.Create(capture)
+		f, err := os.Create(cfg.capture)
 		if err != nil {
 			return err
 		}
@@ -130,8 +194,31 @@ func serve(addr, httpAddr, capture, runlog string, wiscN int, tpch bool,
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "cgpserve: sealed %s: %d queries (%d sampled away), %d events, %d dropped\n",
-			capture, lc.Committed(), lc.Skipped(), rec.Events(), lc.Drops())
+			cfg.capture, lc.Committed(), lc.Skipped(), rec.Events(), lc.Drops())
 	}
+	if err := tracer.Close(); err != nil {
+		return fmt.Errorf("query log: %w", err)
+	}
+	if qlf != nil {
+		if err := qlf.Close(); err != nil {
+			return err
+		}
+	}
+	if cfg.tracejson != "" {
+		f, err := os.Create(cfg.tracejson)
+		if err != nil {
+			return err
+		}
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cgpserve: traced %d queries (%d slow, %d spans dropped)\n",
+		tracer.Traced(), tracer.Slow(), tracer.Dropped())
 	if rl != nil {
 		return rl.Err()
 	}
@@ -151,12 +238,16 @@ var driveQueries = []string{
 
 // driveLoad hammers a serving process and reports throughput. Shed
 // queries (ErrOverloaded) count separately — against an overloaded
-// server they are the expected outcome, not a failure.
-func driveLoad(addr string, clients, queries int) error {
+// server they are the expected outcome, not a failure. With traced
+// set, client i mints trace IDs (i+1)<<32 + seq, so every driven
+// query's ID is distinct across clients and greppable in the server's
+// slow-query log and capture.
+func driveLoad(addr string, clients, queries int, traced bool) error {
 	var (
 		mu           sync.Mutex
 		served, shed int
 		failures     []error
+		lastIDs      []uint64
 	)
 	start := time.Now() //cgplint:ignore detrand wall-clock throughput measurement is the drive mode's entire output; it never feeds a figure
 	var wg sync.WaitGroup
@@ -172,6 +263,9 @@ func driveLoad(addr string, clients, queries int) error {
 				return
 			}
 			defer c.Close()
+			if traced {
+				c.SetTraceBase(uint64(id+1) << 32)
+			}
 			for j := 0; j < queries; j++ {
 				_, err := c.Query(driveQueries[(id+j)%len(driveQueries)])
 				mu.Lock()
@@ -185,6 +279,9 @@ func driveLoad(addr string, clients, queries int) error {
 				}
 				mu.Unlock()
 			}
+			mu.Lock()
+			lastIDs = append(lastIDs, c.LastTraceID())
+			mu.Unlock()
 		}(i)
 	}
 	wg.Wait()
@@ -195,5 +292,63 @@ func driveLoad(addr string, clients, queries int) error {
 	qps := float64(served) / elapsed.Seconds()
 	fmt.Printf("drive: %d served, %d shed in %v (%.0f qps, %d clients)\n",
 		served, shed, elapsed.Round(time.Millisecond), qps, clients)
+	if traced {
+		fmt.Printf("drive: traced; per-client last trace IDs:")
+		for _, id := range lastIDs {
+			fmt.Printf(" %016x", id)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// lintMetrics fetches a /metrics URL and runs the full Prometheus
+// text-format lint over the body, additionally requiring the stage
+// latency summary to be present — the CI smoke step's gate.
+func lintMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("check-metrics: %s returned %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		return fmt.Errorf("check-metrics: %w", err)
+	}
+	if !strings.Contains(string(body), "cgp_query_stage_latency_ns") {
+		return fmt.Errorf("check-metrics: no cgp_query_stage_latency_ns summary in %s", url)
+	}
+	fmt.Printf("check-metrics: %s ok (%d bytes)\n", url, len(body))
+	return nil
+}
+
+// lintQuerylog validates a slow-query log file's JSONL schema and
+// requires at least one entry.
+func lintQuerylog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := obs.ValidateQueryLog(f)
+	if err != nil {
+		return fmt.Errorf("check-querylog: %w", err)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("check-querylog: %s is empty", path)
+	}
+	slow := 0
+	for i := range entries {
+		if entries[i].Slow {
+			slow++
+		}
+	}
+	fmt.Printf("check-querylog: %s ok (%d entries, %d slow)\n", path, len(entries), slow)
 	return nil
 }

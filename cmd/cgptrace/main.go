@@ -25,6 +25,16 @@
 // detected automatically: info and dump show the probe events as-is,
 // and replay synthesizes the address-level stream over the database
 // system's O5 layout (seeded by -seed) before simulating it.
+//
+// replay -by-query joins the simulation back to the serving layer: a
+// capture of trace-tagged traffic (cgpserve drive -traced) carries
+// each query's trace ID, and -by-query prints per-trace-ID CGP
+// attribution (fetches, misses, coverage, accuracy, timeliness).
+// Adding -querylog slow.jsonl joins in the server's wall-clock stage
+// latencies for the same IDs, so one table links what a query cost on
+// the wire to what it cost in the simulated memory hierarchy:
+//
+//	cgptrace replay -prefetch cgp -by-query -querylog slow.jsonl live.cgptrc
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"cgp/internal/core"
 	"cgp/internal/cpu"
 	"cgp/internal/db"
+	"cgp/internal/obs"
 	"cgp/internal/prefetch"
 	"cgp/internal/program"
 	"cgp/internal/sample"
@@ -156,6 +167,9 @@ func info(args []string) error {
 	fmt.Printf("loops           %d\n", st.Loops)
 	fmt.Printf("data refs       %d (%d bytes)\n", st.DataRefs, st.DataBytes)
 	fmt.Printf("ctx switches    %d\n", st.Switches)
+	if st.QueryTags > 0 {
+		fmt.Printf("query tags      %d (trace-tagged queries; replay -by-query joins attribution)\n", st.QueryTags)
+	}
 	if st.ProbeOps > 0 {
 		fmt.Printf("probe ops       %d (probe-level capture; replay synthesizes addresses)\n", st.ProbeOps)
 		return nil
@@ -220,6 +234,8 @@ func dump(args []string) error {
 				rw = "w"
 			}
 			fmt.Printf("%-6s %#x %dB %s\n", ev.Kind, ev.Addr, ev.N, rw)
+		case trace.KindQueryTag:
+			fmt.Printf("%-6s %016x\n", ev.Kind, uint64(ev.Addr))
 		}
 	}
 	return nil
@@ -231,6 +247,8 @@ func replay(args []string) error {
 	degree := fs.Int("n", 4, "prefetch degree")
 	perfect := fs.Bool("perfect", false, "perfect I-cache")
 	attrTop := fs.Int("attr", 0, "print per-function attribution for the top N functions (0 = off)")
+	byQuery := fs.Bool("by-query", false, "print per-trace-ID attribution for trace-tagged captures")
+	querylog := fs.String("querylog", "", "join the server's slow-query log (JSONL) into the -by-query table")
 	sampled := fs.Bool("sample", false, "sampled replay: estimate whole-run cycles/misses from periodic detailed windows")
 	samplePeriod := fs.Int64("sample-period", sample.Default().PeriodEvents, "events per sampling period")
 	sampleFWarm := fs.Int64("sample-fwarm", sample.Default().FunctionalWarmEvents, "functionally warmed events before each window")
@@ -259,7 +277,7 @@ func replay(args []string) error {
 	cfg := cpu.DefaultConfig()
 	cfg.PerfectICache = *perfect
 	c := cpu.New(cfg, pf)
-	if *attrTop > 0 {
+	if *attrTop > 0 || *byQuery {
 		c.EnableAttribution()
 	}
 	probe, err := isProbeFile(fs.Arg(0))
@@ -306,7 +324,78 @@ func replay(args []string) error {
 	if *attrTop > 0 {
 		printAttribution(s.Attribution, *attrTop)
 	}
+	if *byQuery {
+		if err := printByQuery(s.QueryAttr, *querylog); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// printByQuery renders the per-trace-ID attribution table, optionally
+// joined with the serving layer's slow-query log: for each trace ID
+// the capture carried, the simulated CGP picture (fetches, misses,
+// coverage, accuracy, timeliness) and — when the log has the same ID —
+// the wall-clock total and per-stage latencies the server measured.
+// Rows sort by trace ID, so reruns over the same capture print
+// byte-identical tables.
+func printByQuery(rows []cpu.QueryAttribution, querylog string) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("-by-query: capture carries no query tags (drive the server with -traced clients)")
+	}
+	byID := map[uint64]obs.QueryLogEntry{}
+	if querylog != "" {
+		f, err := os.Open(querylog)
+		if err != nil {
+			return err
+		}
+		entries, err := obs.ValidateQueryLog(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			byID[e.ID()] = e
+		}
+	}
+	fmt.Printf("\nper-query attribution (%d trace-tagged queries):\n", len(rows))
+	fmt.Printf("%-16s %8s %8s %8s %8s %6s %6s %10s", "trace_id", "fetches", "misses", "prfhits", "delayed", "cover", "accur", "timeliness")
+	if querylog != "" {
+		fmt.Printf("  %8s %10s %s", "status", "wall_ns", "stages")
+	}
+	fmt.Println()
+	for i := range rows {
+		r := &rows[i]
+		fmt.Printf("%016x %8d %8d %8d %8d %6.2f %6.2f %10.1f",
+			r.Query, r.LineFetches, r.Misses, r.PrefHits, r.DelayedHits,
+			r.Coverage(), r.Accuracy(), r.MeanTimeliness())
+		if querylog != "" {
+			if e, ok := byID[r.Query]; ok {
+				fmt.Printf("  %8s %10d %s", e.Status, e.TotalNs, stageSummary(e.Stages))
+			} else {
+				fmt.Printf("  %8s %10s -", "-", "-")
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// stageSummary renders a log entry's stage map in fixed stage order.
+func stageSummary(stages map[string]int64) string {
+	out := ""
+	for st := obs.QueryStage(0); st < obs.NumQueryStages; st++ {
+		if ns, ok := stages[st.String()]; ok {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s=%d", st, ns)
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
 }
 
 // isProbeFile sniffs whether path holds a probe-level capture by
@@ -329,7 +418,7 @@ func isProbeFile(path string) (bool, error) {
 			return false, err
 		}
 		switch ev.Kind {
-		case trace.KindSwitch:
+		case trace.KindSwitch, trace.KindQueryTag:
 			continue
 		case trace.KindProbeEnter, trace.KindProbeExit, trace.KindProbeWork, trace.KindProbeData:
 			return true, nil

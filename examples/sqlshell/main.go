@@ -10,6 +10,10 @@
 // cgpserve process instead of embedding an engine:
 //
 //	go run ./examples/sqlshell -connect 127.0.0.1:7744
+//
+// Adding -trace tags every statement with a trace ID and prints it
+// after each result, so the ID can be grepped in the server's
+// slow-query log, /metrics export and sealed capture.
 package main
 
 import (
@@ -29,9 +33,10 @@ import (
 
 func main() {
 	connect := flag.String("connect", "", "connect to a cgpserve address instead of embedding an engine")
+	traceB := flag.Uint64("trace", 0, "with -connect: tag statements with trace IDs starting above this base (0 disables)")
 	flag.Parse()
 	if *connect != "" {
-		if err := remoteShell(*connect); err != nil {
+		if err := remoteShell(*connect, *traceB); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -73,12 +78,16 @@ func main() {
 
 // remoteShell is the network client loop: same prompt, queries served
 // by a cgpserve process over the wire protocol.
-func remoteShell(addr string) error {
+func remoteShell(addr string, traceBase uint64) error {
 	c, err := server.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	traced := traceBase != 0
+	if traced {
+		c.SetTraceBase(traceBase)
+	}
 	fmt.Printf("connected to %s; one SELECT per line; Ctrl-D to exit\n", addr)
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<16), 1<<16)
@@ -96,6 +105,9 @@ func remoteShell(addr string) error {
 			return nil
 		}
 		res, err := c.Query(src)
+		if traced {
+			fmt.Printf("trace %016x\n", c.LastTraceID())
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			continue

@@ -105,19 +105,102 @@ func (f *FuncAttribution) MeanTimeliness() float64 {
 	return float64(f.TimelinessSum) / float64(used)
 }
 
+// QueryAttribution is one traced query's share of the prefetch
+// accounting, keyed by the wire-carried trace ID of the KindQueryTag
+// event that opened its probe batch. The counters split exactly like
+// FuncAttribution's: demand-side counters belong to the query whose
+// statements were executing when the fetch happened, issue-side
+// counters to the query on whose behalf the prefetch was launched.
+// Rows exist only for tagged queries — replaying an untagged capture
+// (or any synthetic workload) produces none, so Stats serialization is
+// unchanged for every pre-existing run shape.
+type QueryAttribution struct {
+	// Query is the trace ID from the tagging client (never zero; the
+	// replayer rejects zero tags).
+	Query uint64
+
+	// Demand side: line fetches executed inside the query's statements.
+	LineFetches int64
+	Misses      int64
+	PrefHits    int64
+	DelayedHits int64
+
+	// Issue side: prefetches triggered while the query was executing.
+	Issued   int64
+	Squashed int64
+	Useful   int64
+	Useless  int64
+
+	// TimelinessSum totals the issue-to-first-use distance of the
+	// query's useful prefetches (no per-query bucket array — the
+	// per-function table already carries the distribution).
+	TimelinessSum units.Cycles
+}
+
+// observeTimeliness records one issue-to-use distance.
+func (q *QueryAttribution) observeTimeliness(d units.Cycles) {
+	if d < 0 {
+		d = 0
+	}
+	q.TimelinessSum += d
+}
+
+// Coverage returns the fraction of would-be misses the prefetcher
+// served (fully or late) for this query's code.
+func (q *QueryAttribution) Coverage() float64 {
+	demand := q.Misses + q.PrefHits + q.DelayedHits
+	if demand == 0 {
+		return 0
+	}
+	return float64(q.PrefHits+q.DelayedHits) / float64(demand)
+}
+
+// Accuracy returns Useful / Issued for prefetches launched on the
+// query's behalf.
+func (q *QueryAttribution) Accuracy() float64 {
+	if q.Issued == 0 {
+		return 0
+	}
+	return float64(q.Useful) / float64(q.Issued)
+}
+
+// MeanTimeliness returns the mean issue-to-first-use distance of the
+// query's useful demand touches, in cycles.
+func (q *QueryAttribution) MeanTimeliness() float64 {
+	used := q.PrefHits + q.DelayedHits
+	if used == 0 {
+		return 0
+	}
+	return float64(q.TimelinessSum) / float64(used)
+}
+
 // attribution is the per-function collector. It is nil on a CPU
 // unless EnableAttribution was called; every hot-path hook is guarded
 // by that nil check. Rows are appended on first sight of a function
 // and reused forever after, so a warmed CPU attributes without
 // allocating — the same steady-state contract the inflight ring keeps.
+//
+// When the stream carries KindQueryTag events (a tagged live capture),
+// the collector additionally scopes the same counters by query: curQ
+// indexes the executing query's row, or -1 between a context switch
+// and the next tag — a switch to an untagged batch must not smear its
+// fetches onto the previously tagged query.
 type attribution struct {
 	index  map[isa.Addr]int32
 	rows   []FuncAttribution
 	curIdx int32
+
+	qindex map[uint64]int32
+	qrows  []QueryAttribution
+	curQ   int32
 }
 
 func newAttribution() *attribution {
-	a := &attribution{index: make(map[isa.Addr]int32, 64)}
+	a := &attribution{
+		index:  make(map[isa.Addr]int32, 64),
+		qindex: make(map[uint64]int32, 16),
+		curQ:   -1,
+	}
 	a.curIdx = a.rowFor(0)
 	return a
 }
@@ -161,5 +244,56 @@ func (a *attribution) at(i int32) *FuncAttribution { return &a.rows[i] }
 func (a *attribution) sorted() []FuncAttribution {
 	rows := append([]FuncAttribution(nil), a.rows...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Func < rows[j].Func })
+	return rows
+}
+
+// enterQuery switches the executing query (on KindQueryTag events).
+func (a *attribution) enterQuery(id uint64) {
+	if i, ok := a.qindex[id]; ok {
+		a.curQ = i
+		return
+	}
+	a.curQ = a.addQueryRow(id)
+}
+
+// leaveQuery clears the query scope (on context switches: the next
+// batch is untagged until its own tag arrives).
+func (a *attribution) leaveQuery() { a.curQ = -1 }
+
+// addQueryRow appends a fresh row for query id. Tagged captures carry
+// a handful of distinct IDs, so this is first-sight-only like addRow.
+//
+//cgplint:coldpath rows are created on first sight of a query tag; the steady-state loop only reads the index
+func (a *attribution) addQueryRow(id uint64) int32 {
+	i := int32(len(a.qrows))
+	a.qrows = append(a.qrows, QueryAttribution{Query: id})
+	a.qindex[id] = i
+	return i
+}
+
+// qcur returns the executing query's row, or nil outside any tagged
+// query. The pointer is valid only until the next enterQuery.
+func (a *attribution) qcur() *QueryAttribution {
+	if a.curQ < 0 {
+		return nil
+	}
+	return &a.qrows[a.curQ]
+}
+
+// qat returns the query row at a previously captured index (from an
+// inflight entry's qissuer), or nil for the -1 "no query" sentinel.
+func (a *attribution) qat(i int32) *QueryAttribution {
+	if i < 0 {
+		return nil
+	}
+	return &a.qrows[i]
+}
+
+// qsorted returns a copy of the query rows ordered by trace ID, the
+// deterministic order Stats exposes (and the join key order
+// `cgptrace replay -by-query` prints).
+func (a *attribution) qsorted() []QueryAttribution {
+	rows := append([]QueryAttribution(nil), a.qrows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Query < rows[j].Query })
 	return rows
 }

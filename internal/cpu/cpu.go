@@ -17,12 +17,14 @@ type lineMeta struct {
 	prefetched bool
 	used       bool
 	portion    prefetch.Portion
-	// issuedAt / issuer record when the prefetch was launched and
-	// which attribution row triggered it. They are only meaningful for
+	// issuedAt / issuer / qissuer record when the prefetch was
+	// launched, which attribution row triggered it, and which query row
+	// (-1 outside any tagged query). They are only meaningful for
 	// prefetched lines on a CPU with attribution enabled; otherwise
-	// both stay zero.
+	// they stay zero.
 	issuedAt units.Cycles
 	issuer   int32
+	qissuer  int32
 }
 
 // dataMeta is the per-L1D-line state.
@@ -186,6 +188,12 @@ func (c *CPU) event(ev trace.Event) {
 		c.data(ev)
 	case trace.KindSwitch:
 		c.contextSwitch()
+	case trace.KindQueryTag:
+		// A tagged live capture scopes the batch that follows to one
+		// query's trace ID; without attribution the tag is inert.
+		if c.attr != nil {
+			c.attr.enterQuery(uint64(ev.Addr))
+		}
 	}
 }
 
@@ -204,6 +212,9 @@ func (c *CPU) Finish() *Stats {
 	s.RASMispredicts = c.ras.Mispredicts()
 	if c.attr != nil {
 		s.Attribution = c.attr.sorted()
+		if len(c.attr.qrows) > 0 {
+			s.QueryAttr = c.attr.qsorted()
+		}
 	}
 	if c.smp != nil {
 		c.closeWindow()
@@ -276,6 +287,9 @@ func (c *CPU) fetchLine(line isa.Addr) {
 	c.stats.ILineAccesses++
 	if c.attr != nil {
 		c.attr.cur().LineFetches++
+		if q := c.attr.qcur(); q != nil {
+			q.LineFetches++
+		}
 	}
 	// drainCompleted's guard, hoisted by hand: the whole wrapper is past
 	// the inlining budget, and this runs on every fetched line.
@@ -293,6 +307,13 @@ func (c *CPU) fetchLine(line isa.Addr) {
 				row.PrefHits++
 				row.observeTimeliness(c.cycle - meta.issuedAt)
 				c.attr.at(meta.issuer).Useful++
+				if q := c.attr.qcur(); q != nil {
+					q.PrefHits++
+					q.observeTimeliness(c.cycle - meta.issuedAt)
+				}
+				if q := c.attr.qat(meta.qissuer); q != nil {
+					q.Useful++
+				}
 			}
 		}
 	} else if inf := c.fifo.lookup(line); inf != nil {
@@ -309,11 +330,18 @@ func (c *CPU) fetchLine(line isa.Addr) {
 			row.DelayedHits++
 			row.observeTimeliness(c.cycle - inf.issuedAt)
 			c.attr.at(inf.issuer).Useful++
+			if q := c.attr.qcur(); q != nil {
+				q.DelayedHits++
+				q.observeTimeliness(c.cycle - inf.issuedAt)
+			}
+			if q := c.attr.qat(inf.qissuer); q != nil {
+				q.Useful++
+			}
 		}
 		// The entry stays queued (the bus transfer already happened)
 		// but is marked consumed and unindexed so drain skips it.
 		done := lineMeta{prefetched: true, used: true, portion: inf.portion,
-			issuedAt: inf.issuedAt, issuer: inf.issuer}
+			issuedAt: inf.issuedAt, issuer: inf.issuer, qissuer: inf.qissuer}
 		inf.done = true
 		c.fifo.remove(line)
 		c.insertL1I(line, done)
@@ -322,6 +350,9 @@ func (c *CPU) fetchLine(line isa.Addr) {
 		c.stats.ICacheMisses++
 		if c.attr != nil {
 			c.attr.cur().Misses++
+			if q := c.attr.qcur(); q != nil {
+				q.Misses++
+			}
 		}
 		lat := c.l2DemandAccess(line)
 		c.cycle += lat
@@ -339,6 +370,9 @@ func (c *CPU) insertL1I(line isa.Addr, meta lineMeta) {
 		c.portionStats(ev.Payload.portion).Useless++
 		if c.attr != nil {
 			c.attr.at(ev.Payload.issuer).Useless++
+			if q := c.attr.qat(ev.Payload.qissuer); q != nil {
+				q.Useless++
+			}
 		}
 	}
 }
@@ -351,6 +385,9 @@ func (c *CPU) issue(req prefetch.Request) {
 		ps.Squashed++
 		if c.attr != nil {
 			c.attr.cur().Squashed++
+			if q := c.attr.qcur(); q != nil {
+				q.Squashed++
+			}
 		}
 		return
 	}
@@ -358,14 +395,22 @@ func (c *CPU) issue(req prefetch.Request) {
 		ps.Squashed++
 		if c.attr != nil {
 			c.attr.cur().Squashed++
+			if q := c.attr.qcur(); q != nil {
+				q.Squashed++
+			}
 		}
 		return
 	}
 	ps.Issued++
 	var issuer int32
+	qissuer := int32(-1)
 	if c.attr != nil {
 		c.attr.cur().Issued++
 		issuer = c.attr.curIdx
+		qissuer = c.attr.curQ
+		if q := c.attr.qcur(); q != nil {
+			q.Issued++
+		}
 	}
 	if c.cfg.PrefetchIntoL2Only {
 		// The line is staged in L2 only: warm the L2 (paying the memory
@@ -376,7 +421,7 @@ func (c *CPU) issue(req prefetch.Request) {
 	}
 	lat := c.l2LineAccess(line)
 	c.fifo.push(inflight{line: line, readyAt: c.cycle + lat, portion: req.Portion,
-		issuedAt: c.cycle, issuer: issuer})
+		issuedAt: c.cycle, issuer: issuer, qissuer: qissuer})
 }
 
 // drainCompleted fills L1I with prefetches whose data has arrived. It
@@ -406,7 +451,7 @@ func (c *CPU) drainLoop() {
 		}
 		line, done := inf.line, inf.done
 		meta := lineMeta{prefetched: true, portion: inf.portion,
-			issuedAt: inf.issuedAt, issuer: inf.issuer}
+			issuedAt: inf.issuedAt, issuer: inf.issuer, qissuer: inf.qissuer}
 		c.fifo.popFront()
 		if done {
 			// Already consumed as a delayed hit (and unindexed then).
@@ -520,6 +565,11 @@ func (c *CPU) contextSwitch() {
 	c.cycle += c.cfg.SwitchPenalty
 	if c.cfg.FlushRASOnSwitch {
 		c.ras.Flush()
+	}
+	if c.attr != nil {
+		// The next batch belongs to no query until its own tag arrives:
+		// an untagged batch must not smear onto the previous query.
+		c.attr.leaveQuery()
 	}
 }
 

@@ -14,11 +14,13 @@ type inflight struct {
 	readyAt units.Cycles
 	portion prefetch.Portion
 	done    bool
-	// issuedAt / issuer carry the attribution provenance of the
-	// prefetch (issue cycle and issuing function's row index); both
-	// stay zero when attribution is disabled.
+	// issuedAt / issuer / qissuer carry the attribution provenance of
+	// the prefetch (issue cycle, issuing function's row index, and
+	// issuing query's row index or -1); all stay zero when attribution
+	// is disabled.
 	issuedAt units.Cycles
 	issuer   int32
+	qissuer  int32
 }
 
 // inflightRing is the prefetch FIFO plus its lookup index. Completion

@@ -1,0 +1,164 @@
+package cpu_test
+
+// Per-query attribution: counters keyed by the KindQueryTag trace IDs
+// a live capture carries. The properties pinned here mirror the
+// per-function suite — query rows never exceed the aggregates, tags
+// never perturb the simulation, and the rows are deterministic and
+// trace-ID-sorted.
+
+import (
+	"reflect"
+	"testing"
+
+	"cgp/internal/cpu"
+	"cgp/internal/isa"
+	"cgp/internal/trace"
+)
+
+// tagEvents splits the seeded stream into per-query segments: every
+// segLen events, a context switch followed by a query tag, exactly the
+// shape a tagged live capture replays into the CPU. The base stream's
+// own context switches also get a tag re-stamped after them — in a
+// fully tagged capture every switch opens a tagged batch, and an
+// unpaired switch would (correctly) clear the query scope.
+func tagEvents(seed int64, n, segLen int, firstID uint64) []trace.Event {
+	base := genEvents(seed, n)
+	out := make([]trace.Event, 0, len(base)+2*(len(base)/segLen+1))
+	id := firstID - 1
+	for i, ev := range base {
+		if i%segLen == 0 {
+			id++
+			out = append(out,
+				trace.Event{Kind: trace.KindSwitch, N: int32(i / segLen % 3)},
+				trace.Event{Kind: trace.KindQueryTag, Addr: isa.Addr(id)})
+		}
+		out = append(out, ev)
+		if ev.Kind == trace.KindSwitch {
+			out = append(out, trace.Event{Kind: trace.KindQueryTag, Addr: isa.Addr(id)})
+		}
+	}
+	return out
+}
+
+// stripTags removes only the KindQueryTag events, keeping the
+// switches, so a tagged and an untagged run see the same simulated
+// schedule.
+func stripTags(evs []trace.Event) []trace.Event {
+	out := make([]trace.Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind != trace.KindQueryTag {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestQueryAttributionInvariants(t *testing.T) {
+	for _, v := range variants() {
+		t.Run(v.name, func(t *testing.T) {
+			evs := tagEvents(3, 20000, 2500, 0x500)
+			c := cpu.New(v.cfg(), v.pf())
+			c.EnableAttribution()
+			c.EventBatch(evs)
+			s := c.Finish()
+
+			if len(s.QueryAttr) == 0 {
+				t.Fatal("tagged stream attributed no queries")
+			}
+			total := s.TotalPrefetch()
+			var fetches, misses, prefHits, delayed, issued, useful int64
+			for i := range s.QueryAttr {
+				row := &s.QueryAttr[i]
+				if i > 0 && row.Query <= s.QueryAttr[i-1].Query {
+					t.Fatalf("query rows not strictly sorted at %d", i)
+				}
+				if row.Query < 0x500 {
+					t.Fatalf("unexpected query ID %#x", row.Query)
+				}
+				if row.Useful > row.Issued {
+					t.Fatalf("query %#x: useful %d > issued %d", row.Query, row.Useful, row.Issued)
+				}
+				fetches += row.LineFetches
+				misses += row.Misses
+				prefHits += row.PrefHits
+				delayed += row.DelayedHits
+				issued += row.Issued
+				useful += row.Useful
+			}
+			// Every event in this stream runs under some query tag, so the
+			// demand-side rows account for the whole run.
+			if fetches != s.ILineAccesses {
+				t.Fatalf("query fetches %d != ILineAccesses %d", fetches, s.ILineAccesses)
+			}
+			if misses != s.ICacheMisses {
+				t.Fatalf("query misses %d != ICacheMisses %d", misses, s.ICacheMisses)
+			}
+			if prefHits != total.PrefHits || delayed != total.DelayedHits {
+				t.Fatalf("query prefhits/delayed %d/%d != aggregate %d/%d",
+					prefHits, delayed, total.PrefHits, total.DelayedHits)
+			}
+			if issued != total.Issued {
+				t.Fatalf("query issued %d != aggregate %d", issued, total.Issued)
+			}
+			if useful != prefHits+delayed {
+				t.Fatalf("issue-side useful %d != demand-side %d", useful, prefHits+delayed)
+			}
+		})
+	}
+}
+
+// TestQueryTagsDoNotPerturbSimulation: adding query tags to a stream
+// changes Stats only by the QueryAttr field — cycles, misses and
+// per-function attribution stay byte-identical.
+func TestQueryTagsDoNotPerturbSimulation(t *testing.T) {
+	v := variants()[4] // cgp4
+	tagged := tagEvents(7, 20000, 2500, 0x900)
+	plain := stripTags(tagged)
+
+	run := func(evs []trace.Event) *cpu.Stats {
+		c := cpu.New(v.cfg(), v.pf())
+		c.EnableAttribution()
+		c.EventBatch(evs)
+		return c.Finish()
+	}
+	st, sp := run(tagged), run(plain)
+	if len(st.QueryAttr) == 0 {
+		t.Fatal("tagged run has no query rows")
+	}
+	if sp.QueryAttr != nil {
+		t.Fatal("untagged run grew query rows")
+	}
+	st.QueryAttr = nil
+	if !reflect.DeepEqual(st, sp) {
+		t.Fatalf("query tags perturbed the simulation\ntagged: %+v\nplain: %+v", st, sp)
+	}
+}
+
+// TestQueryAttributionDeterministic: same tagged stream, same rows.
+func TestQueryAttributionDeterministic(t *testing.T) {
+	v := variants()[4]
+	run := func() *cpu.Stats {
+		c := cpu.New(v.cfg(), v.pf())
+		c.EnableAttribution()
+		c.EventBatch(tagEvents(11, 20000, 2000, 0x42))
+		return c.Finish()
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("query attribution differs between identical runs")
+	}
+}
+
+// TestQueryTagsIgnoredWithoutAttribution: with attribution off, tags
+// flow through the event loop as no-ops.
+func TestQueryTagsIgnoredWithoutAttribution(t *testing.T) {
+	v := variants()[1] // nl4
+	c := cpu.New(v.cfg(), v.pf())
+	c.EventBatch(tagEvents(5, 10000, 2000, 0x42))
+	s := c.Finish()
+	if s.QueryAttr != nil {
+		t.Fatal("attribution-off run produced query rows")
+	}
+	if s.Instructions == 0 {
+		t.Fatal("tagged stream simulated no instructions")
+	}
+}

@@ -141,7 +141,7 @@ func (c *CPU) flushInflight() {
 		inf := c.fifo.front()
 		line, done := inf.line, inf.done
 		meta := lineMeta{prefetched: true, portion: inf.portion,
-			issuedAt: inf.issuedAt, issuer: inf.issuer}
+			issuedAt: inf.issuedAt, issuer: inf.issuer, qissuer: inf.qissuer}
 		c.fifo.popFront()
 		if done {
 			continue
@@ -229,6 +229,13 @@ func (c *CPU) ffEvent(ev *trace.Event) {
 		c.stats.Switches++
 		if c.cfg.FlushRASOnSwitch {
 			c.ras.Flush()
+		}
+		if c.attr != nil {
+			c.attr.leaveQuery()
+		}
+	case trace.KindQueryTag:
+		if c.attr != nil {
+			c.attr.enterQuery(uint64(ev.Addr))
 		}
 	}
 }

@@ -95,6 +95,12 @@ type Stats struct {
 	// EnableAttribution; collecting it changes no other counter.
 	Attribution []FuncAttribution
 
+	// QueryAttr is the per-query prefetch breakdown of a tagged live
+	// capture, sorted by trace ID. It is nil unless the CPU ran with
+	// EnableAttribution over a stream carrying KindQueryTag events, so
+	// every pre-existing run shape serializes exactly as before.
+	QueryAttr []QueryAttribution `json:",omitempty"`
+
 	// Sample carries the whole-run estimates of a sampled run, nil for
 	// full-detail runs. When non-nil, Cycles covers only the detailed
 	// spans; the run-level cycle figure is Sample.EstCycles (±CI).

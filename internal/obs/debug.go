@@ -8,8 +8,9 @@ import (
 // NewDebugMux builds the live-introspection handler cmd/experiments
 // serves on -debug-addr:
 //
-//	/metrics        text exposition of both metric domains (the
-//	                deterministic registry first, then wall_ metrics)
+//	/metrics        Prometheus text exposition of both metric domains
+//	                (the deterministic registry first, then wall_
+//	                metrics)
 //	/progress       JSON job states, including which jobs were
 //	                checkpoint-resumed
 //	/debug/pprof/   the standard net/http/pprof handlers
@@ -24,10 +25,10 @@ func NewDebugMux(o *Observability) *http.ServeMux {
 		if o == nil {
 			return
 		}
-		if err := o.Det.WriteText(w); err != nil {
+		if err := o.Det.WritePrometheus(w); err != nil {
 			return
 		}
-		_ = o.Wall.WriteText(w)
+		_ = o.Wall.WritePrometheus(w)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -394,8 +394,11 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	if !strings.Contains(metrics, "cgp_jobs 7\n") {
 		t.Fatalf("/metrics missing deterministic counter:\n%s", metrics)
 	}
-	if !strings.Contains(metrics, "wall_retries 1\n") {
+	if !strings.Contains(metrics, "wall_retries_total 1\n") {
 		t.Fatalf("/metrics missing wall counter:\n%s", metrics)
+	}
+	if err := ValidatePrometheusText([]byte(metrics)); err != nil {
+		t.Fatalf("/metrics fails the exposition lint: %v\n%s", err, metrics)
 	}
 
 	progress := get("/progress")

@@ -136,7 +136,15 @@ func (lc *LiveCapture) recycle(buf []trace.Event) {
 // query (the caller then leaves the probe detached and must not call
 // commit/abort). The executor lock makes begin / commit / abort
 // single-threaded.
-func (lc *LiveCapture) begin(session int32) *captureSink {
+//
+// tag is the query's wire-carried trace ID, or 0 for untagged traffic.
+// A nonzero tag is recorded as a KindQueryTag event right after the
+// batch's KindSwitch, keying the batch to the serving-side span with
+// the same ID. Untagged queries append nothing — a capture of untagged
+// traffic stays byte-identical to one taken before tracing existed.
+// Server-minted IDs never reach here: only the client's own tag earns
+// a place in the recording.
+func (lc *LiveCapture) begin(session int32, tag uint64) *captureSink {
 	seq := lc.seq
 	lc.seq++
 	if seq%int64(lc.opts.SampleEvery) != 0 {
@@ -146,7 +154,11 @@ func (lc *LiveCapture) begin(session int32) *captureSink {
 	}
 	s := &lc.sink
 	s.buf = append(lc.getBuf(), trace.Event{Kind: trace.KindSwitch, N: session})
+	if tag != 0 {
+		s.buf = append(s.buf, trace.Event{Kind: trace.KindQueryTag, Addr: isa.Addr(tag)})
+	}
 	s.session = session
+	s.base = len(s.buf)
 	s.depth = 0
 	s.bad = false
 	return s
@@ -160,7 +172,7 @@ func (lc *LiveCapture) commit() {
 	s := &lc.sink
 	buf := s.buf
 	s.buf = nil
-	if s.bad || s.depth != 0 || len(buf) <= 1 {
+	if s.bad || s.depth != 0 || len(buf) <= s.base {
 		lc.overflows.Add(1)
 		lc.opts.Wall.Incr("capture_overflow_batches", 1)
 		lc.recycle(buf)
@@ -239,9 +251,12 @@ func (lc *LiveCapture) Skipped() int64 { return lc.skipped.Load() }
 type captureSink struct {
 	buf     []trace.Event
 	session int32
-	depth   int
-	max     int
-	bad     bool
+	// base is the header length (switch + optional query tag): a batch
+	// that gained no probe events past it is empty and dropped.
+	base  int
+	depth int
+	max   int
+	bad   bool
 }
 
 // Enter implements probe.Sink.

@@ -82,7 +82,7 @@ func TestLiveCaptureRecordsServedQueries(t *testing.T) {
 
 func TestCaptureOverflowDropsWholeBatch(t *testing.T) {
 	lc := NewLiveCapture(CaptureOptions{MaxBatchEvents: 8})
-	sink := lc.begin(1)
+	sink := lc.begin(1, 0)
 	for i := 0; i < 20; i++ {
 		sink.Enter(program.FuncID(i % 3))
 		sink.Work(5)
@@ -102,7 +102,7 @@ func TestCaptureOverflowDropsWholeBatch(t *testing.T) {
 
 func TestCaptureUnbalancedBatchDiscarded(t *testing.T) {
 	lc := NewLiveCapture(CaptureOptions{})
-	sink := lc.begin(0)
+	sink := lc.begin(0, 0)
 	sink.Exit() // exit at depth zero: malformed
 	sink.Enter(1)
 	lc.commit()
@@ -130,7 +130,7 @@ func TestCaptureRingBackpressureDrops(t *testing.T) {
 	}
 	lc.sink.max = 1 << 10
 	for i := 0; i < 3; i++ {
-		sink := lc.begin(0)
+		sink := lc.begin(0, 0)
 		sink.Enter(1)
 		sink.Work(1)
 		sink.Exit()

@@ -18,6 +18,39 @@ type Client struct {
 	timeout time.Duration
 	hdr     [frameHeaderLen]byte
 	out     []byte
+
+	// Tracing state: when traced is set (SetTraceBase), every Query and
+	// Exec goes out as its traced message type carrying a fresh
+	// client-minted trace ID base+seq. lastTrace remembers the most
+	// recent one so a driver can join its own latency numbers to the
+	// server's spans and the capture's attribution rows.
+	traced    bool
+	traceNext uint64
+	lastTrace uint64
+}
+
+// SetTraceBase turns on client-side trace tagging: subsequent queries
+// carry IDs base+1, base+2, ... on the wire. Pick bases that keep
+// concurrent clients' ID ranges disjoint (cgpserve drive uses
+// client-index << 32).
+func (c *Client) SetTraceBase(base uint64) {
+	c.traced = true
+	c.traceNext = base
+}
+
+// LastTraceID returns the trace ID the most recent Query/Exec carried
+// (0 before the first traced request).
+func (c *Client) LastTraceID() uint64 { return c.lastTrace }
+
+// nextTraceID mints the next client trace ID, skipping 0 (the wire
+// rejects zero IDs).
+func (c *Client) nextTraceID() uint64 {
+	c.traceNext++
+	if c.traceNext == 0 {
+		c.traceNext = 1
+	}
+	c.lastTrace = c.traceNext
+	return c.traceNext
 }
 
 // Dial connects to a server's TCP address.
@@ -40,14 +73,19 @@ func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Query runs one SQL statement.
 func (c *Client) Query(src string) (*Result, error) {
-	typ, payload, err := c.roundTrip(msgQuery, []byte(src))
+	msg, payload := msgQuery, []byte(src)
+	if c.traced {
+		msg = msgQueryTraced
+		payload = append(appendTraceID(make([]byte, 0, traceIDLen+len(src)), c.nextTraceID()), src...)
+	}
+	typ, resp, err := c.roundTrip(msg, payload)
 	if err != nil {
 		return nil, err
 	}
 	if typ != msgResult {
 		return nil, fmt.Errorf("%w: unexpected response type %q", ErrMalformed, typ)
 	}
-	return decodeResult(payload)
+	return decodeResult(resp)
 }
 
 // Stmt is a prepared-statement handle.
@@ -104,14 +142,19 @@ func isStale(err error) bool {
 }
 
 func (st *Stmt) execOnce() (*Result, error) {
-	typ, payload, err := st.c.roundTrip(msgExec, encodeStmtID(nil, st.id))
+	msg, payload := msgExec, encodeStmtID(nil, st.id)
+	if st.c.traced {
+		msg = msgExecTraced
+		payload = encodeStmtID(appendTraceID(nil, st.c.nextTraceID()), st.id)
+	}
+	typ, resp, err := st.c.roundTrip(msg, payload)
 	if err != nil {
 		return nil, err
 	}
 	if typ != msgResult {
 		return nil, fmt.Errorf("%w: unexpected response type %q", ErrMalformed, typ)
 	}
-	return decodeResult(payload)
+	return decodeResult(resp)
 }
 
 // roundTrip sends one frame and reads one response, surfacing wire

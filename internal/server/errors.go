@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+
+	"cgp/internal/obs"
 )
 
 // Typed serving errors. Each sentinel has a stable wire code so a
@@ -27,6 +29,9 @@ var (
 	ErrMalformed = errors.New("server: malformed frame")
 	// ErrTooLarge: a frame or result exceeded its size bound.
 	ErrTooLarge = errors.New("server: frame too large")
+	// ErrInternal: a statement panicked inside parse/plan/execute. The
+	// request died, the process lived; the bug is server-side.
+	ErrInternal = errors.New("server: internal")
 )
 
 // Wire error codes, one per sentinel plus codeQuery for ordinary
@@ -57,8 +62,29 @@ func codeFor(err error) byte {
 		return codeTooLarge
 	case errors.Is(err, ErrMalformed):
 		return codeMalformed
+	case errors.Is(err, ErrInternal):
+		return codeInternal
 	}
 	return codeQuery
+}
+
+// statusFor maps a query's outcome to its span terminal status, so
+// chaos outcomes (shed, deadline, panic) are distinguishable in the
+// slow-query log and the Perfetto export.
+func statusFor(err error) string {
+	switch {
+	case err == nil:
+		return obs.StatusOK
+	case errors.Is(err, ErrOverloaded):
+		return obs.StatusShed
+	case errors.Is(err, ErrDeadline):
+		return obs.StatusDeadline
+	case errors.Is(err, ErrShutdown):
+		return obs.StatusShutdown
+	case errors.Is(err, ErrInternal):
+		return obs.StatusPanic
+	}
+	return obs.StatusError
 }
 
 // errFromWire rebuilds a typed error from a wire code and message, so
@@ -79,7 +105,7 @@ func errFromWire(code byte, msg string) error {
 	case codeMalformed:
 		sentinel = ErrMalformed
 	case codeInternal:
-		return fmt.Errorf("server: internal: %s", msg)
+		sentinel = ErrInternal
 	default:
 		return errors.New(msg)
 	}

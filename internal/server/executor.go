@@ -12,6 +12,7 @@ import (
 	"cgp/internal/db/heap"
 	"cgp/internal/db/sql"
 	"cgp/internal/db/txn"
+	"cgp/internal/obs"
 	"cgp/internal/units"
 )
 
@@ -38,6 +39,7 @@ type executor struct {
 	clock    func() units.WallNanos
 	deadline units.WallNanos // per-query budget; <= 0 disables
 	maxRows  int
+	wall     *obs.WallRegistry
 }
 
 // deadlinePollRows is how many tuples flow between wall-clock and
@@ -50,21 +52,28 @@ const deadlinePollRows = 64
 // parse).
 const parseCachedWork = 30
 
-// query parses (or looks up), plans and executes src.
-func (x *executor) query(ctx context.Context, session int32, src string) (*Result, error) {
-	return x.run(ctx, session, src, nil)
+// testHookRun, when non-nil, runs at the top of every statement inside
+// the panic-isolation scope. The chaos suite uses it to inject
+// statement panics without needing an engine bug to lean on.
+var testHookRun func(src string)
+
+// query parses (or looks up), plans and executes src. tag is the
+// query's wire-carried trace ID (0 for untagged traffic); sp is its
+// serving span (nil when tracing is off).
+func (x *executor) query(ctx context.Context, session int32, src string, tag uint64, sp *obs.QuerySpan) (*Result, error) {
+	return x.run(ctx, session, src, nil, tag, sp)
 }
 
 // execPrepared runs a statement by cache handle; a handle the LRU has
 // evicted gets ErrStaleStatement and the client re-prepares.
-func (x *executor) execPrepared(ctx context.Context, session int32, id uint64) (*Result, error) {
+func (x *executor) execPrepared(ctx context.Context, session int32, id uint64, tag uint64, sp *obs.QuerySpan) (*Result, error) {
 	x.mu.Lock()
 	e, err := x.prep.lookupID(id)
 	x.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return x.run(ctx, session, e.text, e.stmt)
+	return x.run(ctx, session, e.text, e.stmt, tag, sp)
 }
 
 // prepare parses src and caches it, returning the handle id.
@@ -83,16 +92,28 @@ func (x *executor) prepare(src string) (uint64, error) {
 }
 
 // run executes one statement under the engine lock. stmt, when
-// non-nil, is a pre-parsed statement from the cache.
-func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql.SelectStmt) (res *Result, err error) {
+// non-nil, is a pre-parsed statement from the cache. tag (the
+// wire-carried trace ID, 0 for untagged) keys the capture batch; sp,
+// when non-nil, receives the prep/execute/drain/capture stage
+// durations. The untraced path takes no extra clock reads: stamp is a
+// nil-guarded clock, so sp == nil keeps the query path exactly as
+// cheap as before tracing existed.
+func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql.SelectStmt, tag uint64, sp *obs.QuerySpan) (res *Result, err error) {
 	x.mu.Lock()
 	defer x.mu.Unlock()
+
+	stamp := func() units.WallNanos {
+		if sp == nil {
+			return 0
+		}
+		return x.clock()
+	}
 
 	// begin returns nil when the sampler skips this query; the probe
 	// then stays detached and the query runs at full speed.
 	var capturing bool
 	if x.capture != nil {
-		if sink := x.capture.begin(session); sink != nil {
+		if sink := x.capture.begin(session, tag); sink != nil {
 			capturing = true
 			x.e.Pr.SetSink(sink)
 			defer x.e.Pr.SetSink(nil)
@@ -118,31 +139,41 @@ func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql
 			// One poisoned statement kills one request, never the
 			// process: abort the transaction, discard the capture
 			// batch, surface a typed internal error.
-			res, err = fail(fmt.Errorf("server: internal: query panicked: %v", p))
+			res, err = fail(fmt.Errorf("%w: query panicked: %v", ErrInternal, p))
 		}
 	}()
+	if testHookRun != nil {
+		testHookRun(src)
+	}
 
+	prepStart := stamp()
 	pr, fns := x.e.Pr, x.e.Fns.Exec
 	pr.Enter(fns.QueryParse)
 	if stmt == nil {
 		if cached := x.prep.lookupText(src); cached != nil {
 			stmt = cached
+			x.wall.Incr("prep_cache_hits", 1)
 			pr.Work(parseCachedWork)
 		} else {
+			x.wall.Incr("prep_cache_misses", 1)
 			pr.Work(60 + 2*len(src))
 			parsed, perr := sql.Parse(src)
 			if perr != nil {
 				pr.Exit()
+				sp.Stage(obs.StagePrep, stamp()-prepStart)
 				return fail(perr)
 			}
 			x.prep.insert(src, parsed)
 			stmt = parsed
 		}
 	} else {
+		x.wall.Incr("prep_cache_hits", 1)
 		pr.Work(parseCachedWork)
 	}
 	pr.Exit()
+	sp.Stage(obs.StagePrep, stamp()-prepStart)
 
+	execStart := stamp()
 	tx = x.e.Txns.Begin()
 	ectx := x.e.NewContext(tx)
 
@@ -150,13 +181,16 @@ func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql
 	pr.Work(240 + 90*len(stmt.From) + 30*len(stmt.Where))
 	it, into, err := sql.Plan(x.e, ectx, stmt)
 	pr.Exit()
+	sp.Stage(obs.StageExecute, stamp()-execStart)
 	if err != nil {
 		return fail(err)
 	}
 
+	drainStart := stamp()
 	pr.Enter(fns.QueryExecute)
 	res, err = x.drain(ctx, ectx, it, into, deadlineAt)
 	pr.Exit()
+	sp.Stage(obs.StageDrain, stamp()-drainStart)
 	if err != nil {
 		return fail(err)
 	}
@@ -170,7 +204,9 @@ func (x *executor) run(ctx context.Context, session int32, src string, stmt *sql
 	// per request served.
 	x.e.Arena.Reset()
 	if capturing {
+		captureStart := stamp()
 		x.capture.commit()
+		sp.Stage(obs.StageCapture, stamp()-captureStart)
 	}
 	return res, nil
 }

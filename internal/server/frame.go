@@ -32,6 +32,13 @@ const (
 	msgResult   byte = 'r' // payload: encoded Result
 	msgPrepared byte = 'p' // payload: uvarint statement id
 	msgError    byte = 'e' // payload: code byte + message text
+
+	// Traced variants: the payload is prefixed with an 8-byte
+	// big-endian nonzero trace ID minted by the client. Untagged
+	// clients keep sending the plain types, so a capture of untagged
+	// traffic is byte-identical to a pre-tracing capture.
+	msgQueryTraced byte = 'T' // payload: trace id + SQL text
+	msgExecTraced  byte = 'U' // payload: trace id + uvarint statement id
 )
 
 // putFrameHeader writes a frame header for a payload of n bytes into

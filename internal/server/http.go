@@ -8,12 +8,24 @@ import (
 	"io"
 	"net"
 	"net/http"
+
+	"cgp/internal/obs"
+	"cgp/internal/units"
 )
 
 // The HTTP fallback: the same executor and admission gate behind
 // POST /query, for clients without the binary protocol (curl, load
-// generators, dashboards). /metrics serves the wall-domain registry
+// generators, dashboards). /metrics serves Prometheus text exposition
+// (wall-domain registry, per-stage latency summaries, serving gauges)
 // and /healthz is a liveness probe.
+//
+// Tracing: a client may tag its query with an X-CGP-Trace-ID request
+// header (16 hex digits, nonzero); untagged requests get a
+// server-minted ID. Either way the response echoes the ID in the same
+// header, so a curl user can grep the slow-query log for their query.
+
+// traceIDHeader carries the trace ID on HTTP requests and responses.
+const traceIDHeader = "X-CGP-Trace-ID"
 
 // httpQueryResponse is the JSON shape of a /query answer.
 type httpQueryResponse struct {
@@ -40,7 +52,8 @@ func (s *Server) startHTTP(ctx context.Context) error {
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		s.opts.Wall.WriteText(w)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writeMetrics(w)
 	})
 	srv := &http.Server{
 		Handler:           mux,
@@ -60,6 +73,11 @@ func (s *Server) startHTTP(ctx context.Context) error {
 
 // httpQuery serves one SQL statement from the request body.
 func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
+	var decStart units.WallNanos
+	traced := s.opts.Trace != nil
+	if traced {
+		decStart = s.opts.Clock()
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestFrame+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -69,15 +87,42 @@ func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusRequestEntityTooLarge, ErrTooLarge)
 		return
 	}
-	if err := s.adm.admit(); err != nil {
+	tag, tagged, err := parseHTTPTraceID(r.Header.Get(traceIDHeader))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var sp *obs.QuerySpan
+	if traced {
+		id := tag
+		if !tagged {
+			id = s.mintTraceID()
+		}
+		w.Header().Set(traceIDHeader, fmt.Sprintf("%016x", id))
+		// HTTP requests have no long-lived connection buffer: the span
+		// flushes straight to the tracer on End.
+		sp = s.opts.Trace.Begin(nil, id, "http", tagged)
+		sp.Stage(obs.StageDecode, s.opts.Clock()-decStart)
+	}
+	var admStart units.WallNanos
+	if sp != nil {
+		admStart = s.opts.Clock()
+	}
+	err = s.adm.admit()
+	if sp != nil {
+		sp.Stage(obs.StageAdmission, s.opts.Clock()-admStart)
+	}
+	if err != nil {
 		s.opts.Wall.Incr("queries_shed", 1)
+		sp.End(obs.StatusShed)
 		httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	defer s.adm.release()
 	start := s.opts.Clock()
-	res, err := s.exec.query(r.Context(), httpSession, string(body))
+	res, err := s.exec.query(r.Context(), httpSession, string(body), tag, sp)
 	s.opts.Wall.Observe("query_latency", s.opts.Clock()-start)
+	sp.End(statusFor(err))
 	if err != nil {
 		s.opts.Wall.Incr("queries_failed", 1)
 		httpError(w, httpStatusFor(err), err)
@@ -90,6 +135,59 @@ func (s *Server) httpQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:         res.Rows,
 		Materialized: res.Materialized,
 	})
+}
+
+// parseHTTPTraceID parses an X-CGP-Trace-ID request header: empty
+// means untagged; anything else must be exactly 16 hex digits and
+// nonzero.
+func parseHTTPTraceID(h string) (id uint64, tagged bool, err error) {
+	if h == "" {
+		return 0, false, nil
+	}
+	if len(h) != 16 {
+		return 0, false, fmt.Errorf("%w: %s must be 16 hex digits", ErrMalformed, traceIDHeader)
+	}
+	for _, c := range h {
+		id <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			id |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			id |= uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			id |= uint64(c-'A') + 10
+		default:
+			return 0, false, fmt.Errorf("%w: %s must be 16 hex digits", ErrMalformed, traceIDHeader)
+		}
+	}
+	if id == 0 {
+		return 0, false, fmt.Errorf("%w: zero trace id", ErrMalformed)
+	}
+	return id, true, nil
+}
+
+// writeMetrics serves the Prometheus exposition: wall-domain serving
+// counters, the per-stage latency summaries, and point-in-time gauges
+// (inflight queries, open connections, capture backlog counters).
+func (s *Server) writeMetrics(w io.Writer) {
+	s.opts.Wall.WritePrometheus(w)
+	s.opts.Trace.WritePrometheus(w)
+	var b []byte
+	b = obs.AppendPromGauge(b, "cgp_inflight_queries",
+		"Queries past admission and not yet finished.", s.adm.inflight.Load())
+	b = obs.AppendPromGauge(b, "cgp_open_conns",
+		"Currently served TCP connections.", s.conns.Load())
+	if lc := s.opts.Capture; lc != nil {
+		b = obs.AppendPromGauge(b, "cgp_capture_committed_batches",
+			"Query batches committed to the live capture.", lc.Committed())
+		b = obs.AppendPromGauge(b, "cgp_capture_dropped_batches",
+			"Query batches lost to capture ring backpressure.", lc.Drops())
+		b = obs.AppendPromGauge(b, "cgp_capture_overflow_batches",
+			"Query batches dropped as malformed or over the event cap.", lc.Overflows())
+		b = obs.AppendPromGauge(b, "cgp_capture_skipped_queries",
+			"Queries the capture sampler left unrecorded.", lc.Skipped())
+	}
+	w.Write(b)
 }
 
 func httpStatusFor(err error) int {

@@ -108,6 +108,29 @@ func decodeError(p []byte) error {
 	return errFromWire(p[0], string(p[1:]))
 }
 
+// traceIDLen is the fixed width of the wire trace-ID prefix carried by
+// the traced message types.
+const traceIDLen = 8
+
+// appendTraceID appends an 8-byte big-endian trace id.
+func appendTraceID(buf []byte, id uint64) []byte {
+	return binary.BigEndian.AppendUint64(buf, id)
+}
+
+// takeTraceID splits a traced payload into its trace id and the
+// wrapped payload. A missing or zero id is a protocol violation: the
+// traced message types exist precisely to carry a usable id.
+func takeTraceID(p []byte) (uint64, []byte, error) {
+	if len(p) < traceIDLen {
+		return 0, nil, fmt.Errorf("%w: truncated trace id", ErrMalformed)
+	}
+	id := binary.BigEndian.Uint64(p)
+	if id == 0 {
+		return 0, nil, fmt.Errorf("%w: zero trace id", ErrMalformed)
+	}
+	return id, p[traceIDLen:], nil
+}
+
 // encodeStmtID appends a uvarint statement id (msgExec, msgPrepared).
 func encodeStmtID(buf []byte, id uint64) []byte {
 	return binary.AppendUvarint(buf, id)

@@ -71,6 +71,12 @@ type Options struct {
 	// may be nil.
 	Wall *obs.WallRegistry
 	Log  *obs.RunLog
+	// Trace, when non-nil, records per-query stage spans and latency
+	// percentiles (DESIGN.md §17). Every query gets a span: tagged
+	// clients carry their own trace ID on the wire; untagged queries
+	// get a server-minted ID (high bit set) that never enters the
+	// capture, so untagged recordings stay byte-identical.
+	Trace *obs.QueryTracer
 	// Clock overrides the wall clock (tests); default is the host
 	// clock.
 	Clock func() units.WallNanos
@@ -117,6 +123,16 @@ type Server struct {
 	wg      sync.WaitGroup
 	conns   atomic.Int64
 	connSeq atomic.Int64
+	// traceSeq mints trace IDs for untagged queries. Minted IDs carry
+	// the high bit, disjoint from any sane client-minted ID, and are
+	// never recorded into the capture.
+	traceSeq atomic.Uint64
+}
+
+// mintTraceID returns a fresh server-minted trace ID for an untagged
+// query: high bit set, sequence in the low bits, never zero.
+func (s *Server) mintTraceID() uint64 {
+	return 1<<63 | s.traceSeq.Add(1)
 }
 
 // New builds a server over e. The engine must not be used concurrently
@@ -132,6 +148,7 @@ func New(e *db.Engine, opts Options) *Server {
 			clock:    opts.Clock,
 			deadline: wallDur(opts.QueryDeadline),
 			maxRows:  opts.MaxResultRows,
+			wall:     opts.Wall,
 		},
 		adm: newAdmission(opts.RatePerSec, opts.Burst, opts.MaxInflight, opts.Clock),
 	}
@@ -251,6 +268,12 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn, id int64) {
 	s.opts.Wall.Incr("conns_opened", 1)
 
 	session := int32(id % maxSessionSlots)
+	// ct buffers the connection's finished spans; Close on every exit
+	// path flushes them to the tracer (terminal spans survive mid-query
+	// disconnects and protocol violations).
+	ct := s.opts.Trace.Conn()
+	defer ct.Close()
+	traced := s.opts.Trace != nil
 	br := bufio.NewReaderSize(conn, 32<<10)
 	hdr := make([]byte, frameHeaderLen)
 	var payload []byte
@@ -262,6 +285,13 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn, id int64) {
 		conn.SetReadDeadline(ioDeadline(s.opts.IdleTimeout))
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			return // clean EOF, client death, or idle timeout
+		}
+		// The decode stage spans the payload read (after the header
+		// arrived — idle wait is not decode time) through frame parsing
+		// in handleMsg.
+		var decStart units.WallNanos
+		if traced {
+			decStart = s.opts.Clock()
 		}
 		typ, n, err := parseFrameHeader(hdr, maxRequestFrame)
 		if err != nil {
@@ -285,7 +315,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn, id int64) {
 		if typ == msgBye {
 			return
 		}
-		resp, fatal := s.handleMsg(ctx, session, connTag, typ, payload)
+		var decode units.WallNanos
+		if traced {
+			decode = s.opts.Clock() - decStart
+		}
+		resp, fatal := s.handleMsg(ctx, session, connTag, typ, payload, ct, decode)
 		if !s.writeFrame(conn, resp) {
 			return
 		}
@@ -306,19 +340,41 @@ func (s *Server) writeFrame(conn net.Conn, frame []byte) bool {
 // response plus whether the connection must close (protocol
 // violations). Queries pass admission control first; shed queries
 // never touch the engine.
-func (s *Server) handleMsg(ctx context.Context, session int32, connTag string, typ byte, payload []byte) (resp []byte, fatal bool) {
+//
+// The traced message types split off their 8-byte trace-ID prefix
+// here; plain types get a server-minted ID (when tracing is on) with
+// tag 0, so only client-carried IDs reach the capture.
+func (s *Server) handleMsg(ctx context.Context, session int32, connTag string, typ byte, payload []byte, ct *obs.ConnTrace, decode units.WallNanos) (resp []byte, fatal bool) {
+	var tag uint64
+	tagged := false
+	switch typ {
+	case msgQueryTraced, msgExecTraced:
+		id, rest, err := takeTraceID(payload)
+		if err != nil {
+			s.opts.Wall.Incr("frames_malformed", 1)
+			return errorFrame(codeMalformed, err.Error()), true
+		}
+		tag, tagged, payload = id, true, rest
+		if typ == msgQueryTraced {
+			typ = msgQuery
+		} else {
+			typ = msgExec
+		}
+	}
 	switch typ {
 	case msgQuery:
-		return s.serveQuery(ctx, session, connTag, func() (*Result, error) {
-			return s.exec.query(ctx, session, string(payload))
+		sp := s.beginSpan(ct, tag, tagged, connTag, decode)
+		return s.serveQuery(ctx, session, connTag, sp, func() (*Result, error) {
+			return s.exec.query(ctx, session, string(payload), tag, sp)
 		}), false
 	case msgExec:
 		id, err := decodeStmtID(payload)
 		if err != nil {
 			return errorFrame(codeMalformed, err.Error()), true
 		}
-		return s.serveQuery(ctx, session, connTag, func() (*Result, error) {
-			return s.exec.execPrepared(ctx, session, id)
+		sp := s.beginSpan(ct, tag, tagged, connTag, decode)
+		return s.serveQuery(ctx, session, connTag, sp, func() (*Result, error) {
+			return s.exec.execPrepared(ctx, session, id, tag, sp)
 		}), false
 	case msgPrepare:
 		id, err := s.exec.prepare(string(payload))
@@ -335,21 +391,49 @@ func (s *Server) handleMsg(ctx context.Context, session int32, connTag string, t
 	}
 }
 
-// serveQuery wraps one query execution in admission control and
-// latency accounting.
-func (s *Server) serveQuery(ctx context.Context, session int32, connTag string, run func() (*Result, error)) []byte {
+// beginSpan opens a query span (nil when tracing is off), minting a
+// server-side trace ID for untagged queries, and books the already-
+// measured decode stage.
+func (s *Server) beginSpan(ct *obs.ConnTrace, tag uint64, tagged bool, connTag string, decode units.WallNanos) *obs.QuerySpan {
+	if s.opts.Trace == nil {
+		return nil
+	}
+	id := tag
+	if !tagged {
+		id = s.mintTraceID()
+	}
+	sp := s.opts.Trace.Begin(ct, id, connTag, tagged)
+	sp.Stage(obs.StageDecode, decode)
+	return sp
+}
+
+// serveQuery wraps one query execution in admission control, latency
+// accounting and span closing: every query that reached dispatch ends
+// its span with a terminal status, whatever path it dies on.
+func (s *Server) serveQuery(ctx context.Context, session int32, connTag string, sp *obs.QuerySpan, run func() (*Result, error)) []byte {
 	if ctx.Err() != nil {
+		sp.End(obs.StatusShutdown)
 		return errorFrame(codeShutdown, "server shutting down")
 	}
-	if err := s.adm.admit(); err != nil {
+	var admStart units.WallNanos
+	if sp != nil {
+		admStart = s.opts.Clock()
+	}
+	err := s.adm.admit()
+	if sp != nil {
+		sp.Stage(obs.StageAdmission, s.opts.Clock()-admStart)
+	}
+	if err != nil {
 		s.opts.Wall.Incr("queries_shed", 1)
 		s.opts.Log.Emit(obs.QueryShed, workloadTag, connTag, err.Error())
+		sp.End(obs.StatusShed)
 		return errorFrame(codeOverloaded, err.Error())
 	}
 	defer s.adm.release()
 	start := s.opts.Clock()
 	res, err := run()
 	s.opts.Wall.Observe("query_latency", s.opts.Clock()-start)
+	sp.End(statusFor(err))
 	if err != nil {
 		s.opts.Wall.Incr("queries_failed", 1)
 		return errorFrame(codeFor(err), err.Error())

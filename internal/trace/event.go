@@ -61,6 +61,16 @@ const (
 	// KindProbeData records probe.Data(Addr, N, write); Taken doubles
 	// as the "is write" flag, as in KindData.
 	KindProbeData
+
+	// KindQueryTag tags the probe batch that follows with the
+	// originating query's wire-carried trace ID (carried in Addr). It
+	// appears only in live captures of *tagged* traffic, immediately
+	// after the batch's KindSwitch — untagged clients produce captures
+	// without any tag events, byte-identical to pre-tracing captures.
+	// Replay passes the tag through so per-query attribution can join
+	// simulated prefetch benefit to the serving side's wall-clock
+	// latency for the same trace ID.
+	KindQueryTag
 )
 
 // String returns a short mnemonic for k.
@@ -88,6 +98,8 @@ func (k Kind) String() string {
 		return "pwork"
 	case KindProbeData:
 		return "pdata"
+	case KindQueryTag:
+		return "qtag"
 	}
 	return "?"
 }

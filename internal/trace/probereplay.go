@@ -30,9 +30,11 @@ const probeReplaySeedStride = 7919
 var ErrNotProbeRecording = fmt.Errorf("trace: recording holds no probe-level events")
 
 // IsProbeRecording reports whether rec is a probe-level capture (all
-// payload events are KindProbe*, session-tagged by KindSwitch).
+// payload events are KindProbe*, session-tagged by KindSwitch and
+// optionally query-tagged by KindQueryTag).
 func IsProbeRecording(rec *Recording) bool {
-	return rec.Stats.ProbeOps > 0 && rec.Stats.ProbeOps+rec.Stats.Switches == rec.Stats.Events
+	return rec.Stats.ProbeOps > 0 &&
+		rec.Stats.ProbeOps+rec.Stats.Switches+rec.Stats.QueryTags == rec.Stats.Events
 }
 
 // ReplayProbe replays a probe-level recording through per-session
@@ -74,6 +76,17 @@ func ReplayProbe(rec *Recording, img *program.Image, out Consumer, seed int64) e
 				}
 				cur = tracerFor(ev.N)
 				out.Event(Event{Kind: KindSwitch, N: ev.N})
+			case KindQueryTag:
+				// Pass the trace-ID tag straight through: it carries no
+				// instruction semantics, but a per-query attribution
+				// consumer keys its rows on it.
+				if cur == nil {
+					return probeStreamErr(n, "query tag before first session switch")
+				}
+				if ev.Addr == 0 {
+					return probeStreamErr(n, "zero query trace ID")
+				}
+				out.Event(Event{Kind: KindQueryTag, Addr: ev.Addr})
 			case KindProbeEnter:
 				if cur == nil {
 					return probeStreamErr(n, "probe op before first session switch")

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cgp/internal/isa"
+	"cgp/internal/program"
+)
+
+// Query-tag handling in probe-level recordings: tags pass through
+// replay verbatim, count in stats, keep the recording well-formed,
+// and malformed tag placements are rejected.
+
+// probeTagImage builds a minimal laid-out image for probe replay.
+func probeTagImage() *program.Image {
+	reg := program.NewRegistry()
+	reg.Register("a", 400)
+	reg.Register("b", 400)
+	return program.LayoutO5(reg)
+}
+
+// recordProbe runs fn against a recorder and returns the sealed
+// recording.
+func recordProbe(t *testing.T, fn func(out Consumer)) *Recording {
+	t.Helper()
+	rec := NewRecorder()
+	fn(rec)
+	r, err := rec.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestQueryTagPassthrough(t *testing.T) {
+	const tagA, tagB = 0x700000001, 0x700000002
+	rec := recordProbe(t, func(out Consumer) {
+		for i, tag := range []uint64{tagA, tagB} {
+			out.Event(Event{Kind: KindSwitch, N: int32(i)})
+			out.Event(Event{Kind: KindQueryTag, Addr: isa.Addr(tag)})
+			out.Event(Event{Kind: KindProbeEnter, Fn: 0})
+			out.Event(Event{Kind: KindProbeWork, N: 40})
+			out.Event(Event{Kind: KindProbeExit})
+		}
+	})
+	if !IsProbeRecording(rec) {
+		t.Fatalf("tagged capture not recognized as probe recording: %+v", rec.Stats)
+	}
+	if rec.Stats.QueryTags != 2 {
+		t.Fatalf("stats count %d query tags, want 2", rec.Stats.QueryTags)
+	}
+
+	var got []uint64
+	var st Stats
+	if err := ReplayProbe(rec, probeTagImage(), Tee(&st, ConsumerFunc(func(ev Event) {
+		if ev.Kind == KindQueryTag {
+			got = append(got, uint64(ev.Addr))
+		}
+	})), 42); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != tagA || got[1] != tagB {
+		t.Fatalf("replayed tags = %#x, want [%#x %#x]", got, tagA, tagB)
+	}
+	if st.Instructions == 0 {
+		t.Fatal("tagged replay synthesized no instructions")
+	}
+}
+
+func TestQueryTagBeforeSwitchRejected(t *testing.T) {
+	rec := recordProbe(t, func(out Consumer) {
+		out.Event(Event{Kind: KindQueryTag, Addr: 7})
+		out.Event(Event{Kind: KindSwitch, N: 0})
+		out.Event(Event{Kind: KindProbeEnter, Fn: 0})
+		out.Event(Event{Kind: KindProbeExit})
+	})
+	err := ReplayProbe(rec, probeTagImage(), Discard, 42)
+	if err == nil || !strings.Contains(err.Error(), "query tag before first session switch") {
+		t.Fatalf("tag-before-switch error = %v", err)
+	}
+}
+
+func TestQueryTagZeroIDRejected(t *testing.T) {
+	rec := recordProbe(t, func(out Consumer) {
+		out.Event(Event{Kind: KindSwitch, N: 0})
+		out.Event(Event{Kind: KindQueryTag, Addr: 0})
+		out.Event(Event{Kind: KindProbeEnter, Fn: 0})
+		out.Event(Event{Kind: KindProbeExit})
+	})
+	err := ReplayProbe(rec, probeTagImage(), Discard, 42)
+	if err == nil || !strings.Contains(err.Error(), "zero query trace ID") {
+		t.Fatalf("zero-tag error = %v", err)
+	}
+}

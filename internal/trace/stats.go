@@ -25,6 +25,9 @@ type Stats struct {
 	// for live-capture recordings, which store the instrumentation
 	// seam instead of a synthesized instruction stream.
 	ProbeOps int64
+	// QueryTags counts KindQueryTag events: the trace-ID tags a live
+	// capture of tagged traffic carries, one per tagged query batch.
+	QueryTags int64
 }
 
 // Event implements Consumer.
@@ -55,6 +58,8 @@ func (s *Stats) Event(ev Event) {
 		s.Switches++
 	case KindProbeEnter, KindProbeExit, KindProbeWork, KindProbeData:
 		s.ProbeOps++
+	case KindQueryTag:
+		s.QueryTags++
 	}
 }
 

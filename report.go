@@ -239,3 +239,22 @@ func (t *AttributionTable) Markdown() string {
 	}
 	return b.String()
 }
+
+// Markdown renders the per-query attribution table. Trace IDs print as
+// 16 lower-case hex digits — the same rendering the slow-query log and
+// the replay join use, so a row here greps directly against serving
+// artifacts. Rows are already trace-ID-sorted; regenerating the table
+// yields identical bytes.
+func (t *QueryAttributionTable) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Per-query prefetch attribution — %s under %s\n\n", t.Workload, t.Config)
+	b.WriteString("| trace id | fetches | misses | pref hits | delayed | coverage | issued | useful | accuracy | timeliness (cyc) |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		fmt.Fprintf(&b, "| %016x | %d | %d | %d | %d | %.2f | %d | %d | %.2f | %.1f |\n",
+			r.Query, r.LineFetches, r.Misses, r.PrefHits, r.DelayedHits, r.Coverage(),
+			r.Issued, r.Useful, r.Accuracy(), r.MeanTimeliness())
+	}
+	return b.String()
+}
